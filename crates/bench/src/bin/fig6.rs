@@ -1,0 +1,86 @@
+//! Fig. 6: maximum achievable IPS and system cost versus interposer size
+//! under the 85 °C threshold, normalized to the single-chip baseline, for
+//! representative low-/medium-/high-power benchmarks (canneal, hpccg,
+//! cholesky) and {4, 16}-chiplet organizations.
+//!
+//! Paper trends: IPS is a step function of interposer size (discrete f and
+//! p); the cost curve is benchmark-independent; the minimum interposer
+//! saves ≈36% cost at no performance loss for thermally-easy benchmarks.
+
+use tac25d_bench::runner::{parallel_map, spec_from_args};
+use tac25d_bench::{fast_flag, fmt, Report};
+use tac25d_core::prelude::*;
+use tac25d_floorplan::units::Mm;
+
+fn main() -> std::io::Result<()> {
+    let ev = Evaluator::new(spec_from_args());
+    let benchmarks = [Benchmark::Canneal, Benchmark::Hpccg, Benchmark::Cholesky];
+    let step = if fast_flag() { 6 } else { 2 };
+    let edges: Vec<f64> = (20..=50).step_by(step).map(f64::from).collect();
+    let search = PlacementSearch::MultiStartGreedy { starts: 10 };
+
+    // Warm the baselines serially (they are shared by every item).
+    for &b in &benchmarks {
+        let _ = single_chip_baseline(&ev, b).expect("baseline eval");
+    }
+
+    let mut items = Vec::new();
+    for &b in &benchmarks {
+        for count in [ChipletCount::Four, ChipletCount::Sixteen] {
+            for &e in &edges {
+                items.push((b, count, e));
+            }
+        }
+    }
+    let results = parallel_map(items.clone(), |&(b, count, e)| {
+        best_at_edge(
+            &ev,
+            b,
+            Weights::performance_only(),
+            count,
+            Mm(e),
+            search,
+            42,
+        )
+        .expect("search error")
+        .map(|org| (org.normalized_perf, org.normalized_cost))
+    });
+
+    let mut header = vec!["interposer_mm".to_owned()];
+    for &b in &benchmarks {
+        header.push(format!("{}_ips_n4", b.name()));
+        header.push(format!("{}_ips_n16", b.name()));
+    }
+    header.push("cost_n4".to_owned());
+    header.push("cost_n16".to_owned());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut report = Report::new("fig6", &header_refs);
+
+    for &e in &edges {
+        let mut row = vec![fmt(e, 0)];
+        let mut costs = (None, None);
+        for &b in &benchmarks {
+            for count in [ChipletCount::Four, ChipletCount::Sixteen] {
+                let idx = items
+                    .iter()
+                    .position(|&(ib, ic, ie)| ib == b && ic == count && ie == e)
+                    .expect("item exists");
+                match &results[idx] {
+                    Some((perf, cost)) => {
+                        row.push(fmt(*perf, 3));
+                        match count {
+                            ChipletCount::Four => costs.0 = Some(*cost),
+                            ChipletCount::Sixteen => costs.1 = Some(*cost),
+                        }
+                    }
+                    None => row.push("-".to_owned()),
+                }
+            }
+        }
+        row.push(costs.0.map_or("-".into(), |c| fmt(c, 3)));
+        row.push(costs.1.map_or("-".into(), |c| fmt(c, 3)));
+        report.row(&row);
+    }
+    report.finish()?;
+    Ok(())
+}

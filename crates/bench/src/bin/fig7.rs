@@ -1,0 +1,95 @@
+//! Fig. 7: minimum Eq. (5) objective value versus interposer size for
+//! (α, β) ∈ {(1, 0), (0, 1), (0.5, 0.5)}, for the representative
+//! low-/medium-/high-power benchmarks.
+//!
+//! Paper trends: with α=0/β=1 the curves equal the normalized cost; with
+//! α=1/β=0 they are the inverse normalized performance; the balanced
+//! weights expose a per-benchmark optimal interposer size at the curve
+//! minimum.
+
+use tac25d_bench::runner::{parallel_map, spec_from_args};
+use tac25d_bench::{fast_flag, fmt, Report};
+use tac25d_core::prelude::*;
+use tac25d_floorplan::units::Mm;
+
+fn main() -> std::io::Result<()> {
+    let ev = Evaluator::new(spec_from_args());
+    let benchmarks = [Benchmark::Canneal, Benchmark::Hpccg, Benchmark::Cholesky];
+    let weight_sets = [
+        ("a1b0", Weights::performance_only()),
+        ("a0b1", Weights::cost_only()),
+        ("a05b05", Weights::balanced()),
+    ];
+    let step = if fast_flag() { 6 } else { 2 };
+    let edges: Vec<f64> = (20..=50).step_by(step).map(f64::from).collect();
+    let search = PlacementSearch::MultiStartGreedy { starts: 10 };
+
+    for &b in &benchmarks {
+        let _ = single_chip_baseline(&ev, b).expect("baseline eval");
+    }
+
+    let mut items = Vec::new();
+    for &b in &benchmarks {
+        for (wname, w) in weight_sets {
+            for &e in &edges {
+                items.push((b, wname, w, e));
+            }
+        }
+    }
+    let results = parallel_map(items.clone(), |&(b, _, w, e)| {
+        // Best over both chiplet counts at this edge.
+        let mut best: Option<f64> = None;
+        for count in [ChipletCount::Four, ChipletCount::Sixteen] {
+            if let Some(org) =
+                best_at_edge(&ev, b, w, count, Mm(e), search, 42).expect("search error")
+            {
+                let obj = org.candidate.objective;
+                best = Some(best.map_or(obj, |x: f64| x.min(obj)));
+            }
+        }
+        best
+    });
+
+    let mut header = vec!["interposer_mm".to_owned()];
+    for &b in &benchmarks {
+        for (wname, _) in weight_sets {
+            header.push(format!("{}_{}", b.name(), wname));
+        }
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut report = Report::new("fig7", &header_refs);
+
+    for &e in &edges {
+        let mut row = vec![fmt(e, 0)];
+        for &b in &benchmarks {
+            for (wname, _) in weight_sets {
+                let idx = items
+                    .iter()
+                    .position(|&(ib, iw, _, ie)| ib == b && iw == wname && ie == e)
+                    .expect("item exists");
+                row.push(results[idx].map_or("-".into(), |o| fmt(o, 3)));
+            }
+        }
+        report.row(&row);
+    }
+    report.finish()?;
+
+    // The balanced-weights optimum per benchmark (the paper quotes
+    // cholesky's at 31 mm with 192 cores at 1 GHz).
+    println!();
+    for &b in &benchmarks {
+        let best = edges
+            .iter()
+            .filter_map(|&e| {
+                let idx = items
+                    .iter()
+                    .position(|&(ib, iw, _, ie)| ib == b && iw == "a05b05" && ie == e)?;
+                results[idx].map(|o| (e, o))
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("objective finite"));
+        if let Some((e, o)) = best {
+            println!("{:<14} balanced-weight optimum at {e:.0} mm (objective {o:.3})", b.name());
+        }
+    }
+    Ok(())
+}

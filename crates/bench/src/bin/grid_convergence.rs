@@ -1,0 +1,77 @@
+//! Numerical validation: grid-convergence study of the thermal solver.
+//!
+//! The paper uses a 64×64 HotSpot grid; our optimizer sweeps default to
+//! 32×32. This experiment quantifies the discretization error: peak
+//! temperature of representative configurations across grid resolutions,
+//! so EXPERIMENTS.md can state how far the coarse grids sit from the
+//! asymptote.
+
+use tac25d_bench::{fmt, Report};
+use tac25d_floorplan::prelude::*;
+use tac25d_thermal::model::{PackageModel, ThermalConfig};
+
+fn main() -> std::io::Result<()> {
+    let chip = ChipSpec::scc_256();
+    let rules = PackageRules::default();
+    let grids = [12usize, 16, 24, 32, 48, 64, 96];
+
+    let cases: Vec<(&str, ChipletLayout, f64)> = vec![
+        ("single_chip_324w", ChipletLayout::SingleChip, 324.0),
+        (
+            "16_chiplet_2mm_324w",
+            ChipletLayout::Uniform { r: 4, gap: Mm(2.0) },
+            324.0,
+        ),
+        (
+            "16_chiplet_8mm_324w",
+            ChipletLayout::Uniform { r: 4, gap: Mm(8.0) },
+            324.0,
+        ),
+        (
+            "4_chiplet_6mm_400w",
+            ChipletLayout::Uniform { r: 2, gap: Mm(6.0) },
+            400.0,
+        ),
+    ];
+
+    let mut header = vec!["case".to_owned()];
+    header.extend(grids.iter().map(|g| format!("grid{g}")));
+    header.push("err32_vs_96_c".to_owned());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut report = Report::new("grid_convergence", &header_refs);
+
+    for (name, layout, watts) in cases {
+        let stack = if layout.is_single_chip() {
+            StackSpec::baseline_2d()
+        } else {
+            StackSpec::system_25d()
+        };
+        let mut row = vec![name.to_owned()];
+        let mut peaks = Vec::new();
+        for &grid in &grids {
+            let model = PackageModel::new(
+                &chip,
+                &layout,
+                &rules,
+                &stack,
+                ThermalConfig {
+                    grid,
+                    ..ThermalConfig::default()
+                },
+            )
+            .expect("model builds");
+            let rects = layout.chiplet_rects(&chip, &rules);
+            let per = watts / rects.len() as f64;
+            let sources: Vec<_> = rects.into_iter().map(|r| (r, per)).collect();
+            let peak = model.solve(&sources).expect("solve").peak().value();
+            peaks.push(peak);
+            row.push(fmt(peak, 2));
+        }
+        let p32 = peaks[grids.iter().position(|&g| g == 32).expect("32 present")];
+        let p96 = *peaks.last().expect("non-empty");
+        row.push(fmt(p32 - p96, 2));
+        report.row(&row);
+    }
+    report.finish()?;
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! The paper's headline results (abstract / Sec. V-B):
+//!
+//! * at the same manufacturing cost as the single chip, a thermally-aware
+//!   16-chiplet 2.5D system improves performance by 41% on average and up
+//!   to 87% under 85 °C (16% / 39% under 105 °C);
+//! * at the same performance as the single chip, the 2.5D system cuts
+//!   manufacturing cost by 36%.
+
+use tac25d_bench::runner::{benchmarks_from_args, parallel_map, spec_from_args};
+use tac25d_bench::{fmt, Report};
+use tac25d_core::prelude::*;
+use tac25d_floorplan::units::Celsius;
+
+fn main() -> std::io::Result<()> {
+    let benchmarks = benchmarks_from_args();
+    let mut report = Report::new(
+        "headline",
+        &[
+            "threshold_c",
+            "benchmark",
+            "iso_cost_perf_gain_pct",
+            "iso_perf_cost_saving_pct",
+        ],
+    );
+    let mut summary = Vec::new();
+    for threshold in [85.0, 105.0] {
+        let ev = Evaluator::new(spec_from_args().with_threshold(Celsius(threshold)));
+        let rows = parallel_map(benchmarks.clone(), |&b| {
+            (b, iso_cost_gain(&ev, b), iso_perf_saving(&ev, b))
+        });
+        let mut gains = Vec::new();
+        for (b, gain, saving) in &rows {
+            report.row(&[
+                fmt(threshold, 0),
+                b.name().to_owned(),
+                gain.map_or("-".into(), |g| fmt(g * 100.0, 1)),
+                saving.map_or("-".into(), |s| fmt(s * 100.0, 1)),
+            ]);
+            if let Some(g) = gain {
+                gains.push(*g);
+            }
+        }
+        let avg = gains.iter().sum::<f64>() / gains.len().max(1) as f64;
+        let max = gains.iter().cloned().fold(0.0, f64::max);
+        summary.push((threshold, avg, max));
+    }
+    report.finish()?;
+
+    println!();
+    for (threshold, avg, max) in summary {
+        let paper = if threshold == 85.0 { "41% avg / 87% max" } else { "16% avg / 39% max" };
+        println!(
+            "{threshold:.0}°C: iso-cost performance gain avg {:.0}% / max {:.0}%   (paper: {paper})",
+            avg * 100.0,
+            max * 100.0
+        );
+    }
+    Ok(())
+}
+
+/// Best performance gain of a 16-chiplet system costing no more than the
+/// single chip ("at the same cost as the baseline").
+fn iso_cost_gain(ev: &Evaluator, b: Benchmark) -> Option<f64> {
+    let cfg = OptimizerConfig {
+        weights: Weights::performance_only(),
+        chiplet_counts: vec![ChipletCount::Sixteen],
+        ..OptimizerConfig::default()
+    };
+    let r = optimize_with_filter(ev, b, &cfg, |c, base| c.cost <= base.cost + 1e-9)
+        .expect("optimize");
+    r.best.map(|best| best.normalized_perf - 1.0)
+}
+
+/// Best cost saving of a 2.5D system matching the single chip's
+/// performance ("without performance loss").
+fn iso_perf_saving(ev: &Evaluator, b: Benchmark) -> Option<f64> {
+    let cfg = OptimizerConfig {
+        weights: Weights::cost_only(),
+        ..OptimizerConfig::default()
+    };
+    let r = optimize_with_filter(ev, b, &cfg, |c, base| c.ips.0 >= base.ips.0 - 1e-9)
+        .expect("optimize");
+    r.best.map(|best| 1.0 - best.normalized_cost)
+}

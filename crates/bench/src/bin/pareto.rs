@@ -1,0 +1,73 @@
+//! Extension experiment: the performance/cost Pareto frontier of chiplet
+//! organizations.
+//!
+//! Fig. 7 shows three (α, β) points; sweeping the weight continuously
+//! exposes the whole trade-off curve a designer actually navigates. For
+//! each α ∈ {0, 0.1, …, 1.0} (β = 1 − α) the optimizer picks an
+//! organization; the set of non-dominated (normalized IPS, normalized
+//! cost) points is the frontier.
+
+use tac25d_bench::runner::spec_from_args;
+use tac25d_bench::{benchmark_filter, fmt, Report};
+use tac25d_core::prelude::*;
+
+fn main() -> std::io::Result<()> {
+    let ev = Evaluator::new(spec_from_args());
+    // Default to the three representative benchmarks (the full-suite sweep
+    // is 88 optimizations; select one with --benchmark to go deeper).
+    let benchmarks: Vec<Benchmark> = match benchmark_filter() {
+        Some(name) => vec![Benchmark::all()
+            .into_iter()
+            .find(|b| b.name() == name)
+            .unwrap_or_else(|| panic!("unknown benchmark {name:?}"))],
+        None => vec![Benchmark::Canneal, Benchmark::Hpccg, Benchmark::Cholesky],
+    };
+    let mut report = Report::new(
+        "pareto",
+        &[
+            "benchmark",
+            "alpha",
+            "norm_ips",
+            "norm_cost",
+            "interposer_mm",
+            "chiplets",
+            "dominated",
+        ],
+    );
+    for &b in &benchmarks {
+        let mut points = Vec::new();
+        for step in 0..=10 {
+            let alpha = f64::from(step) / 10.0;
+            let cfg = OptimizerConfig {
+                weights: Weights::new(alpha, 1.0 - alpha),
+                ..OptimizerConfig::default()
+            };
+            let r = optimize(&ev, b, &cfg).expect("optimize");
+            if let Some(best) = r.best {
+                points.push((
+                    alpha,
+                    best.normalized_perf,
+                    best.normalized_cost,
+                    best.candidate.edge.value(),
+                    best.candidate.count.n(),
+                ));
+            }
+        }
+        for &(alpha, perf, cost, edge, n) in &points {
+            let dominated = points
+                .iter()
+                .any(|&(_, p2, c2, ..)| p2 >= perf && c2 <= cost && (p2 > perf || c2 < cost));
+            report.row(&[
+                b.name().to_owned(),
+                fmt(alpha, 1),
+                fmt(perf, 3),
+                fmt(cost, 3),
+                fmt(edge, 1),
+                n.to_string(),
+                dominated.to_string(),
+            ]);
+        }
+    }
+    report.finish()?;
+    Ok(())
+}

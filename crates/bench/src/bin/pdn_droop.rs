@@ -1,0 +1,74 @@
+//! Extension experiment (paper footnote 3): supply-droop feasibility of
+//! reclaimed-dark-silicon operating points.
+//!
+//! For each benchmark's optimal 85 °C organization (from the same search as
+//! `fig8`), compute the static IR drop of the per-core power map and check
+//! it against a 5% droop budget. The paper acknowledges that delivering
+//! ~500 W is an open engineering problem; this table shows exactly which
+//! reclaimed configurations cross the budget.
+
+use tac25d_bench::runner::{benchmarks_from_args, spec_from_args};
+use tac25d_bench::{fmt, Report};
+use tac25d_core::prelude::*;
+use tac25d_pdn::{PdnModel, PdnParams};
+
+fn main() -> std::io::Result<()> {
+    let ev = Evaluator::new(spec_from_args());
+    let spec = ev.spec().clone();
+    let benchmarks = benchmarks_from_args();
+
+    let mut report = Report::new(
+        "pdn_droop",
+        &[
+            "benchmark",
+            "layout",
+            "total_power_w",
+            "total_current_a",
+            "max_droop_mv",
+            "droop_pct",
+            "meets_5pct_budget",
+        ],
+    );
+    for &b in &benchmarks {
+        let result = optimize(&ev, b, &OptimizerConfig::default()).expect("optimize");
+        let Some(best) = result.best else {
+            continue;
+        };
+        let op = best.candidate.op;
+        let p = best.candidate.active_cores;
+        let profile = b.profile();
+        // Per-core powers at the organization's operating point (leakage at
+        // the organization's peak temperature — conservative).
+        let active: std::collections::HashSet<_> =
+            mintemp_active_cores(&spec.chip, p).into_iter().collect();
+        let per_core = spec.core_power.active_power(&profile, op, best.peak);
+        let powers: Vec<f64> = spec
+            .chip
+            .cores()
+            .map(|c| if active.contains(&c) { per_core } else { 0.0 })
+            .collect();
+        let params = PdnParams {
+            vdd: op.voltage,
+            ..PdnParams::default()
+        };
+        let pdn = PdnModel::new(&spec.chip, &best.layout, &spec.rules, params)
+            .expect("pdn model");
+        let sol = pdn.solve(&powers).expect("pdn solve");
+        report.row(&[
+            b.name().to_owned(),
+            format!("{}", best.layout),
+            fmt(best.total_power.value(), 0),
+            fmt(sol.total_current(), 0),
+            fmt(sol.max_droop() * 1e3, 1),
+            fmt(sol.max_droop_fraction() * 100.0, 2),
+            sol.meets_budget().to_string(),
+        ]);
+    }
+    report.finish()?;
+    println!();
+    println!(
+        "configurations over budget need PDN hardening (more C4/TSV area, \
+         thicker RDL) — the engineering challenge of paper footnote 3"
+    );
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Extension experiment (paper Sec. V-B, lu.cont discussion): reliability
+//! gains of thermally-aware organizations.
+//!
+//! For every benchmark, compare the single-chip baseline's peak temperature
+//! against the optimal iso-performance 2.5D organization's, and convert the
+//! temperature reduction into electromigration-MTTF and thermal-cycling
+//! lifetime factors. Even benchmarks with zero performance gain (lu.cont,
+//! canneal) show multi-× lifetime improvements.
+
+use tac25d_bench::runner::{benchmarks_from_args, spec_from_args};
+use tac25d_bench::{fmt, Report};
+use tac25d_core::prelude::*;
+use tac25d_power::reliability::ReliabilityModel;
+
+fn main() -> std::io::Result<()> {
+    let ev = Evaluator::new(spec_from_args());
+    let benchmarks = benchmarks_from_args();
+    let rel = ReliabilityModel::default();
+    let ambient = ev.spec().thermal.ambient;
+
+    let mut report = Report::new(
+        "reliability_gain",
+        &[
+            "benchmark",
+            "baseline_peak_c",
+            "25d_peak_c",
+            "em_mttf_factor",
+            "cycle_life_factor",
+        ],
+    );
+    for &b in &benchmarks {
+        // Iso-performance, minimum cost — the "free reliability" design.
+        let cfg = OptimizerConfig {
+            weights: Weights::cost_only(),
+            ..OptimizerConfig::default()
+        };
+        let r = optimize_with_filter(&ev, b, &cfg, |c, base| c.ips.0 >= base.ips.0 - 1e-9)
+            .expect("optimize");
+        let Some(best) = r.best else { continue };
+        let t_base = r.baseline.peak;
+        let t_25d = best.peak;
+        let mttf = rel.relative_mttf(t_25d, t_base);
+        let cycles = rel.relative_cycle_life(
+            (t_25d.value() - ambient.value()).max(1.0),
+            (t_base.value() - ambient.value()).max(1.0),
+        );
+        report.row(&[
+            b.name().to_owned(),
+            fmt(t_base.value(), 1),
+            fmt(t_25d.value(), 1),
+            fmt(mttf, 2),
+            fmt(cycles, 2),
+        ]);
+    }
+    report.finish()?;
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Sec. V-B sensitivity study: average iso-cost performance improvement of
+//! the thermally-aware 16-chiplet organization across all 8 benchmarks, at
+//! temperature thresholds 75 / 85 / 95 / 105 °C.
+//!
+//! Paper anchors: 41%, 41%, 27% and 16% respectively — lower thresholds
+//! throttle the baseline harder, leaving more performance to reclaim.
+
+use tac25d_bench::runner::{benchmarks_from_args, parallel_map, spec_from_args};
+use tac25d_bench::{fmt, Report};
+use tac25d_core::prelude::*;
+use tac25d_floorplan::units::Celsius;
+
+fn main() -> std::io::Result<()> {
+    let benchmarks = benchmarks_from_args();
+    let thresholds = [75.0, 85.0, 95.0, 105.0];
+    let paper = [41.0, 41.0, 27.0, 16.0];
+
+    let mut report = Report::new(
+        "sensitivity",
+        &["threshold_c", "avg_gain_pct", "max_gain_pct", "paper_avg_pct"],
+    );
+    for (&threshold, &paper_avg) in thresholds.iter().zip(&paper) {
+        let ev = Evaluator::new(spec_from_args().with_threshold(Celsius(threshold)));
+        let gains = parallel_map(benchmarks.clone(), |&b| {
+            let cfg = OptimizerConfig {
+                weights: Weights::performance_only(),
+                chiplet_counts: vec![ChipletCount::Sixteen],
+                ..OptimizerConfig::default()
+            };
+            match optimize_with_filter(&ev, b, &cfg, |c, base| c.cost <= base.cost + 1e-9) {
+                Ok(r) => r.best.map(|best| best.normalized_perf - 1.0),
+                // No feasible baseline at a harsh threshold: skip.
+                Err(OptimizeError::NoBaseline(_)) => None,
+                Err(e) => panic!("optimize failed: {e}"),
+            }
+        });
+        let found: Vec<f64> = gains.into_iter().flatten().collect();
+        let avg = found.iter().sum::<f64>() / found.len().max(1) as f64;
+        let max = found.iter().cloned().fold(0.0, f64::max);
+        report.row(&[
+            fmt(threshold, 0),
+            fmt(avg * 100.0, 1),
+            fmt(max * 100.0, 1),
+            fmt(paper_avg, 0),
+        ]);
+    }
+    report.finish()?;
+    Ok(())
+}

@@ -1,0 +1,320 @@
+//! `tac25d` — command-line front end for the thermally-aware chiplet
+//! organization toolkit.
+//!
+//! ```text
+//! tac25d evaluate --benchmark shock --layout uniform:4,6 [--freq 1000] [--cores 256]
+//! tac25d optimize --benchmark hpccg [--alpha 1 --beta 0] [--threshold 85]
+//!                 [--starts 10] [--exhaustive] [--iso-cost]
+//! tac25d cost     --chiplets 16 --edge 30 [--d0 0.25]
+//! tac25d export   --layout sym16:4,2,5 --out /tmp/flp
+//! ```
+//!
+//! Layout syntax: `2d` | `uniform:<r>,<gap-mm>` | `sym4:<s3>` |
+//! `sym16:<s1>,<s2>,<s3>`.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use tac25d_core::prelude::*;
+use tac25d_floorplan::hotspot::{die_floorplan, render_flp, render_ptrace};
+use tac25d_floorplan::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "evaluate" => cmd_evaluate(&opts),
+        "optimize" => cmd_optimize(&opts),
+        "cost" => cmd_cost(&opts),
+        "export" => cmd_export(&opts),
+        "latency" => cmd_latency(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+tac25d — thermally-aware chiplet organization for 2.5D systems
+
+USAGE:
+  tac25d evaluate --benchmark <name> --layout <layout> [--freq <MHz>] [--cores <p>]
+  tac25d optimize --benchmark <name> [--alpha <a>] [--beta <b>] [--threshold <C>]
+                  [--starts <n>] [--exhaustive] [--iso-cost] [--fast]
+  tac25d cost     --chiplets <4|16> --edge <mm> [--d0 <defects/cm2>]
+  tac25d export   --layout <layout> --out <dir> [--benchmark <name>]
+  tac25d latency  --layout <layout> [--freq <MHz>] [--pattern uniform|neighbor|transpose]
+
+LAYOUTS:
+  2d | uniform:<r>,<gap-mm> | sym4:<s3> | sym16:<s1>,<s2>,<s3>
+
+BENCHMARKS:
+  cholesky lu.cont blackscholes swaptions streamcluster canneal hpccg shock";
+
+fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --option, got {:?}", args[i]))?;
+        let flag = matches!(key, "exhaustive" | "iso-cost" | "fast");
+        if flag {
+            map.insert(key.to_owned(), "true".to_owned());
+            i += 1;
+        } else {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("--{key} needs a value"))?;
+            map.insert(key.to_owned(), value.clone());
+            i += 2;
+        }
+    }
+    Ok(map)
+}
+
+fn parse_benchmark(opts: &HashMap<String, String>) -> Result<Benchmark, String> {
+    let name = opts
+        .get("benchmark")
+        .ok_or("--benchmark is required")?;
+    Benchmark::all()
+        .into_iter()
+        .find(|b| b.name() == name)
+        .ok_or_else(|| format!("unknown benchmark {name:?}"))
+}
+
+fn parse_layout(s: &str) -> Result<ChipletLayout, String> {
+    let (kind, params) = s.split_once(':').unwrap_or((s, ""));
+    let nums = || -> Result<Vec<f64>, String> {
+        params
+            .split(',')
+            .filter(|p| !p.is_empty())
+            .map(|p| p.parse::<f64>().map_err(|e| format!("bad number {p:?}: {e}")))
+            .collect()
+    };
+    match kind {
+        "2d" => Ok(ChipletLayout::SingleChip),
+        "uniform" => {
+            let v = nums()?;
+            if v.len() != 2 {
+                return Err("uniform needs <r>,<gap>".into());
+            }
+            Ok(ChipletLayout::Uniform {
+                r: v[0] as u16,
+                gap: Mm(v[1]),
+            })
+        }
+        "sym4" => {
+            let v = nums()?;
+            if v.len() != 1 {
+                return Err("sym4 needs <s3>".into());
+            }
+            Ok(ChipletLayout::Symmetric4 { s3: Mm(v[0]) })
+        }
+        "sym16" => {
+            let v = nums()?;
+            if v.len() != 3 {
+                return Err("sym16 needs <s1>,<s2>,<s3>".into());
+            }
+            Ok(ChipletLayout::Symmetric16 {
+                spacing: Spacing::new(v[0], v[1], v[2]),
+            })
+        }
+        other => Err(format!("unknown layout kind {other:?}")),
+    }
+}
+
+fn get_f64(opts: &HashMap<String, String>, key: &str, default: f64) -> Result<f64, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|e| format!("bad --{key} {v:?}: {e}")),
+    }
+}
+
+fn make_spec(opts: &HashMap<String, String>) -> Result<SystemSpec, String> {
+    let mut spec = if opts.contains_key("fast") {
+        let mut s = SystemSpec::fast();
+        s.thermal.grid = 24;
+        s.edge_step = Mm(2.0);
+        s
+    } else {
+        SystemSpec::fast()
+    };
+    spec.threshold = Celsius(get_f64(opts, "threshold", 85.0)?);
+    Ok(spec)
+}
+
+fn cmd_evaluate(opts: &HashMap<String, String>) -> Result<(), String> {
+    let benchmark = parse_benchmark(opts)?;
+    let layout = parse_layout(opts.get("layout").ok_or("--layout is required")?)?;
+    let spec = make_spec(opts)?;
+    let freq = get_f64(opts, "freq", 1000.0)?;
+    let cores = get_f64(opts, "cores", 256.0)? as u16;
+    let op = spec
+        .vf
+        .at_frequency(freq)
+        .ok_or_else(|| format!("no VF point at {freq} MHz (have 1000/800/533/400/320)"))?;
+    let threshold = spec.threshold;
+    let ev = Evaluator::new(spec);
+    let e = ev
+        .evaluate(&layout, benchmark, op, cores)
+        .map_err(|e| e.to_string())?;
+    println!("layout      : {layout}");
+    println!("benchmark   : {benchmark} at {op}, {cores} active cores");
+    println!("peak        : {:.1}°C (threshold {threshold})", e.peak.value());
+    println!("power       : {:.1} W (NoC {:.1} W)", e.total_power.value(), e.noc_power.value());
+    println!("performance : {}", e.ips);
+    println!("feasible    : {}", e.feasible(threshold));
+    Ok(())
+}
+
+fn cmd_optimize(opts: &HashMap<String, String>) -> Result<(), String> {
+    let benchmark = parse_benchmark(opts)?;
+    let spec = make_spec(opts)?;
+    let alpha = get_f64(opts, "alpha", 1.0)?;
+    let beta = get_f64(opts, "beta", 0.0)?;
+    let starts = get_f64(opts, "starts", 10.0)? as usize;
+    let cfg = OptimizerConfig {
+        weights: Weights::new(alpha, beta),
+        search: if opts.contains_key("exhaustive") {
+            PlacementSearch::Exhaustive
+        } else {
+            PlacementSearch::MultiStartGreedy { starts }
+        },
+        ..OptimizerConfig::default()
+    };
+    let ev = Evaluator::new(spec);
+    let result = if opts.contains_key("iso-cost") {
+        optimize_with_filter(&ev, benchmark, &cfg, |c, base| c.cost <= base.cost)
+    } else {
+        optimize(&ev, benchmark, &cfg)
+    }
+    .map_err(|e| e.to_string())?;
+    let base = &result.baseline;
+    println!(
+        "baseline : {} with {} cores, {} (${:.0})",
+        base.op, base.active_cores, base.ips, base.cost
+    );
+    match result.best {
+        None => println!("no feasible 2.5D organization under the threshold"),
+        Some(best) => {
+            println!(
+                "optimum  : {} at {} with {} cores",
+                best.layout, best.candidate.op, best.candidate.active_cores
+            );
+            println!(
+                "           peak {:.1}°C, ${:.0}, perf {:+.1}%, cost {:+.1}%",
+                best.peak.value(),
+                best.candidate.cost,
+                (best.normalized_perf - 1.0) * 100.0,
+                (best.normalized_cost - 1.0) * 100.0
+            );
+            println!(
+                "search   : {} thermal simulations over {} candidates",
+                result.stats.thermal_sims, result.stats.candidates_tried
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_cost(opts: &HashMap<String, String>) -> Result<(), String> {
+    let n = get_f64(opts, "chiplets", 16.0)? as u32;
+    let edge = get_f64(opts, "edge", 20.0)?;
+    let d0 = get_f64(opts, "d0", 0.25)?;
+    let params = tac25d_cost::CostParams::paper().with_defect_density(d0);
+    let chip_area = 324.0;
+    let b = params.assembly_cost(n, chip_area / f64::from(n), edge * edge);
+    let c2d = params.single_chip_cost(chip_area);
+    println!("chiplets ({n}x): ${:.2}", b.chiplets);
+    println!("interposer    : ${:.2}", b.interposer);
+    println!("bonding       : ${:.2} (assembly yield {:.3})", b.bonding, b.assembly_yield);
+    println!("total 2.5D    : ${:.2}", b.total());
+    println!("single chip   : ${c2d:.2}");
+    println!("ratio         : {:.3}", b.total() / c2d);
+    Ok(())
+}
+
+fn cmd_latency(opts: &HashMap<String, String>) -> Result<(), String> {
+    use tac25d_noc::latency::{average_latency, TrafficPattern};
+    use tac25d_noc::mesh::NocModel;
+    use tac25d_noc::throughput::saturation_throughput;
+    use tac25d_power::dvfs::VfTable;
+
+    let layout = parse_layout(opts.get("layout").ok_or("--layout is required")?)?;
+    let chip = ChipSpec::scc_256();
+    let rules = PackageRules::default();
+    layout.validate(&chip, &rules).map_err(|e| e.to_string())?;
+    let freq = get_f64(opts, "freq", 1000.0)?;
+    let op = VfTable::paper()
+        .at_frequency(freq)
+        .ok_or_else(|| format!("no VF point at {freq} MHz"))?;
+    let pattern = match opts.get("pattern").map(String::as_str) {
+        None | Some("uniform") => TrafficPattern::UniformRandom,
+        Some("neighbor") => TrafficPattern::NearestNeighbor,
+        Some("transpose") => TrafficPattern::Transpose,
+        Some(other) => return Err(format!("unknown pattern {other:?}")),
+    };
+    let model = NocModel::paper();
+    let lat = average_latency(&chip, &layout, &rules, &model, op, pattern)
+        .map_err(|e| e.to_string())?;
+    let sat = saturation_throughput(&chip, pattern, model.flit_width, freq * 1e6);
+    println!("layout             : {layout}");
+    println!("pattern            : {pattern:?} at {op}");
+    println!("avg hops           : {:.2}", lat.avg_hops);
+    println!("avg latency        : {:.2} cycles", lat.avg_cycles);
+    println!("interposer hops    : {:.1}%", lat.interposer_hop_fraction * 100.0);
+    println!(
+        "saturation         : {:.3} flits/node/cycle ({:.1} Tb/s aggregate)",
+        sat.saturation_flits_per_node_cycle,
+        sat.aggregate_bits_per_s / 1e12
+    );
+    Ok(())
+}
+
+fn cmd_export(opts: &HashMap<String, String>) -> Result<(), String> {
+    let layout = parse_layout(opts.get("layout").ok_or("--layout is required")?)?;
+    let out = std::path::PathBuf::from(opts.get("out").ok_or("--out is required")?);
+    let chip = ChipSpec::scc_256();
+    let rules = PackageRules::default();
+    layout.validate(&chip, &rules).map_err(|e| e.to_string())?;
+    let blocks = die_floorplan(&chip, &layout, &rules).map_err(|e| e.to_string())?;
+    std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+    let flp = out.join("die.flp");
+    std::fs::write(&flp, render_flp(&blocks)).map_err(|e| e.to_string())?;
+    println!("wrote {}", flp.display());
+    let svg = out.join("die.svg");
+    let rendered = tac25d_floorplan::svg::render_layout_svg(&chip, &layout, &rules, None)
+        .map_err(|e| e.to_string())?;
+    std::fs::write(&svg, rendered).map_err(|e| e.to_string())?;
+    println!("wrote {}", svg.display());
+    if let Ok(benchmark) = parse_benchmark(opts) {
+        let profile = benchmark.profile();
+        let powers: Vec<(String, f64)> = blocks
+            .iter()
+            .map(|b| (b.name.clone(), profile.core_power_nominal))
+            .collect();
+        let ptrace = out.join("die.ptrace");
+        std::fs::write(&ptrace, render_ptrace(&powers)).map_err(|e| e.to_string())?;
+        println!("wrote {}", ptrace.display());
+    }
+    Ok(())
+}

@@ -1,0 +1,186 @@
+//! # tac25d-bench
+//!
+//! The experiment harness of the `tac25d` reproduction: one binary per
+//! paper figure/table (see DESIGN.md §3 for the index) plus shared
+//! reporting utilities. Each binary prints the paper's rows/series as an
+//! aligned table on stdout and writes a CSV under `results/`.
+//!
+//! Run an experiment with, e.g.:
+//!
+//! ```text
+//! cargo run --release -p tac25d-bench --bin fig5
+//! ```
+//!
+//! Most binaries accept `--fast` (coarser thermal grid / lattice, for smoke
+//! runs) and `--benchmark <name>` filters where meaningful.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+pub mod runner;
+
+/// A simple aligned-table + CSV reporter.
+///
+/// # Examples
+///
+/// ```no_run
+/// use tac25d_bench::Report;
+///
+/// let mut r = Report::new("demo", &["x", "y"]);
+/// r.row(&["1".into(), "2".into()]);
+/// r.finish().unwrap();
+/// ```
+pub struct Report {
+    name: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Creates a report named `name` (also the CSV file stem) with the
+    /// given column headers.
+    pub fn new(name: &str, header: &[&str]) -> Self {
+        Report {
+            name: name.to_owned(),
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Prints the aligned table to stdout and writes `results/<name>.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing the CSV.
+    pub fn finish(self) -> std::io::Result<PathBuf> {
+        let widths: Vec<usize> = self
+            .header
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].chars().count())
+                    .chain([h.chars().count()])
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let print_row = |cells: &[String]| {
+            let line: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            println!("  {}", line.join("  "));
+        };
+        println!("== {} ==", self.name);
+        print_row(&self.header);
+        println!(
+            "  {}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for r in &self.rows {
+            print_row(r);
+        }
+
+        let dir = results_dir();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.csv", self.name));
+        let mut f = fs::File::create(&path)?;
+        let quote = |cells: &[String]| {
+            cells
+                .iter()
+                .map(|c| {
+                    if c.contains(',') || c.contains('"') {
+                        format!("\"{}\"", c.replace('"', "\"\""))
+                    } else {
+                        c.clone()
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        writeln!(f, "{}", quote(&self.header))?;
+        for r in &self.rows {
+            writeln!(f, "{}", quote(r))?;
+        }
+        println!("  -> {}", path.display());
+        Ok(path)
+    }
+}
+
+/// The `results/` directory at the workspace root (falls back to the
+/// current directory when the workspace root cannot be located).
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."));
+    root.join("results")
+}
+
+/// Formats a float with the given number of decimals.
+pub fn fmt(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+/// True when `--fast` was passed on the command line.
+pub fn fast_flag() -> bool {
+    std::env::args().any(|a| a == "--fast")
+}
+
+/// The value following `--benchmark`, if any.
+pub fn benchmark_filter() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == "--benchmark")
+        .map(|w| w[1].clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_rounds() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(fmt(-0.5, 0), "-0");
+    }
+
+    #[test]
+    fn results_dir_is_workspace_relative() {
+        let d = results_dir();
+        assert!(d.ends_with("results"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut r = Report::new("x", &["a", "b"]);
+        r.row(&["1".into()]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Shared experiment plumbing: spec selection, benchmark filtering and a
+//! small scoped-thread parallel map (the paper parallelized its sweeps over
+//! 250 machines; we parallelize over cores).
+
+use tac25d_core::prelude::*;
+use tac25d_floorplan::units::Mm;
+
+/// Picks the experiment spec: the paper configuration by default, the
+/// coarse one under `--fast`.
+pub fn spec_from_args() -> SystemSpec {
+    if crate::fast_flag() {
+        let mut s = SystemSpec::fast();
+        s.thermal.grid = 24;
+        s.edge_step = Mm(2.0);
+        s
+    } else {
+        // The optimizer-grade spec: 32×32 grid tracks the 64×64 peak
+        // within a fraction of a degree at a quarter of the cost; figure
+        // sweeps that want the full 64×64 grid override this.
+        SystemSpec::fast()
+    }
+}
+
+/// The benchmarks selected by `--benchmark <name>` (all eight otherwise).
+///
+/// # Panics
+///
+/// Panics with a helpful message if the filter names no known benchmark.
+pub fn benchmarks_from_args() -> Vec<Benchmark> {
+    match crate::benchmark_filter() {
+        None => Benchmark::all().to_vec(),
+        Some(name) => {
+            let hit = Benchmark::all().into_iter().find(|b| b.name() == name);
+            vec![hit.unwrap_or_else(|| {
+                panic!(
+                    "unknown benchmark {name:?}; expected one of {:?}",
+                    Benchmark::all().map(|b| b.name())
+                )
+            })]
+        }
+    }
+}
+
+/// Applies `f` to every item on scoped worker threads, preserving input
+/// order in the output.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    let results: Vec<std::sync::Mutex<Option<R>>> =
+        items.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                *results[i].lock().expect("result lock") = Some(r);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("lock").expect("worker filled slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..100).collect(), |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_empty_ok() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn default_benchmarks_are_all_eight() {
+        assert_eq!(benchmarks_from_args().len(), 8);
+    }
+}

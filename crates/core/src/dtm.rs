@@ -1,0 +1,261 @@
+//! Closed-loop dynamic thermal management (DTM) simulation.
+//!
+//! The paper's related work (Sec. II) covers *runtime* mitigations — DVFS
+//! throttling [2], thermally-safe power budgeting [6] — and argues they
+//! "are not able to maximize the performance". This module makes the
+//! comparison executable: a hysteretic DVFS governor reads the peak die
+//! temperature periodically and steps the voltage/frequency level down when
+//! a trigger is crossed (up again below the release point), while the
+//! transient solver advances the package state. The achieved average IPS
+//! shows exactly how much performance throttling leaves on the table — and
+//! how a thermally-aware 2.5D organization, which rarely triggers, keeps
+//! it.
+
+use crate::allocation::mintemp_active_cores;
+use crate::evaluator::EvalError;
+use crate::system::SystemSpec;
+use tac25d_floorplan::organization::ChipletLayout;
+use tac25d_floorplan::raster::place_cores;
+use tac25d_floorplan::units::Celsius;
+use tac25d_power::benchmarks::Benchmark;
+use tac25d_power::perf::system_ips;
+use tac25d_thermal::model::{PackageModel, ThermalError};
+
+/// Hysteretic DVFS governor parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DtmPolicy {
+    /// Step one VF level down when the sensed peak exceeds this.
+    pub trigger: Celsius,
+    /// Step one VF level up when the sensed peak falls below this.
+    pub release: Celsius,
+    /// Sensor sampling / governor period, seconds.
+    pub period_s: f64,
+}
+
+impl Default for DtmPolicy {
+    fn default() -> Self {
+        DtmPolicy {
+            trigger: Celsius(84.0),
+            release: Celsius(78.0),
+            period_s: 0.2,
+        }
+    }
+}
+
+/// Result of a DTM run.
+#[derive(Debug, Clone)]
+pub struct DtmResult {
+    /// Time-average aggregate IPS over the run.
+    pub avg_ips: f64,
+    /// IPS at the nominal (unthrottled) level, for reference.
+    pub nominal_ips: f64,
+    /// Fraction of time spent below the nominal VF level.
+    pub throttled_fraction: f64,
+    /// Highest sensed peak temperature.
+    pub peak: Celsius,
+    /// Number of governor level changes.
+    pub transitions: usize,
+}
+
+impl DtmResult {
+    /// Performance retained versus running unthrottled at nominal
+    /// (1.0 = DTM never had to throttle).
+    pub fn retention(&self) -> f64 {
+        self.avg_ips / self.nominal_ips
+    }
+}
+
+/// Simulates `duration_s` of a benchmark under the DTM governor on an
+/// organization, starting from ambient.
+///
+/// # Errors
+///
+/// Propagates layout/thermal errors.
+///
+/// # Panics
+///
+/// Panics if the policy is inconsistent (release ≥ trigger or non-positive
+/// period) or `p` is out of range.
+pub fn simulate_dtm(
+    spec: &SystemSpec,
+    layout: &ChipletLayout,
+    benchmark: Benchmark,
+    p: u16,
+    policy: &DtmPolicy,
+    duration_s: f64,
+) -> Result<DtmResult, EvalError> {
+    assert!(
+        policy.release.value() < policy.trigger.value(),
+        "hysteresis requires release < trigger"
+    );
+    assert!(policy.period_s > 0.0 && duration_s > policy.period_s);
+    let stack = if layout.is_single_chip() {
+        &spec.stack_2d
+    } else {
+        &spec.stack_25d
+    };
+    let model = PackageModel::new(&spec.chip, layout, &spec.rules, stack, spec.thermal.clone())
+        .map_err(|e| match e {
+            ThermalError::Layout(l) => EvalError::Layout(l),
+            other => EvalError::Thermal(other),
+        })?;
+    let placed = place_cores(&spec.chip, layout, &spec.rules)?;
+    let active = mintemp_active_cores(&spec.chip, p);
+    let profile = benchmark.profile();
+    let points = spec.vf.points();
+
+    let steps = (duration_s / policy.period_s).ceil() as usize;
+    // Governor state, updated inside the power-map closure from the sensed
+    // (previous-step) temperature field — a true closed loop.
+    let level = std::cell::Cell::new(0usize); // 0 = nominal
+    let transitions = std::cell::Cell::new(0usize);
+    let throttled_steps = std::cell::Cell::new(0usize);
+    let ips_acc = std::cell::Cell::new(0.0f64);
+    let trace = model
+        .simulate_transient(
+            None,
+            |_, _, sensed| {
+                // Sense and react before applying this step's power.
+                if let Some(state) = sensed {
+                    let peak = state.peak();
+                    let lvl = level.get();
+                    if peak.value() > policy.trigger.value() && lvl + 1 < points.len() {
+                        level.set(lvl + 1);
+                        transitions.set(transitions.get() + 1);
+                    } else if peak.value() < policy.release.value() && lvl > 0 {
+                        level.set(lvl - 1);
+                        transitions.set(transitions.get() + 1);
+                    }
+                }
+                let lvl = level.get();
+                let op = points[lvl];
+                if lvl > 0 {
+                    throttled_steps.set(throttled_steps.get() + 1);
+                }
+                ips_acc.set(ips_acc.get() + system_ips(&profile, op, p).0);
+                active
+                    .iter()
+                    .map(|c| {
+                        let rect = placed[c.0 as usize].rect;
+                        (rect, spec.core_power.active_power(&profile, op, Celsius(80.0)))
+                    })
+                    .collect()
+            },
+            policy.period_s,
+            steps,
+        )
+        .map_err(EvalError::Thermal)?;
+
+    let nominal_ips = system_ips(&profile, points[0], p).0;
+    Ok(DtmResult {
+        avg_ips: ips_acc.get() / steps as f64,
+        nominal_ips,
+        throttled_fraction: throttled_steps.get() as f64 / steps as f64,
+        peak: Celsius(
+            trace
+                .samples
+                .iter()
+                .map(|s| s.peak.value())
+                .fold(f64::NEG_INFINITY, f64::max),
+        ),
+        transitions: transitions.get(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tac25d_floorplan::units::Mm;
+
+    fn spec() -> SystemSpec {
+        let mut s = SystemSpec::fast();
+        s.thermal.grid = 16;
+        s
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "slow under the debug profile; validated by the release suite")]
+    fn cool_system_never_throttles() {
+        let spec = spec();
+        let r = simulate_dtm(
+            &spec,
+            &ChipletLayout::Uniform { r: 4, gap: Mm(10.0) },
+            Benchmark::Canneal,
+            192,
+            &DtmPolicy::default(),
+            20.0,
+        )
+        .unwrap();
+        assert_eq!(r.throttled_fraction, 0.0, "canneal on a wide 2.5D never throttles");
+        assert!((r.retention() - 1.0).abs() < 1e-12);
+        assert_eq!(r.transitions, 0);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "slow under the debug profile; validated by the release suite")]
+    fn hot_single_chip_throttles_and_loses_performance() {
+        let spec = spec();
+        let r = simulate_dtm(
+            &spec,
+            &ChipletLayout::SingleChip,
+            Benchmark::Shock,
+            256,
+            &DtmPolicy::default(),
+            60.0,
+        )
+        .unwrap();
+        assert!(r.throttled_fraction > 0.3, "throttled {}", r.throttled_fraction);
+        assert!(r.retention() < 0.95, "retention {}", r.retention());
+        assert!(r.transitions >= 1);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "slow under the debug profile; validated by the release suite")]
+    fn thermally_aware_organization_retains_more_performance() {
+        // The paper's thesis in the dynamic setting: under the same DTM
+        // governor, the 2.5D organization keeps more of the nominal IPS.
+        let spec = spec();
+        let chip = simulate_dtm(
+            &spec,
+            &ChipletLayout::SingleChip,
+            Benchmark::Cholesky,
+            256,
+            &DtmPolicy::default(),
+            40.0,
+        )
+        .unwrap();
+        let chiplets = simulate_dtm(
+            &spec,
+            &ChipletLayout::Uniform { r: 4, gap: Mm(8.0) },
+            Benchmark::Cholesky,
+            256,
+            &DtmPolicy::default(),
+            40.0,
+        )
+        .unwrap();
+        assert!(
+            chiplets.retention() > chip.retention(),
+            "2.5D {} vs 2D {}",
+            chiplets.retention(),
+            chip.retention()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "release < trigger")]
+    fn inconsistent_policy_rejected() {
+        let spec = spec();
+        let _ = simulate_dtm(
+            &spec,
+            &ChipletLayout::SingleChip,
+            Benchmark::Canneal,
+            32,
+            &DtmPolicy {
+                trigger: Celsius(80.0),
+                release: Celsius(85.0),
+                period_s: 0.1,
+            },
+            1.0,
+        );
+    }
+}

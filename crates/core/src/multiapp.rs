@@ -1,0 +1,289 @@
+//! Multi-application chiplet organization (paper Sec. IV).
+//!
+//! A deployed system runs many applications, but a chiplet organization is
+//! fixed at manufacturing time. The paper sketches three designer
+//! policies, all implemented here:
+//!
+//! * **worst case** — the design with the largest interposer any
+//!   application needs, ensuring best performance for all of them;
+//! * **average** — minimize the unweighted mean of the per-application
+//!   objectives;
+//! * **weighted average** — Eq. (5) generalized to
+//!   `α · Σᵢ (IPS_2D^i / IPS_2.5D^i) · uᵢ + β · C_2.5D / C_2D`, where `uᵢ`
+//!   is how frequently application `i` runs.
+//!
+//! Feasibility is always *per application*: a placement is acceptable only
+//! if every application meets the temperature threshold at its own best
+//! feasible (f, p) — each application is assumed to run alone (the paper
+//! uses single-application workloads throughout).
+
+use crate::evaluator::{single_chip_baseline, Baseline, Evaluator};
+use crate::objective::Weights;
+use crate::optimizer::{
+    best_at_edge, interposer_edges, optimize, ChipletCount, OptimizeError, OptimizerConfig,
+    Organization,
+};
+use tac25d_power::benchmarks::Benchmark;
+
+/// How per-application objectives combine into one design objective.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MultiAppPolicy {
+    /// Take the largest interposer any application's optimum needs.
+    WorstCase,
+    /// Minimize the unweighted average objective.
+    Average,
+    /// Minimize the usage-weighted average objective (`uᵢ` sums to 1).
+    WeightedAverage(Vec<f64>),
+}
+
+/// The chosen multi-application design.
+#[derive(Debug, Clone)]
+pub struct MultiAppResult {
+    /// Chosen chiplet count.
+    pub count: ChipletCount,
+    /// Chosen interposer edge (mm).
+    pub edge_mm: f64,
+    /// Combined objective value at the chosen design point.
+    pub objective: f64,
+    /// Per-application organizations at that design point (same order as
+    /// the input benchmark list).
+    pub per_app: Vec<Organization>,
+    /// Per-application baselines.
+    pub baselines: Vec<Baseline>,
+}
+
+/// Optimizes one shared chiplet organization for a set of applications.
+///
+/// # Errors
+///
+/// Returns [`OptimizeError::NoBaseline`] if any application lacks a
+/// feasible single-chip baseline, or any evaluation error.
+///
+/// # Panics
+///
+/// Panics if `benchmarks` is empty, or if a weighted policy's weight
+/// vector does not match the benchmark count or does not sum to ≈1.
+pub fn optimize_multi_app(
+    ev: &Evaluator,
+    benchmarks: &[Benchmark],
+    policy: &MultiAppPolicy,
+    weights: Weights,
+    cfg: &OptimizerConfig,
+) -> Result<Option<MultiAppResult>, OptimizeError> {
+    assert!(!benchmarks.is_empty(), "need at least one application");
+    let u = match policy {
+        MultiAppPolicy::WorstCase => None,
+        MultiAppPolicy::Average => {
+            Some(vec![1.0 / benchmarks.len() as f64; benchmarks.len()])
+        }
+        MultiAppPolicy::WeightedAverage(u) => {
+            assert_eq!(
+                u.len(),
+                benchmarks.len(),
+                "one weight per application required"
+            );
+            let sum: f64 = u.iter().sum();
+            assert!(
+                (sum - 1.0).abs() < 1e-6,
+                "usage weights must sum to 1, got {sum}"
+            );
+            Some(u.clone())
+        }
+    };
+
+    let mut baselines = Vec::with_capacity(benchmarks.len());
+    for &b in benchmarks {
+        baselines
+            .push(single_chip_baseline(ev, b)?.ok_or(OptimizeError::NoBaseline(b))?);
+    }
+
+    if u.is_none() {
+        return worst_case(ev, benchmarks, baselines, cfg);
+    }
+    let u = u.expect("weighted policies provide weights");
+
+    // Weighted policies: sweep (count, edge) design points; at each, every
+    // application independently picks its best feasible (f, p, placement)
+    // — the hardware is shared, the schedule is not.
+    let search = cfg.search;
+    let mut best: Option<MultiAppResult> = None;
+    for &count in &cfg.chiplet_counts {
+        for edge in interposer_edges(ev) {
+            let mut orgs = Vec::with_capacity(benchmarks.len());
+            let mut perf_term = 0.0;
+            let mut cost_ratio = 0.0;
+            let mut feasible = true;
+            for (i, &b) in benchmarks.iter().enumerate() {
+                match best_at_edge(ev, b, weights, count, edge, search, cfg.seed)? {
+                    Some(org) => {
+                        perf_term += u[i] / org.normalized_perf;
+                        cost_ratio = org.normalized_cost;
+                        orgs.push(org);
+                    }
+                    None => {
+                        feasible = false;
+                        break;
+                    }
+                }
+            }
+            if !feasible {
+                continue;
+            }
+            let objective = weights.alpha * perf_term + weights.beta * cost_ratio;
+            if best.as_ref().is_none_or(|b| objective < b.objective) {
+                best = Some(MultiAppResult {
+                    count,
+                    edge_mm: edge.value(),
+                    objective,
+                    per_app: orgs,
+                    baselines: baselines.clone(),
+                });
+            }
+        }
+    }
+    Ok(best)
+}
+
+fn worst_case(
+    ev: &Evaluator,
+    benchmarks: &[Benchmark],
+    baselines: Vec<Baseline>,
+    cfg: &OptimizerConfig,
+) -> Result<Option<MultiAppResult>, OptimizeError> {
+    // Optimize each application alone, then adopt the largest interposer
+    // (ties broken toward 16 chiplets, which dominate thermally).
+    let mut singles = Vec::with_capacity(benchmarks.len());
+    for &b in benchmarks {
+        match optimize(ev, b, cfg)?.best {
+            Some(o) => singles.push(o),
+            None => return Ok(None),
+        }
+    }
+    let widest = singles
+        .iter()
+        .max_by(|a, b| {
+            a.candidate
+                .edge
+                .value()
+                .partial_cmp(&b.candidate.edge.value())
+                .expect("edges are finite")
+        })
+        .expect("at least one application");
+    let count = widest.candidate.count;
+    let edge = widest.candidate.edge;
+    let search = cfg.search;
+    let mut per_app = Vec::with_capacity(benchmarks.len());
+    for &b in benchmarks {
+        match best_at_edge(ev, b, cfg.weights, count, edge, search, cfg.seed)? {
+            Some(org) => per_app.push(org),
+            None => return Ok(None), // widest design infeasible for someone
+        }
+    }
+    let objective = per_app
+        .iter()
+        .map(|o| cfg.weights.alpha / o.normalized_perf + cfg.weights.beta * o.normalized_cost)
+        .fold(f64::NEG_INFINITY, f64::max);
+    Ok(Some(MultiAppResult {
+        count,
+        edge_mm: edge.value(),
+        objective,
+        per_app,
+        baselines,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SystemSpec;
+    use tac25d_floorplan::units::Mm;
+
+    fn evaluator() -> Evaluator {
+        let mut spec = SystemSpec::fast();
+        spec.thermal.grid = 16;
+        spec.edge_step = Mm(4.0);
+        Evaluator::new(spec)
+    }
+
+    fn apps() -> Vec<Benchmark> {
+        vec![Benchmark::Canneal, Benchmark::Hpccg]
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "slow under the debug profile; validated by the release suite")]
+    fn worst_case_covers_every_app() {
+        let ev = evaluator();
+        let r = optimize_multi_app(
+            &ev,
+            &apps(),
+            &MultiAppPolicy::WorstCase,
+            Weights::performance_only(),
+            &OptimizerConfig::default(),
+        )
+        .unwrap()
+        .expect("feasible design");
+        assert_eq!(r.per_app.len(), 2);
+        // Every app meets the threshold on the shared design.
+        for org in &r.per_app {
+            assert!(org.peak.value() <= ev.spec().threshold.value() + 1e-6);
+            assert!((org.candidate.edge.value() - r.edge_mm).abs() < 1e-9);
+        }
+        // The shared interposer is at least as large as each app alone needs.
+        for &b in &apps() {
+            let solo = optimize(&ev, b, &OptimizerConfig::default())
+                .unwrap()
+                .best
+                .unwrap();
+            assert!(r.edge_mm >= solo.candidate.edge.value() - 1e-9);
+        }
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "slow under the debug profile; validated by the release suite")]
+    fn weighted_average_respects_weights() {
+        let ev = evaluator();
+        // All weight on hpccg should match the hpccg-only average design.
+        let all_hpccg = optimize_multi_app(
+            &ev,
+            &apps(),
+            &MultiAppPolicy::WeightedAverage(vec![0.0, 1.0]),
+            Weights::performance_only(),
+            &OptimizerConfig::default(),
+        )
+        .unwrap()
+        .expect("feasible design");
+        let hpccg_perf = all_hpccg.per_app[1].normalized_perf;
+        // hpccg's share of the objective is its inverse normalized perf.
+        assert!((all_hpccg.objective - 1.0 / hpccg_perf).abs() < 1e-9);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "slow under the debug profile; validated by the release suite")]
+    fn average_policy_finds_a_compromise() {
+        let ev = evaluator();
+        let r = optimize_multi_app(
+            &ev,
+            &apps(),
+            &MultiAppPolicy::Average,
+            Weights::balanced(),
+            &OptimizerConfig::default(),
+        )
+        .unwrap()
+        .expect("feasible design");
+        assert!(r.objective.is_finite());
+        assert_eq!(r.baselines.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_weights_rejected() {
+        let ev = evaluator();
+        let _ = optimize_multi_app(
+            &ev,
+            &apps(),
+            &MultiAppPolicy::WeightedAverage(vec![0.9, 0.9]),
+            Weights::performance_only(),
+            &OptimizerConfig::default(),
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! The optimization objective of Eq. (5):
+//!
+//! `minimize  α · IPS_2D / IPS_2.5D(f, p)  +  β · C_2.5D(n, s1, s2, s3) / C_2D`
+//!
+//! Both terms are normalized to the single-chip baseline; α and β are
+//! unit-less designer weights.
+
+use serde::{Deserialize, Serialize};
+use tac25d_power::perf::Ips;
+
+/// The designer weights (α, β) of Eq. (5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Weights {
+    /// Performance weight α.
+    pub alpha: f64,
+    /// Cost weight β.
+    pub beta: f64,
+}
+
+impl Weights {
+    /// Creates a weight pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either weight is negative or both are zero.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(alpha >= 0.0 && beta >= 0.0, "weights must be non-negative");
+        assert!(alpha + beta > 0.0, "at least one weight must be positive");
+        Weights { alpha, beta }
+    }
+
+    /// α = 1, β = 0 — pure performance maximization (Fig. 8's setting).
+    pub fn performance_only() -> Self {
+        Weights::new(1.0, 0.0)
+    }
+
+    /// α = 0, β = 1 — pure cost minimization.
+    pub fn cost_only() -> Self {
+        Weights::new(0.0, 1.0)
+    }
+
+    /// α = β = 0.5 — the balanced point of Fig. 7.
+    pub fn balanced() -> Self {
+        Weights::new(0.5, 0.5)
+    }
+}
+
+impl Default for Weights {
+    fn default() -> Self {
+        Weights::performance_only()
+    }
+}
+
+/// Evaluates Eq. (5) for a candidate with performance `ips` and cost
+/// `cost_25d`, normalized to the baseline `ips_2d` / `cost_2d`.
+///
+/// # Panics
+///
+/// Panics if any performance or cost is not strictly positive.
+pub fn objective_value(w: Weights, ips_2d: Ips, ips: Ips, cost_25d: f64, cost_2d: f64) -> f64 {
+    assert!(ips_2d.0 > 0.0 && ips.0 > 0.0, "IPS must be positive");
+    assert!(cost_25d > 0.0 && cost_2d > 0.0, "costs must be positive");
+    w.alpha * (ips_2d.0 / ips.0) + w.beta * (cost_25d / cost_2d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn performance_only_ignores_cost() {
+        let w = Weights::performance_only();
+        let a = objective_value(w, Ips(100.0), Ips(200.0), 1.0, 1.0);
+        let b = objective_value(w, Ips(100.0), Ips(200.0), 99.0, 1.0);
+        assert_eq!(a, b);
+        assert!((a - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_only_ignores_performance() {
+        let w = Weights::cost_only();
+        let a = objective_value(w, Ips(100.0), Ips(1.0), 32.0, 64.0);
+        assert!((a - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_averages_both_terms() {
+        let w = Weights::balanced();
+        // perf ratio 2 (inverse 0.5), cost ratio 0.64.
+        let v = objective_value(w, Ips(1.0), Ips(2.0), 0.64, 1.0);
+        assert!((v - 0.5 * (0.5 + 0.64)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faster_and_cheaper_scores_lower() {
+        let w = Weights::balanced();
+        let worse = objective_value(w, Ips(1.0), Ips(1.0), 1.0, 1.0);
+        let better = objective_value(w, Ips(1.0), Ips(1.5), 0.8, 1.0);
+        assert!(better < worse);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn zero_weights_rejected() {
+        let _ = Weights::new(0.0, 0.0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Reusable design-space sweeps — the library form of the paper's Figs.
+//! 3(b), 5 and 6, so downstream users can regenerate (and extend) those
+//! studies without going through the experiment binaries.
+
+use crate::evaluator::{EvalError, Evaluator};
+use crate::objective::Weights;
+use crate::optimizer::{best_at_edge, interposer_edges, ChipletCount, OptimizeError, PlacementSearch};
+use serde::{Deserialize, Serialize};
+use tac25d_floorplan::organization::ChipletLayout;
+use tac25d_floorplan::units::{Celsius, Mm};
+use tac25d_power::benchmarks::Benchmark;
+
+/// One point of a uniform-spacing sweep (Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpacingPoint {
+    /// Uniform gap between adjacent chiplets.
+    pub gap: Mm,
+    /// Interposer edge implied by the gap.
+    pub interposer_edge: Mm,
+    /// Peak temperature with all cores active at the given operating
+    /// point (leakage-converged).
+    pub peak: Celsius,
+    /// Whether the organization meets the spec's threshold.
+    pub feasible: bool,
+}
+
+/// Sweeps uniform chiplet spacing for one benchmark and chiplet grid
+/// (all cores active at the nominal point — the Fig. 5 protocol).
+///
+/// Gaps producing interposers beyond the packaging cap are skipped.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+///
+/// # Panics
+///
+/// Panics if `r` does not divide the chip's core grid or `max_gap`/`step`
+/// are not positive.
+pub fn uniform_spacing_sweep(
+    ev: &Evaluator,
+    benchmark: Benchmark,
+    r: u16,
+    max_gap: Mm,
+    step: Mm,
+) -> Result<Vec<SpacingPoint>, EvalError> {
+    assert!(max_gap.value() > 0.0 && step.value() > 0.0);
+    let spec = ev.spec();
+    assert!(
+        spec.chip.divisible_by(r),
+        "r = {r} does not divide the core grid"
+    );
+    let op = spec.vf.nominal();
+    let p = spec.chip.core_count();
+    let mut out = Vec::new();
+    let mut gap = 0.0;
+    while gap <= max_gap.value() + 1e-9 {
+        let layout = ChipletLayout::Uniform { r, gap: Mm(gap) };
+        let edge = layout
+            .interposer_edge(&spec.chip, &spec.rules)
+            .expect("uniform layouts have interposers");
+        if edge.value() > spec.rules.max_interposer.value() + 1e-9 {
+            break;
+        }
+        let e = ev.evaluate(&layout, benchmark, op, p)?;
+        out.push(SpacingPoint {
+            gap: Mm(gap),
+            interposer_edge: edge,
+            peak: e.peak,
+            feasible: e.feasible(spec.threshold),
+        });
+        gap += step.value();
+    }
+    Ok(out)
+}
+
+/// The first (smallest) uniform gap meeting the spec's threshold, if any.
+pub fn threshold_crossing(points: &[SpacingPoint]) -> Option<Mm> {
+    points.iter().find(|p| p.feasible).map(|p| p.gap)
+}
+
+/// One point of a max-performance-vs-size curve (Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerfCostPoint {
+    /// Interposer edge.
+    pub edge: Mm,
+    /// Best feasible IPS at this edge, normalized to the baseline (`None`
+    /// when no (f, p, placement) is feasible).
+    pub normalized_perf: Option<f64>,
+    /// System cost normalized to the baseline.
+    pub normalized_cost: f64,
+}
+
+/// Sweeps interposer sizes for one benchmark and chiplet count, reporting
+/// the best feasible normalized IPS and the normalized cost at each edge
+/// (the Fig. 6 curves).
+///
+/// # Errors
+///
+/// Propagates optimizer errors (including a missing baseline).
+pub fn perf_cost_sweep(
+    ev: &Evaluator,
+    benchmark: Benchmark,
+    count: ChipletCount,
+    search: PlacementSearch,
+    seed: u64,
+) -> Result<Vec<PerfCostPoint>, OptimizeError> {
+    let spec = ev.spec();
+    let chiplet_area = {
+        let wc = spec.chip.edge().value() / f64::from(count.r());
+        wc * wc
+    };
+    let baseline_cost = spec.cost.single_chip_cost(spec.chip.area().value());
+    let mut out = Vec::new();
+    for edge in interposer_edges(ev) {
+        let cost = spec
+            .cost
+            .assembly_cost(count.n(), chiplet_area, edge.value() * edge.value())
+            .total();
+        let best = best_at_edge(
+            ev,
+            benchmark,
+            Weights::performance_only(),
+            count,
+            edge,
+            search,
+            seed,
+        )?;
+        out.push(PerfCostPoint {
+            edge,
+            normalized_perf: best.map(|b| b.normalized_perf),
+            normalized_cost: cost / baseline_cost,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SystemSpec;
+
+    fn evaluator() -> Evaluator {
+        let mut spec = SystemSpec::fast();
+        spec.thermal.grid = 16;
+        spec.edge_step = Mm(5.0);
+        Evaluator::new(spec)
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "slow under the debug profile; validated by the release suite")]
+    fn spacing_sweep_is_monotone_decreasing() {
+        let ev = evaluator();
+        let pts = uniform_spacing_sweep(&ev, Benchmark::Cholesky, 4, Mm(8.0), Mm(2.0)).unwrap();
+        assert!(pts.len() >= 4);
+        for w in pts.windows(2) {
+            assert!(
+                w[1].peak <= w[0].peak,
+                "peak must fall with spacing: {:?}",
+                w
+            );
+        }
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "slow under the debug profile; validated by the release suite")]
+    fn crossing_matches_feasibility_flags() {
+        let ev = evaluator();
+        let pts = uniform_spacing_sweep(&ev, Benchmark::Hpccg, 4, Mm(10.0), Mm(1.0)).unwrap();
+        match threshold_crossing(&pts) {
+            Some(gap) => {
+                for p in &pts {
+                    if p.gap.value() < gap.value() {
+                        assert!(!p.feasible);
+                    }
+                }
+            }
+            None => assert!(pts.iter().all(|p| !p.feasible)),
+        }
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "slow under the debug profile; validated by the release suite")]
+    fn spacing_sweep_respects_interposer_cap() {
+        let ev = evaluator();
+        // r=16 chiplets: max gap before the 50 mm cap is ~2 mm.
+        let pts = uniform_spacing_sweep(&ev, Benchmark::Canneal, 16, Mm(10.0), Mm(0.5)).unwrap();
+        assert!(pts
+            .iter()
+            .all(|p| p.interposer_edge.value() <= 50.0 + 1e-9));
+        assert!(pts.last().expect("non-empty").gap.value() <= 2.5);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "slow under the debug profile; validated by the release suite")]
+    fn perf_cost_sweep_monotone_cost_and_step_perf() {
+        let ev = evaluator();
+        let pts = perf_cost_sweep(
+            &ev,
+            Benchmark::Hpccg,
+            ChipletCount::Sixteen,
+            PlacementSearch::MultiStartGreedy { starts: 10 },
+            42,
+        )
+        .unwrap();
+        assert!(!pts.is_empty());
+        for w in pts.windows(2) {
+            assert!(w[1].normalized_cost > w[0].normalized_cost);
+            if let (Some(a), Some(b)) = (w[0].normalized_perf, w[1].normalized_perf) {
+                assert!(b >= a - 1e-9, "perf never falls with size");
+            }
+        }
+    }
+}

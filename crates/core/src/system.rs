@@ -1,0 +1,124 @@
+//! The top-level system specification: every model and constant of the
+//! paper's evaluation framework (Fig. 4(b)) in one place.
+
+use tac25d_cost::CostParams;
+use tac25d_floorplan::chip::ChipSpec;
+use tac25d_floorplan::layers::StackSpec;
+use tac25d_floorplan::organization::PackageRules;
+use tac25d_floorplan::units::{Celsius, Mm};
+use tac25d_noc::mesh::NocModel;
+use tac25d_power::corepower::CorePowerModel;
+use tac25d_power::dvfs::{paper_core_counts, VfTable};
+use tac25d_thermal::model::ThermalConfig;
+
+/// Everything needed to evaluate and optimize chiplet organizations.
+#[derive(Debug, Clone)]
+pub struct SystemSpec {
+    /// The 256-core example chip.
+    pub chip: ChipSpec,
+    /// Packaging rules (guard band, 50 mm interposer cap, 0.5 mm lattice).
+    pub rules: PackageRules,
+    /// Layer stack of 2.5D packages.
+    pub stack_25d: StackSpec,
+    /// Layer stack of the single-chip baseline.
+    pub stack_2d: StackSpec,
+    /// Thermal solver configuration.
+    pub thermal: ThermalConfig,
+    /// Manufacturing cost constants.
+    pub cost: CostParams,
+    /// Mesh NoC power model.
+    pub noc: NocModel,
+    /// Per-core power model.
+    pub core_power: CorePowerModel,
+    /// DVFS table.
+    pub vf: VfTable,
+    /// Active-core-count sweep.
+    pub core_counts: Vec<u16>,
+    /// Peak-temperature threshold (Eq. (6)); the paper's default is 85 °C.
+    pub threshold: Celsius,
+    /// Interposer-edge sweep range and step for the optimizer (paper:
+    /// 20–50 mm at 0.5 mm).
+    pub edge_min: Mm,
+    /// Largest interposer edge considered.
+    pub edge_max: Mm,
+    /// Interposer-edge enumeration step.
+    pub edge_step: Mm,
+}
+
+impl SystemSpec {
+    /// The paper's configuration (64×64 thermal grid, full sweeps).
+    pub fn paper() -> Self {
+        SystemSpec {
+            chip: ChipSpec::scc_256(),
+            rules: PackageRules::default(),
+            stack_25d: StackSpec::system_25d(),
+            stack_2d: StackSpec::baseline_2d(),
+            thermal: ThermalConfig::default(),
+            cost: CostParams::paper(),
+            noc: NocModel::paper(),
+            core_power: CorePowerModel::default(),
+            vf: VfTable::paper(),
+            core_counts: paper_core_counts(),
+            threshold: Celsius(85.0),
+            edge_min: Mm(20.0),
+            edge_max: Mm(50.0),
+            edge_step: Mm(0.5),
+        }
+    }
+
+    /// A faster configuration for optimizer inner loops, tests and quick
+    /// sweeps: 32×32 thermal grid and a 1 mm interposer-edge lattice. Peak
+    /// temperatures track the full configuration closely (cells are still
+    /// much smaller than chiplets).
+    pub fn fast() -> Self {
+        SystemSpec {
+            thermal: ThermalConfig::fast(),
+            edge_step: Mm(1.0),
+            ..SystemSpec::paper()
+        }
+    }
+
+    /// Returns a copy with a different temperature threshold (the paper's
+    /// sensitivity study spans 75–105 °C).
+    pub fn with_threshold(mut self, t: Celsius) -> Self {
+        self.threshold = t;
+        self
+    }
+}
+
+impl Default for SystemSpec {
+    fn default() -> Self {
+        SystemSpec::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_spec_matches_paper_constants() {
+        let s = SystemSpec::paper();
+        assert_eq!(s.chip.core_count(), 256);
+        assert_eq!(s.threshold, Celsius(85.0));
+        assert_eq!(s.thermal.grid, 64);
+        assert_eq!(s.vf.points().len(), 5);
+        assert_eq!(s.core_counts.len(), 8);
+        assert_eq!(s.edge_min, Mm(20.0));
+        assert_eq!(s.edge_max, Mm(50.0));
+    }
+
+    #[test]
+    fn fast_spec_coarsens_only_numerics() {
+        let s = SystemSpec::fast();
+        assert_eq!(s.thermal.grid, 32);
+        assert_eq!(s.threshold, Celsius(85.0));
+        assert_eq!(s.chip, ChipSpec::scc_256());
+    }
+
+    #[test]
+    fn with_threshold_overrides() {
+        let s = SystemSpec::paper().with_threshold(Celsius(105.0));
+        assert_eq!(s.threshold, Celsius(105.0));
+    }
+}

@@ -1,0 +1,223 @@
+//! Transient system evaluation: peak temperature of a *phased* workload on
+//! a chiplet organization, via the thermal crate's backward-Euler solver.
+//!
+//! The steady-state flow (paper Sec. IV) conservatively holds every active
+//! core at its phase-peak power forever. Real workloads breathe (the paper
+//! samples Sniper statistics every 1 ms); duty-cycled phases let the
+//! package's thermal mass absorb bursts, so the *transient* peak sits
+//! between the average-power and peak-power steady states. This module
+//! quantifies that headroom.
+
+use crate::allocation::mintemp_active_cores;
+use crate::evaluator::EvalError;
+use crate::system::SystemSpec;
+use tac25d_floorplan::organization::ChipletLayout;
+use tac25d_floorplan::raster::place_cores;
+use tac25d_floorplan::units::Celsius;
+use tac25d_power::dvfs::OperatingPoint;
+use tac25d_power::phases::PhasedWorkload;
+use tac25d_thermal::model::{PackageModel, ThermalError};
+
+/// Result of a transient workload evaluation.
+#[derive(Debug, Clone)]
+pub struct TransientEvaluation {
+    /// Highest peak temperature observed over the simulated horizon.
+    pub peak: Celsius,
+    /// Peak temperature of the equivalent *constant-peak-power* steady
+    /// state (what the paper's flow would check against the threshold).
+    pub steady_peak: Celsius,
+    /// Peak temperature of the *average-power* steady state (the lower
+    /// bound the duty cycle could at best achieve).
+    pub average_peak: Celsius,
+    /// Simulated horizon, seconds.
+    pub horizon_s: f64,
+}
+
+impl TransientEvaluation {
+    /// The fraction of the burst headroom (steady-peak minus average-peak)
+    /// that the package's thermal mass absorbed.
+    pub fn headroom_absorbed(&self) -> f64 {
+        let span = self.steady_peak.value() - self.average_peak.value();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        ((self.steady_peak.value() - self.peak.value()) / span).clamp(0.0, 1.0)
+    }
+}
+
+/// Simulates `periods` repetitions of a phased workload on an organization
+/// and reports the transient peak against both steady-state bounds.
+///
+/// The simulation starts from the average-power steady state (a long-running
+/// system's natural operating point) and steps at `dt_s`.
+///
+/// # Errors
+///
+/// Propagates layout/thermal errors.
+///
+/// # Panics
+///
+/// Panics if `dt_s` or `periods` is not positive, or `p` is out of range.
+pub fn evaluate_transient(
+    spec: &SystemSpec,
+    layout: &ChipletLayout,
+    workload: &PhasedWorkload,
+    op: OperatingPoint,
+    p: u16,
+    dt_s: f64,
+    periods: usize,
+) -> Result<TransientEvaluation, EvalError> {
+    assert!(periods > 0, "need at least one period");
+    let stack = if layout.is_single_chip() {
+        &spec.stack_2d
+    } else {
+        &spec.stack_25d
+    };
+    let model = PackageModel::new(&spec.chip, layout, &spec.rules, stack, spec.thermal.clone())
+        .map_err(|e| match e {
+            ThermalError::Layout(l) => EvalError::Layout(l),
+            other => EvalError::Thermal(other),
+        })?;
+    let placed = place_cores(&spec.chip, layout, &spec.rules)?;
+    let active = mintemp_active_cores(&spec.chip, p);
+    let profile = workload.benchmark.profile();
+    // Power maps at a representative temperature (transient leakage
+    // coupling is second-order for the headroom question).
+    let t_ref = Celsius(75.0);
+    let sources_at = |activity: f64| -> Vec<_> {
+        active
+            .iter()
+            .map(|c| {
+                let rect = placed[c.0 as usize].rect;
+                let dynamic = spec.core_power.dynamic(&profile, op) * activity;
+                let leak = spec.core_power.active_power(&profile, op, t_ref)
+                    - spec.core_power.dynamic(&profile, op);
+                (rect, dynamic + leak)
+            })
+            .collect()
+    };
+
+    let steady_peak = model
+        .solve(&sources_at(1.0))
+        .map_err(EvalError::Thermal)?
+        .peak();
+    let avg_sources = sources_at(workload.average_activity());
+    let average_state = model.solve(&avg_sources).map_err(EvalError::Thermal)?;
+    let average_peak = average_state.peak();
+
+    let horizon = workload.period() * periods as f64;
+    let steps = (horizon / dt_s).ceil() as usize;
+    let trace = model
+        .simulate_transient(
+            Some(&average_state),
+            |_, t, _| sources_at(workload.activity_at(t)),
+            dt_s,
+            steps.max(1),
+        )
+        .map_err(EvalError::Thermal)?;
+    let peak = trace
+        .samples
+        .iter()
+        .map(|s| s.peak.value())
+        .fold(f64::NEG_INFINITY, f64::max);
+    Ok(TransientEvaluation {
+        peak: Celsius(peak),
+        steady_peak,
+        average_peak,
+        horizon_s: horizon,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tac25d_floorplan::units::Mm;
+    use tac25d_power::benchmarks::Benchmark;
+
+    fn spec() -> SystemSpec {
+        let mut s = SystemSpec::fast();
+        s.thermal.grid = 16;
+        s
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "slow under the debug profile; validated by the release suite")]
+    fn steady_workload_matches_steady_state() {
+        let spec = spec();
+        let w = PhasedWorkload::steady(Benchmark::Hpccg);
+        let r = evaluate_transient(
+            &spec,
+            &ChipletLayout::Uniform { r: 4, gap: Mm(4.0) },
+            &w,
+            spec.vf.nominal(),
+            256,
+            2.0,
+            3,
+        )
+        .unwrap();
+        // Constant activity: transient peak equals both bounds.
+        assert!((r.peak.value() - r.steady_peak.value()).abs() < 0.5);
+        assert!((r.average_peak.value() - r.steady_peak.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "slow under the debug profile; validated by the release suite")]
+    fn bursty_workload_sits_between_the_bounds() {
+        let spec = spec();
+        // 30% duty, 2-second period: thermal mass should absorb a good
+        // share of the burst.
+        let w = PhasedWorkload::bursty(Benchmark::Shock, 2.0, 0.3, 0.1);
+        let r = evaluate_transient(
+            &spec,
+            &ChipletLayout::SingleChip,
+            &w,
+            spec.vf.nominal(),
+            256,
+            0.1,
+            4,
+        )
+        .unwrap();
+        assert!(
+            r.peak > r.average_peak && r.peak < r.steady_peak,
+            "avg {} < transient {} < steady {}",
+            r.average_peak,
+            r.peak,
+            r.steady_peak
+        );
+        assert!(r.headroom_absorbed() > 0.1, "{}", r.headroom_absorbed());
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "slow under the debug profile; validated by the release suite")]
+    fn slower_bursts_absorb_less() {
+        // Longer periods let the die track the burst: transient peak moves
+        // toward the steady peak.
+        let spec = spec();
+        let fast = evaluate_transient(
+            &spec,
+            &ChipletLayout::SingleChip,
+            &PhasedWorkload::bursty(Benchmark::Shock, 1.0, 0.4, 0.1),
+            spec.vf.nominal(),
+            256,
+            0.05,
+            4,
+        )
+        .unwrap();
+        let slow = evaluate_transient(
+            &spec,
+            &ChipletLayout::SingleChip,
+            &PhasedWorkload::bursty(Benchmark::Shock, 60.0, 0.4, 0.1),
+            spec.vf.nominal(),
+            256,
+            1.0,
+            2,
+        )
+        .unwrap();
+        assert!(
+            slow.headroom_absorbed() < fast.headroom_absorbed(),
+            "slow {} vs fast {}",
+            slow.headroom_absorbed(),
+            fast.headroom_absorbed()
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Calibration probe (ignored): single-chip feasibility frontier.
+use tac25d_core::prelude::*;
+use tac25d_floorplan::organization::ChipletLayout;
+
+#[test]
+#[ignore]
+fn probe_baselines() {
+    for htc in [1400.0, 1500.0, 1600.0] {
+        let mut spec = SystemSpec::fast();
+        spec.thermal.htc = htc;
+        let ev = Evaluator::new(spec);
+        let t533 = ev.spec().vf.at_frequency(533.0).unwrap();
+        let t1000 = ev.spec().vf.nominal();
+        for (b, op, p) in [
+            (Benchmark::Cholesky, t533, 256u16),
+            (Benchmark::Shock, t533, 256),
+            (Benchmark::Blackscholes, t533, 256),
+            (Benchmark::Hpccg, t1000, 160),
+            (Benchmark::Swaptions, t1000, 224),
+            (Benchmark::Canneal, t1000, 192),
+        ] {
+            let e = ev.evaluate(&ChipletLayout::SingleChip, b, op, p).unwrap();
+            println!("htc {htc}: {b} @{op} p={p}: peak {:.1}", e.peak.value());
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests of the organizer's pure (non-thermal) components.
+
+use proptest::prelude::*;
+use tac25d_core::prelude::*;
+use tac25d_floorplan::chip::ChipSpec;
+use tac25d_power::dvfs::VfTable;
+use tac25d_power::perf::Ips;
+
+fn any_policy() -> impl Strategy<Value = AllocationPolicy> {
+    prop::sample::select(vec![
+        AllocationPolicy::Mintemp,
+        AllocationPolicy::Clustered,
+        AllocationPolicy::InnerFirst,
+        AllocationPolicy::Checkerboard,
+    ])
+}
+
+fn any_benchmark() -> impl Strategy<Value = Benchmark> {
+    prop::sample::select(Benchmark::all().to_vec())
+}
+
+proptest! {
+    /// Every allocation policy returns exactly p distinct, in-range cores,
+    /// sorted ascending.
+    #[test]
+    fn allocations_are_wellformed(p in 1u16..=256, policy in any_policy()) {
+        let chip = ChipSpec::scc_256();
+        let cores = active_cores(&chip, p, policy);
+        prop_assert_eq!(cores.len(), p as usize);
+        prop_assert!(cores.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(cores.iter().all(|c| c.0 < 256));
+    }
+
+    /// Mintemp's selection is a prefix of its own priority order: growing
+    /// p never evicts a previously chosen core.
+    #[test]
+    fn mintemp_prefix_property(p1 in 1u16..=255, dp in 1u16..=64) {
+        let chip = ChipSpec::scc_256();
+        let p2 = (p1 + dp).min(256);
+        let small: std::collections::BTreeSet<_> =
+            mintemp_active_cores(&chip, p1).into_iter().collect();
+        let big: std::collections::BTreeSet<_> =
+            mintemp_active_cores(&chip, p2).into_iter().collect();
+        prop_assert!(small.is_subset(&big));
+    }
+
+    /// The Eq. (5) objective is monotone: more IPS or less cost never
+    /// increases it.
+    #[test]
+    fn objective_monotonicity(
+        alpha in 0.0..1.0f64,
+        ips in 1.0..1e12f64,
+        dips in 0.0..1e11f64,
+        cost in 1.0..100.0f64,
+        dcost in 0.0..50.0f64,
+    ) {
+        prop_assume!(alpha > 0.0);
+        let w = Weights::new(alpha, 1.0 - alpha);
+        let base_ips = Ips(5e11);
+        let base_cost = 56.0;
+        let v0 = objective_value(w, base_ips, Ips(ips), cost, base_cost);
+        let faster = objective_value(w, base_ips, Ips(ips + dips), cost, base_cost);
+        prop_assert!(faster <= v0 + 1e-12);
+        if 1.0 - alpha > 0.0 && dcost > 0.0 {
+            let cheaper = objective_value(w, base_ips, Ips(ips), (cost - dcost).max(0.01), base_cost);
+            prop_assert!(cheaper <= v0 + 1e-12);
+        }
+    }
+
+    /// Candidate enumeration is stable: sorted by objective, and every
+    /// candidate's cost/IPS/objective are mutually consistent.
+    #[test]
+    fn candidates_internally_consistent(seed_alpha in 0.1..0.9f64, b in any_benchmark()) {
+        // Pure except the single-chip baseline, which is cached per run —
+        // keep the evaluator tiny.
+        let mut spec = SystemSpec::fast();
+        spec.thermal.grid = 12;
+        spec.edge_step = tac25d_floorplan::units::Mm(10.0);
+        let ev = Evaluator::new(spec);
+        let w = Weights::new(seed_alpha, 1.0 - seed_alpha);
+        let Ok((cands, baseline)) = enumerate_candidates(&ev, b, w, &ChipletCount::both()) else {
+            // Benchmarks without a feasible baseline are acceptable here.
+            return Ok(());
+        };
+        prop_assert!(cands.windows(2).all(|x| x[0].objective <= x[1].objective + 1e-12));
+        for c in cands.iter().take(50) {
+            let expect = objective_value(w, baseline.ips, c.ips, c.cost, baseline.cost);
+            prop_assert!((c.objective - expect).abs() < 1e-9);
+        }
+    }
+
+    /// IPS used by candidates equals the standalone performance model.
+    #[test]
+    fn evaluator_ips_matches_model(b in any_benchmark(), p_idx in 0usize..8) {
+        let mut spec = SystemSpec::fast();
+        spec.thermal.grid = 12;
+        let p = spec.core_counts[p_idx];
+        let ev = Evaluator::new(spec);
+        let op = VfTable::paper().nominal();
+        let a = ev.ips(b, op, p);
+        let e = tac25d_power::perf::system_ips(&b.profile(), op, p);
+        prop_assert_eq!(a.0, e.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Monte Carlo validation of the negative-binomial yield model (Eq. (2)).
+//!
+//! The negative-binomial yield formula is the exact zero-defect
+//! probability of a compound process: the local defect density is
+//! Gamma(α, D₀/α)-distributed across dies (clustering), and defect counts
+//! are Poisson given the density. Simulating that process directly must
+//! reproduce `(1 + A·D₀/α)^(−α)` — a ground-truth check that the closed
+//! form (and our unit conventions) encode the physics we claim.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tac25d_cost::die_yield;
+
+/// Samples Gamma(k, θ) for integer k as a sum of exponentials.
+fn sample_gamma_int(rng: &mut StdRng, k: u32, theta: f64) -> f64 {
+    (0..k)
+        .map(|_| -theta * (1.0 - rng.gen::<f64>()).ln())
+        .sum()
+}
+
+#[test]
+fn negative_binomial_yield_matches_compound_poisson_simulation() {
+    let alpha = 3u32;
+    let d0_per_cm2 = 0.25;
+    let mut rng = StdRng::seed_from_u64(20260705);
+    for area_mm2 in [81.0, 324.0, 900.0] {
+        let area_cm2 = area_mm2 / 100.0;
+        let trials = 200_000;
+        let mut good = 0u64;
+        for _ in 0..trials {
+            // Die-local defect density, then zero-defect Bernoulli via the
+            // Poisson zero-class probability.
+            let lambda =
+                sample_gamma_int(&mut rng, alpha, d0_per_cm2 / f64::from(alpha)) * area_cm2;
+            if rng.gen::<f64>() < (-lambda).exp() {
+                good += 1;
+            }
+        }
+        let simulated = good as f64 / trials as f64;
+        let analytic = die_yield(area_mm2, d0_per_cm2, f64::from(alpha));
+        let se = (analytic * (1.0 - analytic) / trials as f64).sqrt();
+        assert!(
+            (simulated - analytic).abs() < 5.0 * se + 1e-4,
+            "area {area_mm2} mm²: simulated {simulated:.4} vs analytic {analytic:.4} (5σ = {:.4})",
+            5.0 * se
+        );
+    }
+}
+
+#[test]
+fn clustering_helps_yield_at_high_defect_counts() {
+    // With the same mean defect density, clustered defects (small α) waste
+    // fewer dies than Poisson defects (α → ∞): both analytically and in
+    // simulation.
+    let d0 = 0.5;
+    let area = 900.0;
+    let clustered = die_yield(area, d0, 1.0);
+    let smoother = die_yield(area, d0, 10.0);
+    let poisson_limit = (-area / 100.0 * d0).exp();
+    assert!(clustered > smoother);
+    assert!(smoother > poisson_limit);
+}

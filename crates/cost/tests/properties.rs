@@ -1,0 +1,69 @@
+//! Property-based tests of the cost model.
+
+use proptest::prelude::*;
+use tac25d_cost::{die_yield, dies_per_wafer, CostParams};
+
+proptest! {
+    /// Yield is a probability, monotone decreasing in area and defect
+    /// density.
+    #[test]
+    fn yield_monotonicity(
+        a1 in 1.0..2000.0f64,
+        da in 1.0..500.0f64,
+        d0 in 0.01..1.0f64,
+        dd in 0.01..0.5f64,
+    ) {
+        let y = die_yield(a1, d0, 3.0);
+        prop_assert!((0.0..=1.0).contains(&y));
+        prop_assert!(die_yield(a1 + da, d0, 3.0) < y);
+        prop_assert!(die_yield(a1, d0 + dd, 3.0) < y);
+    }
+
+    /// Dies per wafer decreases with die area and is non-negative.
+    #[test]
+    fn dies_per_wafer_monotone(a in 1.0..5000.0f64, da in 1.0..1000.0f64) {
+        let n1 = dies_per_wafer(300.0, a);
+        let n2 = dies_per_wafer(300.0, a + da);
+        prop_assert!(n1 >= n2);
+        prop_assert!(n2 >= 0.0);
+    }
+
+    /// Per-die cost is monotone increasing in area (bigger dies are always
+    /// more expensive — the yield and count terms compound).
+    #[test]
+    fn die_cost_monotone_in_area(a in 10.0..1000.0f64, da in 1.0..200.0f64) {
+        let p = CostParams::paper();
+        prop_assert!(p.cmos_die_cost(a + da) > p.cmos_die_cost(a));
+    }
+
+    /// Splitting a chip into chiplets always cuts the silicon cost term
+    /// (the whole economic premise of 2.5D integration).
+    #[test]
+    fn chipletization_cuts_silicon_cost(area in 100.0..900.0f64, n in 2u32..32) {
+        let p = CostParams::paper();
+        let whole = p.cmos_die_cost(area);
+        let split = f64::from(n) * p.cmos_die_cost(area / f64::from(n));
+        prop_assert!(split < whole, "n={n}: {split} vs {whole}");
+    }
+
+    /// Assembled system cost is monotone in interposer area and in chiplet
+    /// count overheads.
+    #[test]
+    fn assembly_monotone(
+        int_area in 400.0..2500.0f64,
+        d_area in 1.0..500.0f64,
+    ) {
+        let p = CostParams::paper();
+        let c1 = p.assembly_cost(16, 20.25, int_area).total();
+        let c2 = p.assembly_cost(16, 20.25, int_area + d_area).total();
+        prop_assert!(c2 > c1);
+    }
+
+    /// The assembly yield divisor equals bond_yield^n exactly.
+    #[test]
+    fn assembly_yield_power_law(n in 1u32..64) {
+        let p = CostParams::paper();
+        let b = p.assembly_cost(n, 5.0, 400.0);
+        prop_assert!((b.assembly_yield - 0.99f64.powi(n as i32)).abs() < 1e-12);
+    }
+}

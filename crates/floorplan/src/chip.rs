@@ -1,0 +1,262 @@
+//! The example manycore chip of the paper: a 256-core homogeneous system
+//! based on the Intel SCC IA-32 core scaled to 22 nm.
+//!
+//! Each core together with its private L2 cache forms a square tile; 16×16
+//! tiles make up the 18 mm × 18 mm single chip (paper Sec. III-A). When the
+//! chip is "disintegrated" into an r×r grid of chiplets, each chiplet holds a
+//! (16/r)×(16/r) sub-grid of core tiles, so core-accurate chipletization is
+//! available for r ∈ {1, 2, 4, 8, 16} (the synthetic design-space sweeps of
+//! Fig. 3(b) additionally use r values that do not divide 16; those use
+//! uniform power densities and never need a core map).
+
+use crate::units::{Area, Mm};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a core tile on the (virtual) monolithic chip, row-major:
+/// `CoreId(0)` is the lower-left tile, ids increase left→right then
+/// bottom→top.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CoreId(pub u16);
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// Static description of the example manycore chip.
+///
+/// # Examples
+///
+/// ```
+/// use tac25d_floorplan::chip::ChipSpec;
+///
+/// let chip = ChipSpec::scc_256();
+/// assert_eq!(chip.core_count(), 256);
+/// assert_eq!(chip.edge().value(), 18.0);
+/// // Tile edge = 18 mm / 16 = 1.125 mm (paper: ≈1.13 mm, area ≈1.28 mm²).
+/// assert!((chip.tile_edge().value() - 1.125).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipSpec {
+    /// Number of core tiles along one chip edge (16 for the 256-core system).
+    cores_per_row: u16,
+    /// Physical edge length of the square chip.
+    edge: Mm,
+    /// Number of memory controllers, placed along two opposite chip edges.
+    memory_controllers: u16,
+}
+
+impl ChipSpec {
+    /// The paper's example system: 256 IA-32-class cores at 22 nm on an
+    /// 18 mm × 18 mm die with 8 memory controllers.
+    pub fn scc_256() -> Self {
+        ChipSpec {
+            cores_per_row: 16,
+            edge: Mm(18.0),
+            memory_controllers: 8,
+        }
+    }
+
+    /// Creates a custom square chip with `cores_per_row`² cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores_per_row` is zero or `edge` is not strictly positive.
+    pub fn new(cores_per_row: u16, edge: Mm, memory_controllers: u16) -> Self {
+        assert!(cores_per_row > 0, "chip needs at least one core per row");
+        assert!(edge.value() > 0.0, "chip edge must be positive, got {edge}");
+        ChipSpec {
+            cores_per_row,
+            edge,
+            memory_controllers,
+        }
+    }
+
+    /// Number of core tiles along one edge.
+    pub fn cores_per_row(&self) -> u16 {
+        self.cores_per_row
+    }
+
+    /// Total core count (tiles per row squared).
+    pub fn core_count(&self) -> u16 {
+        self.cores_per_row * self.cores_per_row
+    }
+
+    /// Physical edge of the monolithic chip (`w_2D = h_2D` in Table II).
+    pub fn edge(&self) -> Mm {
+        self.edge
+    }
+
+    /// Total die area.
+    pub fn area(&self) -> Area {
+        self.edge * self.edge
+    }
+
+    /// Edge of one square core+L2 tile.
+    pub fn tile_edge(&self) -> Mm {
+        self.edge / f64::from(self.cores_per_row)
+    }
+
+    /// Area of one core+L2 tile.
+    pub fn tile_area(&self) -> Area {
+        self.tile_edge() * self.tile_edge()
+    }
+
+    /// Number of memory controllers (metadata; they sit along two opposite
+    /// edges and DRAM is off-chip, so they do not enter the thermal map).
+    pub fn memory_controllers(&self) -> u16 {
+        self.memory_controllers
+    }
+
+    /// Iterates over all core ids in row-major order.
+    pub fn cores(&self) -> impl Iterator<Item = CoreId> {
+        (0..self.core_count()).map(CoreId)
+    }
+
+    /// Grid position `(row, col)` of a core, rows counted from the bottom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core id is out of range for this chip.
+    pub fn core_position(&self, core: CoreId) -> (u16, u16) {
+        assert!(
+            core.0 < self.core_count(),
+            "core id {core} out of range for a {}-core chip",
+            self.core_count()
+        );
+        (core.0 / self.cores_per_row, core.0 % self.cores_per_row)
+    }
+
+    /// Core id at grid position `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of range.
+    pub fn core_at(&self, row: u16, col: u16) -> CoreId {
+        assert!(
+            row < self.cores_per_row && col < self.cores_per_row,
+            "({row}, {col}) out of range for a {}x{} core grid",
+            self.cores_per_row,
+            self.cores_per_row
+        );
+        CoreId(row * self.cores_per_row + col)
+    }
+
+    /// Returns `true` if the chip can be split into an r×r grid of chiplets
+    /// along core-tile boundaries.
+    pub fn divisible_by(&self, r: u16) -> bool {
+        r > 0 && self.cores_per_row.is_multiple_of(r)
+    }
+
+    /// For an r×r chipletization, the chiplet index (row-major over the
+    /// chiplet grid) and the core's local `(row, col)` within that chiplet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` does not divide the core grid (see [`Self::divisible_by`])
+    /// or if the core id is out of range.
+    pub fn core_to_chiplet(&self, r: u16, core: CoreId) -> (usize, (u16, u16)) {
+        assert!(
+            self.divisible_by(r),
+            "r = {r} does not divide the {}-wide core grid",
+            self.cores_per_row
+        );
+        let per = self.cores_per_row / r;
+        let (row, col) = self.core_position(core);
+        let chiplet = (row / per) as usize * r as usize + (col / per) as usize;
+        (chiplet, (row % per, col % per))
+    }
+}
+
+impl Default for ChipSpec {
+    fn default() -> Self {
+        ChipSpec::scc_256()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scc_matches_paper_dimensions() {
+        let chip = ChipSpec::scc_256();
+        assert_eq!(chip.core_count(), 256);
+        assert_eq!(chip.area().value(), 324.0);
+        // Paper: tile ≈ 1.13 mm × 1.13 mm ≈ 1.28 mm²; our exact grid gives
+        // 1.125 mm and 1.2656 mm².
+        assert!((chip.tile_area().value() - 1.2656).abs() < 1e-3);
+        assert_eq!(chip.memory_controllers(), 8);
+    }
+
+    #[test]
+    fn core_position_roundtrip() {
+        let chip = ChipSpec::scc_256();
+        for core in chip.cores() {
+            let (row, col) = chip.core_position(core);
+            assert_eq!(chip.core_at(row, col), core);
+        }
+    }
+
+    #[test]
+    fn row_major_ordering() {
+        let chip = ChipSpec::scc_256();
+        assert_eq!(chip.core_position(CoreId(0)), (0, 0));
+        assert_eq!(chip.core_position(CoreId(15)), (0, 15));
+        assert_eq!(chip.core_position(CoreId(16)), (1, 0));
+        assert_eq!(chip.core_position(CoreId(255)), (15, 15));
+    }
+
+    #[test]
+    fn divisibility() {
+        let chip = ChipSpec::scc_256();
+        for r in [1u16, 2, 4, 8, 16] {
+            assert!(chip.divisible_by(r), "r={r}");
+        }
+        for r in [0u16, 3, 5, 6, 7, 9, 10, 32] {
+            assert!(!chip.divisible_by(r), "r={r}");
+        }
+    }
+
+    #[test]
+    fn chiplet_mapping_quadrants_r2() {
+        let chip = ChipSpec::scc_256();
+        // Lower-left core is in chiplet 0; upper-right in chiplet 3.
+        assert_eq!(chip.core_to_chiplet(2, CoreId(0)).0, 0);
+        assert_eq!(chip.core_to_chiplet(2, chip.core_at(0, 15)).0, 1);
+        assert_eq!(chip.core_to_chiplet(2, chip.core_at(15, 0)).0, 2);
+        assert_eq!(chip.core_to_chiplet(2, chip.core_at(15, 15)).0, 3);
+        // Local coordinates wrap inside the 8×8 chiplet.
+        let (_, (lr, lc)) = chip.core_to_chiplet(2, chip.core_at(9, 10));
+        assert_eq!((lr, lc), (1, 2));
+    }
+
+    #[test]
+    fn chiplet_mapping_counts_are_balanced() {
+        let chip = ChipSpec::scc_256();
+        for r in [2u16, 4, 8, 16] {
+            let mut counts = vec![0u32; (r * r) as usize];
+            for core in chip.cores() {
+                counts[chip.core_to_chiplet(r, core).0] += 1;
+            }
+            let per = u32::from(chip.core_count()) / u32::from(r * r);
+            assert!(counts.iter().all(|&c| c == per), "r={r}: {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not divide")]
+    fn chiplet_mapping_rejects_bad_r() {
+        let chip = ChipSpec::scc_256();
+        let _ = chip.core_to_chiplet(3, CoreId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn core_position_rejects_out_of_range() {
+        let chip = ChipSpec::scc_256();
+        let _ = chip.core_position(CoreId(256));
+    }
+}

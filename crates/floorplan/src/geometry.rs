@@ -1,0 +1,264 @@
+//! Planar geometry primitives (points, sizes, axis-aligned rectangles).
+//!
+//! All coordinates are in millimetres with the origin at the lower-left
+//! corner of the outermost footprint under discussion (interposer for 2.5D
+//! systems, chip for the single-chip baseline).
+
+use crate::units::{Area, Mm};
+use serde::{Deserialize, Serialize};
+
+/// A point in the floorplan plane, in millimetres.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: Mm,
+    /// Vertical coordinate.
+    pub y: Mm,
+}
+
+impl Point {
+    /// Creates a point from raw millimetre coordinates.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x: Mm(x), y: Mm(y) }
+    }
+}
+
+/// A width × height extent, in millimetres.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Size {
+    /// Horizontal extent.
+    pub w: Mm,
+    /// Vertical extent.
+    pub h: Mm,
+}
+
+impl Size {
+    /// Creates a size from raw millimetre extents.
+    pub fn new(w: f64, h: f64) -> Self {
+        Size { w: Mm(w), h: Mm(h) }
+    }
+
+    /// Creates a square size with the given edge length.
+    pub fn square(edge: Mm) -> Self {
+        Size { w: edge, h: edge }
+    }
+
+    /// The enclosed area.
+    pub fn area(self) -> Area {
+        self.w * self.h
+    }
+}
+
+/// An axis-aligned rectangle identified by its lower-left corner and size.
+///
+/// # Examples
+///
+/// ```
+/// use tac25d_floorplan::geometry::Rect;
+///
+/// let a = Rect::from_corner(0.0, 0.0, 2.0, 2.0);
+/// let b = Rect::from_corner(1.0, 1.0, 2.0, 2.0);
+/// assert!(a.overlaps(&b));
+/// assert_eq!(a.intersection_area(&b).value(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Rect {
+    /// Lower-left corner.
+    pub origin: Point,
+    /// Extent.
+    pub size: Size,
+}
+
+impl Rect {
+    /// Creates a rectangle from its lower-left corner `(x, y)` and extents
+    /// `(w, h)`, all in millimetres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` or `h` is negative.
+    pub fn from_corner(x: f64, y: f64, w: f64, h: f64) -> Self {
+        assert!(w >= 0.0 && h >= 0.0, "rect extents must be non-negative ({w} x {h})");
+        Rect {
+            origin: Point::new(x, y),
+            size: Size::new(w, h),
+        }
+    }
+
+    /// Creates a rectangle centred at `(cx, cy)` with extents `(w, h)`.
+    pub fn centered_at(cx: f64, cy: f64, w: f64, h: f64) -> Self {
+        Rect::from_corner(cx - w / 2.0, cy - h / 2.0, w, h)
+    }
+
+    /// Left edge coordinate.
+    pub fn x0(&self) -> Mm {
+        self.origin.x
+    }
+
+    /// Bottom edge coordinate.
+    pub fn y0(&self) -> Mm {
+        self.origin.y
+    }
+
+    /// Right edge coordinate.
+    pub fn x1(&self) -> Mm {
+        self.origin.x + self.size.w
+    }
+
+    /// Top edge coordinate.
+    pub fn y1(&self) -> Mm {
+        self.origin.y + self.size.h
+    }
+
+    /// Centre point.
+    pub fn center(&self) -> Point {
+        Point {
+            x: self.origin.x + self.size.w / 2.0,
+            y: self.origin.y + self.size.h / 2.0,
+        }
+    }
+
+    /// The enclosed area.
+    pub fn area(&self) -> Area {
+        self.size.area()
+    }
+
+    /// Returns `true` if the rectangles overlap with strictly positive area
+    /// (touching edges do not count as overlap; the paper allows chiplets to
+    /// abut at zero spacing).
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.intersection_area(other).value() > 1e-12
+    }
+
+    /// Area of the intersection of the two rectangles (zero when disjoint).
+    pub fn intersection_area(&self, other: &Rect) -> Area {
+        let w = (self.x1().min(other.x1()) - self.x0().max(other.x0())).max(Mm(0.0));
+        let h = (self.y1().min(other.y1()) - self.y0().max(other.y0())).max(Mm(0.0));
+        w * h
+    }
+
+    /// Returns `true` if `other` lies entirely inside `self` (touching edges
+    /// allowed), within a small numerical tolerance.
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        const EPS: f64 = 1e-9;
+        other.x0().value() >= self.x0().value() - EPS
+            && other.y0().value() >= self.y0().value() - EPS
+            && other.x1().value() <= self.x1().value() + EPS
+            && other.y1().value() <= self.y1().value() + EPS
+    }
+
+    /// Returns `true` if the point lies inside or on the boundary.
+    pub fn contains_point(&self, p: Point) -> bool {
+        p.x >= self.x0() && p.x <= self.x1() && p.y >= self.y0() && p.y <= self.y1()
+    }
+
+    /// Translates the rectangle by `(dx, dy)`.
+    #[must_use]
+    pub fn translated(&self, dx: Mm, dy: Mm) -> Rect {
+        Rect {
+            origin: Point {
+                x: self.origin.x + dx,
+                y: self.origin.y + dy,
+            },
+            size: self.size,
+        }
+    }
+
+    /// Reflects the rectangle about the vertical line `x = axis`.
+    #[must_use]
+    pub fn mirrored_x(&self, axis: Mm) -> Rect {
+        let new_x0 = axis * 2.0 - self.x1();
+        Rect {
+            origin: Point {
+                x: new_x0,
+                y: self.origin.y,
+            },
+            size: self.size,
+        }
+    }
+
+    /// Reflects the rectangle about the horizontal line `y = axis`.
+    #[must_use]
+    pub fn mirrored_y(&self, axis: Mm) -> Rect {
+        let new_y0 = axis * 2.0 - self.y1();
+        Rect {
+            origin: Point {
+                x: self.origin.x,
+                y: new_y0,
+            },
+            size: self.size,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_edges_and_center() {
+        let r = Rect::from_corner(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(r.x0(), Mm(1.0));
+        assert_eq!(r.y0(), Mm(2.0));
+        assert_eq!(r.x1(), Mm(4.0));
+        assert_eq!(r.y1(), Mm(6.0));
+        assert_eq!(r.center(), Point::new(2.5, 4.0));
+        assert_eq!(r.area().value(), 12.0);
+    }
+
+    #[test]
+    fn centered_at_positions_correctly() {
+        let r = Rect::centered_at(5.0, 5.0, 2.0, 4.0);
+        assert_eq!(r.x0(), Mm(4.0));
+        assert_eq!(r.y1(), Mm(7.0));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = Rect::from_corner(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::from_corner(1.0, 1.0, 2.0, 2.0);
+        let c = Rect::from_corner(2.0, 0.0, 2.0, 2.0); // abuts a
+        let d = Rect::from_corner(3.0, 3.0, 1.0, 1.0); // disjoint
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c), "touching edges are not overlap");
+        assert!(!a.overlaps(&d));
+        assert_eq!(a.intersection_area(&b).value(), 1.0);
+        assert_eq!(a.intersection_area(&d).value(), 0.0);
+    }
+
+    #[test]
+    fn containment() {
+        let outer = Rect::from_corner(0.0, 0.0, 10.0, 10.0);
+        let inner = Rect::from_corner(1.0, 1.0, 2.0, 2.0);
+        let edge = Rect::from_corner(0.0, 0.0, 10.0, 10.0);
+        let out = Rect::from_corner(9.0, 9.0, 2.0, 2.0);
+        assert!(outer.contains_rect(&inner));
+        assert!(outer.contains_rect(&edge));
+        assert!(!outer.contains_rect(&out));
+        assert!(outer.contains_point(Point::new(10.0, 10.0)));
+        assert!(!outer.contains_point(Point::new(10.1, 10.0)));
+    }
+
+    #[test]
+    fn mirror_preserves_size_and_flips_position() {
+        let r = Rect::from_corner(1.0, 1.0, 2.0, 1.0);
+        let m = r.mirrored_x(Mm(5.0));
+        assert_eq!(m.size, r.size);
+        assert_eq!(m.x0(), Mm(7.0));
+        assert_eq!(m.y0(), Mm(1.0));
+        let my = r.mirrored_y(Mm(5.0));
+        assert_eq!(my.y0(), Mm(8.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_extent_rejected() {
+        let _ = Rect::from_corner(0.0, 0.0, -1.0, 1.0);
+    }
+
+    #[test]
+    fn translate_moves_origin_only() {
+        let r = Rect::from_corner(0.0, 0.0, 1.0, 1.0).translated(Mm(2.0), Mm(3.0));
+        assert_eq!(r.origin, Point::new(2.0, 3.0));
+        assert_eq!(r.size, Size::new(1.0, 1.0));
+    }
+}

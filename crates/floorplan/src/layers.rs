@@ -1,0 +1,380 @@
+//! The vertical layer stack of the 2.5D package and the single-chip
+//! baseline, following Table I of the paper.
+//!
+//! The stack is described top-down (heat sink first). Material *identities*
+//! live here; their thermal properties (conductivity, volumetric heat
+//! capacity) are owned by the thermal crate, which maps each [`Material`] to
+//! physical constants.
+
+use crate::units::Mm;
+use serde::{Deserialize, Serialize};
+
+/// Identity of the material filling a region of a layer.
+///
+/// Composite materials (microbump, TSV, C4 layers) model the
+/// copper-plus-epoxy or silicon-plus-copper mixtures of Table I as
+/// effective media; the thermal crate computes their effective
+/// conductivities from the bump/TSV geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Material {
+    /// Bulk silicon (chiplet dies).
+    Silicon,
+    /// Epoxy resin underfill (between chiplets, between bumps).
+    Epoxy,
+    /// Copper (spreader, heat sink base).
+    Copper,
+    /// FR-4 organic substrate.
+    Fr4,
+    /// Thermal interface material between chiplets and spreader.
+    InterfaceMaterial,
+    /// Microbump layer under a chiplet: copper bumps in epoxy
+    /// (Ø25 µm, 50 µm pitch per Table I).
+    MicrobumpComposite,
+    /// Silicon interposer with copper TSVs (Ø10 µm, 50 µm pitch).
+    TsvSilicon,
+    /// C4 bump layer: copper bumps in epoxy (Ø250 µm, 600 µm pitch).
+    C4Composite,
+    /// Thin air/filler gap (used for regions of the TIM layer beyond any
+    /// die in the baseline package).
+    Filler,
+}
+
+/// The structural role of a layer in the package stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerRole {
+    /// Finned aluminium/copper heat sink (modelled with lumped periphery).
+    HeatSink,
+    /// Copper heat spreader.
+    Spreader,
+    /// Thermal interface material.
+    Tim,
+    /// Active CMOS chiplet layer (silicon dies + epoxy fill).
+    Die,
+    /// Microbump layer between chiplets and interposer.
+    Microbump,
+    /// Passive silicon interposer with TSVs.
+    Interposer,
+    /// C4 bump layer between interposer (or die) and substrate.
+    C4,
+    /// Organic package substrate.
+    Substrate,
+}
+
+/// One layer of the package stack.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerSpec {
+    /// The layer's structural role.
+    pub role: LayerRole,
+    /// Layer thickness.
+    pub thickness: Mm,
+    /// Material filling the layer *outside* chiplet footprints (the
+    /// background); the die layer's background is epoxy, for instance.
+    pub background: Material,
+    /// Material filling the layer *under/inside* chiplet footprints.
+    pub under_chiplet: Material,
+    /// Whether this layer dissipates the core power map (only the die layer).
+    pub is_heat_source: bool,
+}
+
+/// An ordered package stack, listed top (heat sink side) to bottom
+/// (board side).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StackSpec {
+    layers: Vec<LayerSpec>,
+}
+
+impl StackSpec {
+    /// The paper's 2.5D package (Table I): sink / spreader / TIM / chiplet
+    /// layer (Si + epoxy) / microbumps / interposer (Si + TSV) / C4 /
+    /// organic substrate.
+    pub fn system_25d() -> Self {
+        StackSpec {
+            layers: vec![
+                LayerSpec {
+                    role: LayerRole::HeatSink,
+                    thickness: Mm(6.9),
+                    background: Material::Copper,
+                    under_chiplet: Material::Copper,
+                    is_heat_source: false,
+                },
+                LayerSpec {
+                    role: LayerRole::Spreader,
+                    thickness: Mm(1.0),
+                    background: Material::Copper,
+                    under_chiplet: Material::Copper,
+                    is_heat_source: false,
+                },
+                LayerSpec {
+                    role: LayerRole::Tim,
+                    thickness: Mm::from_um(20.0),
+                    background: Material::InterfaceMaterial,
+                    under_chiplet: Material::InterfaceMaterial,
+                    is_heat_source: false,
+                },
+                LayerSpec {
+                    role: LayerRole::Die,
+                    thickness: Mm::from_um(150.0),
+                    background: Material::Epoxy,
+                    under_chiplet: Material::Silicon,
+                    is_heat_source: true,
+                },
+                LayerSpec {
+                    role: LayerRole::Microbump,
+                    thickness: Mm::from_um(10.0),
+                    background: Material::Epoxy,
+                    under_chiplet: Material::MicrobumpComposite,
+                    is_heat_source: false,
+                },
+                LayerSpec {
+                    role: LayerRole::Interposer,
+                    thickness: Mm::from_um(110.0),
+                    background: Material::TsvSilicon,
+                    under_chiplet: Material::TsvSilicon,
+                    is_heat_source: false,
+                },
+                LayerSpec {
+                    role: LayerRole::C4,
+                    thickness: Mm::from_um(70.0),
+                    background: Material::C4Composite,
+                    under_chiplet: Material::C4Composite,
+                    is_heat_source: false,
+                },
+                LayerSpec {
+                    role: LayerRole::Substrate,
+                    thickness: Mm::from_um(200.0),
+                    background: Material::Fr4,
+                    under_chiplet: Material::Fr4,
+                    is_heat_source: false,
+                },
+            ],
+        }
+    }
+
+    /// A two-tier 3D stack (for the paper's Sec. I contrast: 3D integration
+    /// "exacerbates the thermal issues"): sink / spreader / TIM / top die /
+    /// inter-tier bond (microbump-class) / bottom die / C4 / substrate.
+    /// Both die layers are heat sources; the bottom tier is insulated from
+    /// the sink by the whole top tier.
+    pub fn stacked_3d() -> Self {
+        StackSpec {
+            layers: vec![
+                LayerSpec {
+                    role: LayerRole::HeatSink,
+                    thickness: Mm(6.9),
+                    background: Material::Copper,
+                    under_chiplet: Material::Copper,
+                    is_heat_source: false,
+                },
+                LayerSpec {
+                    role: LayerRole::Spreader,
+                    thickness: Mm(1.0),
+                    background: Material::Copper,
+                    under_chiplet: Material::Copper,
+                    is_heat_source: false,
+                },
+                LayerSpec {
+                    role: LayerRole::Tim,
+                    thickness: Mm::from_um(20.0),
+                    background: Material::InterfaceMaterial,
+                    under_chiplet: Material::InterfaceMaterial,
+                    is_heat_source: false,
+                },
+                LayerSpec {
+                    role: LayerRole::Die,
+                    thickness: Mm::from_um(150.0),
+                    background: Material::Epoxy,
+                    under_chiplet: Material::Silicon,
+                    is_heat_source: true,
+                },
+                LayerSpec {
+                    role: LayerRole::Microbump,
+                    thickness: Mm::from_um(10.0),
+                    background: Material::Epoxy,
+                    under_chiplet: Material::MicrobumpComposite,
+                    is_heat_source: false,
+                },
+                LayerSpec {
+                    role: LayerRole::Die,
+                    thickness: Mm::from_um(150.0),
+                    background: Material::Epoxy,
+                    under_chiplet: Material::Silicon,
+                    is_heat_source: true,
+                },
+                LayerSpec {
+                    role: LayerRole::C4,
+                    thickness: Mm::from_um(70.0),
+                    background: Material::C4Composite,
+                    under_chiplet: Material::C4Composite,
+                    is_heat_source: false,
+                },
+                LayerSpec {
+                    role: LayerRole::Substrate,
+                    thickness: Mm::from_um(200.0),
+                    background: Material::Fr4,
+                    under_chiplet: Material::Fr4,
+                    is_heat_source: false,
+                },
+            ],
+        }
+    }
+
+    /// The conventional single-chip baseline: the 256-core chip placed
+    /// directly on the organic substrate with C4 bumps (paper Sec. III-A) —
+    /// no interposer, no microbump layer.
+    pub fn baseline_2d() -> Self {
+        StackSpec {
+            layers: vec![
+                LayerSpec {
+                    role: LayerRole::HeatSink,
+                    thickness: Mm(6.9),
+                    background: Material::Copper,
+                    under_chiplet: Material::Copper,
+                    is_heat_source: false,
+                },
+                LayerSpec {
+                    role: LayerRole::Spreader,
+                    thickness: Mm(1.0),
+                    background: Material::Copper,
+                    under_chiplet: Material::Copper,
+                    is_heat_source: false,
+                },
+                LayerSpec {
+                    role: LayerRole::Tim,
+                    thickness: Mm::from_um(20.0),
+                    background: Material::InterfaceMaterial,
+                    under_chiplet: Material::InterfaceMaterial,
+                    is_heat_source: false,
+                },
+                LayerSpec {
+                    role: LayerRole::Die,
+                    thickness: Mm::from_um(150.0),
+                    background: Material::Epoxy,
+                    under_chiplet: Material::Silicon,
+                    is_heat_source: true,
+                },
+                LayerSpec {
+                    role: LayerRole::C4,
+                    thickness: Mm::from_um(70.0),
+                    background: Material::C4Composite,
+                    under_chiplet: Material::C4Composite,
+                    is_heat_source: false,
+                },
+                LayerSpec {
+                    role: LayerRole::Substrate,
+                    thickness: Mm::from_um(200.0),
+                    background: Material::Fr4,
+                    under_chiplet: Material::Fr4,
+                    is_heat_source: false,
+                },
+            ],
+        }
+    }
+
+    /// The layers, top (sink) to bottom (substrate).
+    pub fn layers(&self) -> &[LayerSpec] {
+        &self.layers
+    }
+
+    /// The layer playing a given role, if present.
+    pub fn layer(&self, role: LayerRole) -> Option<&LayerSpec> {
+        self.layers.iter().find(|l| l.role == role)
+    }
+
+    /// Index of the topmost heat-source (die) layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack has no heat-source layer (every constructor
+    /// provides one).
+    pub fn heat_source_index(&self) -> usize {
+        self.layers
+            .iter()
+            .position(|l| l.is_heat_source)
+            .expect("stack must contain a heat-source layer")
+    }
+
+    /// Indices of all heat-source layers, top-down ("tiers"; 3D stacks
+    /// have more than one).
+    pub fn heat_source_indices(&self) -> Vec<usize> {
+        self.layers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| l.is_heat_source.then_some(i))
+            .collect()
+    }
+
+    /// Total stack thickness (excluding spreader/sink overhang geometry).
+    pub fn total_thickness(&self) -> Mm {
+        self.layers.iter().map(|l| l.thickness).fold(Mm(0.0), |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_thicknesses() {
+        let s = StackSpec::system_25d();
+        assert_eq!(s.layers().len(), 8);
+        assert_eq!(s.layer(LayerRole::HeatSink).unwrap().thickness, Mm(6.9));
+        assert_eq!(s.layer(LayerRole::Spreader).unwrap().thickness, Mm(1.0));
+        assert!((s.layer(LayerRole::Tim).unwrap().thickness.value() - 0.02).abs() < 1e-12);
+        assert!((s.layer(LayerRole::Die).unwrap().thickness.value() - 0.15).abs() < 1e-12);
+        assert!((s.layer(LayerRole::Microbump).unwrap().thickness.value() - 0.01).abs() < 1e-12);
+        assert!((s.layer(LayerRole::Interposer).unwrap().thickness.value() - 0.11).abs() < 1e-12);
+        assert!((s.layer(LayerRole::C4).unwrap().thickness.value() - 0.07).abs() < 1e-12);
+        assert!((s.layer(LayerRole::Substrate).unwrap().thickness.value() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn baseline_has_no_interposer_layers() {
+        let s = StackSpec::baseline_2d();
+        assert!(s.layer(LayerRole::Interposer).is_none());
+        assert!(s.layer(LayerRole::Microbump).is_none());
+        assert!(s.layer(LayerRole::Die).is_some());
+    }
+
+    #[test]
+    fn exactly_one_heat_source() {
+        for s in [StackSpec::system_25d(), StackSpec::baseline_2d()] {
+            assert_eq!(s.layers().iter().filter(|l| l.is_heat_source).count(), 1);
+            assert_eq!(s.layers()[s.heat_source_index()].role, LayerRole::Die);
+        }
+    }
+
+    #[test]
+    fn stacked_3d_has_two_tiers() {
+        let s = StackSpec::stacked_3d();
+        let tiers = s.heat_source_indices();
+        assert_eq!(tiers.len(), 2);
+        // Top tier sits above the inter-tier bond, bottom below.
+        assert!(tiers[0] < tiers[1]);
+        assert_eq!(s.layers()[tiers[0]].role, LayerRole::Die);
+        assert_eq!(s.layers()[tiers[1]].role, LayerRole::Die);
+        assert_eq!(s.heat_source_index(), tiers[0]);
+        assert!(s.layer(LayerRole::Interposer).is_none());
+    }
+
+    #[test]
+    fn layers_ordered_top_down() {
+        let s = StackSpec::system_25d();
+        assert_eq!(s.layers().first().unwrap().role, LayerRole::HeatSink);
+        assert_eq!(s.layers().last().unwrap().role, LayerRole::Substrate);
+    }
+
+    #[test]
+    fn die_layer_distinguishes_chiplet_from_fill() {
+        let s = StackSpec::system_25d();
+        let die = s.layer(LayerRole::Die).unwrap();
+        assert_eq!(die.under_chiplet, Material::Silicon);
+        assert_eq!(die.background, Material::Epoxy);
+    }
+
+    #[test]
+    fn total_thickness_sums() {
+        let s = StackSpec::system_25d();
+        let expect = 6.9 + 1.0 + 0.02 + 0.15 + 0.01 + 0.11 + 0.07 + 0.2;
+        assert!((s.total_thickness().value() - expect).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! # tac25d-floorplan
+//!
+//! Geometry substrate for the `tac25d` reproduction of *"Leveraging
+//! Thermally-Aware Chiplet Organization in 2.5D Systems to Reclaim Dark
+//! Silicon"* (DATE 2018).
+//!
+//! This crate owns everything spatial:
+//!
+//! * [`chip`] — the example 256-core chip (Intel-SCC-derived, 22 nm,
+//!   18 mm × 18 mm) and its core-tile grid;
+//! * [`organization`] — chiplet organizations: the single-chip baseline,
+//!   uniform r×r matrix layouts, and the paper's symmetric 4-/16-chiplet
+//!   placements parameterized by the independent spacings (s1, s2, s3)
+//!   (Fig. 4(a), Eqs. (8)–(10));
+//! * [`layers`] — the vertical package stacks of Table I;
+//! * [`raster`] — rasterization of organizations into the coverage and
+//!   power grids consumed by the thermal solver;
+//! * [`svg`] — dependency-free SVG rendering of organizations;
+//! * [`hotspot`] — export to HotSpot 6.0 file formats (`.flp`, `.lcf`,
+//!   `.ptrace`) for cross-validation against the paper's simulator;
+//! * [`units`], [`geometry`] — millimetre-typed quantities and planar
+//!   primitives.
+//!
+//! # Examples
+//!
+//! ```
+//! use tac25d_floorplan::prelude::*;
+//!
+//! let chip = ChipSpec::scc_256();
+//! let rules = PackageRules::default();
+//! let layout = ChipletLayout::Symmetric16 {
+//!     spacing: Spacing::new(2.0, 1.0, 3.0),
+//! };
+//! layout.validate(&chip, &rules)?;
+//! // Eq. (9): 4·4.5 + 2·2 + 3 + 2·1 = 27 mm interposer edge.
+//! assert_eq!(layout.interposer_edge(&chip, &rules), Some(Mm(27.0)));
+//! # Ok::<(), tac25d_floorplan::organization::LayoutError>(())
+//! ```
+
+pub mod chip;
+pub mod geometry;
+pub mod hotspot;
+pub mod layers;
+pub mod organization;
+pub mod raster;
+pub mod svg;
+pub mod units;
+
+/// Convenient glob-import of the crate's primary types.
+pub mod prelude {
+    pub use crate::chip::{ChipSpec, CoreId};
+    pub use crate::geometry::{Point, Rect, Size};
+    pub use crate::layers::{LayerRole, LayerSpec, Material, StackSpec};
+    pub use crate::organization::{
+        enumerate_symmetric16, symmetric4_for_edge, ChipletLayout, LayoutError, PackageRules,
+        Spacing,
+    };
+    pub use crate::raster::{coverage_grid, place_cores, power_grid, Grid, PlacedCore};
+    pub use crate::units::{Area, Celsius, Mm, Watts, WattsPerMm2};
+}

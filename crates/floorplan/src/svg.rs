@@ -1,0 +1,151 @@
+//! SVG rendering of chiplet organizations (and optional per-core shading),
+//! for documentation and visual debugging — no external dependencies, just
+//! hand-assembled SVG 1.1.
+
+use crate::chip::ChipSpec;
+use crate::organization::{ChipletLayout, LayoutError, PackageRules};
+use crate::raster::place_cores;
+use std::fmt::Write as _;
+
+/// Per-core fill intensities in `[0, 1]` (e.g. normalized temperature or
+/// power), indexed by core id. `None` renders cores uniformly.
+pub type CoreShading<'a> = Option<&'a [f64]>;
+
+/// Renders a layout as an SVG document: interposer outline, chiplet
+/// outlines, core tiles (shaded if `shading` is given).
+///
+/// # Errors
+///
+/// Returns [`LayoutError`] if the layout has no core-accurate mapping.
+///
+/// # Panics
+///
+/// Panics if `shading` is provided with the wrong length or values outside
+/// `[0, 1]`.
+pub fn render_layout_svg(
+    chip: &ChipSpec,
+    layout: &ChipletLayout,
+    rules: &PackageRules,
+    shading: CoreShading<'_>,
+) -> Result<String, LayoutError> {
+    const SCALE: f64 = 16.0; // px per mm
+    let edge = layout.footprint_edge(chip, rules).value();
+    let px = (edge * SCALE).ceil();
+    let mut svg = String::new();
+    writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{px:.0}" height="{px:.0}" viewBox="0 0 {edge} {edge}">"#
+    )
+    .expect("infallible");
+    // Interposer / die background.
+    writeln!(
+        svg,
+        r##"<rect x="0" y="0" width="{edge}" height="{edge}" fill="#d8e2dc" stroke="#555" stroke-width="0.15"/>"##
+    )
+    .expect("infallible");
+    // Chiplets.
+    for rect in layout.chiplet_rects(chip, rules) {
+        writeln!(
+            svg,
+            r##"<rect x="{:.3}" y="{:.3}" width="{:.3}" height="{:.3}" fill="#9db4c0" stroke="#333" stroke-width="0.1"/>"##,
+            rect.x0().value(),
+            edge - rect.y1().value(), // SVG y grows downward
+            rect.size.w.value(),
+            rect.size.h.value()
+        )
+        .expect("infallible");
+    }
+    // Core tiles.
+    let placed = place_cores(chip, layout, rules)?;
+    if let Some(values) = shading {
+        assert_eq!(
+            values.len(),
+            placed.len(),
+            "one shading value per core required"
+        );
+        assert!(
+            values.iter().all(|v| (0.0..=1.0).contains(v)),
+            "shading values must be in [0, 1]"
+        );
+    }
+    for pc in &placed {
+        let fill = match shading {
+            None => "#5c7a8a".to_owned(),
+            Some(values) => {
+                // Cold steel-blue → hot red ramp.
+                let v = values[pc.core.0 as usize];
+                let red = (40.0 + 215.0 * v) as u8;
+                let green = (70.0 + 40.0 * (1.0 - v)) as u8;
+                let blue = (160.0 * (1.0 - v) + 40.0) as u8;
+                format!("#{red:02x}{green:02x}{blue:02x}")
+            }
+        };
+        writeln!(
+            svg,
+            r##"<rect x="{:.3}" y="{:.3}" width="{:.3}" height="{:.3}" fill="{fill}" stroke="#222" stroke-width="0.02"/>"##,
+            pc.rect.x0().value(),
+            edge - pc.rect.y1().value(),
+            pc.rect.size.w.value(),
+            pc.rect.size.h.value()
+        )
+        .expect("infallible");
+    }
+    svg.push_str("</svg>\n");
+    Ok(svg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::organization::Spacing;
+
+    fn chip() -> ChipSpec {
+        ChipSpec::scc_256()
+    }
+
+    fn rules() -> PackageRules {
+        PackageRules::default()
+    }
+
+    #[test]
+    fn svg_contains_all_elements() {
+        let layout = ChipletLayout::Symmetric16 {
+            spacing: Spacing::new(2.0, 1.0, 3.0),
+        };
+        let svg = render_layout_svg(&chip(), &layout, &rules(), None).unwrap();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        // 1 background + 16 chiplets + 256 cores = 273 rects.
+        assert_eq!(svg.matches("<rect").count(), 273);
+    }
+
+    #[test]
+    fn shading_changes_fill_colors() {
+        let layout = ChipletLayout::SingleChip;
+        let mut shade = vec![0.0; 256];
+        shade[0] = 1.0;
+        let svg = render_layout_svg(&chip(), &layout, &rules(), Some(&shade)).unwrap();
+        // The hot core renders pure-red-ish, distinct from the cold ones.
+        assert!(svg.contains("#ff"), "a hot fill exists");
+    }
+
+    #[test]
+    #[should_panic(expected = "one shading value per core")]
+    fn wrong_shading_length_rejected() {
+        let _ = render_layout_svg(
+            &chip(),
+            &ChipletLayout::SingleChip,
+            &rules(),
+            Some(&[0.5; 3]),
+        );
+    }
+
+    #[test]
+    fn viewbox_matches_interposer() {
+        let layout = ChipletLayout::Symmetric4 { s3: Mm(8.0) };
+        let svg = render_layout_svg(&chip(), &layout, &rules(), None).unwrap();
+        assert!(svg.contains(r#"viewBox="0 0 28 28""#), "{}", &svg[..200]);
+    }
+
+    use crate::units::Mm;
+}

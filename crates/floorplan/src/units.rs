@@ -1,0 +1,310 @@
+//! Strongly-typed physical quantities used across the workspace.
+//!
+//! The models in this repository mix lengths (mm and µm), powers, power
+//! densities and temperatures in the same expressions; the paper's equations
+//! (Eqs. (1)–(10)) are notorious for unit slips (wafer diameters in mm, die
+//! areas in mm², costs in dollars). These thin newtypes make the intended
+//! interpretation part of each public signature while remaining free to
+//! convert to `f64` for inner numeric loops.
+//!
+//! # Examples
+//!
+//! ```
+//! use tac25d_floorplan::units::Mm;
+//!
+//! let chip = Mm(18.0);
+//! let guard = Mm(1.0);
+//! assert_eq!(chip + guard * 2.0, Mm(20.0));
+//! assert!((chip.to_meters() - 0.018).abs() < 1e-12);
+//! ```
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug,
+            Clone,
+            Copy,
+            PartialEq,
+            PartialOrd,
+            Default,
+            serde::Serialize,
+            serde::Deserialize,
+        )]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// Returns the raw `f64` magnitude in the quantity's base unit.
+            #[inline]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value of the quantity.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the component-wise minimum of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the component-wise maximum of `self` and `other`.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns `true` if the magnitude is finite (not NaN or ±∞).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", self.0, $unit)
+            }
+        }
+    };
+}
+
+quantity!(
+    /// A length in millimetres — the natural unit of the paper's geometry
+    /// (chip edges, interposer edges, chiplet spacings, guard bands).
+    Mm,
+    "mm"
+);
+
+quantity!(
+    /// A power in watts.
+    Watts,
+    "W"
+);
+
+quantity!(
+    /// A temperature in degrees Celsius (the paper reports all temperatures
+    /// and thresholds in °C; ambient is 45 °C).
+    Celsius,
+    "°C"
+);
+
+quantity!(
+    /// A power density in watts per square millimetre, as used by the
+    /// paper's synthetic design-space exploration (0.5–2.0 W/mm²).
+    WattsPerMm2,
+    "W/mm²"
+);
+
+impl Mm {
+    /// Converts to metres (SI), the unit used internally by the thermal
+    /// solver's conductance formulas.
+    #[inline]
+    pub fn to_meters(self) -> f64 {
+        self.0 * 1e-3
+    }
+
+    /// Creates a length from a value in metres.
+    #[inline]
+    pub fn from_meters(m: f64) -> Self {
+        Mm(m * 1e3)
+    }
+
+    /// Creates a length from a value in micrometres (Table I layer
+    /// thicknesses are specified in µm).
+    #[inline]
+    pub fn from_um(um: f64) -> Self {
+        Mm(um * 1e-3)
+    }
+
+    /// Rounds the length to the nearest multiple of `step`.
+    ///
+    /// The paper discretizes all spacings at a 0.5 mm granularity; the
+    /// optimizer uses this to snap continuous candidates onto the search
+    /// lattice.
+    #[inline]
+    pub fn snap_to(self, step: Mm) -> Self {
+        Mm((self.0 / step.0).round() * step.0)
+    }
+}
+
+impl Watts {
+    /// Converts a power spread uniformly over `area` into a power density.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `area` is not strictly positive.
+    #[inline]
+    pub fn over_area(self, area: Area) -> WattsPerMm2 {
+        assert!(area.value() > 0.0, "area must be positive, got {area}");
+        WattsPerMm2(self.0 / area.value())
+    }
+}
+
+quantity!(
+    /// An area in square millimetres.
+    Area,
+    "mm²"
+);
+
+impl Mul for Mm {
+    type Output = Area;
+    #[inline]
+    fn mul(self, rhs: Mm) -> Area {
+        Area(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Area> for WattsPerMm2 {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: Area) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+impl core::iter::Sum for Watts {
+    fn sum<I: Iterator<Item = Watts>>(iter: I) -> Watts {
+        Watts(iter.map(|w| w.0).sum())
+    }
+}
+
+impl core::iter::Sum for Area {
+    fn sum<I: Iterator<Item = Area>>(iter: I) -> Area {
+        Area(iter.map(|a| a.0).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mm_arithmetic_behaves_like_f64() {
+        assert_eq!(Mm(1.5) + Mm(0.5), Mm(2.0));
+        assert_eq!(Mm(1.5) - Mm(0.5), Mm(1.0));
+        assert_eq!(Mm(1.5) * 2.0, Mm(3.0));
+        assert_eq!(Mm(3.0) / 2.0, Mm(1.5));
+        assert_eq!(Mm(3.0) / Mm(1.5), 2.0);
+        assert_eq!(-Mm(3.0), Mm(-3.0));
+    }
+
+    #[test]
+    fn mm_conversions_roundtrip() {
+        assert!((Mm(18.0).to_meters() - 0.018).abs() < 1e-15);
+        assert_eq!(Mm::from_meters(0.018), Mm(18.000000000000002).min(Mm(18.0)).max(Mm(17.999999)));
+        assert!((Mm::from_um(150.0).value() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snap_to_rounds_to_lattice() {
+        assert_eq!(Mm(1.26).snap_to(Mm(0.5)), Mm(1.5));
+        assert_eq!(Mm(1.24).snap_to(Mm(0.5)), Mm(1.0));
+        assert_eq!(Mm(-0.3).snap_to(Mm(0.5)), Mm(-0.5));
+    }
+
+    #[test]
+    fn area_from_length_product() {
+        let a = Mm(18.0) * Mm(18.0);
+        assert_eq!(a, Area(324.0));
+    }
+
+    #[test]
+    fn power_density_roundtrip() {
+        let p = Watts(324.0);
+        let rho = p.over_area(Area(324.0));
+        assert_eq!(rho, WattsPerMm2(1.0));
+        assert_eq!(rho * Area(2.0), Watts(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "area must be positive")]
+    fn power_density_rejects_zero_area() {
+        let _ = Watts(1.0).over_area(Area(0.0));
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(Mm(2.5).to_string(), "2.5mm");
+        assert_eq!(Celsius(85.0).to_string(), "85°C");
+        assert_eq!(Watts(3.9).to_string(), "3.9W");
+        assert_eq!(WattsPerMm2(1.5).to_string(), "1.5W/mm²");
+    }
+
+    #[test]
+    fn sums_accumulate() {
+        let total: Watts = [Watts(1.0), Watts(2.5)].into_iter().sum();
+        assert_eq!(total, Watts(3.5));
+        let area: Area = [Area(1.0), Area(2.0)].into_iter().sum();
+        assert_eq!(area, Area(3.0));
+    }
+}

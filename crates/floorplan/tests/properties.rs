@@ -1,0 +1,127 @@
+//! Property-based tests of the geometry substrate.
+
+use proptest::prelude::*;
+use tac25d_floorplan::prelude::*;
+
+proptest! {
+    /// Intersection area is symmetric and bounded by each rect's area.
+    #[test]
+    fn intersection_symmetric_and_bounded(
+        ax in 0.0..50.0f64, ay in 0.0..50.0f64, aw in 0.0..30.0f64, ah in 0.0..30.0f64,
+        bx in 0.0..50.0f64, by in 0.0..50.0f64, bw in 0.0..30.0f64, bh in 0.0..30.0f64,
+    ) {
+        let a = Rect::from_corner(ax, ay, aw, ah);
+        let b = Rect::from_corner(bx, by, bw, bh);
+        let ab = a.intersection_area(&b).value();
+        let ba = b.intersection_area(&a).value();
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!(ab <= a.area().value() + 1e-9);
+        prop_assert!(ab <= b.area().value() + 1e-9);
+        prop_assert!(ab >= 0.0);
+    }
+
+    /// Translation preserves area and relative intersections.
+    #[test]
+    fn translation_invariance(
+        ax in 0.0..20.0f64, ay in 0.0..20.0f64, aw in 0.1..10.0f64, ah in 0.1..10.0f64,
+        bx in 0.0..20.0f64, by in 0.0..20.0f64, bw in 0.1..10.0f64, bh in 0.1..10.0f64,
+        dx in -5.0..5.0f64, dy in -5.0..5.0f64,
+    ) {
+        let a = Rect::from_corner(ax, ay, aw, ah);
+        let b = Rect::from_corner(bx, by, bw, bh);
+        let before = a.intersection_area(&b).value();
+        let after = a
+            .translated(Mm(dx), Mm(dy))
+            .intersection_area(&b.translated(Mm(dx), Mm(dy)))
+            .value();
+        prop_assert!((before - after).abs() < 1e-9);
+    }
+
+    /// Eq. (9) holds for every valid 16-chiplet spacing: the realized
+    /// chiplet rects always span exactly the interposer minus guard bands.
+    #[test]
+    fn eq9_consistency(
+        s1 in 0.0..10.0f64,
+        s2_frac in 0.0..1.0f64,
+        s3 in 0.0..10.0f64,
+    ) {
+        let chip = ChipSpec::scc_256();
+        let rules = PackageRules::default();
+        // Choose s2 within the Eq. (10) bound so the layout is valid.
+        let s2 = s2_frac * (2.0 * s1 + s3) / 2.0;
+        let layout = ChipletLayout::Symmetric16 {
+            spacing: Spacing::new(s1, s2, s3),
+        };
+        let edge = layout.interposer_edge(&chip, &rules).unwrap();
+        prop_assume!(edge.value() <= rules.max_interposer.value());
+        layout.validate(&chip, &rules).unwrap();
+        let rects = layout.chiplet_rects(&chip, &rules);
+        // Outer ring chiplets touch the guard band on all four sides.
+        let min_x = rects.iter().map(|r| r.x0().value()).fold(f64::INFINITY, f64::min);
+        let max_x = rects.iter().map(|r| r.x1().value()).fold(0.0, f64::max);
+        prop_assert!((min_x - 1.0).abs() < 1e-9);
+        prop_assert!((max_x - (edge.value() - 1.0)).abs() < 1e-9);
+        // Total silicon is conserved: 16 chiplets = one 18x18 chip.
+        let total: f64 = rects.iter().map(|r| r.area().value()).sum();
+        prop_assert!((total - 324.0).abs() < 1e-6);
+    }
+
+    /// Rasterized power is conserved for sources inside the footprint,
+    /// regardless of grid resolution.
+    #[test]
+    fn power_conservation(
+        n in 8usize..64,
+        x in 0.0..15.0f64, y in 0.0..15.0f64,
+        w in 0.1..5.0f64, h in 0.1..5.0f64,
+        watts in 0.0..500.0f64,
+    ) {
+        let rect = Rect::from_corner(x, y, w, h);
+        let g = power_grid(Mm(20.0), n, n, &[(rect, watts)]);
+        prop_assert!((g.sum() - watts).abs() < 1e-6 * watts.max(1.0));
+    }
+
+    /// Coverage fractions stay in [0, 1] and total covered area equals the
+    /// chiplet area for valid layouts.
+    #[test]
+    fn coverage_conservation(gap in 0.0..4.0f64, r in 2u16..6) {
+        let chip = ChipSpec::scc_256();
+        let rules = PackageRules::default();
+        let layout = ChipletLayout::Uniform { r, gap: Mm(gap) };
+        let edge = layout.interposer_edge(&chip, &rules).unwrap();
+        prop_assume!(edge.value() <= 50.0);
+        let rects = layout.chiplet_rects(&chip, &rules);
+        let g = coverage_grid(edge, 48, 48, &rects);
+        prop_assert!(g.as_slice().iter().all(|&c| (-1e-9..=1.0 + 1e-9).contains(&c)));
+        let cell = (edge.value() / 48.0).powi(2);
+        let covered: f64 = g.as_slice().iter().map(|c| c * cell).sum();
+        prop_assert!((covered - 324.0).abs() < 1e-6);
+    }
+
+    /// Core placement always lands every core inside its chiplet and
+    /// conserves total tile area.
+    #[test]
+    fn cores_inside_chiplets(s1 in 0.0..6.0f64, s2 in 0.0..3.0f64, s3 in 0.0..6.0f64) {
+        let chip = ChipSpec::scc_256();
+        let rules = PackageRules::default();
+        let sp = Spacing::new(s1, s2, s3);
+        prop_assume!(sp.satisfies_overlap_rule());
+        let layout = ChipletLayout::Symmetric16 { spacing: sp };
+        prop_assume!(layout.validate(&chip, &rules).is_ok());
+        let rects = layout.chiplet_rects(&chip, &rules);
+        let placed = place_cores(&chip, &layout, &rules).unwrap();
+        for pc in &placed {
+            prop_assert!(rects[pc.chiplet].contains_rect(&pc.rect));
+        }
+        let total: f64 = placed.iter().map(|p| p.rect.area().value()).sum();
+        prop_assert!((total - 324.0).abs() < 1e-6);
+    }
+
+    /// Snapping is idempotent and lands on the lattice.
+    #[test]
+    fn snap_idempotent(v in -100.0..100.0f64) {
+        let snapped = Mm(v).snap_to(Mm(0.5));
+        prop_assert_eq!(snapped.snap_to(Mm(0.5)), snapped);
+        let units = snapped.value() / 0.5;
+        prop_assert!((units - units.round()).abs() < 1e-9);
+    }
+}

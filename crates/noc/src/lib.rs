@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # tac25d-noc
+//!
+//! Interconnect power models for the `tac25d` reproduction of *"Leveraging
+//! Thermally-Aware Chiplet Organization in 2.5D Systems to Reclaim Dark
+//! Silicon"* (DATE 2018):
+//!
+//! * [`link`] — the Fig. 2 inter-chiplet link: analytic RLC (Elmore)
+//!   timing, driver sizing for single-cycle propagation, and CV² energy —
+//!   the HSpice substitute;
+//! * [`mesh`] — the 16×16 electrical mesh power model (routers, on-chiplet
+//!   links, interposer links) — the DSENT substitute — calibrated to the
+//!   paper's 3.9 W (single chip) / up-to-8.4 W (2.5D) anchors;
+//! * [`latency`] — zero-load mesh latency under synthetic traffic,
+//!   verifying the "network performance matched" design point.
+//!
+//! # Examples
+//!
+//! ```
+//! use tac25d_floorplan::prelude::*;
+//! use tac25d_noc::mesh::NocModel;
+//! use tac25d_power::dvfs::VfTable;
+//!
+//! let chip = ChipSpec::scc_256();
+//! let layout = ChipletLayout::Uniform { r: 4, gap: Mm(4.0) };
+//! let power = NocModel::paper().power(
+//!     &chip, &layout, &PackageRules::default(), VfTable::paper().nominal(), 0.5)?;
+//! assert!(power.total() > 0.0);
+//! # Ok::<(), tac25d_noc::link::TimingError>(())
+//! ```
+
+pub mod latency;
+pub mod link;
+pub mod mesh;
+pub mod throughput;
+
+pub use latency::{average_latency, LatencyReport, TrafficPattern};
+pub use throughput::{saturation_throughput, ThroughputReport};
+pub use link::{LinkParameters, SizedLink, TimingError};
+pub use mesh::{boundary_cuts, mesh_link_count, NocModel, NocPower};

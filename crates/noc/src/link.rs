@@ -1,0 +1,262 @@
+//! The inter-chiplet (interposer) link model — the HSpice substitute.
+//!
+//! The paper simulates the Fig. 2 lumped circuit in HSpice: a three-stage
+//! driver, ESD capacitances, microbump R/L on both ends and the interposer
+//! trace, and "sizes up the drivers to ensure single-cycle propagation
+//! delay". We reproduce that with an analytic RLC model: Elmore delay for
+//! timing, total switched capacitance for energy, and an integer driver
+//! sizing loop that enlarges the final stage until the link closes timing
+//! at the target clock.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Electrical constants of the interposer link (Fig. 2 values plus standard
+/// 65 nm interposer-metal parasitics).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkParameters {
+    /// Trace resistance per mm, Ω/mm.
+    pub trace_res_per_mm: f64,
+    /// Trace capacitance per mm, F/mm.
+    pub trace_cap_per_mm: f64,
+    /// Microbump resistance (per bump), Ω — Fig. 2: 0.095 Ω.
+    pub bump_res: f64,
+    /// Microbump inductance, H — Fig. 2: 0.053 nH (enters timing only
+    /// marginally; retained for completeness).
+    pub bump_ind: f64,
+    /// Microbump + pad capacitance per end, F.
+    pub bump_cap: f64,
+    /// ESD protection capacitance per end, F.
+    pub esd_cap: f64,
+    /// Unit (1×) final-stage driver output resistance, Ω.
+    pub driver_unit_res: f64,
+    /// Unit final-stage driver self-capacitance, F.
+    pub driver_unit_cap: f64,
+    /// Receiver input capacitance, F.
+    pub receiver_cap: f64,
+    /// Maximum integer driver size the library offers.
+    pub max_driver_size: u32,
+}
+
+impl Default for LinkParameters {
+    fn default() -> Self {
+        LinkParameters {
+            trace_res_per_mm: 2.0,
+            trace_cap_per_mm: 0.25e-12,
+            bump_res: 0.095,
+            bump_ind: 0.053e-9,
+            bump_cap: 0.04e-12,
+            esd_cap: 0.2e-12,
+            driver_unit_res: 400.0,
+            driver_unit_cap: 0.01e-12,
+            receiver_cap: 0.01e-12,
+            max_driver_size: 256,
+        }
+    }
+}
+
+/// A sized point-to-point interposer link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SizedLink {
+    /// Physical trace length, mm.
+    pub length_mm: f64,
+    /// Chosen integer driver size (multiple of the unit driver).
+    pub driver_size: u32,
+    /// Elmore propagation delay at that size, seconds.
+    pub delay_s: f64,
+    /// Total switched capacitance, F.
+    pub switched_cap: f64,
+}
+
+impl SizedLink {
+    /// Energy per bit *transition* at supply `vdd`: `E = C·V²` (the full
+    /// CV² is dissipated per charge/discharge pair; per-transition energy
+    /// of C·V²/2 × 2 transitions per cycle on average is folded into the
+    /// activity factor by [`SizedLink::power`]).
+    pub fn energy_per_transition(&self, vdd: f64) -> f64 {
+        self.switched_cap * vdd * vdd
+    }
+
+    /// Average power of a `width`-bit link at clock `freq_hz`, supply
+    /// `vdd`, and switching activity `alpha` (transitions per bit per
+    /// cycle, typically ≤0.5 plus benchmark load scaling).
+    pub fn power(&self, width: u32, freq_hz: f64, vdd: f64, alpha: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&alpha), "activity must be in [0,1], got {alpha}");
+        f64::from(width) * alpha * 0.5 * self.energy_per_transition(vdd) * freq_hz
+    }
+}
+
+/// Timing closure failed: even the largest driver cannot achieve
+/// single-cycle propagation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingError {
+    /// Link length that failed, mm.
+    pub length_mm: f64,
+    /// Best achievable delay, s.
+    pub best_delay_s: f64,
+    /// The clock period that had to be met, s.
+    pub period_s: f64,
+}
+
+impl fmt::Display for TimingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}mm link cannot close single-cycle timing: best delay {:.0}ps > period {:.0}ps",
+            self.length_mm,
+            self.best_delay_s * 1e12,
+            self.period_s * 1e12
+        )
+    }
+}
+
+impl Error for TimingError {}
+
+impl LinkParameters {
+    /// Elmore delay of the link for a given driver size.
+    ///
+    /// Network: driver R → (driver cap + ESD + bump) → bump R → distributed
+    /// trace RC → bump R → (bump + ESD + receiver caps).
+    pub fn elmore_delay(&self, length_mm: f64, driver_size: u32) -> f64 {
+        assert!(length_mm >= 0.0, "length must be non-negative");
+        assert!(driver_size >= 1, "driver size must be at least 1");
+        let r_drv = self.driver_unit_res / f64::from(driver_size);
+        let c_drv = self.driver_unit_cap * f64::from(driver_size);
+        let r_trace = self.trace_res_per_mm * length_mm;
+        let c_trace = self.trace_cap_per_mm * length_mm;
+        let c_near = c_drv + self.esd_cap + self.bump_cap;
+        let c_far = self.bump_cap + self.esd_cap + self.receiver_cap;
+        // Elmore: ln(2) · Σ R_upstream · C_downstream, distributed trace
+        // contributes R·C/2 internally.
+        let tau = r_drv * (c_near + c_trace + c_far)
+            + self.bump_res * (c_trace + c_far)
+            + r_trace * (c_trace / 2.0 + c_far)
+            + self.bump_res * c_far;
+        core::f64::consts::LN_2 * tau
+    }
+
+    /// Total switched capacitance for a given driver size.
+    pub fn switched_cap(&self, length_mm: f64, driver_size: u32) -> f64 {
+        self.driver_unit_cap * f64::from(driver_size)
+            + 2.0 * (self.esd_cap + self.bump_cap)
+            + self.trace_cap_per_mm * length_mm
+            + self.receiver_cap
+    }
+
+    /// Sizes the driver up (paper Sec. III-A) until the Elmore delay fits
+    /// within `timing_fraction` of the clock period at `freq_hz`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimingError`] if even the maximum driver cannot close
+    /// timing.
+    pub fn size_for_single_cycle(
+        &self,
+        length_mm: f64,
+        freq_hz: f64,
+        timing_fraction: f64,
+    ) -> Result<SizedLink, TimingError> {
+        assert!(freq_hz > 0.0, "frequency must be positive");
+        assert!(
+            (0.0..=1.0).contains(&timing_fraction) && timing_fraction > 0.0,
+            "timing fraction must be in (0,1]"
+        );
+        let budget = timing_fraction / freq_hz;
+        let mut size = 1;
+        loop {
+            let delay = self.elmore_delay(length_mm, size);
+            if delay <= budget {
+                return Ok(SizedLink {
+                    length_mm,
+                    driver_size: size,
+                    delay_s: delay,
+                    switched_cap: self.switched_cap(length_mm, size),
+                });
+            }
+            if size >= self.max_driver_size {
+                return Err(TimingError {
+                    length_mm,
+                    best_delay_s: delay,
+                    period_s: budget,
+                });
+            }
+            size *= 2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_grows_with_length() {
+        let p = LinkParameters::default();
+        let d5 = p.elmore_delay(5.0, 8);
+        let d15 = p.elmore_delay(15.0, 8);
+        assert!(d15 > d5 * 2.0, "{d5} vs {d15}");
+    }
+
+    #[test]
+    fn bigger_driver_is_faster() {
+        let p = LinkParameters::default();
+        assert!(p.elmore_delay(15.0, 16) < p.elmore_delay(15.0, 2));
+    }
+
+    #[test]
+    fn fifteen_mm_link_closes_single_cycle_at_1ghz() {
+        // Fig. 2 is a 15 mm link; the paper achieves single-cycle at 1 GHz.
+        let p = LinkParameters::default();
+        let link = p.size_for_single_cycle(15.0, 1e9, 0.8).unwrap();
+        assert!(link.delay_s <= 0.8e-9);
+        assert!(link.driver_size >= 2, "long link needs an upsized driver");
+    }
+
+    #[test]
+    fn short_link_needs_small_driver() {
+        let p = LinkParameters::default();
+        let short = p.size_for_single_cycle(1.0, 1e9, 0.8).unwrap();
+        let long = p.size_for_single_cycle(20.0, 1e9, 0.8).unwrap();
+        assert!(short.driver_size <= long.driver_size);
+        assert!(short.switched_cap < long.switched_cap);
+    }
+
+    #[test]
+    fn timing_failure_reported() {
+        let p = LinkParameters {
+            max_driver_size: 1,
+            ..LinkParameters::default()
+        };
+        let err = p.size_for_single_cycle(30.0, 5e9, 0.5).unwrap_err();
+        assert!(err.best_delay_s > err.period_s);
+        assert!(err.to_string().contains("cannot close"));
+    }
+
+    #[test]
+    fn energy_magnitude_is_picojoules() {
+        let p = LinkParameters::default();
+        let link = p.size_for_single_cycle(15.0, 1e9, 0.8).unwrap();
+        let e = link.energy_per_transition(0.9);
+        // 15 mm at 0.25 pF/mm ≈ 3.75 pF + ends → ~3-5 pJ.
+        assert!(e > 1e-12 && e < 1e-11, "energy {e}");
+    }
+
+    #[test]
+    fn link_power_scales_with_width_activity_and_frequency() {
+        let p = LinkParameters::default();
+        let link = p.size_for_single_cycle(10.0, 1e9, 0.8).unwrap();
+        let base = link.power(64, 1e9, 0.9, 0.2);
+        assert!((link.power(128, 1e9, 0.9, 0.2) / base - 2.0).abs() < 1e-9);
+        assert!((link.power(64, 2e9, 0.9, 0.2) / base - 2.0).abs() < 1e-9);
+        assert!((link.power(64, 1e9, 0.9, 0.4) / base - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "activity must be in [0,1]")]
+    fn bad_activity_rejected() {
+        let p = LinkParameters::default();
+        let link = p.size_for_single_cycle(1.0, 1e9, 0.8).unwrap();
+        let _ = link.power(64, 1e9, 0.9, 1.5);
+    }
+}

@@ -1,0 +1,333 @@
+//! The electrical mesh network-on-chip power model — the DSENT substitute.
+//!
+//! The example system uses a 16×16 electrical mesh with single-cycle routers
+//! and single-cycle links (paper Sec. III-A). Intra-chiplet hops use
+//! on-chiplet wires; hops that cross a chiplet boundary are routed through
+//! the interposer using the Fig. 2 link (see [`crate::link`]), with drivers
+//! sized up for single-cycle propagation.
+//!
+//! Constants are calibrated to the paper's anchors: the single-chip mesh
+//! consumes 3.9 W and the 2.5D mesh "up to 8.4 W" at real-benchmark
+//! activities (both at 1 GHz).
+
+use crate::link::{LinkParameters, TimingError};
+use serde::{Deserialize, Serialize};
+use tac25d_floorplan::chip::ChipSpec;
+use tac25d_floorplan::organization::{ChipletLayout, PackageRules};
+use tac25d_power::dvfs::OperatingPoint;
+
+/// One chiplet-boundary crossing: the physical gap and the number of mesh
+/// links that cross it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundaryCut {
+    /// Distance between the facing chiplet edges, mm.
+    pub gap_mm: f64,
+    /// Mesh links crossing this boundary.
+    pub links: u32,
+}
+
+/// Enumerates all inter-chiplet boundary cuts of a layout (empty for the
+/// single-chip baseline).
+///
+/// # Panics
+///
+/// Panics if the layout's r does not divide the chip's core grid (such
+/// layouts have no core-accurate mesh).
+pub fn boundary_cuts(
+    chip: &ChipSpec,
+    layout: &ChipletLayout,
+    rules: &PackageRules,
+) -> Vec<BoundaryCut> {
+    let r = layout.r();
+    if r <= 1 {
+        return Vec::new();
+    }
+    assert!(
+        chip.divisible_by(r),
+        "r = {r} does not divide the core grid; no mesh mapping exists"
+    );
+    let links_per_cut = u32::from(chip.cores_per_row() / r);
+    let rects = layout.chiplet_rects(chip, rules);
+    let r = r as usize;
+    let mut cuts = Vec::new();
+    for row in 0..r {
+        for col in 0..r {
+            let idx = row * r + col;
+            if col + 1 < r {
+                let right = &rects[row * r + col + 1];
+                let gap = right.x0().value() - rects[idx].x1().value();
+                cuts.push(BoundaryCut {
+                    gap_mm: gap.max(0.0),
+                    links: links_per_cut,
+                });
+            }
+            if row + 1 < r {
+                let above = &rects[(row + 1) * r + col];
+                let gap = above.y0().value() - rects[idx].y1().value();
+                cuts.push(BoundaryCut {
+                    gap_mm: gap.max(0.0),
+                    links: links_per_cut,
+                });
+            }
+        }
+    }
+    cuts
+}
+
+/// Total undirected mesh link count of an n×n core grid: `2·n·(n−1)`.
+pub fn mesh_link_count(cores_per_row: u16) -> u32 {
+    let n = u32::from(cores_per_row);
+    2 * n * (n - 1)
+}
+
+/// Breakdown of the mesh power.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct NocPower {
+    /// Router power, W.
+    pub routers: f64,
+    /// On-chiplet link power, W.
+    pub onchip_links: f64,
+    /// Interposer (inter-chiplet) link power, W.
+    pub interposer_links: f64,
+}
+
+impl NocPower {
+    /// Total mesh power, W.
+    pub fn total(&self) -> f64 {
+        self.routers + self.onchip_links + self.interposer_links
+    }
+}
+
+/// The mesh power model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NocModel {
+    /// Flit/link width in bits.
+    pub flit_width: u32,
+    /// Per-router power at (1 GHz, 0.9 V, utilization 1), W.
+    pub router_peak_w: f64,
+    /// Per-on-chip-link power at (1 GHz, 0.9 V, utilization 1), W.
+    pub onchip_link_peak_w: f64,
+    /// Electrical model of interposer links.
+    pub link_params: LinkParameters,
+    /// Extra routed length per interposer link beyond the chiplet gap
+    /// (escape stubs on both chiplets; Fig. 2 shows 2 × 0.4 mm).
+    pub stub_mm: f64,
+    /// Fraction of the clock period an interposer link may use.
+    pub timing_fraction: f64,
+    /// Bit-level switching activity at full utilization (random data ≈ 0.5).
+    pub switching_factor: f64,
+}
+
+impl NocModel {
+    /// The calibrated model (see module docs).
+    pub fn paper() -> Self {
+        NocModel {
+            flit_width: 64,
+            router_peak_w: 8.3e-3,
+            onchip_link_peak_w: 3.7e-3,
+            link_params: LinkParameters {
+                trace_cap_per_mm: 0.3e-12,
+                ..LinkParameters::default()
+            },
+            stub_mm: 0.8,
+            timing_fraction: 0.8,
+            switching_factor: 0.5,
+        }
+    }
+
+    /// Mesh power for a layout at operating point `op` and benchmark
+    /// network utilization `utilization ∈ [0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimingError`] if some interposer link cannot close
+    /// single-cycle timing even with the largest driver (physically: the
+    /// spacing is too large for the chosen clock).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `utilization` is outside `[0, 1]` or the layout has no
+    /// core-accurate mesh mapping.
+    pub fn power(
+        &self,
+        chip: &ChipSpec,
+        layout: &ChipletLayout,
+        rules: &PackageRules,
+        op: OperatingPoint,
+        utilization: f64,
+    ) -> Result<NocPower, TimingError> {
+        assert!(
+            (0.0..=1.0).contains(&utilization),
+            "utilization must be in [0,1], got {utilization}"
+        );
+        let scale = op.voltage_ratio().powi(2) * op.freq_ratio() * utilization;
+        let n_routers = f64::from(chip.core_count());
+        let total_links = mesh_link_count(chip.cores_per_row());
+
+        let cuts = boundary_cuts(chip, layout, rules);
+        let inter_count: u32 = cuts.iter().map(|c| c.links).sum();
+        assert!(
+            inter_count <= total_links,
+            "more boundary crossings than mesh links"
+        );
+        let onchip_count = total_links - inter_count;
+
+        let freq_hz = op.freq_mhz * 1e6;
+        let alpha = self.switching_factor * utilization;
+        let mut interposer_links = 0.0;
+        for cut in &cuts {
+            let sized = self
+                .link_params
+                .size_for_single_cycle(cut.gap_mm + self.stub_mm, freq_hz, self.timing_fraction)?;
+            interposer_links +=
+                f64::from(cut.links) * sized.power(self.flit_width, freq_hz, op.voltage, alpha);
+        }
+        Ok(NocPower {
+            routers: n_routers * self.router_peak_w * scale,
+            onchip_links: f64::from(onchip_count) * self.onchip_link_peak_w * scale,
+            interposer_links,
+        })
+    }
+}
+
+impl Default for NocModel {
+    fn default() -> Self {
+        NocModel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tac25d_floorplan::organization::Spacing;
+    use tac25d_floorplan::units::Mm;
+    use tac25d_power::dvfs::VfTable;
+
+    fn chip() -> ChipSpec {
+        ChipSpec::scc_256()
+    }
+
+    fn rules() -> PackageRules {
+        PackageRules::default()
+    }
+
+    #[test]
+    fn link_count_formula() {
+        assert_eq!(mesh_link_count(16), 480);
+        assert_eq!(mesh_link_count(2), 4);
+    }
+
+    #[test]
+    fn cuts_for_single_chip_are_empty() {
+        assert!(boundary_cuts(&chip(), &ChipletLayout::SingleChip, &rules()).is_empty());
+    }
+
+    #[test]
+    fn cut_counts_match_grid_structure() {
+        // r=4: 2 axes × 4 rows × 3 boundaries = 24 cuts of 4 links each.
+        let layout = ChipletLayout::Uniform { r: 4, gap: Mm(2.0) };
+        let cuts = boundary_cuts(&chip(), &layout, &rules());
+        assert_eq!(cuts.len(), 24);
+        let total: u32 = cuts.iter().map(|c| c.links).sum();
+        assert_eq!(total, 96);
+        assert!(cuts.iter().all(|c| (c.gap_mm - 2.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn symmetric16_cut_gaps_vary_with_spacing() {
+        let layout = ChipletLayout::Symmetric16 {
+            spacing: Spacing::new(3.0, 1.0, 2.0),
+        };
+        let cuts = boundary_cuts(&chip(), &layout, &rules());
+        assert_eq!(cuts.len(), 24);
+        let min = cuts.iter().map(|c| c.gap_mm).fold(f64::INFINITY, f64::min);
+        let max = cuts.iter().map(|c| c.gap_mm).fold(0.0, f64::max);
+        assert!(max > min, "non-uniform spacing must give varied gaps");
+        // Inner-block gap is 2·s2 = 2 mm.
+        assert!(cuts.iter().any(|c| (c.gap_mm - 2.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn single_chip_mesh_consumes_about_3_9_w() {
+        // Paper anchor (Sec. III-A): 3.9 W for the single-chip mesh.
+        let p = NocModel::paper()
+            .power(
+                &chip(),
+                &ChipletLayout::SingleChip,
+                &rules(),
+                VfTable::paper().nominal(),
+                1.0,
+            )
+            .unwrap();
+        assert_eq!(p.interposer_links, 0.0);
+        assert!(
+            (p.total() - 3.9).abs() < 0.2,
+            "2D mesh power {:.2} W (target 3.9)",
+            p.total()
+        );
+    }
+
+    #[test]
+    fn large_25d_mesh_consumes_up_to_8_4_w() {
+        // Paper anchor: up to 8.4 W for the 2.5D mesh (largest spacings).
+        let layout = ChipletLayout::Uniform { r: 4, gap: Mm(10.0) };
+        let p = NocModel::paper()
+            .power(&chip(), &layout, &rules(), VfTable::paper().nominal(), 1.0)
+            .unwrap();
+        assert!(
+            (7.0..=9.5).contains(&p.total()),
+            "2.5D mesh power {:.2} W (target ≈8.4)",
+            p.total()
+        );
+        assert!(p.interposer_links > p.onchip_links);
+    }
+
+    #[test]
+    fn noc_power_scales_down_with_dvfs_and_utilization() {
+        let layout = ChipletLayout::Uniform { r: 2, gap: Mm(4.0) };
+        let t = VfTable::paper();
+        let m = NocModel::paper();
+        let full = m
+            .power(&chip(), &layout, &rules(), t.nominal(), 1.0)
+            .unwrap()
+            .total();
+        let slow = m
+            .power(&chip(), &layout, &rules(), t.at_frequency(533.0).unwrap(), 1.0)
+            .unwrap()
+            .total();
+        let idle = m
+            .power(&chip(), &layout, &rules(), t.nominal(), 0.1)
+            .unwrap()
+            .total();
+        assert!(slow < full * 0.5);
+        assert!(idle < full * 0.2);
+    }
+
+    #[test]
+    fn wider_gaps_cost_more_network_power() {
+        let m = NocModel::paper();
+        let op = VfTable::paper().nominal();
+        let p = |gap: f64| {
+            m.power(
+                &chip(),
+                &ChipletLayout::Uniform { r: 4, gap: Mm(gap) },
+                &rules(),
+                op,
+                0.5,
+            )
+            .unwrap()
+            .total()
+        };
+        assert!(p(10.0) > p(1.0));
+    }
+
+    #[test]
+    fn power_breakdown_sums() {
+        let p = NocPower {
+            routers: 1.0,
+            onchip_links: 2.0,
+            interposer_links: 3.0,
+        };
+        assert_eq!(p.total(), 6.0);
+    }
+}

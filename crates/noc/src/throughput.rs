@@ -1,0 +1,193 @@
+//! Saturation-throughput bounds for the mesh — the capacity side of the
+//! "network performance matched" claim.
+//!
+//! Zero-load latency ([`crate::latency`]) says nothing about congestion.
+//! The standard capacity bound for dimension-ordered routing is the
+//! reciprocal of the maximum *channel load*: if, under a traffic pattern
+//! where every node injects one flit per cycle, some directed link must
+//! carry `γ_max` flits per cycle, then the network saturates at
+//! `1/γ_max` flits/node/cycle. Because the 2.5D mesh keeps every link
+//! single-cycle and full-width, its channel loads — and hence its
+//! saturation throughput — equal the monolithic mesh's, completing the
+//! performance-match argument at all load levels.
+
+use crate::latency::TrafficPattern;
+use serde::{Deserialize, Serialize};
+use tac25d_floorplan::chip::ChipSpec;
+
+/// Channel-load analysis result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputReport {
+    /// Maximum directed-channel load (flits/cycle when every node injects
+    /// one flit/cycle toward the pattern).
+    pub max_channel_load: f64,
+    /// Saturation throughput bound, flits/node/cycle.
+    pub saturation_flits_per_node_cycle: f64,
+    /// Aggregate saturation bandwidth at `flit_bits` width and `freq_hz`,
+    /// bits/s (all nodes).
+    pub aggregate_bits_per_s: f64,
+}
+
+/// Computes channel loads of X-Y routing on the chip's mesh under a
+/// pattern, and the resulting saturation bound.
+///
+/// # Panics
+///
+/// Panics if the chip has fewer than 2 cores per row.
+pub fn saturation_throughput(
+    chip: &ChipSpec,
+    pattern: TrafficPattern,
+    flit_bits: u32,
+    freq_hz: f64,
+) -> ThroughputReport {
+    let n = chip.cores_per_row() as usize;
+    assert!(n >= 2, "mesh needs at least 2 cores per row");
+    // Directed channel loads: [from][to] collapsed to 4 arrays.
+    // Index link (x-direction): (row, col) -> (row, col+1) as east[row][col].
+    let mut east = vec![0.0f64; n * n];
+    let mut west = vec![0.0f64; n * n];
+    let mut north = vec![0.0f64; n * n];
+    let mut south = vec![0.0f64; n * n];
+
+    // Enumerate the pattern's (src, dst) pairs and the per-source rates.
+    type Pair = ((usize, usize), (usize, usize), f64);
+    let mut pairs: Vec<Pair> = Vec::new();
+    match pattern {
+        TrafficPattern::UniformRandom => {
+            let rate = 1.0 / (n * n - 1) as f64;
+            for sr in 0..n {
+                for sc in 0..n {
+                    for dr in 0..n {
+                        for dc in 0..n {
+                            if (sr, sc) != (dr, dc) {
+                                pairs.push(((sr, sc), (dr, dc), rate));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        TrafficPattern::NearestNeighbor => {
+            for sr in 0..n {
+                for sc in 0..n {
+                    let neighbours: Vec<(usize, usize)> = [
+                        (sr.wrapping_sub(1), sc),
+                        (sr + 1, sc),
+                        (sr, sc.wrapping_sub(1)),
+                        (sr, sc + 1),
+                    ]
+                    .into_iter()
+                    .filter(|&(r, c)| r < n && c < n)
+                    .collect();
+                    let rate = 1.0 / neighbours.len() as f64;
+                    for d in neighbours {
+                        pairs.push(((sr, sc), d, rate));
+                    }
+                }
+            }
+        }
+        TrafficPattern::Transpose => {
+            for sr in 0..n {
+                for sc in 0..n {
+                    if sr != sc {
+                        pairs.push(((sr, sc), (sc, sr), 1.0));
+                    }
+                }
+            }
+        }
+    }
+
+    for ((sr, sc), (dr, dc), rate) in pairs {
+        // X first.
+        let mut c = sc;
+        while c != dc {
+            if dc > c {
+                east[sr * n + c] += rate;
+                c += 1;
+            } else {
+                c -= 1;
+                west[sr * n + c] += rate;
+            }
+        }
+        let mut r = sr;
+        while r != dr {
+            if dr > r {
+                north[r * n + dc] += rate;
+                r += 1;
+            } else {
+                r -= 1;
+                south[r * n + dc] += rate;
+            }
+        }
+    }
+    let max_channel_load = east
+        .iter()
+        .chain(&west)
+        .chain(&north)
+        .chain(&south)
+        .cloned()
+        .fold(0.0, f64::max);
+    let sat = if max_channel_load > 0.0 {
+        (1.0 / max_channel_load).min(1.0)
+    } else {
+        1.0
+    };
+    ThroughputReport {
+        max_channel_load,
+        saturation_flits_per_node_cycle: sat,
+        aggregate_bits_per_s: sat * (n * n) as f64 * f64::from(flit_bits) * freq_hz,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chip() -> ChipSpec {
+        ChipSpec::scc_256()
+    }
+
+    #[test]
+    fn uniform_random_matches_bisection_bound() {
+        // Classic result: uniform random on an n×n mesh with DOR saturates
+        // near 4/n flits/node/cycle (half the traffic crosses the
+        // bisection of n channels each way).
+        let r = saturation_throughput(&chip(), TrafficPattern::UniformRandom, 64, 1e9);
+        let n = 16.0;
+        let expect = 4.0 / n;
+        assert!(
+            (r.saturation_flits_per_node_cycle - expect).abs() / expect < 0.1,
+            "{} vs {expect}",
+            r.saturation_flits_per_node_cycle
+        );
+    }
+
+    #[test]
+    fn nearest_neighbor_does_not_saturate_below_full_injection() {
+        let r = saturation_throughput(&chip(), TrafficPattern::NearestNeighbor, 64, 1e9);
+        assert!(
+            r.saturation_flits_per_node_cycle >= 0.99,
+            "short-haul traffic is link-limited only at injection: {}",
+            r.saturation_flits_per_node_cycle
+        );
+    }
+
+    #[test]
+    fn transpose_is_harsher_than_uniform() {
+        let t = saturation_throughput(&chip(), TrafficPattern::Transpose, 64, 1e9);
+        let u = saturation_throughput(&chip(), TrafficPattern::UniformRandom, 64, 1e9);
+        assert!(
+            t.saturation_flits_per_node_cycle < u.saturation_flits_per_node_cycle,
+            "transpose concentrates load: {} vs {}",
+            t.saturation_flits_per_node_cycle,
+            u.saturation_flits_per_node_cycle
+        );
+    }
+
+    #[test]
+    fn aggregate_bandwidth_scales_with_width_and_frequency() {
+        let a = saturation_throughput(&chip(), TrafficPattern::UniformRandom, 64, 1e9);
+        let b = saturation_throughput(&chip(), TrafficPattern::UniformRandom, 128, 2e9);
+        assert!((b.aggregate_bits_per_s / a.aggregate_bits_per_s - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests of the interconnect models.
+
+use proptest::prelude::*;
+use tac25d_floorplan::prelude::*;
+use tac25d_noc::link::LinkParameters;
+use tac25d_noc::mesh::{boundary_cuts, NocModel};
+use tac25d_power::dvfs::VfTable;
+
+proptest! {
+    /// Elmore delay is monotone in length and antitone in driver size.
+    #[test]
+    fn delay_monotonicity(
+        len in 0.1..30.0f64,
+        dlen in 0.1..10.0f64,
+        size in 1u32..128,
+    ) {
+        let p = LinkParameters::default();
+        prop_assert!(p.elmore_delay(len + dlen, size) > p.elmore_delay(len, size));
+        prop_assert!(p.elmore_delay(len, size * 2) < p.elmore_delay(len, size));
+    }
+
+    /// The sized link always meets its timing budget when sizing succeeds,
+    /// and never uses a larger driver than necessary (the next size down
+    /// must fail).
+    #[test]
+    fn sizing_is_minimal(len in 0.5..25.0f64, freq_ghz in 0.3..2.0f64) {
+        let p = LinkParameters::default();
+        let freq = freq_ghz * 1e9;
+        if let Ok(link) = p.size_for_single_cycle(len, freq, 0.8) {
+            prop_assert!(link.delay_s <= 0.8 / freq + 1e-15);
+            if link.driver_size > 1 {
+                let smaller = p.elmore_delay(len, link.driver_size / 2);
+                prop_assert!(smaller > 0.8 / freq, "sizing not minimal");
+            }
+        }
+    }
+
+    /// Energy per transition grows with link length (more wire C).
+    #[test]
+    fn energy_grows_with_length(len in 1.0..20.0f64, dlen in 0.5..10.0f64) {
+        let p = LinkParameters::default();
+        let a = p.size_for_single_cycle(len, 1e9, 0.8).unwrap();
+        let b = p.size_for_single_cycle(len + dlen, 1e9, 0.8).unwrap();
+        prop_assert!(b.energy_per_transition(0.9) > a.energy_per_transition(0.9));
+    }
+
+    /// Boundary-cut link totals are conserved: cuts × links never exceed
+    /// the mesh link count, and gaps are non-negative.
+    #[test]
+    fn cuts_conserve_links(r in prop::sample::select(vec![2u16, 4, 8, 16]), gap in 0.0..3.0f64) {
+        let chip = ChipSpec::scc_256();
+        let rules = PackageRules::default();
+        let layout = ChipletLayout::Uniform { r, gap: Mm(gap) };
+        prop_assume!(
+            layout.interposer_edge(&chip, &rules).unwrap().value()
+                <= rules.max_interposer.value()
+        );
+        let cuts = boundary_cuts(&chip, &layout, &rules);
+        let r = u32::from(r);
+        prop_assert_eq!(cuts.len() as u32, 2 * r * (r - 1));
+        let total: u32 = cuts.iter().map(|c| c.links).sum();
+        prop_assert_eq!(total, 2 * (r - 1) * 16);
+        prop_assert!(cuts.iter().all(|c| c.gap_mm >= 0.0));
+        prop_assert!(cuts.iter().all(|c| (c.gap_mm - gap).abs() < 1e-9));
+    }
+
+    /// NoC power scales linearly with utilization and is strictly positive
+    /// at positive utilization.
+    #[test]
+    fn noc_power_linear_in_utilization(u in 0.05..1.0f64) {
+        let chip = ChipSpec::scc_256();
+        let rules = PackageRules::default();
+        let layout = ChipletLayout::Uniform { r: 4, gap: Mm(3.0) };
+        let m = NocModel::paper();
+        let op = VfTable::paper().nominal();
+        let p1 = m.power(&chip, &layout, &rules, op, u).unwrap().total();
+        let p2 = m.power(&chip, &layout, &rules, op, u / 2.0).unwrap().total();
+        prop_assert!(p1 > 0.0);
+        prop_assert!((p1 / p2 - 2.0).abs() < 1e-9);
+    }
+}

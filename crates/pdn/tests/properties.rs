@@ -1,0 +1,83 @@
+//! Property-based tests of the PDN model.
+
+use proptest::prelude::*;
+use tac25d_floorplan::chip::ChipSpec;
+use tac25d_floorplan::organization::{ChipletLayout, PackageRules};
+use tac25d_floorplan::units::Mm;
+use tac25d_pdn::{PdnModel, PdnParams};
+
+fn model(r: u16, gap: f64) -> PdnModel {
+    let chip = ChipSpec::scc_256();
+    let rules = PackageRules::default();
+    let layout = if r <= 1 {
+        ChipletLayout::SingleChip
+    } else {
+        ChipletLayout::Uniform { r, gap: Mm(gap) }
+    };
+    PdnModel::new(&chip, &layout, &rules, PdnParams::default()).expect("model builds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Droop superposition: the network is linear, so solving the sum of
+    /// two power maps equals the sum of the solutions.
+    #[test]
+    fn droop_superposition(
+        a in 0.0..2.0f64,
+        b in 0.0..2.0f64,
+        core in 0usize..256,
+    ) {
+        let m = model(1, 0.0);
+        let mut pa = vec![a; 256];
+        let mut pb = vec![0.0; 256];
+        pb[core] = b;
+        pa[core] += 0.0;
+        let sa = m.solve(&pa).unwrap();
+        let sb = m.solve(&pb).unwrap();
+        let combined: Vec<f64> = pa.iter().zip(&pb).map(|(x, y)| x + y).collect();
+        let sc = m.solve(&combined).unwrap();
+        for i in 0..256 {
+            let expect = sa.droops()[i] + sb.droops()[i];
+            prop_assert!((sc.droops()[i] - expect).abs() < 1e-9);
+        }
+    }
+
+    /// Droop is monotone in any single core's power.
+    #[test]
+    fn droop_monotone_in_power(core in 0usize..256, w in 0.1..3.0f64, dw in 0.1..2.0f64) {
+        let m = model(4, 2.0);
+        let mut p1 = vec![0.5; 256];
+        let mut p2 = p1.clone();
+        p1[core] = w;
+        p2[core] = w + dw;
+        let d1 = m.solve(&p1).unwrap();
+        let d2 = m.solve(&p2).unwrap();
+        prop_assert!(d2.max_droop() >= d1.max_droop() - 1e-12);
+        prop_assert!(d2.droops()[core] > d1.droops()[core]);
+    }
+
+    /// Total current equals ΣP/Vdd exactly.
+    #[test]
+    fn current_accounting(w in 0.0..2.0f64, actives in 1usize..256) {
+        let m = model(2, 4.0);
+        let mut p = vec![0.0; 256];
+        for slot in p.iter_mut().take(actives) {
+            *slot = w;
+        }
+        let s = m.solve(&p).unwrap();
+        let expect = w * actives as f64 / m.params().vdd;
+        prop_assert!((s.total_current() - expect).abs() < 1e-9 * expect.max(1.0));
+    }
+
+    /// The worst droop is at least the shared-rail droop (series bulk
+    /// resistance times total current).
+    #[test]
+    fn shared_rail_lower_bound(w in 0.1..2.0f64) {
+        let m = model(4, 4.0);
+        let p = vec![w; 256];
+        let s = m.solve(&p).unwrap();
+        let bulk = s.total_current() * m.params().r_shared;
+        prop_assert!(s.max_droop() >= bulk - 1e-12);
+    }
+}

@@ -1,0 +1,156 @@
+//! The DVFS operating points of the example system (Table II).
+//!
+//! The paper evaluates five frequency/voltage levels:
+//! F = {1000, 800, 533, 400, 320} MHz with
+//! V = {0.90, 0.87, 0.71, 0.63, 0.63} V, and eight active-core counts
+//! p ∈ {32, 64, …, 256}.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One frequency/voltage operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Core clock in MHz.
+    pub freq_mhz: f64,
+    /// Supply voltage in volts.
+    pub voltage: f64,
+}
+
+impl OperatingPoint {
+    /// Creates an operating point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if frequency or voltage is not strictly positive.
+    pub fn new(freq_mhz: f64, voltage: f64) -> Self {
+        assert!(freq_mhz > 0.0, "frequency must be positive, got {freq_mhz}");
+        assert!(voltage > 0.0, "voltage must be positive, got {voltage}");
+        OperatingPoint { freq_mhz, voltage }
+    }
+
+    /// Frequency relative to the nominal 1 GHz point.
+    pub fn freq_ratio(&self) -> f64 {
+        self.freq_mhz / 1000.0
+    }
+
+    /// Voltage relative to the nominal 0.9 V point.
+    pub fn voltage_ratio(&self) -> f64 {
+        self.voltage / 0.9
+    }
+}
+
+impl fmt::Display for OperatingPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0}MHz@{:.2}V", self.freq_mhz, self.voltage)
+    }
+}
+
+/// The voltage/frequency table of the example system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VfTable {
+    points: Vec<OperatingPoint>,
+}
+
+impl VfTable {
+    /// The paper's five levels (Table II), fastest first.
+    pub fn paper() -> Self {
+        VfTable {
+            points: vec![
+                OperatingPoint::new(1000.0, 0.90),
+                OperatingPoint::new(800.0, 0.87),
+                OperatingPoint::new(533.0, 0.71),
+                OperatingPoint::new(400.0, 0.63),
+                OperatingPoint::new(320.0, 0.63),
+            ],
+        }
+    }
+
+    /// Creates a custom table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty or not sorted fastest-first.
+    pub fn new(points: Vec<OperatingPoint>) -> Self {
+        assert!(!points.is_empty(), "VF table must not be empty");
+        assert!(
+            points.windows(2).all(|w| w[0].freq_mhz > w[1].freq_mhz),
+            "VF table must be strictly decreasing in frequency"
+        );
+        VfTable { points }
+    }
+
+    /// The operating points, fastest first.
+    pub fn points(&self) -> &[OperatingPoint] {
+        &self.points
+    }
+
+    /// The nominal (fastest) point.
+    pub fn nominal(&self) -> OperatingPoint {
+        self.points[0]
+    }
+
+    /// Looks up the point with the given frequency, if present.
+    pub fn at_frequency(&self, freq_mhz: f64) -> Option<OperatingPoint> {
+        self.points
+            .iter()
+            .copied()
+            .find(|p| (p.freq_mhz - freq_mhz).abs() < 1e-9)
+    }
+}
+
+/// The paper's active-core-count sweep: {32, 64, 96, 128, 160, 192, 224, 256}.
+pub fn paper_core_counts() -> Vec<u16> {
+    (1..=8).map(|i| i * 32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table_matches_table2() {
+        let t = VfTable::paper();
+        assert_eq!(t.points().len(), 5);
+        assert_eq!(t.nominal(), OperatingPoint::new(1000.0, 0.9));
+        let v: Vec<f64> = t.points().iter().map(|p| p.voltage).collect();
+        assert_eq!(v, vec![0.90, 0.87, 0.71, 0.63, 0.63]);
+    }
+
+    #[test]
+    fn at_frequency_lookup() {
+        let t = VfTable::paper();
+        assert_eq!(t.at_frequency(533.0).unwrap().voltage, 0.71);
+        assert!(t.at_frequency(600.0).is_none());
+    }
+
+    #[test]
+    fn ratios_are_relative_to_nominal() {
+        let p = OperatingPoint::new(533.0, 0.71);
+        assert!((p.freq_ratio() - 0.533).abs() < 1e-12);
+        assert!((p.voltage_ratio() - 0.71 / 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_core_counts_are_multiples_of_32() {
+        let p = paper_core_counts();
+        assert_eq!(p, vec![32, 64, 96, 128, 160, 192, 224, 256]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly decreasing")]
+    fn unsorted_table_rejected() {
+        let _ = VfTable::new(vec![
+            OperatingPoint::new(500.0, 0.7),
+            OperatingPoint::new(800.0, 0.8),
+        ]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(
+            OperatingPoint::new(533.0, 0.71).to_string(),
+            "533MHz@0.71V"
+        );
+    }
+}

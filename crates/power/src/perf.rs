@@ -1,0 +1,113 @@
+//! The performance model (Sniper substitute): aggregate instructions per
+//! second as a function of benchmark, operating point and active core count.
+
+use crate::benchmarks::BenchmarkProfile;
+use crate::dvfs::OperatingPoint;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate system performance in instructions per second.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Ips(pub f64);
+
+impl Ips {
+    /// Giga-instructions per second.
+    pub fn gips(self) -> f64 {
+        self.0 / 1e9
+    }
+}
+
+impl std::fmt::Display for Ips {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2}GIPS", self.gips())
+    }
+}
+
+/// Computes the aggregate IPS of `p` active cores at operating point `op`:
+///
+/// `IPS(f, p) = IPC · f₀ · (f/f₀)^e · S(p)`
+///
+/// where `S(p)` is the benchmark's USL speedup and `e` its
+/// frequency-scaling exponent (<1 for memory-bound codes, whose performance
+/// degrades less than linearly when clocked down).
+///
+/// # Panics
+///
+/// Panics if `p` is zero.
+pub fn system_ips(profile: &BenchmarkProfile, op: OperatingPoint, p: u16) -> Ips {
+    assert!(p > 0, "need at least one active core");
+    let f0_hz = 1e9;
+    let per_core_nominal = profile.ipc * f0_hz;
+    Ips(per_core_nominal * op.freq_ratio().powf(profile.freq_exponent) * profile.speedup(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::Benchmark;
+    use crate::dvfs::VfTable;
+
+    #[test]
+    fn ips_increases_with_cores_until_saturation() {
+        let prof = Benchmark::Cholesky.profile();
+        let op = VfTable::paper().nominal();
+        let mut prev = 0.0;
+        for p in [32u16, 64, 96, 128, 160, 192, 224, 256] {
+            let ips = system_ips(&prof, op, p).0;
+            assert!(ips > prev, "cholesky should scale to 256 cores");
+            prev = ips;
+        }
+    }
+
+    #[test]
+    fn canneal_ips_drops_past_saturation() {
+        let prof = Benchmark::Canneal.profile();
+        let op = VfTable::paper().nominal();
+        let at_192 = system_ips(&prof, op, 192).0;
+        let at_256 = system_ips(&prof, op, 256).0;
+        assert!(
+            at_192 > at_256,
+            "canneal saturates at 192: {at_192} vs {at_256}"
+        );
+    }
+
+    #[test]
+    fn cholesky_gains_about_80_percent_from_533_to_1000() {
+        // Fig. 8: cholesky improves 80% by raising frequency 533 MHz → 1 GHz.
+        let prof = Benchmark::Cholesky.profile();
+        let t = VfTable::paper();
+        let lo = system_ips(&prof, t.at_frequency(533.0).unwrap(), 256).0;
+        let hi = system_ips(&prof, t.at_frequency(1000.0).unwrap(), 256).0;
+        let gain = hi / lo;
+        assert!(
+            (1.70..=1.90).contains(&gain),
+            "cholesky 533→1000 gain {gain:.3}, paper reports ≈1.8"
+        );
+    }
+
+    #[test]
+    fn memory_bound_codes_lose_less_at_low_frequency() {
+        let t = VfTable::paper();
+        let slow = t.at_frequency(320.0).unwrap();
+        let fast = t.nominal();
+        let penalty = |b: Benchmark| {
+            let prof = b.profile();
+            system_ips(&prof, slow, 256).0 / system_ips(&prof, fast, 256).0
+        };
+        // canneal (e=0.5) retains more of its performance than
+        // blackscholes (e=0.95).
+        assert!(penalty(Benchmark::Canneal) > penalty(Benchmark::Blackscholes));
+    }
+
+    #[test]
+    fn ips_magnitude_is_plausible() {
+        // 256 compute-bound cores at 1 GHz with IPC>1 ⇒ hundreds of GIPS.
+        let prof = Benchmark::Blackscholes.profile();
+        let ips = system_ips(&prof, VfTable::paper().nominal(), 256);
+        assert!(ips.gips() > 100.0 && ips.gips() < 1000.0, "{ips}");
+    }
+
+    #[test]
+    fn display_in_gips() {
+        assert_eq!(Ips(2.5e9).to_string(), "2.50GIPS");
+    }
+}

@@ -1,0 +1,181 @@
+//! Time-varying (phased) workloads.
+//!
+//! The paper collects per-core statistics every 1 ms from Sniper
+//! (Sec. IV) — real benchmarks are not constant-power. A
+//! [`PhasedWorkload`] models that as a repeating sequence of phases, each
+//! scaling the benchmark's dynamic power and NoC utilization. Combined
+//! with the thermal crate's transient solver this answers a question the
+//! steady-state flow cannot: how much hotter than its *average* does a
+//! bursty workload actually run, and how much thermal headroom does its
+//! duty cycle buy back?
+
+use crate::benchmarks::Benchmark;
+use serde::{Deserialize, Serialize};
+
+/// One phase of a workload: a duration during which the benchmark's
+/// dynamic power and network load are scaled by `activity`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadPhase {
+    /// Phase length, seconds.
+    pub duration_s: f64,
+    /// Dynamic-power scale in `[0, 1]` (1 = the profile's nominal
+    /// activity; 0 = stalled/idle phase — leakage still burns).
+    pub activity: f64,
+}
+
+/// A benchmark plus its repeating phase sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhasedWorkload {
+    /// The underlying benchmark profile.
+    pub benchmark: Benchmark,
+    phases: Vec<WorkloadPhase>,
+}
+
+impl PhasedWorkload {
+    /// A constant-activity workload (one phase) — equivalent to the
+    /// steady-state evaluation.
+    pub fn steady(benchmark: Benchmark) -> Self {
+        PhasedWorkload {
+            benchmark,
+            phases: vec![WorkloadPhase {
+                duration_s: 1.0,
+                activity: 1.0,
+            }],
+        }
+    }
+
+    /// A square-wave workload: `duty` fraction of each `period_s` at full
+    /// activity, the rest at `idle_activity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `period_s > 0` and `duty`, `idle_activity` ∈ [0, 1].
+    pub fn bursty(benchmark: Benchmark, period_s: f64, duty: f64, idle_activity: f64) -> Self {
+        assert!(period_s > 0.0, "period must be positive");
+        assert!((0.0..=1.0).contains(&duty), "duty must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&idle_activity),
+            "idle activity must be in [0,1]"
+        );
+        PhasedWorkload {
+            benchmark,
+            phases: vec![
+                WorkloadPhase {
+                    duration_s: period_s * duty,
+                    activity: 1.0,
+                },
+                WorkloadPhase {
+                    duration_s: period_s * (1.0 - duty),
+                    activity: idle_activity,
+                },
+            ],
+        }
+    }
+
+    /// Builds a workload from explicit phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty, a duration is not positive, or an
+    /// activity is outside [0, 1].
+    pub fn from_phases(benchmark: Benchmark, phases: Vec<WorkloadPhase>) -> Self {
+        assert!(!phases.is_empty(), "need at least one phase");
+        for p in &phases {
+            assert!(p.duration_s > 0.0, "phase duration must be positive");
+            assert!(
+                (0.0..=1.0).contains(&p.activity),
+                "activity must be in [0,1]"
+            );
+        }
+        PhasedWorkload { benchmark, phases }
+    }
+
+    /// The phase list.
+    pub fn phases(&self) -> &[WorkloadPhase] {
+        &self.phases
+    }
+
+    /// Length of one full period.
+    pub fn period(&self) -> f64 {
+        self.phases.iter().map(|p| p.duration_s).sum()
+    }
+
+    /// Duration-weighted average activity.
+    pub fn average_activity(&self) -> f64 {
+        self.phases
+            .iter()
+            .map(|p| p.duration_s * p.activity)
+            .sum::<f64>()
+            / self.period()
+    }
+
+    /// The activity at absolute time `t` (periodic extension).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is negative.
+    pub fn activity_at(&self, t: f64) -> f64 {
+        assert!(t >= 0.0, "time must be non-negative");
+        let mut t = t % self.period();
+        for p in &self.phases {
+            if t < p.duration_s {
+                return p.activity;
+            }
+            t -= p.duration_s;
+        }
+        self.phases.last().expect("non-empty").activity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_is_constant_one() {
+        let w = PhasedWorkload::steady(Benchmark::Hpccg);
+        assert_eq!(w.average_activity(), 1.0);
+        assert_eq!(w.activity_at(0.0), 1.0);
+        assert_eq!(w.activity_at(123.456), 1.0);
+    }
+
+    #[test]
+    fn bursty_square_wave() {
+        let w = PhasedWorkload::bursty(Benchmark::Shock, 10.0, 0.3, 0.1);
+        assert!((w.period() - 10.0).abs() < 1e-12);
+        assert!((w.average_activity() - (0.3 + 0.7 * 0.1)).abs() < 1e-12);
+        assert_eq!(w.activity_at(1.0), 1.0);
+        assert_eq!(w.activity_at(5.0), 0.1);
+        // Periodicity.
+        assert_eq!(w.activity_at(11.0), 1.0);
+        assert_eq!(w.activity_at(25.0), 0.1);
+    }
+
+    #[test]
+    fn custom_phases_lookup() {
+        let w = PhasedWorkload::from_phases(
+            Benchmark::Canneal,
+            vec![
+                WorkloadPhase { duration_s: 1.0, activity: 0.2 },
+                WorkloadPhase { duration_s: 2.0, activity: 0.8 },
+                WorkloadPhase { duration_s: 1.0, activity: 0.5 },
+            ],
+        );
+        assert_eq!(w.activity_at(0.5), 0.2);
+        assert_eq!(w.activity_at(1.5), 0.8);
+        assert_eq!(w.activity_at(3.5), 0.5);
+        assert!((w.average_activity() - (0.2 + 1.6 + 0.5) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "duty must be in [0,1]")]
+    fn bad_duty_rejected() {
+        let _ = PhasedWorkload::bursty(Benchmark::Shock, 1.0, 1.5, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_phases_rejected() {
+        let _ = PhasedWorkload::from_phases(Benchmark::Shock, vec![]);
+    }
+}

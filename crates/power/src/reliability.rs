@@ -1,0 +1,128 @@
+//! Temperature-driven reliability models.
+//!
+//! The paper's Sec. V-B observes that even when a 2.5D organization brings
+//! no performance gain (lu.cont), the lower operating temperature "improves
+//! transistor lifetime and reliability". This module quantifies that with
+//! the standard models:
+//!
+//! * **electromigration / TDDB** — Black's-equation Arrhenius factor,
+//!   `MTTF ∝ exp(E_a / (k·T))` with T in kelvin, so relative lifetime
+//!   between two operating temperatures is
+//!   `exp(E_a/k · (1/T₁ − 1/T₂))`;
+//! * **thermal cycling** — Coffin–Manson, `N_f ∝ ΔT^(−q)` for the
+//!   excursion above ambient experienced at every power cycle.
+
+use serde::{Deserialize, Serialize};
+use tac25d_floorplan::units::Celsius;
+
+/// Boltzmann constant in eV/K.
+const K_B_EV: f64 = 8.617_333e-5;
+
+/// Reliability model constants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityModel {
+    /// Electromigration activation energy, eV (0.7 eV for Cu interconnect).
+    pub activation_energy_ev: f64,
+    /// Coffin–Manson exponent for solder/low-k fatigue (typically 2–2.5).
+    pub coffin_manson_exponent: f64,
+}
+
+impl Default for ReliabilityModel {
+    fn default() -> Self {
+        ReliabilityModel {
+            activation_energy_ev: 0.7,
+            coffin_manson_exponent: 2.35,
+        }
+    }
+}
+
+impl ReliabilityModel {
+    /// Relative mean-time-to-failure of operating at `t` versus at
+    /// `t_ref`: values above 1 mean running at `t` lasts longer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either temperature is at or below absolute zero.
+    pub fn relative_mttf(&self, t: Celsius, t_ref: Celsius) -> f64 {
+        let tk = to_kelvin(t);
+        let tk_ref = to_kelvin(t_ref);
+        (self.activation_energy_ev / K_B_EV * (1.0 / tk - 1.0 / tk_ref)).exp()
+    }
+
+    /// Relative thermal-cycling life for peak-to-ambient excursions `dt`
+    /// versus `dt_ref` (Coffin–Manson): above 1 means `dt` cycles last
+    /// longer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either excursion is not strictly positive.
+    pub fn relative_cycle_life(&self, dt: f64, dt_ref: f64) -> f64 {
+        assert!(dt > 0.0 && dt_ref > 0.0, "excursions must be positive");
+        (dt_ref / dt).powf(self.coffin_manson_exponent)
+    }
+}
+
+fn to_kelvin(t: Celsius) -> f64 {
+    let k = t.value() + 273.15;
+    assert!(k > 0.0, "temperature {t} below absolute zero");
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cooler_lasts_longer() {
+        let m = ReliabilityModel::default();
+        let r = m.relative_mttf(Celsius(65.0), Celsius(85.0));
+        assert!(r > 1.0, "20°C cooler must extend lifetime, got {r}");
+        // Rule of thumb: ~2x per 10-15°C near these temperatures.
+        assert!((2.0..=8.0).contains(&r), "20°C gives {r:.2}x");
+    }
+
+    #[test]
+    fn identity_at_equal_temperature() {
+        let m = ReliabilityModel::default();
+        assert!((m.relative_mttf(Celsius(85.0), Celsius(85.0)) - 1.0).abs() < 1e-12);
+        assert!((m.relative_cycle_life(40.0, 40.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mttf_ratio_is_reciprocal() {
+        let m = ReliabilityModel::default();
+        let a = m.relative_mttf(Celsius(70.0), Celsius(90.0));
+        let b = m.relative_mttf(Celsius(90.0), Celsius(70.0));
+        assert!((a * b - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smaller_excursions_extend_cycle_life() {
+        let m = ReliabilityModel::default();
+        // Halving the thermal swing gives 2^2.35 ≈ 5.1x cycles.
+        let r = m.relative_cycle_life(20.0, 40.0);
+        assert!((r - 2f64.powf(2.35)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_activation_energy_amplifies_sensitivity() {
+        let lo = ReliabilityModel {
+            activation_energy_ev: 0.5,
+            ..ReliabilityModel::default()
+        };
+        let hi = ReliabilityModel {
+            activation_energy_ev: 0.9,
+            ..ReliabilityModel::default()
+        };
+        let t = Celsius(65.0);
+        let tr = Celsius(85.0);
+        assert!(hi.relative_mttf(t, tr) > lo.relative_mttf(t, tr));
+    }
+
+    #[test]
+    #[should_panic(expected = "below absolute zero")]
+    fn absolute_zero_rejected() {
+        let m = ReliabilityModel::default();
+        let _ = m.relative_mttf(Celsius(-300.0), Celsius(85.0));
+    }
+}

@@ -1,0 +1,78 @@
+//! Property-based tests of the performance and power models.
+
+use proptest::prelude::*;
+use tac25d_floorplan::units::Celsius;
+use tac25d_power::prelude::*;
+
+fn any_benchmark() -> impl Strategy<Value = Benchmark> {
+    prop::sample::select(Benchmark::all().to_vec())
+}
+
+proptest! {
+    /// Speedup is bounded by the core count and positive.
+    #[test]
+    fn speedup_bounds(b in any_benchmark(), p in 1u16..=256) {
+        let s = b.profile().speedup(p);
+        prop_assert!(s > 0.0);
+        prop_assert!(s <= f64::from(p) + 1e-12);
+    }
+
+    /// IPS is monotone in frequency at fixed core count.
+    #[test]
+    fn ips_monotone_in_frequency(b in any_benchmark(), p in 1u16..=256) {
+        let prof = b.profile();
+        let table = VfTable::paper();
+        let mut prev = f64::INFINITY;
+        for &op in table.points() {
+            let ips = system_ips(&prof, op, p).0;
+            prop_assert!(ips <= prev + 1e-9, "{b} at {op}");
+            prev = ips;
+        }
+    }
+
+    /// Active power decomposes into dynamic + leakage, and both parts are
+    /// non-negative at any realistic temperature.
+    #[test]
+    fn power_decomposition(
+        b in any_benchmark(),
+        t in -20.0..150.0f64,
+        op_idx in 0usize..5,
+    ) {
+        let prof = b.profile();
+        let op = VfTable::paper().points()[op_idx];
+        let m = CorePowerModel::default();
+        let dynamic = m.dynamic(&prof, op);
+        let total = m.active_power(&prof, op, Celsius(t));
+        prop_assert!(dynamic >= 0.0);
+        prop_assert!(total >= dynamic - 1e-12, "leakage must be non-negative");
+    }
+
+    /// DVFS never increases power: slower points consume less per core at
+    /// equal temperature.
+    #[test]
+    fn dvfs_monotone_power(b in any_benchmark(), t in 40.0..110.0f64) {
+        let prof = b.profile();
+        let m = CorePowerModel::default();
+        let table = VfTable::paper();
+        let mut prev = f64::INFINITY;
+        for &op in table.points() {
+            let p = m.active_power(&prof, op, Celsius(t));
+            prop_assert!(p <= prev + 1e-12, "{b} at {op}");
+            prev = p;
+        }
+    }
+
+    /// The leakage model is exactly linear in temperature.
+    #[test]
+    fn leakage_linearity(leak_ref in 0.01..2.0f64, t1 in 0.0..120.0f64, t2 in 0.0..120.0f64) {
+        let m = LeakageModel::default();
+        let op = VfTable::paper().nominal();
+        let mid = (t1 + t2) / 2.0;
+        let l1 = m.leakage(leak_ref, op, Celsius(t1));
+        let l2 = m.leakage(leak_ref, op, Celsius(t2));
+        let lm = m.leakage(leak_ref, op, Celsius(mid));
+        // Only valid away from the zero clamp.
+        prop_assume!(l1 > 0.0 && l2 > 0.0 && lm > 0.0);
+        prop_assert!((lm - (l1 + l2) / 2.0).abs() < 1e-9);
+    }
+}

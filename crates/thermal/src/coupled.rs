@@ -1,0 +1,200 @@
+//! The temperature–leakage fixed-point loop.
+//!
+//! The paper implements a temperature-dependent leakage model and "re-run[s]
+//! HotSpot to update the thermal profile until the temperature converges"
+//! (Sec. IV). This module provides that outer loop generically: the caller
+//! supplies a closure that maps the latest thermal solution to an updated
+//! power map (dynamic power + temperature-dependent leakage per core), and
+//! the loop iterates to a fixed point or detects thermal runaway.
+
+use crate::model::{PackageModel, ThermalError, ThermalSolution};
+use tac25d_floorplan::geometry::Rect;
+use tac25d_floorplan::units::Celsius;
+
+/// Options for the coupled solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoupledOptions {
+    /// Convergence threshold on the maximum per-node temperature change.
+    pub tol: Celsius,
+    /// Maximum outer iterations.
+    pub max_iter: usize,
+    /// Peak temperature above which the loop aborts with
+    /// [`ThermalError::Runaway`] (a diverging leakage feedback loop).
+    pub runaway: Celsius,
+}
+
+impl Default for CoupledOptions {
+    fn default() -> Self {
+        CoupledOptions {
+            tol: Celsius(0.05),
+            max_iter: 60,
+            runaway: Celsius(400.0),
+        }
+    }
+}
+
+/// Result of a converged (or stagnated) coupled solve.
+#[derive(Debug, Clone)]
+pub struct CoupledSolution {
+    /// The final thermal solution.
+    pub solution: ThermalSolution,
+    /// Outer (power-update) iterations performed.
+    pub outer_iterations: usize,
+    /// Whether the temperature change dropped below tolerance.
+    pub converged: bool,
+}
+
+/// Iterates `power(T) → solve → power(T) → …` to a fixed point.
+///
+/// `power_map` receives `None` on the first call (use nominal/initial
+/// temperatures) and the latest [`ThermalSolution`] afterwards; it returns
+/// the rectangular power sources for the next solve.
+///
+/// # Errors
+///
+/// * [`ThermalError::Runaway`] if the peak temperature exceeds
+///   `opts.runaway` — with a positive-feedback leakage model this is
+///   genuine thermal runaway and the organization is infeasible;
+/// * any solver/power error from the inner solves.
+pub fn solve_coupled<F>(
+    model: &PackageModel,
+    mut power_map: F,
+    opts: &CoupledOptions,
+) -> Result<CoupledSolution, ThermalError>
+where
+    F: FnMut(Option<&ThermalSolution>) -> Vec<(Rect, f64)>,
+{
+    assert!(opts.max_iter > 0, "max_iter must be positive");
+    let sources = power_map(None);
+    let mut current = model.solve(&sources)?;
+    for it in 1..=opts.max_iter {
+        if current.peak() > opts.runaway {
+            return Err(ThermalError::Runaway {
+                peak: current.peak(),
+            });
+        }
+        let sources = power_map(Some(&current));
+        let next = model.solve_with_guess(&sources, Some(&current))?;
+        let delta = max_abs_delta(current.raw_temps(), next.raw_temps());
+        current = next;
+        if delta <= opts.tol.value() {
+            return Ok(CoupledSolution {
+                solution: current,
+                outer_iterations: it,
+                converged: true,
+            });
+        }
+    }
+    if current.peak() > opts.runaway {
+        return Err(ThermalError::Runaway {
+            peak: current.peak(),
+        });
+    }
+    Ok(CoupledSolution {
+        solution: current,
+        outer_iterations: opts.max_iter,
+        converged: false,
+    })
+}
+
+fn max_abs_delta(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{PackageModel, ThermalConfig};
+    use tac25d_floorplan::chip::ChipSpec;
+    use tac25d_floorplan::layers::StackSpec;
+    use tac25d_floorplan::organization::{ChipletLayout, PackageRules};
+
+    fn model() -> PackageModel {
+        PackageModel::new(
+            &ChipSpec::scc_256(),
+            &ChipletLayout::SingleChip,
+            &PackageRules::default(),
+            &StackSpec::baseline_2d(),
+            ThermalConfig {
+                grid: 16,
+                ..ThermalConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn die() -> Rect {
+        Rect::from_corner(0.0, 0.0, 18.0, 18.0)
+    }
+
+    #[test]
+    fn constant_power_converges_immediately() {
+        let m = model();
+        let r = solve_coupled(&m, |_| vec![(die(), 100.0)], &CoupledOptions::default()).unwrap();
+        assert!(r.converged);
+        assert_eq!(r.outer_iterations, 1);
+    }
+
+    #[test]
+    fn leaky_power_converges_to_higher_temperature() {
+        let m = model();
+        let base = 150.0;
+        // 1%/°C leakage growth above 45 °C — a contractive feedback.
+        let coupled = solve_coupled(
+            &m,
+            |sol| {
+                let t = sol.map_or(45.0, |s| s.rect_avg(&die()).value());
+                vec![(die(), base * (1.0 + 0.01 * (t - 45.0)))]
+            },
+            &CoupledOptions::default(),
+        )
+        .unwrap();
+        assert!(coupled.converged);
+        assert!(coupled.outer_iterations >= 2);
+        let flat = m.solve(&[(die(), base)]).unwrap();
+        assert!(coupled.solution.peak() > flat.peak());
+    }
+
+    #[test]
+    fn runaway_detected() {
+        let m = model();
+        // Absurd 40%/°C feedback: guaranteed divergence.
+        let err = solve_coupled(
+            &m,
+            |sol| {
+                let t = sol.map_or(45.0, |s| s.rect_avg(&die()).value());
+                vec![(die(), 200.0 * (1.0 + 0.4 * (t - 45.0)))]
+            },
+            &CoupledOptions {
+                max_iter: 100,
+                ..CoupledOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ThermalError::Runaway { .. }), "{err}");
+    }
+
+    #[test]
+    fn non_convergence_reported_without_error() {
+        let m = model();
+        let mut flip = false;
+        // Oscillating power: never converges, but stays bounded.
+        let r = solve_coupled(
+            &m,
+            |_| {
+                flip = !flip;
+                vec![(die(), if flip { 100.0 } else { 140.0 })]
+            },
+            &CoupledOptions {
+                max_iter: 5,
+                ..CoupledOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(!r.converged);
+        assert_eq!(r.outer_iterations, 5);
+    }
+}

@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! # tac25d-thermal
+//!
+//! A from-scratch compact thermal model (HotSpot-class) for 2.5D chiplet
+//! packages and single-chip baselines — the thermal substrate of the
+//! `tac25d` reproduction of *"Leveraging Thermally-Aware Chiplet
+//! Organization in 2.5D Systems to Reclaim Dark Silicon"* (DATE 2018).
+//!
+//! The paper runs HotSpot 6.0 in grid mode over the Table I layer stack; no
+//! Rust thermal-simulation ecosystem exists, so this crate implements the
+//! same physics directly (see DESIGN.md §1 S1 for the substitution
+//! rationale):
+//!
+//! * [`materials`] — bulk and effective-medium conductivities (microbump /
+//!   TSV / C4 composites computed from Table I bump geometry);
+//! * [`sparse`] — CSR matrices and a Jacobi-preconditioned conjugate
+//!   gradient solver;
+//! * [`network`] (internal) — finite-volume assembly of the package
+//!   conductance network with HotSpot-style lumped spreader/sink periphery
+//!   nodes and convective boundaries;
+//! * [`model`] — the public [`model::PackageModel`] / ThermalSolution API;
+//! * [`coupled`] — the temperature–leakage fixed-point loop;
+//! * [`transient`] — backward-Euler transient simulation over the same
+//!   RC network (computational-sprinting analyses).
+//!
+//! # Examples
+//!
+//! ```
+//! use tac25d_floorplan::prelude::*;
+//! use tac25d_thermal::model::{PackageModel, ThermalConfig};
+//!
+//! let chip = ChipSpec::scc_256();
+//! let rules = PackageRules::default();
+//! let layout = ChipletLayout::Uniform { r: 4, gap: Mm(4.0) };
+//! let model = PackageModel::new(
+//!     &chip, &layout, &rules, &StackSpec::system_25d(), ThermalConfig::fast())?;
+//! let sources: Vec<_> = layout
+//!     .chiplet_rects(&chip, &rules)
+//!     .into_iter()
+//!     .map(|r| (r, 20.0))
+//!     .collect();
+//! let solution = model.solve(&sources)?;
+//! println!("peak = {}", solution.peak());
+//! # Ok::<(), tac25d_thermal::model::ThermalError>(())
+//! ```
+
+pub mod coupled;
+pub mod materials;
+pub mod model;
+pub(crate) mod network;
+pub mod sparse;
+pub mod transient;
+
+pub use coupled::{solve_coupled, CoupledOptions, CoupledSolution};
+pub use materials::{BumpField, MaterialLibrary};
+pub use model::{PackageModel, ThermalConfig, ThermalError, ThermalSolution};
+pub use transient::{TransientSample, TransientTrace};

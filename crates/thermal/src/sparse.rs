@@ -1,0 +1,640 @@
+//! Minimal sparse linear algebra for the thermal network: a triplet
+//! assembler, a CSR matrix, and a Jacobi-preconditioned conjugate-gradient
+//! solver.
+//!
+//! Thermal conductance networks are symmetric positive definite as long as
+//! at least one node has a (positive) boundary conductance to ambient, so
+//! PCG is the method of choice — no pivoting, no fill-in, O(nnz) per
+//! iteration.
+
+use std::error::Error;
+use std::fmt;
+
+/// Coordinate-format assembler for a symmetric matrix.
+///
+/// Duplicate entries are summed when converting to CSR, which makes
+/// finite-volume assembly trivial: every conductance `g` between nodes `i`
+/// and `j` contributes `+g` to both diagonals and `−g` to both off-diagonals
+/// via [`TripletMatrix::add_conductance`].
+#[derive(Debug, Clone)]
+pub struct TripletMatrix {
+    n: usize,
+    rows: Vec<u32>,
+    cols: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl TripletMatrix {
+    /// Creates an empty n×n assembler.
+    pub fn new(n: usize) -> Self {
+        TripletMatrix {
+            n,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Adds `v` to entry `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range or `v` is not finite.
+    pub fn add(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.n && j < self.n, "({i},{j}) out of {0}x{0}", self.n);
+        assert!(v.is_finite(), "non-finite matrix entry {v} at ({i},{j})");
+        self.rows.push(i as u32);
+        self.cols.push(j as u32);
+        self.vals.push(v);
+    }
+
+    /// Adds a two-terminal conductance `g` between nodes `i` and `j`
+    /// (diagonal `+g`, off-diagonal `−g`, symmetric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is negative, non-finite, or `i == j`.
+    pub fn add_conductance(&mut self, i: usize, j: usize, g: f64) {
+        assert!(i != j, "conductance needs two distinct nodes, got {i}");
+        assert!(g >= 0.0, "negative conductance {g} between {i} and {j}");
+        if g == 0.0 {
+            return;
+        }
+        self.add(i, i, g);
+        self.add(j, j, g);
+        self.add(i, j, -g);
+        self.add(j, i, -g);
+    }
+
+    /// Adds a grounded (boundary) conductance `g` at node `i` — e.g. a
+    /// convective path to ambient. Only the diagonal is touched; the
+    /// ambient temperature enters through the right-hand side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is negative or non-finite.
+    pub fn add_ground(&mut self, i: usize, g: f64) {
+        assert!(g >= 0.0, "negative ground conductance {g} at node {i}");
+        if g > 0.0 {
+            self.add(i, i, g);
+        }
+    }
+
+    /// Converts to CSR, summing duplicates.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let n = self.n;
+        // Count entries per row after dedup: do a two-pass bucket sort.
+        let mut perm: Vec<u32> = (0..self.vals.len() as u32).collect();
+        perm.sort_unstable_by_key(|&k| {
+            let k = k as usize;
+            (self.rows[k], self.cols[k])
+        });
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col = Vec::new();
+        let mut val = Vec::new();
+        row_ptr.push(0u32);
+        let mut cur_row = 0u32;
+        let mut last: Option<(u32, u32)> = None;
+        for &k in &perm {
+            let k = k as usize;
+            let (r, c, v) = (self.rows[k], self.cols[k], self.vals[k]);
+            while cur_row < r {
+                row_ptr.push(col.len() as u32);
+                cur_row += 1;
+            }
+            if last == Some((r, c)) {
+                *val.last_mut().expect("entry exists") += v;
+            } else {
+                col.push(c);
+                val.push(v);
+                last = Some((r, c));
+            }
+        }
+        while (row_ptr.len() as u32) <= cur_row {
+            row_ptr.push(col.len() as u32);
+        }
+        while row_ptr.len() < n + 1 {
+            row_ptr.push(col.len() as u32);
+        }
+        CsrMatrix { n, row_ptr, col, val }
+    }
+}
+
+/// Compressed-sparse-row matrix.
+#[derive(Debug, Clone)]
+pub struct CsrMatrix {
+    n: usize,
+    row_ptr: Vec<u32>,
+    col: Vec<u32>,
+    val: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.val.len()
+    }
+
+    /// Computes `y = A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector lengths do not match the matrix dimension.
+    pub fn mul_vec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "x length mismatch");
+        assert_eq!(y.len(), self.n, "y length mismatch");
+        for (i, yi) in y.iter_mut().enumerate() {
+            let lo = self.row_ptr[i] as usize;
+            let hi = self.row_ptr[i + 1] as usize;
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.val[k] * x[self.col[k] as usize];
+            }
+            *yi = acc;
+        }
+    }
+
+    /// Returns a copy of the matrix with `d[i]` added to each diagonal
+    /// entry — the backward-Euler iteration matrix `G + C/Δt` of the
+    /// transient solver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` has the wrong length or a diagonal entry is missing
+    /// from the sparsity pattern (conductance networks always store their
+    /// diagonal).
+    pub fn with_added_diagonal(&self, d: &[f64]) -> CsrMatrix {
+        assert_eq!(d.len(), self.n, "diagonal length mismatch");
+        let mut out = self.clone();
+        for (i, di) in d.iter().enumerate() {
+            let lo = out.row_ptr[i] as usize;
+            let hi = out.row_ptr[i + 1] as usize;
+            let k = (lo..hi)
+                .find(|&k| out.col[k] as usize == i)
+                .unwrap_or_else(|| panic!("row {i} has no stored diagonal"));
+            out.val[k] += di;
+        }
+        out
+    }
+
+    /// Extracts the diagonal.
+    pub fn diagonal(&self) -> Vec<f64> {
+        let mut d = vec![0.0; self.n];
+        for (i, di) in d.iter_mut().enumerate() {
+            let lo = self.row_ptr[i] as usize;
+            let hi = self.row_ptr[i + 1] as usize;
+            for k in lo..hi {
+                if self.col[k] as usize == i {
+                    *di += self.val[k];
+                }
+            }
+        }
+        d
+    }
+}
+
+/// Why a PCG solve failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// Residual failed to reach the tolerance within the iteration budget.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Final relative residual.
+        residual: f64,
+    },
+    /// The matrix is not positive definite along the explored subspace
+    /// (p·Ap ≤ 0), or a zero/negative diagonal breaks the preconditioner.
+    NotPositiveDefinite,
+    /// NaN/∞ encountered (badly scaled or inconsistent system).
+    NumericalBreakdown,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::NoConvergence { iterations, residual } => write!(
+                f,
+                "conjugate gradient did not converge in {iterations} iterations (residual {residual:.3e})"
+            ),
+            SolveError::NotPositiveDefinite => {
+                write!(f, "matrix is not positive definite")
+            }
+            SolveError::NumericalBreakdown => write!(f, "numerical breakdown (NaN/inf)"),
+        }
+    }
+}
+
+impl Error for SolveError {}
+
+/// Result of a successful PCG solve.
+#[derive(Debug, Clone)]
+pub struct PcgSolution {
+    /// The solution vector.
+    pub x: Vec<f64>,
+    /// Iterations used.
+    pub iterations: usize,
+    /// Final relative residual ‖b − Ax‖ / ‖b‖.
+    pub residual: f64,
+}
+
+/// Solves `A·x = b` for a symmetric positive-definite `A` using conjugate
+/// gradients with a Jacobi (diagonal) preconditioner.
+///
+/// `x0` is an optional warm start (pass `None` to start from zero) — the
+/// leakage fixed-point loop re-solves nearly identical systems and converges
+/// several times faster with warm starts.
+///
+/// # Errors
+///
+/// Returns [`SolveError`] if convergence fails, the matrix is detected to be
+/// non-SPD, or numerical breakdown occurs.
+pub fn pcg(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    rel_tol: f64,
+    max_iter: usize,
+) -> Result<PcgSolution, SolveError> {
+    let n = a.n();
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    let diag = a.diagonal();
+    if diag.iter().any(|&d| d <= 0.0 || !d.is_finite()) {
+        return Err(SolveError::NotPositiveDefinite);
+    }
+    let inv_diag: Vec<f64> = diag.iter().map(|d| 1.0 / d).collect();
+
+    let b_norm = norm(b);
+    if b_norm == 0.0 {
+        return Ok(PcgSolution {
+            x: vec![0.0; n],
+            iterations: 0,
+            residual: 0.0,
+        });
+    }
+
+    let mut x = match x0 {
+        Some(x0) => {
+            assert_eq!(x0.len(), n, "warm-start length mismatch");
+            x0.to_vec()
+        }
+        None => vec![0.0; n],
+    };
+    let mut r = vec![0.0; n];
+    a.mul_vec(&x, &mut r);
+    for i in 0..n {
+        r[i] = b[i] - r[i];
+    }
+    let mut z: Vec<f64> = r.iter().zip(&inv_diag).map(|(ri, di)| ri * di).collect();
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let mut ap = vec![0.0; n];
+
+    for it in 0..max_iter {
+        let res = norm(&r) / b_norm;
+        if !res.is_finite() {
+            return Err(SolveError::NumericalBreakdown);
+        }
+        if res <= rel_tol {
+            return Ok(PcgSolution {
+                x,
+                iterations: it,
+                residual: res,
+            });
+        }
+        a.mul_vec(&p, &mut ap);
+        let pap = dot(&p, &ap);
+        if pap <= 0.0 || !pap.is_finite() {
+            return Err(SolveError::NotPositiveDefinite);
+        }
+        let alpha = rz / pap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        for i in 0..n {
+            z[i] = r[i] * inv_diag[i];
+        }
+        let rz_new = dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+    }
+    let res = norm(&r) / b_norm;
+    Err(SolveError::NoConvergence {
+        iterations: max_iter,
+        residual: res,
+    })
+}
+
+/// Solves `A·x = b` by dense Cholesky factorization — an O(n³) reference
+/// implementation used to validate PCG in tests and tiny models. Not for
+/// production grids.
+///
+/// # Errors
+///
+/// Returns [`SolveError::NotPositiveDefinite`] if the factorization
+/// encounters a non-positive pivot.
+///
+/// # Panics
+///
+/// Panics if `b`'s length does not match the matrix dimension.
+pub fn dense_cholesky_solve(a: &CsrMatrix, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+    let n = a.n();
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    // Densify.
+    let mut m = vec![0.0f64; n * n];
+    for i in 0..n {
+        let lo = a.row_ptr[i] as usize;
+        let hi = a.row_ptr[i + 1] as usize;
+        for k in lo..hi {
+            m[i * n + a.col[k] as usize] += a.val[k];
+        }
+    }
+    // In-place lower Cholesky: m = L·Lᵀ.
+    for j in 0..n {
+        let mut d = m[j * n + j];
+        for k in 0..j {
+            d -= m[j * n + k] * m[j * n + k];
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(SolveError::NotPositiveDefinite);
+        }
+        let d = d.sqrt();
+        m[j * n + j] = d;
+        for i in (j + 1)..n {
+            let mut v = m[i * n + j];
+            for k in 0..j {
+                v -= m[i * n + k] * m[j * n + k];
+            }
+            m[i * n + j] = v / d;
+        }
+    }
+    // Forward substitution L·y = b.
+    let mut y = b.to_vec();
+    for i in 0..n {
+        for k in 0..i {
+            y[i] -= m[i * n + k] * y[k];
+        }
+        y[i] /= m[i * n + i];
+    }
+    // Back substitution Lᵀ·x = y.
+    let mut x = y;
+    for i in (0..n).rev() {
+        for k in (i + 1)..n {
+            x[i] -= m[k * n + i] * x[k];
+        }
+        x[i] /= m[i * n + i];
+    }
+    Ok(x)
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn csr_from_dense(d: &[&[f64]]) -> CsrMatrix {
+        let n = d.len();
+        let mut t = TripletMatrix::new(n);
+        for (i, row) in d.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    t.add(i, j, v);
+                }
+            }
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn csr_conversion_sums_duplicates() {
+        let mut t = TripletMatrix::new(2);
+        t.add(0, 0, 1.0);
+        t.add(0, 0, 2.0);
+        t.add(1, 0, 5.0);
+        let a = t.to_csr();
+        assert_eq!(a.nnz(), 2);
+        let mut y = vec![0.0; 2];
+        a.mul_vec(&[1.0, 1.0], &mut y);
+        assert_eq!(y, vec![3.0, 5.0]);
+    }
+
+    #[test]
+    fn csr_handles_empty_rows() {
+        let mut t = TripletMatrix::new(4);
+        t.add(0, 0, 1.0);
+        t.add(3, 3, 2.0);
+        let a = t.to_csr();
+        let mut y = vec![0.0; 4];
+        a.mul_vec(&[1.0, 1.0, 1.0, 1.0], &mut y);
+        assert_eq!(y, vec![1.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        let a = csr_from_dense(&[&[4.0, -1.0], &[-1.0, 3.0]]);
+        assert_eq!(a.diagonal(), vec![4.0, 3.0]);
+    }
+
+    #[test]
+    fn pcg_solves_small_spd_system() {
+        // A = [[4,1],[1,3]], b = [1,2] -> x = [1/11, 7/11]
+        let a = csr_from_dense(&[&[4.0, 1.0], &[1.0, 3.0]]);
+        let sol = pcg(&a, &[1.0, 2.0], None, 1e-12, 100).unwrap();
+        assert!((sol.x[0] - 1.0 / 11.0).abs() < 1e-10);
+        assert!((sol.x[1] - 7.0 / 11.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn pcg_solves_grounded_resistor_ladder() {
+        // Chain of 5 nodes, conductance 2 between neighbours, node 0
+        // grounded with g=1, inject 1 W at node 4. All current flows to
+        // ground: T0 = 1/1, and each link adds 1/2.
+        let n = 5;
+        let mut t = TripletMatrix::new(n);
+        for i in 0..n - 1 {
+            t.add_conductance(i, i + 1, 2.0);
+        }
+        t.add_ground(0, 1.0);
+        let a = t.to_csr();
+        let mut b = vec![0.0; n];
+        b[4] = 1.0;
+        let sol = pcg(&a, &b, None, 1e-12, 1000).unwrap();
+        for (i, &ti) in sol.x.iter().enumerate() {
+            let expect = 1.0 + 0.5 * i as f64;
+            assert!((ti - expect).abs() < 1e-9, "node {i}: {ti} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn pcg_matches_dense_solution_on_random_spd() {
+        // Deterministic pseudo-random diagonally dominant SPD matrix.
+        let n = 30;
+        let mut seed = 0x12345678u64;
+        let mut rng = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64) / (u32::MAX as f64)
+        };
+        let mut dense = vec![vec![0.0f64; n]; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = rng() - 0.5;
+                dense[i][j] = v;
+                dense[j][i] = v;
+            }
+        }
+        for i in 0..n {
+            let off: f64 = (0..n).filter(|&j| j != i).map(|j| dense[i][j].abs()).sum();
+            dense[i][i] = off + 1.0 + rng();
+        }
+        let rows: Vec<&[f64]> = dense.iter().map(|r| r.as_slice()).collect();
+        let a = csr_from_dense(&rows);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64) * 0.1 - 1.0).collect();
+        let mut b = vec![0.0; n];
+        a.mul_vec(&x_true, &mut b);
+        let sol = pcg(&a, &b, None, 1e-12, 10_000).unwrap();
+        for i in 0..n {
+            assert!((sol.x[i] - x_true[i]).abs() < 1e-8, "i={i}");
+        }
+    }
+
+    #[test]
+    fn warm_start_reduces_iterations() {
+        let n = 50;
+        let mut t = TripletMatrix::new(n);
+        for i in 0..n - 1 {
+            t.add_conductance(i, i + 1, 1.0);
+        }
+        t.add_ground(0, 1.0);
+        let a = t.to_csr();
+        let b = vec![0.01; n];
+        let cold = pcg(&a, &b, None, 1e-10, 10_000).unwrap();
+        let warm = pcg(&a, &b, Some(&cold.x), 1e-10, 10_000).unwrap();
+        assert!(warm.iterations <= 1, "warm start took {}", warm.iterations);
+    }
+
+    #[test]
+    fn zero_rhs_short_circuits() {
+        let a = csr_from_dense(&[&[2.0]]);
+        let sol = pcg(&a, &[0.0], None, 1e-12, 10).unwrap();
+        assert_eq!(sol.x, vec![0.0]);
+        assert_eq!(sol.iterations, 0);
+    }
+
+    #[test]
+    fn indefinite_matrix_detected() {
+        let a = csr_from_dense(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        // Diagonal positive but matrix indefinite: p·Ap goes non-positive.
+        let err = pcg(&a, &[1.0, -1.0], None, 1e-12, 100).unwrap_err();
+        assert_eq!(err, SolveError::NotPositiveDefinite);
+    }
+
+    #[test]
+    fn zero_diagonal_rejected() {
+        let a = csr_from_dense(&[&[0.0, 1.0], &[1.0, 1.0]]);
+        assert_eq!(
+            pcg(&a, &[1.0, 1.0], None, 1e-12, 100).unwrap_err(),
+            SolveError::NotPositiveDefinite
+        );
+    }
+
+    #[test]
+    fn no_convergence_reports_residual() {
+        let n = 200;
+        let mut t = TripletMatrix::new(n);
+        for i in 0..n - 1 {
+            t.add_conductance(i, i + 1, 1.0);
+        }
+        t.add_ground(0, 1e-6);
+        let a = t.to_csr();
+        let b = vec![1.0; n];
+        match pcg(&a, &b, None, 1e-14, 2) {
+            Err(SolveError::NoConvergence { iterations: 2, residual }) => {
+                assert!(residual > 0.0)
+            }
+            other => panic!("expected NoConvergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "negative conductance")]
+    fn negative_conductance_rejected() {
+        let mut t = TripletMatrix::new(2);
+        t.add_conductance(0, 1, -1.0);
+    }
+
+    #[test]
+    fn dense_cholesky_matches_pcg() {
+        let n = 25;
+        let mut t = TripletMatrix::new(n);
+        for i in 0..n - 1 {
+            t.add_conductance(i, i + 1, 1.0 + i as f64 * 0.1);
+        }
+        for i in 0..n - 5 {
+            t.add_conductance(i, i + 5, 0.3);
+        }
+        t.add_ground(0, 2.0);
+        t.add_ground(n - 1, 0.5);
+        let a = t.to_csr();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin() + 2.0).collect();
+        let x_pcg = pcg(&a, &b, None, 1e-13, 10_000).unwrap().x;
+        let x_dense = dense_cholesky_solve(&a, &b).unwrap();
+        for i in 0..n {
+            assert!(
+                (x_pcg[i] - x_dense[i]).abs() < 1e-8,
+                "node {i}: {} vs {}",
+                x_pcg[i],
+                x_dense[i]
+            );
+        }
+    }
+
+    #[test]
+    fn dense_cholesky_detects_indefinite() {
+        let a = csr_from_dense(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert_eq!(
+            dense_cholesky_solve(&a, &[1.0, 1.0]).unwrap_err(),
+            SolveError::NotPositiveDefinite
+        );
+    }
+
+    #[test]
+    fn with_added_diagonal_shifts_solution() {
+        let mut t = TripletMatrix::new(3);
+        t.add_conductance(0, 1, 1.0);
+        t.add_conductance(1, 2, 1.0);
+        t.add_ground(0, 1.0);
+        let a = t.to_csr();
+        let shifted = a.with_added_diagonal(&[1.0, 1.0, 1.0]);
+        // Diagonal grows exactly by the shift.
+        let d0 = a.diagonal();
+        let d1 = shifted.diagonal();
+        for i in 0..3 {
+            assert!((d1[i] - d0[i] - 1.0).abs() < 1e-12);
+        }
+        // And the shifted system is better conditioned (fewer iterations).
+        let b = [1.0, 2.0, 3.0];
+        let it_shifted = pcg(&shifted, &b, None, 1e-12, 100).unwrap().iterations;
+        assert!(it_shifted <= 4);
+    }
+}

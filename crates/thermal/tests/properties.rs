@@ -1,0 +1,133 @@
+//! Property-based tests of the sparse solver and the thermal model.
+
+use proptest::prelude::*;
+use tac25d_floorplan::prelude::*;
+use tac25d_thermal::model::{PackageModel, ThermalConfig};
+use tac25d_thermal::sparse::{pcg, TripletMatrix};
+
+fn tiny_config() -> ThermalConfig {
+    ThermalConfig {
+        grid: 12,
+        ..ThermalConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// PCG solves random grounded resistor networks to the requested
+    /// tolerance (verified against the residual definition itself).
+    #[test]
+    fn pcg_meets_tolerance_on_random_networks(
+        n in 3usize..40,
+        seed in 0u64..1000,
+    ) {
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut rng = move || {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            ((state >> 33) as f64) / f64::from(u32::MAX)
+        };
+        let mut t = TripletMatrix::new(n);
+        // Random spanning chain keeps the network connected.
+        for i in 0..n - 1 {
+            t.add_conductance(i, i + 1, 0.1 + rng());
+        }
+        // Extra random edges.
+        for _ in 0..n {
+            let a = (rng() * n as f64) as usize % n;
+            let b = (rng() * n as f64) as usize % n;
+            if a != b {
+                t.add_conductance(a, b, rng());
+            }
+        }
+        t.add_ground(0, 1.0 + rng());
+        let a = t.to_csr();
+        let b_vec: Vec<f64> = (0..n).map(|_| rng() * 10.0).collect();
+        let sol = pcg(&a, &b_vec, None, 1e-10, 20_000).unwrap();
+        // Verify the residual independently.
+        let mut ax = vec![0.0; n];
+        a.mul_vec(&sol.x, &mut ax);
+        let res: f64 = ax.iter().zip(&b_vec).map(|(l, r)| (l - r) * (l - r)).sum::<f64>().sqrt();
+        let bn: f64 = b_vec.iter().map(|v| v * v).sum::<f64>().sqrt();
+        prop_assert!(res <= 1e-9 * bn.max(1.0), "residual {res}");
+    }
+
+    /// Superposition: the temperature *rise* of the sum of two power maps
+    /// equals the sum of the rises (the network is linear).
+    #[test]
+    fn thermal_superposition(
+        w1 in 1.0..200.0f64,
+        w2 in 1.0..200.0f64,
+        x in 0.0..12.0f64,
+        y in 0.0..12.0f64,
+    ) {
+        let chip = ChipSpec::scc_256();
+        let rules = PackageRules::default();
+        let model = PackageModel::new(
+            &chip,
+            &ChipletLayout::SingleChip,
+            &rules,
+            &StackSpec::baseline_2d(),
+            tiny_config(),
+        )
+        .unwrap();
+        let amb = 45.0;
+        let r1 = Rect::from_corner(0.0, 0.0, 18.0, 18.0);
+        let r2 = Rect::from_corner(x, y, 4.0, 4.0);
+        let probe = Rect::from_corner(8.0, 8.0, 2.0, 2.0);
+        let t1 = model.solve(&[(r1, w1)]).unwrap().rect_avg(&probe).value() - amb;
+        let t2 = model.solve(&[(r2, w2)]).unwrap().rect_avg(&probe).value() - amb;
+        let t12 = model
+            .solve(&[(r1, w1), (r2, w2)])
+            .unwrap()
+            .rect_avg(&probe)
+            .value()
+            - amb;
+        prop_assert!(
+            (t12 - (t1 + t2)).abs() < 1e-4 * (t1 + t2).abs().max(1.0),
+            "superposition violated: {t12} vs {t1} + {t2}"
+        );
+    }
+
+    /// Energy balance closes for arbitrary source sets.
+    #[test]
+    fn energy_balance_random_sources(
+        xs in prop::collection::vec((0.0..14.0f64, 0.0..14.0f64, 0.5..4.0f64, 1.0..50.0f64), 1..5),
+    ) {
+        let chip = ChipSpec::scc_256();
+        let rules = PackageRules::default();
+        let model = PackageModel::new(
+            &chip,
+            &ChipletLayout::SingleChip,
+            &rules,
+            &StackSpec::baseline_2d(),
+            tiny_config(),
+        )
+        .unwrap();
+        let sources: Vec<(Rect, f64)> = xs
+            .iter()
+            .map(|&(x, y, s, w)| (Rect::from_corner(x, y, s, s), w))
+            .collect();
+        let sol = model.solve(&sources).unwrap();
+        prop_assert!(sol.energy_balance_error() < 1e-6, "{}", sol.energy_balance_error());
+    }
+
+    /// Peak temperature is monotone in total power for fixed shape.
+    #[test]
+    fn peak_monotone_in_power(w in 10.0..400.0f64, dw in 1.0..100.0f64) {
+        let chip = ChipSpec::scc_256();
+        let rules = PackageRules::default();
+        let model = PackageModel::new(
+            &chip,
+            &ChipletLayout::SingleChip,
+            &rules,
+            &StackSpec::baseline_2d(),
+            tiny_config(),
+        )
+        .unwrap();
+        let die = Rect::from_corner(0.0, 0.0, 18.0, 18.0);
+        let p1 = model.solve(&[(die, w)]).unwrap().peak();
+        let p2 = model.solve(&[(die, w + dw)]).unwrap().peak();
+        prop_assert!(p2 > p1);
+    }
+}

@@ -1,0 +1,46 @@
+//! Cost-model explorer (Fig. 3(a) style): normalized 2.5D system cost
+//! versus interposer size, across defect densities and chiplet counts —
+//! pure cost model, no thermal simulation.
+//!
+//! ```text
+//! cargo run --release -p tac25d-bench --example cost_explorer
+//! ```
+
+use tac25d_cost::CostParams;
+
+fn main() {
+    let chip_area = 324.0; // 18 mm × 18 mm
+    println!("2.5D system cost normalized to the 18x18mm single chip");
+    println!(
+        "{:>8}  {:>14}  {:>14}  {:>14}  {:>14}",
+        "edge", "D0=0.25 n=4", "D0=0.25 n=16", "D0=0.30 n=4", "D0=0.30 n=16"
+    );
+    for edge in (20..=50).step_by(5) {
+        let edge = f64::from(edge);
+        let mut cells = vec![format!("{edge:>6.0}mm")];
+        for d0 in [0.25, 0.30] {
+            let params = CostParams::paper().with_defect_density(d0);
+            let c2d = params.single_chip_cost(chip_area);
+            for n in [4u32, 16] {
+                let chiplet_area = chip_area / f64::from(n);
+                let c = params
+                    .assembly_cost(n, chiplet_area, edge * edge)
+                    .total();
+                cells.push(format!("{:>14.3}", c / c2d));
+            }
+        }
+        // Reorder: n=4/n=16 within each D0 (cells pushed D0-major already).
+        println!(
+            "{}  {}  {}  {}  {}",
+            cells[0], cells[1], cells[2], cells[3], cells[4]
+        );
+    }
+    println!();
+    let params = CostParams::paper();
+    let c2d = params.single_chip_cost(chip_area);
+    let min16 = params.assembly_cost(16, chip_area / 16.0, 400.0).total();
+    println!(
+        "minimum-interposer 16-chiplet saving: {:.0}% (paper: 36%)",
+        (1.0 - min16 / c2d) * 100.0
+    );
+}

@@ -1,0 +1,112 @@
+//! Fleet capacity planning: a realistic downstream scenario.
+//!
+//! A datacenter operator deploys 10,000 sockets running a known mix of
+//! workloads and must pick ONE manufactured design. This example combines
+//! the multi-application optimizer with the cost model to compare three
+//! procurement options:
+//!
+//! 1. the conventional single chip (baseline);
+//! 2. the cheapest 2.5D design matching baseline performance;
+//! 3. the fastest 2.5D design at baseline cost.
+//!
+//! ```text
+//! cargo run --release -p tac25d-bench --example fleet_planner
+//! ```
+
+use tac25d_core::prelude::*;
+use tac25d_floorplan::units::Mm;
+
+const SOCKETS: f64 = 10_000.0;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut spec = SystemSpec::fast();
+    spec.edge_step = Mm(2.0);
+    let ev = Evaluator::new(spec);
+    // The fleet mix: mostly memory-bound service traffic, some solvers.
+    let apps = [Benchmark::Canneal, Benchmark::Streamcluster, Benchmark::Hpccg];
+    let usage = [0.5, 0.3, 0.2];
+
+    // Baseline fleet: single chips.
+    let mut base_cost = 0.0;
+    let mut base_ips = 0.0;
+    for (&b, &u) in apps.iter().zip(&usage) {
+        let bl = single_chip_baseline(&ev, b)?.expect("baseline exists");
+        base_cost = bl.cost; // identical across benchmarks
+        base_ips += u * bl.ips.0;
+    }
+    println!("fleet mix: canneal 50% / streamcluster 30% / hpccg 20%");
+    println!(
+        "baseline  : single chip, ${base_cost:.0}/socket, {:.0} effective GIPS/socket",
+        base_ips / 1e9
+    );
+    println!(
+        "            fleet: ${:.2}M silicon, {:.1} effective TIPS",
+        SOCKETS * base_cost / 1e6,
+        SOCKETS * base_ips / 1e12
+    );
+    println!();
+
+    // Option A: iso-performance, minimum cost.
+    let shared = optimize_multi_app(
+        &ev,
+        &apps,
+        &MultiAppPolicy::WeightedAverage(usage.to_vec()),
+        Weights::cost_only(),
+        &OptimizerConfig::default(),
+    )?
+    .expect("a shared cost-optimal design exists");
+    let cost_a = shared.per_app[0].candidate.cost;
+    let ips_a: f64 = apps
+        .iter()
+        .zip(&usage)
+        .zip(&shared.per_app)
+        .map(|((_, &u), org)| u * org.candidate.ips.0)
+        .sum();
+    println!(
+        "option A  : {} on {:.0} mm interposer (cheapest at ~baseline perf)",
+        shared.count, shared.edge_mm
+    );
+    println!(
+        "            ${cost_a:.0}/socket ({:+.0}%), {:.0} GIPS ({:+.0}%)",
+        (cost_a / base_cost - 1.0) * 100.0,
+        ips_a / 1e9,
+        (ips_a / base_ips - 1.0) * 100.0
+    );
+    println!(
+        "            fleet saves ${:.2}M of silicon",
+        SOCKETS * (base_cost - cost_a) / 1e6
+    );
+    println!();
+
+    // Option B: iso-cost, maximum performance.
+    let fast = optimize_multi_app(
+        &ev,
+        &apps,
+        &MultiAppPolicy::WeightedAverage(usage.to_vec()),
+        Weights::performance_only(),
+        &OptimizerConfig::default(),
+    )?
+    .expect("a shared perf-optimal design exists");
+    let cost_b = fast.per_app[0].candidate.cost;
+    let ips_b: f64 = apps
+        .iter()
+        .zip(&usage)
+        .zip(&fast.per_app)
+        .map(|((_, &u), org)| u * org.candidate.ips.0)
+        .sum();
+    println!(
+        "option B  : {} on {:.0} mm interposer (fastest shared design)",
+        fast.count, fast.edge_mm
+    );
+    println!(
+        "            ${cost_b:.0}/socket ({:+.0}%), {:.0} GIPS ({:+.0}%)",
+        (cost_b / base_cost - 1.0) * 100.0,
+        ips_b / 1e9,
+        (ips_b / base_ips - 1.0) * 100.0
+    );
+    println!(
+        "            equivalent to {:+.0} baseline sockets of capacity",
+        SOCKETS * (ips_b / base_ips - 1.0)
+    );
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Multi-application chiplet organization (paper Sec. IV): pick ONE
+//! manufactured design that serves a whole workload mix, under the
+//! worst-case, average and weighted-average policies.
+//!
+//! ```text
+//! cargo run --release -p tac25d-bench --example multi_app
+//! ```
+
+use tac25d_core::prelude::*;
+use tac25d_floorplan::units::Mm;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut spec = SystemSpec::fast();
+    spec.edge_step = Mm(2.0);
+    let ev = Evaluator::new(spec);
+    // A mixed deployment: mostly canneal-like service traffic with
+    // periodic cholesky-like batch jobs and hpccg-like solvers.
+    let apps = [Benchmark::Canneal, Benchmark::Hpccg, Benchmark::Cholesky];
+    let usage = vec![0.6, 0.3, 0.1];
+
+    for (name, policy) in [
+        ("worst-case", MultiAppPolicy::WorstCase),
+        ("average", MultiAppPolicy::Average),
+        ("weighted (60/30/10)", MultiAppPolicy::WeightedAverage(usage)),
+    ] {
+        println!("policy: {name}");
+        match optimize_multi_app(
+            &ev,
+            &apps,
+            &policy,
+            Weights::balanced(),
+            &OptimizerConfig::default(),
+        )? {
+            None => println!("  no shared design is feasible"),
+            Some(r) => {
+                println!(
+                    "  shared design: {} on a {:.0} mm interposer (objective {:.3})",
+                    r.count, r.edge_mm, r.objective
+                );
+                for (b, org) in apps.iter().zip(&r.per_app) {
+                    println!(
+                        "    {:<14} {} x{:<3} -> {:+.0}% perf, peak {:.1}°C",
+                        b.name(),
+                        org.candidate.op,
+                        org.candidate.active_cores,
+                        (org.normalized_perf - 1.0) * 100.0,
+                        org.peak.value()
+                    );
+                }
+            }
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Run the paper's multi-start greedy optimizer for one benchmark and print
+//! the chosen chiplet organization, Fig. 8 style — including an ASCII
+//! rendering of the placement and the Mintemp workload allocation.
+//!
+//! ```text
+//! cargo run --release -p tac25d-bench --example optimize_organization -- \
+//!     [--benchmark hpccg] [--fast]
+//! ```
+
+use tac25d_bench::runner::{benchmarks_from_args, spec_from_args};
+use tac25d_core::prelude::*;
+use tac25d_floorplan::prelude::*;
+use tac25d_floorplan::raster::place_cores;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ev = Evaluator::new(spec_from_args());
+    let benchmark = benchmarks_from_args()[0];
+
+    println!("optimizing {benchmark} (α=1, β=0, threshold {}) ...", ev.spec().threshold);
+    let result = optimize(&ev, benchmark, &OptimizerConfig::default())?;
+    let baseline = &result.baseline;
+    println!();
+    println!(
+        "single-chip baseline : {} with {} cores -> {} (peak {:.1}°C, ${:.0})",
+        baseline.op,
+        baseline.active_cores,
+        baseline.ips,
+        baseline.peak.value(),
+        baseline.cost
+    );
+    match &result.best {
+        None => println!("no feasible 2.5D organization under the threshold"),
+        Some(best) => {
+            println!(
+                "optimal organization : {} at {} with {} cores",
+                best.layout, best.candidate.op, best.candidate.active_cores
+            );
+            println!(
+                "                       interposer {}, peak {:.1}°C, ${:.0}",
+                best.candidate.edge,
+                best.peak.value(),
+                best.candidate.cost
+            );
+            println!(
+                "performance          : {} ({:+.0}% vs baseline)",
+                best.candidate.ips,
+                (best.normalized_perf - 1.0) * 100.0
+            );
+            println!(
+                "cost                 : {:+.0}% vs baseline",
+                (best.normalized_cost - 1.0) * 100.0
+            );
+            println!(
+                "search               : {} candidates, {} tried, {} thermal sims",
+                result.stats.candidates_total, result.stats.candidates_tried, result.stats.thermal_sims
+            );
+            println!();
+            draw_layout(&ev, &best.layout, best.candidate.active_cores);
+        }
+    }
+    Ok(())
+}
+
+/// Renders the interposer floorplan: '#' = active core tile, '.' = dark
+/// core tile, ' ' = interposer.
+fn draw_layout(ev: &Evaluator, layout: &ChipletLayout, p: u16) {
+    let spec = ev.spec();
+    let cols = 64usize;
+    let edge = layout.footprint_edge(&spec.chip, &spec.rules).value();
+    let scale = cols as f64 / edge;
+    let rows = cols / 2; // terminal cells are ~2x taller than wide
+    let mut canvas = vec![vec![' '; cols]; rows];
+    let placed = place_cores(&spec.chip, layout, &spec.rules).expect("core-accurate layout");
+    let active: std::collections::HashSet<_> =
+        mintemp_active_cores(&spec.chip, p).into_iter().collect();
+    for pc in &placed {
+        let c = pc.rect.center();
+        let x = ((c.x.value() * scale) as usize).min(cols - 1);
+        let y = ((c.y.value() * scale / 2.0) as usize).min(rows - 1);
+        let glyph = if active.contains(&pc.core) { '#' } else { '.' };
+        canvas[rows - 1 - y][x] = glyph;
+    }
+    println!("placement ('#' active, '.' dark, {}mm x {0}mm interposer):", edge);
+    for row in canvas {
+        println!("  |{}|", row.into_iter().collect::<String>());
+    }
+}

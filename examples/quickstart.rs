@@ -1,0 +1,60 @@
+//! Quickstart: evaluate one thermally-aware 2.5D organization end to end.
+//!
+//! Builds the paper's 256-core system as 16 chiplets with non-uniform
+//! spacing, runs the coupled power/thermal loop for one benchmark at the
+//! nominal operating point, and compares peak temperature and manufacturing
+//! cost against the single-chip baseline.
+//!
+//! ```text
+//! cargo run --release -p tac25d-bench --example quickstart
+//! ```
+
+use tac25d_core::prelude::*;
+use tac25d_floorplan::prelude::{ChipletLayout, Spacing};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ev = Evaluator::new(SystemSpec::fast());
+    let spec = ev.spec();
+    let benchmark = Benchmark::Cholesky;
+    let op = spec.vf.nominal();
+
+    // A 16-chiplet organization: outer-ring gaps 6 mm, centre chiplets
+    // pulled 3 mm from the centre lines, middle gap 6 mm.
+    let layout = ChipletLayout::Symmetric16 {
+        spacing: Spacing::new(6.0, 3.0, 6.0),
+    };
+    layout.validate(&spec.chip, &spec.rules)?;
+    let edge = layout
+        .interposer_edge(&spec.chip, &spec.rules)
+        .expect("16-chiplet systems have an interposer");
+
+    let e25 = ev.evaluate(&layout, benchmark, op, 256)?;
+    let e2d = ev.evaluate(&ChipletLayout::SingleChip, benchmark, op, 256)?;
+
+    let cost_2d = spec.cost.single_chip_cost(spec.chip.area().value());
+    let wc = spec.chip.edge().value() / 4.0;
+    let cost_25 = spec
+        .cost
+        .assembly_cost(16, wc * wc, edge.value() * edge.value())
+        .total();
+
+    println!("benchmark            : {benchmark} at {op}, 256 active cores");
+    println!("layout               : {layout}");
+    println!("interposer edge      : {edge}");
+    println!();
+    println!("single chip peak     : {:>7.1}°C  (threshold {})", e2d.peak.value(), spec.threshold);
+    println!("2.5D system peak     : {:>7.1}°C", e25.peak.value());
+    println!("single chip power    : {:>7.1} W", e2d.total_power.value());
+    println!("2.5D system power    : {:>7.1} W (incl. {:.1} W NoC)", e25.total_power.value(), e25.noc_power.value());
+    println!("single chip cost     : {cost_2d:>7.1} $");
+    println!("2.5D system cost     : {cost_25:>7.1} $  ({:+.0}%)", (cost_25 / cost_2d - 1.0) * 100.0);
+    println!();
+    if e25.feasible(spec.threshold) && !e2d.feasible(spec.threshold) {
+        println!(
+            "=> the 2.5D organization reclaims dark silicon: it runs all 256 cores at {} \
+             under {} where the single chip cannot.",
+            op, spec.threshold
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! Spacing sweep (Fig. 5 style): peak temperature of a benchmark versus
+//! uniform chiplet spacing, for 4- and 16-chiplet organizations, with all
+//! 256 cores active at 1 GHz.
+//!
+//! ```text
+//! cargo run --release -p tac25d-bench --example spacing_sweep -- [--benchmark shock]
+//! ```
+
+use tac25d_bench::runner::{benchmarks_from_args, spec_from_args};
+use tac25d_core::prelude::*;
+use tac25d_floorplan::prelude::{ChipletLayout, Mm};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ev = Evaluator::new(spec_from_args());
+    let spec = ev.spec();
+    let op = spec.vf.nominal();
+    let benchmark = benchmarks_from_args()[0];
+
+    println!("peak temperature vs uniform spacing — {benchmark}, 256 cores @ {op}");
+    println!("{:>10}  {:>12}  {:>12}", "spacing", "4-chiplet", "16-chiplet");
+    for half_mm in 0..=20 {
+        let gap = Mm(0.5 * f64::from(half_mm));
+        let mut cells = vec![format!("{:>8.1}mm", gap.value())];
+        for r in [2u16, 4] {
+            let layout = ChipletLayout::Uniform { r, gap };
+            // Skip spacings that push the interposer past the 50 mm cap.
+            if layout
+                .interposer_edge(&spec.chip, &spec.rules)
+                .is_some_and(|e| e.value() > spec.rules.max_interposer.value())
+            {
+                cells.push(format!("{:>12}", "-"));
+                continue;
+            }
+            let e = ev.evaluate(&layout, benchmark, op, 256)?;
+            let mark = if e.feasible(spec.threshold) { " " } else { "*" };
+            cells.push(format!("{:>10.1}°C{mark}", e.peak.value()));
+        }
+        println!("{}", cells.join("  "));
+    }
+    println!("(* = above the {} threshold)", spec.threshold);
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Render the steady-state die temperature field of a chiplet organization
+//! as an ASCII heat map — handy for eyeballing how spacing moves hotspots.
+//!
+//! ```text
+//! cargo run --release -p tac25d-bench --example thermal_map -- [--benchmark shock]
+//! ```
+
+use tac25d_bench::runner::{benchmarks_from_args, spec_from_args};
+use tac25d_core::prelude::*;
+use tac25d_floorplan::prelude::{ChipletLayout, Mm, Spacing};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ev = Evaluator::new(spec_from_args());
+    let spec = ev.spec();
+    let op = spec.vf.nominal();
+    let benchmark = benchmarks_from_args()[0];
+
+    for (label, layout) in [
+        ("single chip", ChipletLayout::SingleChip),
+        ("16 chiplets, tight (1 mm uniform)", ChipletLayout::Uniform { r: 4, gap: Mm(1.0) }),
+        (
+            "16 chiplets, thermally aware (s1=4, s2=2.5, s3=5)",
+            ChipletLayout::Symmetric16 {
+                spacing: Spacing::new(4.0, 2.5, 5.0),
+            },
+        ),
+    ] {
+        let e = ev.evaluate(&layout, benchmark, op, 256)?;
+        println!("\n{label} — {benchmark} @ {op}: peak {:.1}°C", e.peak.value());
+        draw(&ev, &layout, benchmark, op)?;
+    }
+    Ok(())
+}
+
+fn draw(
+    ev: &Evaluator,
+    layout: &ChipletLayout,
+    benchmark: Benchmark,
+    op: tac25d_power::dvfs::OperatingPoint,
+) -> Result<(), Box<dyn std::error::Error>> {
+    // Re-solve to get the full temperature grid (evaluations only keep the
+    // summary; the model cache makes this cheap).
+    use tac25d_floorplan::raster::place_cores;
+    use tac25d_thermal::model::{PackageModel, ThermalConfig};
+
+    let spec = ev.spec();
+    let stack = if layout.is_single_chip() {
+        &spec.stack_2d
+    } else {
+        &spec.stack_25d
+    };
+    let cfg = ThermalConfig {
+        grid: 48,
+        ..spec.thermal.clone()
+    };
+    let model = PackageModel::new(&spec.chip, layout, &spec.rules, stack, cfg)?;
+    let placed = place_cores(&spec.chip, layout, &spec.rules)?;
+    let profile = benchmark.profile();
+    let sources: Vec<_> = placed
+        .iter()
+        .map(|pc| {
+            (
+                pc.rect,
+                spec.core_power.active_power(
+                    &profile,
+                    op,
+                    tac25d_floorplan::units::Celsius(80.0),
+                ),
+            )
+        })
+        .collect();
+    let sol = model.solve(&sources)?;
+    let grid = sol.die_grid();
+    let (lo, hi) = (spec.thermal.ambient.value(), sol.peak().value());
+    let ramp: &[char] = &[' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    for iy in (0..grid.ny()).rev().step_by(2) {
+        let mut line = String::new();
+        for ix in 0..grid.nx() {
+            let t = grid.get(ix, iy);
+            let norm = ((t - lo) / (hi - lo + 1e-9)).clamp(0.0, 0.999);
+            line.push(ramp[(norm * ramp.len() as f64) as usize]);
+        }
+        println!("  |{line}|");
+    }
+    println!("  scale: ' '={lo:.0}°C … '@'={hi:.1}°C");
+    Ok(())
+}

@@ -1,0 +1,188 @@
+//! Cross-crate integration tests: the full organization → floorplan →
+//! power/NoC → thermal → optimizer pipeline, on a coarse grid for speed.
+
+use tac25d_core::prelude::*;
+use tac25d_floorplan::prelude::*;
+use tac25d_floorplan::units::Celsius;
+
+fn evaluator() -> Evaluator {
+    let mut spec = SystemSpec::fast();
+    spec.thermal.grid = 16;
+    spec.edge_step = Mm(2.0);
+    Evaluator::new(spec)
+}
+
+#[test]
+fn full_pipeline_single_evaluation() {
+    let ev = evaluator();
+    let layout = ChipletLayout::Symmetric16 {
+        spacing: Spacing::new(3.0, 1.5, 4.0),
+    };
+    let e = ev
+        .evaluate(&layout, Benchmark::Hpccg, ev.spec().vf.nominal(), 256)
+        .expect("evaluation succeeds");
+    assert!(e.converged);
+    assert!(e.peak.value() > ev.spec().thermal.ambient.value());
+    assert!(e.total_power.value() > 200.0, "256 hpccg cores dissipate >200 W");
+    assert!(e.noc_power.value() > 0.5 && e.noc_power.value() < 15.0);
+    assert!(e.ips.gips() > 0.0);
+}
+
+#[test]
+fn thermally_aware_spacing_beats_tight_packing() {
+    // The core thesis: same silicon, same power — spreading chiplets
+    // lowers peak temperature, enabling higher (f, p) under a threshold.
+    let ev = evaluator();
+    let op = ev.spec().vf.nominal();
+    let tight = ev
+        .evaluate(
+            &ChipletLayout::Uniform { r: 4, gap: Mm(0.5) },
+            Benchmark::Cholesky,
+            op,
+            256,
+        )
+        .unwrap();
+    let spread = ev
+        .evaluate(
+            &ChipletLayout::Uniform { r: 4, gap: Mm(8.0) },
+            Benchmark::Cholesky,
+            op,
+            256,
+        )
+        .unwrap();
+    assert!(
+        spread.peak.value() < tight.peak.value() - 15.0,
+        "spreading must cool substantially: {} vs {}",
+        spread.peak,
+        tight.peak
+    );
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "experiment-grade test; run with --release")]
+fn optimizer_output_is_self_consistent() {
+    let ev = evaluator();
+    let result = optimize(&ev, Benchmark::Hpccg, &OptimizerConfig::default()).unwrap();
+    let best = result.best.expect("hpccg has a solution");
+    // The reported organization re-evaluates to the same feasible state.
+    let e = ev
+        .evaluate(
+            &best.layout,
+            Benchmark::Hpccg,
+            best.candidate.op,
+            best.candidate.active_cores,
+        )
+        .unwrap();
+    assert!(e.feasible(ev.spec().threshold));
+    assert!((e.peak.value() - best.peak.value()).abs() < 1e-9);
+    // Normalizations agree with the baseline.
+    assert!(
+        (best.normalized_perf - best.candidate.ips.0 / result.baseline.ips.0).abs() < 1e-12
+    );
+    // The layout's interposer edge matches the candidate's.
+    let edge = best
+        .layout
+        .interposer_edge(&ev.spec().chip, &ev.spec().rules)
+        .expect("2.5D layout");
+    assert!((edge.value() - best.candidate.edge.value()).abs() < 1e-9);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "experiment-grade test; run with --release")]
+fn optimizer_respects_candidate_filters() {
+    let ev = evaluator();
+    let iso_cost = optimize_with_filter(
+        &ev,
+        Benchmark::Swaptions,
+        &OptimizerConfig::default(),
+        |c, base| c.cost <= base.cost,
+    )
+    .unwrap();
+    if let Some(best) = iso_cost.best {
+        assert!(best.normalized_cost <= 1.0 + 1e-9);
+    }
+    let iso_perf = optimize_with_filter(
+        &ev,
+        Benchmark::Swaptions,
+        &OptimizerConfig {
+            weights: Weights::cost_only(),
+            ..OptimizerConfig::default()
+        },
+        |c, base| c.ips.0 >= base.ips.0,
+    )
+    .unwrap();
+    let best = iso_perf.best.expect("swaptions iso-perf solution exists");
+    assert!(best.normalized_perf >= 1.0 - 1e-9);
+    assert!(best.normalized_cost < 1.0, "2.5D at iso-perf must be cheaper");
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "experiment-grade test; run with --release")]
+fn higher_threshold_never_hurts_performance() {
+    let run = |threshold: f64| {
+        let mut spec = SystemSpec::fast();
+        spec.thermal.grid = 16;
+        spec.edge_step = Mm(4.0);
+        let ev = Evaluator::new(spec.with_threshold(Celsius(threshold)));
+        optimize(&ev, Benchmark::Streamcluster, &OptimizerConfig::default())
+            .unwrap()
+            .best
+            .map(|b| b.candidate.ips.0)
+    };
+    let at_85 = run(85.0).expect("feasible at 85C");
+    let at_105 = run(105.0).expect("feasible at 105C");
+    assert!(at_105 >= at_85 - 1e-9, "{at_105} vs {at_85}");
+}
+
+#[test]
+fn evaluation_errors_are_reported_not_panicked() {
+    let ev = evaluator();
+    // Invalid layout (Eq. (10) violation) surfaces as a layout error.
+    let bad = ChipletLayout::Symmetric16 {
+        spacing: Spacing::new(0.0, 5.0, 0.0),
+    };
+    let err = ev
+        .evaluate(&bad, Benchmark::Canneal, ev.spec().vf.nominal(), 256)
+        .unwrap_err();
+    assert!(matches!(err, EvalError::Layout(_)), "{err}");
+}
+
+#[test]
+fn mintemp_allocation_is_cooler_than_clustered() {
+    // Mintemp's periphery-first chessboard allocation must beat a naive
+    // clustered (row-major) allocation of the same core count.
+    use tac25d_floorplan::raster::place_cores;
+    use tac25d_thermal::model::{PackageModel, ThermalConfig};
+
+    let chip = ChipSpec::scc_256();
+    let rules = PackageRules::default();
+    let layout = ChipletLayout::SingleChip;
+    let model = PackageModel::new(
+        &chip,
+        &layout,
+        &rules,
+        &StackSpec::baseline_2d(),
+        ThermalConfig {
+            grid: 24,
+            ..ThermalConfig::default()
+        },
+    )
+    .unwrap();
+    let placed = place_cores(&chip, &layout, &rules).unwrap();
+    let per_core = 1.2;
+    let p = 128u16;
+
+    let mintemp: Vec<_> = mintemp_active_cores(&chip, p)
+        .into_iter()
+        .map(|c| (placed[c.0 as usize].rect, per_core))
+        .collect();
+    let clustered: Vec<_> = (0..p)
+        .map(|i| (placed[i as usize].rect, per_core))
+        .collect();
+    let t_mintemp = model.solve(&mintemp).unwrap().peak().value();
+    let t_clustered = model.solve(&clustered).unwrap().peak().value();
+    assert!(
+        t_mintemp < t_clustered - 3.0,
+        "Mintemp {t_mintemp} should be cooler than clustered {t_clustered}"
+    );
+}

@@ -1,0 +1,98 @@
+//! Golden regression test for the Fig. 8 reproduction: pins the optimizer's
+//! chosen organizations at the experiment-grade spec so calibration drift
+//! is caught immediately (see EXPERIMENTS.md "Calibration record" — these
+//! values are one-way doors).
+//!
+//! Slower than the unit suites (full optimizations at grid 32); values
+//! carry small tolerances so legitimate numerical changes (e.g. a better
+//! preconditioner) don't trip it, but any change to the calibrated
+//! constants will.
+
+use tac25d_core::prelude::*;
+use tac25d_floorplan::units::Mm;
+
+struct Golden {
+    benchmark: Benchmark,
+    base_mhz: f64,
+    base_cores: u16,
+    opt_mhz: f64,
+    opt_cores: u16,
+    perf_gain: f64,
+    gain_tol: f64,
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "experiment-grade test; run with --release")]
+fn fig8_organizations_are_stable() {
+    let goldens = [
+        Golden {
+            benchmark: Benchmark::Cholesky,
+            base_mhz: 533.0,
+            base_cores: 256,
+            opt_mhz: 1000.0,
+            opt_cores: 256,
+            perf_gain: 0.795,
+            gain_tol: 0.02,
+        },
+        Golden {
+            benchmark: Benchmark::Hpccg,
+            base_mhz: 1000.0,
+            base_cores: 160,
+            opt_mhz: 1000.0,
+            opt_cores: 256,
+            perf_gain: 0.393,
+            gain_tol: 0.02,
+        },
+        Golden {
+            benchmark: Benchmark::LuCont,
+            base_mhz: 1000.0,
+            base_cores: 96,
+            opt_mhz: 1000.0,
+            opt_cores: 96,
+            perf_gain: 0.0,
+            gain_tol: 1e-9,
+        },
+        Golden {
+            benchmark: Benchmark::Shock,
+            base_mhz: 533.0,
+            base_cores: 256,
+            opt_mhz: 1000.0,
+            opt_cores: 256,
+            perf_gain: 0.864,
+            gain_tol: 0.02,
+        },
+    ];
+    // The experiment-grade spec used by the fig8/headline binaries.
+    let mut spec = SystemSpec::fast();
+    spec.edge_step = Mm(1.0);
+    let ev = Evaluator::new(spec);
+    for g in goldens {
+        let r = optimize(&ev, g.benchmark, &OptimizerConfig::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", g.benchmark));
+        assert_eq!(
+            r.baseline.op.freq_mhz, g.base_mhz,
+            "{} baseline frequency",
+            g.benchmark
+        );
+        assert_eq!(
+            r.baseline.active_cores, g.base_cores,
+            "{} baseline cores",
+            g.benchmark
+        );
+        let best = r.best.unwrap_or_else(|| panic!("{} has a solution", g.benchmark));
+        assert_eq!(best.candidate.op.freq_mhz, g.opt_mhz, "{} optimum frequency", g.benchmark);
+        assert_eq!(
+            best.candidate.active_cores, g.opt_cores,
+            "{} optimum cores",
+            g.benchmark
+        );
+        let gain = best.normalized_perf - 1.0;
+        assert!(
+            (gain - g.perf_gain).abs() <= g.gain_tol,
+            "{}: gain {gain:.3} drifted from golden {:.3}",
+            g.benchmark,
+            g.perf_gain
+        );
+        assert!(best.peak.value() <= 85.0 + 1e-6, "{} peak", g.benchmark);
+    }
+}
