@@ -12,7 +12,11 @@ use tac25d_power::prelude::*;
 fn bench_cost(c: &mut Criterion) {
     let params = CostParams::paper();
     c.bench_function("cost_assembly_16_chiplets", |b| {
-        b.iter(|| params.assembly_cost(16, 20.25, std::hint::black_box(1225.0)).total())
+        b.iter(|| {
+            params
+                .assembly_cost(16, 20.25, std::hint::black_box(1225.0))
+                .total()
+        })
     });
 }
 

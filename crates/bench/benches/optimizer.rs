@@ -52,8 +52,14 @@ fn bench_greedy_vs_exhaustive(c: &mut Criterion) {
             || Evaluator::new(spec()),
             |ev| {
                 let cand = make_candidate(&ev, 34.0, 256);
-                find_placement(&ev, Benchmark::Hpccg, &cand, PlacementSearch::Exhaustive, 42)
-                    .expect("search")
+                find_placement(
+                    &ev,
+                    Benchmark::Hpccg,
+                    &cand,
+                    PlacementSearch::Exhaustive,
+                    42,
+                )
+                .expect("search")
             },
         )
     });

@@ -37,9 +37,7 @@ fn main() -> std::io::Result<()> {
     )
     .expect("model builds");
     let placed = place_cores(&spec.chip, &layout, &spec.rules).expect("core map");
-    let per_core = spec
-        .core_power
-        .active_power(&profile, op, Celsius(75.0));
+    let per_core = spec.core_power.active_power(&profile, op, Celsius(75.0));
 
     let mut header = vec!["active_cores".to_owned()];
     header.extend(policies.iter().map(|(n, _)| (*n).to_owned()));

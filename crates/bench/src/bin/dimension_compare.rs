@@ -42,12 +42,7 @@ fn main() -> std::io::Result<()> {
     // area (edge/√2), which also halves the spreader and sink. Each tier
     // carries half the cores at the original power density.
     let chip_3d = ChipSpec::new(16, Mm(18.0 / std::f64::consts::SQRT_2), 8);
-    let die_3d = Rect::from_corner(
-        0.0,
-        0.0,
-        chip_3d.edge().value(),
-        chip_3d.edge().value(),
-    );
+    let die_3d = Rect::from_corner(0.0, 0.0, chip_3d.edge().value(), chip_3d.edge().value());
     let m3d = PackageModel::new(
         &chip_3d,
         &ChipletLayout::SingleChip,

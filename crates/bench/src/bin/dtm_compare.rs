@@ -39,8 +39,7 @@ fn main() -> std::io::Result<()> {
     ];
     for b in [Benchmark::Cholesky, Benchmark::Shock] {
         for (name, layout) in &layouts {
-            let r = simulate_dtm(&spec, layout, b, 256, &policy, duration)
-                .expect("dtm simulation");
+            let r = simulate_dtm(&spec, layout, b, 256, &policy, duration).expect("dtm simulation");
             report.row(&[
                 (*name).to_owned(),
                 b.name().to_owned(),

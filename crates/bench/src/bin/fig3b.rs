@@ -84,8 +84,7 @@ fn peak_for(
         grid,
         ..ThermalConfig::default()
     };
-    let model =
-        PackageModel::new(chip, &layout, rules, &StackSpec::system_25d(), cfg).ok()?;
+    let model = PackageModel::new(chip, &layout, rules, &StackSpec::system_25d(), cfg).ok()?;
     let sources: Vec<_> = layout
         .chiplet_rects(chip, rules)
         .into_iter()

@@ -43,7 +43,15 @@ fn main() -> std::io::Result<()> {
 
     let mut report = Report::new(
         "fig5",
-        &["benchmark", "spacing_mm", "single_chip", "n4", "n16", "n64", "n256"],
+        &[
+            "benchmark",
+            "spacing_mm",
+            "single_chip",
+            "n4",
+            "n16",
+            "n64",
+            "n256",
+        ],
     );
     for &b in &benchmarks {
         let chip_peak = ev
@@ -53,7 +61,11 @@ fn main() -> std::io::Result<()> {
             .value();
         for &gap in &spacings {
             let mut row = vec![b.name().to_owned(), fmt(gap, 1)];
-            row.push(if gap == 0.0 { fmt(chip_peak, 1) } else { "-".into() });
+            row.push(if gap == 0.0 {
+                fmt(chip_peak, 1)
+            } else {
+                "-".into()
+            });
             for &(r, _) in &counts {
                 let idx = items
                     .iter()

@@ -88,7 +88,10 @@ fn main() -> std::io::Result<()> {
             })
             .min_by(|a, b| a.1.partial_cmp(&b.1).expect("objective finite"));
         if let Some((e, o)) = best {
-            println!("{:<14} balanced-weight optimum at {e:.0} mm (objective {o:.3})", b.name());
+            println!(
+                "{:<14} balanced-weight optimum at {e:.0} mm (objective {o:.3})",
+                b.name()
+            );
         }
     }
     Ok(())

@@ -9,6 +9,11 @@
 //! harness compares (a) the feasibility verdict and (b) the thermal
 //! simulations each search spends. Separate evaluators keep the
 //! simulation accounting honest (no shared cache).
+//!
+//! The same methodology is applied to the surrogate-screened greedy
+//! (`Fidelity::Surrogate`): its feasibility verdict is compared against
+//! the exact greedy's, demonstrating that the new fidelity tier preserves
+//! the paper's solution-match property while spending fewer exact solves.
 
 use tac25d_bench::runner::{parallel_map, spec_from_args};
 use tac25d_bench::{fmt, Report};
@@ -37,9 +42,7 @@ fn main() -> std::io::Result<()> {
         }
     }
 
-    let results = parallel_map(cases.clone(), |&(b, edge, p)| {
-        run_case(b, edge, p)
-    });
+    let results = parallel_map(cases.clone(), |&(b, edge, p)| run_case(b, edge, p));
 
     let mut report = Report::new(
         "greedy_validation",
@@ -52,15 +55,22 @@ fn main() -> std::io::Result<()> {
             "match",
             "greedy_sims",
             "exhaustive_sims",
+            "screened_feasible",
+            "screened_match",
+            "screened_sims",
         ],
     );
     let mut matches = 0usize;
-    let (mut gsims, mut xsims) = (0usize, 0usize);
+    let mut screened_matches = 0usize;
+    let (mut gsims, mut xsims, mut ssims) = (0usize, 0usize, 0usize);
     for ((b, edge, p), r) in cases.iter().zip(&results) {
         let m = r.greedy_feasible == r.exhaustive_feasible;
+        let sm = r.screened_feasible == r.greedy_feasible;
         matches += usize::from(m);
+        screened_matches += usize::from(sm);
         gsims += r.greedy_sims;
         xsims += r.exhaustive_sims;
+        ssims += r.screened_sims;
         report.row(&[
             b.name().to_owned(),
             fmt(*edge, 0),
@@ -70,6 +80,9 @@ fn main() -> std::io::Result<()> {
             m.to_string(),
             r.greedy_sims.to_string(),
             r.exhaustive_sims.to_string(),
+            r.screened_feasible.to_string(),
+            sm.to_string(),
+            r.screened_sims.to_string(),
         ]);
     }
     report.finish()?;
@@ -85,19 +98,28 @@ fn main() -> std::io::Result<()> {
         "thermal simulations: greedy {gsims}, exhaustive {xsims} -> {:.1}x fewer",
         xsims as f64 / gsims.max(1) as f64
     );
+    println!(
+        "surrogate-screened vs exact greedy: {}/{} = {:.1}% match, {} exact solves ({:.1}x fewer than exact greedy)",
+        screened_matches,
+        cases.len(),
+        100.0 * screened_matches as f64 / cases.len() as f64,
+        ssims,
+        gsims as f64 / ssims.max(1) as f64
+    );
     Ok(())
 }
 
 struct CaseResult {
     greedy_feasible: bool,
     exhaustive_feasible: bool,
+    screened_feasible: bool,
     greedy_sims: usize,
     exhaustive_sims: usize,
+    screened_sims: usize,
 }
 
 fn run_case(b: Benchmark, edge: f64, p: u16) -> CaseResult {
-    let run = |search: PlacementSearch| {
-        let ev = Evaluator::new(spec_from_args());
+    let run = |ev: Evaluator, search: PlacementSearch, fidelity: Fidelity| {
         let spec = ev.spec();
         let op = spec.vf.nominal();
         let wc = spec.chip.edge().value() / 4.0;
@@ -107,24 +129,41 @@ fn run_case(b: Benchmark, edge: f64, p: u16) -> CaseResult {
             op,
             active_cores: p,
             ips: ev.ips(b, op, p),
-            cost: spec
-                .cost
-                .assembly_cost(16, wc * wc, edge * edge)
-                .total(),
+            cost: spec.cost.assembly_cost(16, wc * wc, edge * edge).total(),
             objective: 0.0,
         };
+        let cfg = OptimizerConfig {
+            search,
+            seed: 42,
+            fidelity,
+            ..OptimizerConfig::default()
+        };
         let before = ev.thermal_sims();
-        let found = find_placement(&ev, b, &cand, search, 42)
+        let mut stats = SearchStats::default();
+        let found = find_placement_with(&ev, b, &cand, &cfg, &mut stats)
             .expect("placement search")
             .is_some();
         (found, ev.thermal_sims() - before)
     };
-    let (greedy_feasible, greedy_sims) = run(PlacementSearch::MultiStartGreedy { starts: 10 });
-    let (exhaustive_feasible, exhaustive_sims) = run(PlacementSearch::Exhaustive);
+    let greedy = PlacementSearch::MultiStartGreedy { starts: 10 };
+    let (greedy_feasible, greedy_sims) =
+        run(Evaluator::new(spec_from_args()), greedy, Fidelity::Exact);
+    let (exhaustive_feasible, exhaustive_sims) = run(
+        Evaluator::new(spec_from_args()),
+        PlacementSearch::Exhaustive,
+        Fidelity::Exact,
+    );
+    let (screened_feasible, screened_sims) = run(
+        Evaluator::with_surrogate(spec_from_args(), SurrogateConfig::default()),
+        greedy,
+        Fidelity::surrogate_default(),
+    );
     CaseResult {
         greedy_feasible,
         exhaustive_feasible,
+        screened_feasible,
         greedy_sims,
         exhaustive_sims,
+        screened_sims,
     }
 }

@@ -48,7 +48,11 @@ fn main() -> std::io::Result<()> {
 
     println!();
     for (threshold, avg, max) in summary {
-        let paper = if threshold == 85.0 { "41% avg / 87% max" } else { "16% avg / 39% max" };
+        let paper = if threshold == 85.0 {
+            "41% avg / 87% max"
+        } else {
+            "16% avg / 39% max"
+        };
         println!(
             "{threshold:.0}°C: iso-cost performance gain avg {:.0}% / max {:.0}%   (paper: {paper})",
             avg * 100.0,
@@ -66,8 +70,8 @@ fn iso_cost_gain(ev: &Evaluator, b: Benchmark) -> Option<f64> {
         chiplet_counts: vec![ChipletCount::Sixteen],
         ..OptimizerConfig::default()
     };
-    let r = optimize_with_filter(ev, b, &cfg, |c, base| c.cost <= base.cost + 1e-9)
-        .expect("optimize");
+    let r =
+        optimize_with_filter(ev, b, &cfg, |c, base| c.cost <= base.cost + 1e-9).expect("optimize");
     r.best.map(|best| best.normalized_perf - 1.0)
 }
 

@@ -21,8 +21,17 @@ fn main() -> std::io::Result<()> {
     let layouts: [(&str, ChipletLayout); 4] = [
         ("single_chip", ChipletLayout::SingleChip),
         ("4_chiplet_8mm", ChipletLayout::Symmetric4 { s3: Mm(8.0) }),
-        ("16_chiplet_2mm", ChipletLayout::Uniform { r: 4, gap: Mm(2.0) }),
-        ("16_chiplet_10mm", ChipletLayout::Uniform { r: 4, gap: Mm(10.0) }),
+        (
+            "16_chiplet_2mm",
+            ChipletLayout::Uniform { r: 4, gap: Mm(2.0) },
+        ),
+        (
+            "16_chiplet_10mm",
+            ChipletLayout::Uniform {
+                r: 4,
+                gap: Mm(10.0),
+            },
+        ),
     ];
     let mut report = Report::new(
         "noc_performance",

@@ -51,8 +51,7 @@ fn main() -> std::io::Result<()> {
             vdd: op.voltage,
             ..PdnParams::default()
         };
-        let pdn = PdnModel::new(&spec.chip, &best.layout, &spec.rules, params)
-            .expect("pdn model");
+        let pdn = PdnModel::new(&spec.chip, &best.layout, &spec.rules, params).expect("pdn model");
         let sol = pdn.solve(&powers).expect("pdn solve");
         report.row(&[
             b.name().to_owned(),

@@ -17,7 +17,12 @@ fn main() -> std::io::Result<()> {
 
     let mut report = Report::new(
         "sensitivity",
-        &["threshold_c", "avg_gain_pct", "max_gain_pct", "paper_avg_pct"],
+        &[
+            "threshold_c",
+            "avg_gain_pct",
+            "max_gain_pct",
+            "paper_avg_pct",
+        ],
     );
     for (&threshold, &paper_avg) in thresholds.iter().zip(&paper) {
         let ev = Evaluator::new(spec_from_args().with_threshold(Celsius(threshold)));

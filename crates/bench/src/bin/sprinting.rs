@@ -33,7 +33,10 @@ fn main() -> std::io::Result<()> {
 
     let cases: Vec<(&str, ChipletLayout)> = vec![
         ("single_chip", ChipletLayout::SingleChip),
-        ("4_chiplet_s3_8mm", ChipletLayout::Symmetric4 { s3: Mm(8.0) }),
+        (
+            "4_chiplet_s3_8mm",
+            ChipletLayout::Symmetric4 { s3: Mm(8.0) },
+        ),
         (
             "16_chiplet_4mm",
             ChipletLayout::Uniform { r: 4, gap: Mm(4.0) },

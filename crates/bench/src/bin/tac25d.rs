@@ -92,9 +92,7 @@ fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
 }
 
 fn parse_benchmark(opts: &HashMap<String, String>) -> Result<Benchmark, String> {
-    let name = opts
-        .get("benchmark")
-        .ok_or("--benchmark is required")?;
+    let name = opts.get("benchmark").ok_or("--benchmark is required")?;
     Benchmark::all()
         .into_iter()
         .find(|b| b.name() == name)
@@ -107,7 +105,10 @@ fn parse_layout(s: &str) -> Result<ChipletLayout, String> {
         params
             .split(',')
             .filter(|p| !p.is_empty())
-            .map(|p| p.parse::<f64>().map_err(|e| format!("bad number {p:?}: {e}")))
+            .map(|p| {
+                p.parse::<f64>()
+                    .map_err(|e| format!("bad number {p:?}: {e}"))
+            })
             .collect()
     };
     match kind {
@@ -179,8 +180,15 @@ fn cmd_evaluate(opts: &HashMap<String, String>) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     println!("layout      : {layout}");
     println!("benchmark   : {benchmark} at {op}, {cores} active cores");
-    println!("peak        : {:.1}°C (threshold {threshold})", e.peak.value());
-    println!("power       : {:.1} W (NoC {:.1} W)", e.total_power.value(), e.noc_power.value());
+    println!(
+        "peak        : {:.1}°C (threshold {threshold})",
+        e.peak.value()
+    );
+    println!(
+        "power       : {:.1} W (NoC {:.1} W)",
+        e.total_power.value(),
+        e.noc_power.value()
+    );
     println!("performance : {}", e.ips);
     println!("feasible    : {}", e.feasible(threshold));
     Ok(())
@@ -246,7 +254,10 @@ fn cmd_cost(opts: &HashMap<String, String>) -> Result<(), String> {
     let c2d = params.single_chip_cost(chip_area);
     println!("chiplets ({n}x): ${:.2}", b.chiplets);
     println!("interposer    : ${:.2}", b.interposer);
-    println!("bonding       : ${:.2} (assembly yield {:.3})", b.bonding, b.assembly_yield);
+    println!(
+        "bonding       : ${:.2} (assembly yield {:.3})",
+        b.bonding, b.assembly_yield
+    );
     println!("total 2.5D    : ${:.2}", b.total());
     println!("single chip   : ${c2d:.2}");
     println!("ratio         : {:.3}", b.total() / c2d);
@@ -274,14 +285,17 @@ fn cmd_latency(opts: &HashMap<String, String>) -> Result<(), String> {
         Some(other) => return Err(format!("unknown pattern {other:?}")),
     };
     let model = NocModel::paper();
-    let lat = average_latency(&chip, &layout, &rules, &model, op, pattern)
-        .map_err(|e| e.to_string())?;
+    let lat =
+        average_latency(&chip, &layout, &rules, &model, op, pattern).map_err(|e| e.to_string())?;
     let sat = saturation_throughput(&chip, pattern, model.flit_width, freq * 1e6);
     println!("layout             : {layout}");
     println!("pattern            : {pattern:?} at {op}");
     println!("avg hops           : {:.2}", lat.avg_hops);
     println!("avg latency        : {:.2} cycles", lat.avg_cycles);
-    println!("interposer hops    : {:.1}%", lat.interposer_hop_fraction * 100.0);
+    println!(
+        "interposer hops    : {:.1}%",
+        lat.interposer_hop_fraction * 100.0
+    );
     println!(
         "saturation         : {:.3} flits/node/cycle ({:.1} Tb/s aggregate)",
         sat.saturation_flits_per_node_cycle,

@@ -109,26 +109,28 @@ impl Report {
         fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{}.csv", self.name));
         let mut f = fs::File::create(&path)?;
-        let quote = |cells: &[String]| {
-            cells
-                .iter()
-                .map(|c| {
-                    if c.contains(',') || c.contains('"') {
-                        format!("\"{}\"", c.replace('"', "\"\""))
-                    } else {
-                        c.clone()
-                    }
-                })
-                .collect::<Vec<_>>()
-                .join(",")
-        };
-        writeln!(f, "{}", quote(&self.header))?;
+        writeln!(f, "{}", csv_line(&self.header))?;
         for r in &self.rows {
-            writeln!(f, "{}", quote(r))?;
+            writeln!(f, "{}", csv_line(r))?;
         }
         println!("  -> {}", path.display());
         Ok(path)
     }
+}
+
+/// Renders one CSV record, quoting cells that contain commas or quotes.
+pub fn csv_line(cells: &[String]) -> String {
+    cells
+        .iter()
+        .map(|c| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.clone()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 /// The `results/` directory at the workspace root (falls back to the
@@ -169,6 +171,16 @@ mod tests {
     fn fmt_rounds() {
         assert_eq!(fmt(1.23456, 2), "1.23");
         assert_eq!(fmt(-0.5, 0), "-0");
+    }
+
+    #[test]
+    fn csv_line_quotes_only_when_needed() {
+        let cells = [
+            "plain".to_owned(),
+            "a,b".to_owned(),
+            "say \"hi\"".to_owned(),
+        ];
+        assert_eq!(csv_line(&cells), "plain,\"a,b\",\"say \"\"hi\"\"\"");
     }
 
     #[test]

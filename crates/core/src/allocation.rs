@@ -133,7 +133,11 @@ mod tests {
         // every selected core has even (row+col) parity.
         for &c in &active {
             let (row, col) = chip.core_position(c);
-            assert_eq!((row + col) % 2, 0, "core at ({row},{col}) breaks chessboard");
+            assert_eq!(
+                (row + col) % 2,
+                0,
+                "core at ({row},{col}) breaks chessboard"
+            );
         }
     }
 
@@ -207,7 +211,10 @@ mod tests {
         let a = active_cores(&chip, 4, AllocationPolicy::InnerFirst);
         for &c in &a {
             let (row, col) = chip.core_position(c);
-            assert!((6..=9).contains(&row) && (6..=9).contains(&col), "({row},{col})");
+            assert!(
+                (6..=9).contains(&row) && (6..=9).contains(&col),
+                "({row},{col})"
+            );
         }
     }
 

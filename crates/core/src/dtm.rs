@@ -137,7 +137,10 @@ pub fn simulate_dtm(
                     .iter()
                     .map(|c| {
                         let rect = placed[c.0 as usize].rect;
-                        (rect, spec.core_power.active_power(&profile, op, Celsius(80.0)))
+                        (
+                            rect,
+                            spec.core_power.active_power(&profile, op, Celsius(80.0)),
+                        )
                     })
                     .collect()
             },
@@ -174,25 +177,37 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow under the debug profile; validated by the release suite")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow under the debug profile; validated by the release suite"
+    )]
     fn cool_system_never_throttles() {
         let spec = spec();
         let r = simulate_dtm(
             &spec,
-            &ChipletLayout::Uniform { r: 4, gap: Mm(10.0) },
+            &ChipletLayout::Uniform {
+                r: 4,
+                gap: Mm(10.0),
+            },
             Benchmark::Canneal,
             192,
             &DtmPolicy::default(),
             20.0,
         )
         .unwrap();
-        assert_eq!(r.throttled_fraction, 0.0, "canneal on a wide 2.5D never throttles");
+        assert_eq!(
+            r.throttled_fraction, 0.0,
+            "canneal on a wide 2.5D never throttles"
+        );
         assert!((r.retention() - 1.0).abs() < 1e-12);
         assert_eq!(r.transitions, 0);
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow under the debug profile; validated by the release suite")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow under the debug profile; validated by the release suite"
+    )]
     fn hot_single_chip_throttles_and_loses_performance() {
         let spec = spec();
         let r = simulate_dtm(
@@ -204,13 +219,20 @@ mod tests {
             60.0,
         )
         .unwrap();
-        assert!(r.throttled_fraction > 0.3, "throttled {}", r.throttled_fraction);
+        assert!(
+            r.throttled_fraction > 0.3,
+            "throttled {}",
+            r.throttled_fraction
+        );
         assert!(r.retention() < 0.95, "retention {}", r.retention());
         assert!(r.transitions >= 1);
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow under the debug profile; validated by the release suite")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow under the debug profile; validated by the release suite"
+    )]
     fn thermally_aware_organization_retains_more_performance() {
         // The paper's thesis in the dynamic setting: under the same DTM
         // governor, the 2.5D organization keeps more of the nominal IPS.

@@ -21,6 +21,7 @@ use tac25d_noc::link::TimingError;
 use tac25d_power::benchmarks::Benchmark;
 use tac25d_power::dvfs::OperatingPoint;
 use tac25d_power::perf::{system_ips, Ips};
+use tac25d_surrogate::{Prediction, SurrogateConfig, SurrogateInput, ThermalSurrogate};
 use tac25d_thermal::coupled::{solve_coupled, CoupledOptions};
 use tac25d_thermal::model::{PackageModel, ThermalError};
 
@@ -101,19 +102,26 @@ impl Evaluation {
 }
 
 /// Integer cache key for a layout (spacings snapped to the 0.5 mm lattice).
+///
+/// Public only for the cache-key property tests; not a stable API.
+#[doc(hidden)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum LayoutKey {
+pub enum LayoutKey {
     Single,
     Uniform { r: u16, gap: i64 },
     Sym4 { s3: i64 },
     Sym16 { s1: i64, s2: i64, s3: i64 },
 }
 
-fn half_mm(v: f64) -> i64 {
+/// Snaps a millimetre value to the 0.5 mm cache lattice.
+#[doc(hidden)]
+pub fn half_mm(v: f64) -> i64 {
     (v * 2.0).round() as i64
 }
 
-fn layout_key(layout: &ChipletLayout) -> LayoutKey {
+/// The cache key of a layout.
+#[doc(hidden)]
+pub fn layout_key(layout: &ChipletLayout) -> LayoutKey {
     match layout {
         ChipletLayout::SingleChip => LayoutKey::Single,
         ChipletLayout::Uniform { r, gap } => LayoutKey::Uniform {
@@ -140,6 +148,7 @@ pub struct Evaluator {
     models: Mutex<HashMap<LayoutKey, Arc<PackageModel>>>,
     evals: Mutex<HashMap<EvalKey, Arc<Evaluation>>>,
     thermal_sims: AtomicUsize,
+    surrogate: Option<Arc<ThermalSurrogate>>,
 }
 
 impl fmt::Debug for Evaluator {
@@ -158,12 +167,98 @@ impl Evaluator {
             models: Mutex::new(HashMap::new()),
             evals: Mutex::new(HashMap::new()),
             thermal_sims: AtomicUsize::new(0),
+            surrogate: None,
         }
+    }
+
+    /// Creates an evaluator with an attached multi-fidelity thermal
+    /// surrogate. Every converged exact solve trains the surrogate's
+    /// residual corrector, and [`Evaluator::predict_peak`] becomes
+    /// available for surrogate-screened searches
+    /// (`Fidelity::Surrogate` in the optimizer).
+    pub fn with_surrogate(spec: SystemSpec, cfg: SurrogateConfig) -> Self {
+        let surrogate = Arc::new(ThermalSurrogate::new(
+            spec.chip.clone(),
+            spec.rules,
+            spec.stack_25d.clone(),
+            spec.thermal.clone(),
+            cfg,
+        ));
+        Evaluator {
+            surrogate: Some(surrogate),
+            ..Evaluator::new(spec)
+        }
+    }
+
+    /// The attached surrogate, if any.
+    pub fn surrogate(&self) -> Option<&Arc<ThermalSurrogate>> {
+        self.surrogate.as_ref()
     }
 
     /// The underlying system specification.
     pub fn spec(&self) -> &SystemSpec {
         &self.spec
+    }
+
+    /// Builds the surrogate's view of one evaluation point: active cores
+    /// and NoC watts per chiplet. `None` when the point is outside the
+    /// surrogate's domain (single chip, unplaceable cores, timing-broken
+    /// links) and must go to the exact solver.
+    fn surrogate_input(
+        &self,
+        layout: &ChipletLayout,
+        benchmark: Benchmark,
+        op: OperatingPoint,
+        p: u16,
+    ) -> Option<SurrogateInput> {
+        if layout.is_single_chip() {
+            return None;
+        }
+        let spec = &self.spec;
+        let placed = place_cores(&spec.chip, layout, &spec.rules).ok()?;
+        let mut active_per_chiplet = vec![0u16; layout.chiplet_count()];
+        for core in mintemp_active_cores(&spec.chip, p) {
+            active_per_chiplet[placed[core.0 as usize].chiplet] += 1;
+        }
+        let profile = benchmark.profile();
+        let utilization = profile.noc_activity * f64::from(p) / f64::from(spec.chip.core_count());
+        let noc_total = spec
+            .noc
+            .power(&spec.chip, layout, &spec.rules, op, utilization)
+            .ok()?
+            .total();
+        let rects = layout.chiplet_rects(&spec.chip, &spec.rules);
+        let chip_area: f64 = rects.iter().map(|r| r.area().value()).sum();
+        let noc_per_chiplet = rects
+            .iter()
+            .map(|r| noc_total * r.area().value() / chip_area)
+            .collect();
+        Some(SurrogateInput {
+            layout: *layout,
+            benchmark,
+            op,
+            active_cores: p,
+            active_per_chiplet,
+            noc_per_chiplet,
+        })
+    }
+
+    /// Surrogate peak-temperature estimate of one evaluation point —
+    /// *no* exact thermal work. `None` without an attached surrogate or
+    /// outside its domain. The estimate is advisory: feasibility claims
+    /// must always come from [`Evaluator::evaluate`].
+    pub fn predict_peak(
+        &self,
+        layout: &ChipletLayout,
+        benchmark: Benchmark,
+        op: OperatingPoint,
+        p: u16,
+    ) -> Option<Prediction> {
+        let surrogate = self.surrogate.as_ref()?;
+        let input = self.surrogate_input(layout, benchmark, op, p)?;
+        let profile = benchmark.profile();
+        let core_power = &self.spec.core_power;
+        surrogate.predict(&input, &|t| core_power.active_power(&profile, op, t))
     }
 
     /// Number of distinct thermal simulations performed so far (cache
@@ -248,15 +343,11 @@ impl Evaluator {
         let model = self.model_for(layout)?;
         let placed = place_cores(&spec.chip, layout, &spec.rules)?;
         let active = mintemp_active_cores(&spec.chip, p);
-        let active_rects: Vec<_> = active
-            .iter()
-            .map(|c| placed[c.0 as usize].rect)
-            .collect();
+        let active_rects: Vec<_> = active.iter().map(|c| placed[c.0 as usize].rect).collect();
 
         // NoC power, spread uniformly over the chiplets (the paper notes
         // its thermal impact is negligible; we still inject it).
-        let utilization =
-            profile.noc_activity * f64::from(p) / f64::from(spec.chip.core_count());
+        let utilization = profile.noc_activity * f64::from(p) / f64::from(spec.chip.core_count());
         let noc = spec
             .noc
             .power(&spec.chip, layout, &spec.rules, op, utilization)?;
@@ -310,6 +401,18 @@ impl Evaluator {
             },
             Err(other) => return Err(EvalError::Thermal(other)),
         };
+        // Every converged exact solve doubles as surrogate training data.
+        if let Some(surrogate) = &self.surrogate {
+            if eval.converged {
+                if let Some(input) = self.surrogate_input(layout, benchmark, op, p) {
+                    surrogate.observe(
+                        &input,
+                        &|t| core_power.active_power(&profile, op, t),
+                        eval.peak,
+                    );
+                }
+            }
+        }
         let eval = Arc::new(eval);
         self.evals
             .lock()
@@ -398,7 +501,10 @@ mod tests {
         // Fig. 5: shock meets 85 °C with 16 chiplets at 10 mm spacing.
         let ev = evaluator();
         let op = ev.spec().vf.nominal();
-        let layout = ChipletLayout::Uniform { r: 4, gap: Mm(10.0) };
+        let layout = ChipletLayout::Uniform {
+            r: 4,
+            gap: Mm(10.0),
+        };
         let e = ev.evaluate(&layout, Benchmark::Shock, op, 256).unwrap();
         assert!(
             e.feasible(Celsius(85.0)),
@@ -469,7 +575,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow under the debug profile; validated by the release suite")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow under the debug profile; validated by the release suite"
+    )]
     fn baseline_picks_feasible_maximum() {
         let ev = evaluator();
         let b = single_chip_baseline(&ev, Benchmark::Cholesky)
@@ -490,7 +599,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow under the debug profile; validated by the release suite")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow under the debug profile; validated by the release suite"
+    )]
     fn baseline_of_low_power_benchmark_runs_at_full_speed() {
         let ev = evaluator();
         let b = single_chip_baseline(&ev, Benchmark::Canneal)

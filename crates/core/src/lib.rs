@@ -51,17 +51,17 @@ pub mod transient_eval;
 /// Convenient glob-import of the crate's primary types (re-exporting the
 /// benchmark enum, which appears in almost every call).
 pub mod prelude {
-    pub use crate::allocation::{active_cores, mintemp_active_cores, mintemp_order, AllocationPolicy};
-    pub use crate::dtm::{simulate_dtm, DtmPolicy, DtmResult};
-    pub use crate::evaluator::{
-        single_chip_baseline, Baseline, EvalError, Evaluation, Evaluator,
+    pub use crate::allocation::{
+        active_cores, mintemp_active_cores, mintemp_order, AllocationPolicy,
     };
+    pub use crate::dtm::{simulate_dtm, DtmPolicy, DtmResult};
+    pub use crate::evaluator::{single_chip_baseline, Baseline, EvalError, Evaluation, Evaluator};
     pub use crate::multiapp::{optimize_multi_app, MultiAppPolicy, MultiAppResult};
     pub use crate::objective::{objective_value, Weights};
     pub use crate::optimizer::{
-        best_at_edge, enumerate_candidates, find_placement, interposer_edges, optimize, optimize_with_filter,
-        Candidate, ChipletCount, OptimizeError, OptimizeResult, Organization,
-        OptimizerConfig, PlacementSearch, SearchStats,
+        best_at_edge, enumerate_candidates, find_placement, find_placement_with, interposer_edges,
+        optimize, optimize_with_filter, Candidate, ChipletCount, Fidelity, OptimizeError,
+        OptimizeResult, OptimizerConfig, Organization, PlacementSearch, SearchStats,
     };
     pub use crate::sweeps::{
         perf_cost_sweep, threshold_crossing, uniform_spacing_sweep, PerfCostPoint, SpacingPoint,
@@ -69,4 +69,5 @@ pub mod prelude {
     pub use crate::system::SystemSpec;
     pub use crate::transient_eval::{evaluate_transient, TransientEvaluation};
     pub use tac25d_power::benchmarks::Benchmark;
+    pub use tac25d_surrogate::{Prediction as SurrogatePrediction, SurrogateConfig};
 }

@@ -73,9 +73,7 @@ pub fn optimize_multi_app(
     assert!(!benchmarks.is_empty(), "need at least one application");
     let u = match policy {
         MultiAppPolicy::WorstCase => None,
-        MultiAppPolicy::Average => {
-            Some(vec![1.0 / benchmarks.len() as f64; benchmarks.len()])
-        }
+        MultiAppPolicy::Average => Some(vec![1.0 / benchmarks.len() as f64; benchmarks.len()]),
         MultiAppPolicy::WeightedAverage(u) => {
             assert_eq!(
                 u.len(),
@@ -93,8 +91,7 @@ pub fn optimize_multi_app(
 
     let mut baselines = Vec::with_capacity(benchmarks.len());
     for &b in benchmarks {
-        baselines
-            .push(single_chip_baseline(ev, b)?.ok_or(OptimizeError::NoBaseline(b))?);
+        baselines.push(single_chip_baseline(ev, b)?.ok_or(OptimizeError::NoBaseline(b))?);
     }
 
     if u.is_none() {
@@ -210,7 +207,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow under the debug profile; validated by the release suite")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow under the debug profile; validated by the release suite"
+    )]
     fn worst_case_covers_every_app() {
         let ev = evaluator();
         let r = optimize_multi_app(
@@ -239,7 +239,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow under the debug profile; validated by the release suite")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow under the debug profile; validated by the release suite"
+    )]
     fn weighted_average_respects_weights() {
         let ev = evaluator();
         // All weight on hpccg should match the hpccg-only average design.
@@ -258,7 +261,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow under the debug profile; validated by the release suite")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow under the debug profile; validated by the release suite"
+    )]
     fn average_policy_finds_a_compromise() {
         let ev = evaluator();
         let r = optimize_multi_app(

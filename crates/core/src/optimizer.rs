@@ -38,7 +38,8 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use tac25d_floorplan::organization::{symmetric4_for_edge, ChipletLayout, Spacing};
 use tac25d_floorplan::units::{Celsius, Mm, Watts};
 use tac25d_power::benchmarks::Benchmark;
@@ -104,6 +105,37 @@ pub enum PlacementSearch {
     },
 }
 
+/// Prediction fidelity of the per-candidate spacing search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum Fidelity {
+    /// Every probed placement is solved exactly — the paper-equivalent
+    /// default, and what all paper-figure binaries use.
+    #[default]
+    Exact,
+    /// Screen placements with the multi-fidelity thermal surrogate
+    /// (requires an evaluator built by `Evaluator::with_surrogate`;
+    /// silently degrades to exact otherwise). Greedy moves are ranked by
+    /// the surrogate prediction; the exact solver runs only at predicted
+    /// local minima within `threshold + guard_band_c` (candidate
+    /// feasibility claims) and at untrusted predictions the raw kernel
+    /// cannot screen — so any placement *reported feasible* is always
+    /// exact-solver-backed. Screening
+    /// applies to the multi-start greedy and the single 4-chiplet
+    /// placement check; the exhaustive and annealing searches stay exact
+    /// (they exist for validation).
+    Surrogate {
+        /// Exact-verification margin above the temperature threshold, °C.
+        guard_band_c: f64,
+    },
+}
+
+impl Fidelity {
+    /// The surrogate fidelity with the default guard band.
+    pub fn surrogate_default() -> Self {
+        Fidelity::Surrogate { guard_band_c: 5.0 }
+    }
+}
+
 /// Optimizer configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OptimizerConfig {
@@ -119,6 +151,8 @@ pub struct OptimizerConfig {
     /// runs instead of trying each in turn (same answer, fewer thermal
     /// simulations; see the module docs).
     pub accelerate_ties: bool,
+    /// Exact or surrogate-screened placement evaluation.
+    pub fidelity: Fidelity,
 }
 
 impl Default for OptimizerConfig {
@@ -129,6 +163,7 @@ impl Default for OptimizerConfig {
             seed: 42,
             chiplet_counts: ChipletCount::both(),
             accelerate_ties: true,
+            fidelity: Fidelity::Exact,
         }
     }
 }
@@ -196,6 +231,31 @@ pub struct SearchStats {
     pub candidates_pruned: usize,
     /// Distinct thermal simulations spent by this search.
     pub thermal_sims: usize,
+    /// Surrogate predictions served while screening placements.
+    pub surrogate_predictions: usize,
+    /// Placements skipped on a trusted too-hot prediction (no exact solve).
+    pub surrogate_skips: usize,
+    /// Placements with a trusted near-threshold prediction that were
+    /// verified with the exact solver.
+    pub surrogate_verifications: usize,
+    /// Placements evaluated exactly because the surrogate declined or was
+    /// untrusted (warm-up, off-manifold queries, uncovered layouts).
+    pub surrogate_fallbacks: usize,
+    /// Largest |predicted − exact| peak-temperature gap observed across
+    /// the verified placements, °C.
+    pub surrogate_max_abs_error_c: f64,
+    /// Sum of those gaps, °C (divide by `surrogate_verifications` for the
+    /// mean; see [`SearchStats::surrogate_mean_abs_error_c`]).
+    pub surrogate_abs_error_sum_c: f64,
+}
+
+impl SearchStats {
+    /// Mean |predicted − exact| over the verified placements, °C
+    /// (`None` before any verification).
+    pub fn surrogate_mean_abs_error_c(&self) -> Option<f64> {
+        (self.surrogate_verifications > 0)
+            .then(|| self.surrogate_abs_error_sum_c / self.surrogate_verifications as f64)
+    }
 }
 
 /// Result of an optimization run.
@@ -337,8 +397,84 @@ fn lattice_spacing(pt: LatticePoint, free_units: i64, step: f64) -> Spacing {
     )
 }
 
+/// A greedy descent objective: converged exact peaks order normally and
+/// non-converged (runaway) points sort last.
+fn peak_of(e: &Evaluation) -> f64 {
+    if e.converged {
+        e.peak.value()
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// The two screening margins of surrogate fidelity (both in °C above the
+/// feasibility threshold).
+#[derive(Debug, Clone, Copy)]
+struct Guards {
+    /// Corrected-prediction margin: trusted predictions within it are
+    /// exact-verified, hotter ones skipped.
+    band: f64,
+    /// Raw-kernel margin: even untrusted predictions hotter than it are
+    /// skipped (the uncorrected superposition bias is far smaller).
+    raw: f64,
+}
+
+/// Outcome of probing one placement under (possible) surrogate screening.
+enum Probe {
+    /// Exactly evaluated — the only outcome that can claim feasibility.
+    Exact(Arc<Evaluation>),
+    /// Skipped on a too-hot prediction.
+    Skipped,
+}
+
+/// A feasible placement paired with its exact evaluation.
+type Placed = (ChipletLayout, Arc<Evaluation>);
+
+/// Probes one placement: exact solve, unless a surrogate prediction puts
+/// it above the applicable guard band over the threshold.
+#[allow(clippy::too_many_arguments)]
+fn probe_placement(
+    ev: &Evaluator,
+    benchmark: Benchmark,
+    op: OperatingPoint,
+    p: u16,
+    layout: &ChipletLayout,
+    threshold: Celsius,
+    guard: Option<Guards>,
+    stats: &mut SearchStats,
+) -> Result<Probe, EvalError> {
+    if let Some(guard) = guard {
+        if let Some(pred) = ev.predict_peak(layout, benchmark, op, p) {
+            stats.surrogate_predictions += 1;
+            if pred.trusted {
+                if pred.corrected_peak_c > threshold.value() + guard.band {
+                    stats.surrogate_skips += 1;
+                    return Ok(Probe::Skipped);
+                }
+                let e = ev.evaluate(layout, benchmark, op, p)?;
+                stats.surrogate_verifications += 1;
+                if e.converged {
+                    let gap = (pred.corrected_peak_c - e.peak.value()).abs();
+                    stats.surrogate_max_abs_error_c = stats.surrogate_max_abs_error_c.max(gap);
+                    stats.surrogate_abs_error_sum_c += gap;
+                }
+                return Ok(Probe::Exact(e));
+            }
+            if pred.raw_peak_c > threshold.value() + guard.raw {
+                stats.surrogate_skips += 1;
+                return Ok(Probe::Skipped);
+            }
+            stats.surrogate_fallbacks += 1;
+            return Ok(Probe::Exact(ev.evaluate(layout, benchmark, op, p)?));
+        }
+        stats.surrogate_fallbacks += 1;
+    }
+    Ok(Probe::Exact(ev.evaluate(layout, benchmark, op, p)?))
+}
+
 /// Searches the spacing space of one candidate for a placement meeting the
 /// threshold. Returns the placement and its evaluation, or `None`.
+/// Exact-fidelity convenience wrapper around [`find_placement_with`].
 pub fn find_placement(
     ev: &Evaluator,
     benchmark: Benchmark,
@@ -346,16 +482,54 @@ pub fn find_placement(
     search: PlacementSearch,
     seed: u64,
 ) -> Result<Option<(ChipletLayout, Arc<Evaluation>)>, EvalError> {
+    let cfg = OptimizerConfig {
+        search,
+        seed,
+        ..OptimizerConfig::default()
+    };
+    find_placement_with(ev, benchmark, candidate, &cfg, &mut SearchStats::default())
+}
+
+/// Searches the spacing space of one candidate for a placement meeting the
+/// threshold, honoring `cfg.fidelity` and accumulating surrogate-screening
+/// counters into `stats`. Any returned placement is exact-solver-backed
+/// regardless of fidelity.
+pub fn find_placement_with(
+    ev: &Evaluator,
+    benchmark: Benchmark,
+    candidate: &Candidate,
+    cfg: &OptimizerConfig,
+    stats: &mut SearchStats,
+) -> Result<Option<(ChipletLayout, Arc<Evaluation>)>, EvalError> {
     let spec = ev.spec();
     let threshold = spec.threshold;
+    let seed = cfg.seed;
+    let guard = match (cfg.fidelity, ev.surrogate()) {
+        (Fidelity::Surrogate { guard_band_c }, Some(s)) => Some(Guards {
+            band: guard_band_c,
+            raw: s.config().raw_guard_band_c.max(guard_band_c),
+        }),
+        _ => None,
+    };
     match candidate.count {
         ChipletCount::Four => {
             let Some(s3) = symmetric4_for_edge(&spec.chip, &spec.rules, candidate.edge) else {
                 return Ok(None);
             };
             let layout = ChipletLayout::Symmetric4 { s3 };
-            let e = ev.evaluate(&layout, benchmark, candidate.op, candidate.active_cores)?;
-            Ok(e.feasible(threshold).then_some((layout, e)))
+            match probe_placement(
+                ev,
+                benchmark,
+                candidate.op,
+                candidate.active_cores,
+                &layout,
+                threshold,
+                guard,
+                stats,
+            )? {
+                Probe::Exact(e) => Ok(e.feasible(threshold).then_some((layout, e))),
+                Probe::Skipped => Ok(None),
+            }
         }
         ChipletCount::Sixteen => {
             let step = spec.rules.step.value();
@@ -367,18 +541,16 @@ pub fn find_placement(
             let free_units = (free / step).round() as i64;
             let s1_max = free_units / 2;
             let s2_max = free_units / 2; // Eq. (10) on the fixed-edge manifold
-            let try_point = |pt: LatticePoint| -> Result<
-                (ChipletLayout, Arc<Evaluation>),
-                EvalError,
-            > {
-                let layout = ChipletLayout::Symmetric16 {
-                    spacing: lattice_spacing(pt, free_units, step),
+            let try_point =
+                |pt: LatticePoint| -> Result<(ChipletLayout, Arc<Evaluation>), EvalError> {
+                    let layout = ChipletLayout::Symmetric16 {
+                        spacing: lattice_spacing(pt, free_units, step),
+                    };
+                    let e =
+                        ev.evaluate(&layout, benchmark, candidate.op, candidate.active_cores)?;
+                    Ok((layout, e))
                 };
-                let e =
-                    ev.evaluate(&layout, benchmark, candidate.op, candidate.active_cores)?;
-                Ok((layout, e))
-            };
-            match search {
+            match cfg.search {
                 PlacementSearch::Exhaustive => {
                     // Any feasible placement is equally optimal for Eq. (5)
                     // — the objective depends only on (f, p, C), not on the
@@ -405,13 +577,6 @@ pub fn find_placement(
                         ^ ((candidate.op.freq_mhz as u64) << 16)
                         ^ (u64::from(candidate.active_cores) << 32);
                     let mut rng = StdRng::seed_from_u64(seed ^ salt ^ 0x5A5A);
-                    let peak_of = |e: &Evaluation| {
-                        if e.converged {
-                            e.peak.value()
-                        } else {
-                            f64::INFINITY
-                        }
-                    };
                     let mut current = LatticePoint {
                         s1u: rng.gen_range(0..=s1_max),
                         s2u: rng.gen_range(0..=s2_max),
@@ -426,8 +591,8 @@ pub fn find_placement(
                     let mut temp = initial_temp;
                     for _ in 0..iterations {
                         let nb = LatticePoint {
-                            s1u: (current.s1u + rng.gen_range(-1..=1)).clamp(0, s1_max),
-                            s2u: (current.s2u + rng.gen_range(-1..=1)).clamp(0, s2_max),
+                            s1u: (current.s1u + rng.gen_range(-1i64..=1)).clamp(0, s1_max),
+                            s2u: (current.s2u + rng.gen_range(-1i64..=1)).clamp(0, s2_max),
                         };
                         if nb != current {
                             let (layout, e) = try_point(nb)?;
@@ -436,8 +601,7 @@ pub fn find_placement(
                             }
                             let delta = peak_of(&e) - current_peak;
                             if delta <= 0.0
-                                || (delta.is_finite()
-                                    && rng.gen::<f64>() < (-delta / temp).exp())
+                                || (delta.is_finite() && rng.gen::<f64>() < (-delta / temp).exp())
                             {
                                 current = nb;
                                 current_peak = peak_of(&e);
@@ -453,15 +617,151 @@ pub fn find_placement(
                     let salt = (candidate.edge.value() * 2.0) as u64
                         ^ ((candidate.op.freq_mhz as u64) << 16)
                         ^ (u64::from(candidate.active_cores) << 32);
-                    let mut rng = StdRng::seed_from_u64(seed ^ salt);
-                    let peak_of = |e: &Evaluation| {
-                        if e.converged {
-                            e.peak.value()
-                        } else {
-                            f64::INFINITY
+                    if let Some(guard) = guard {
+                        // Screened greedy: descend on surrogate
+                        // predictions and run the exact solver only at
+                        // untrusted points the raw kernel cannot screen
+                        // and at predicted local minima near the
+                        // threshold (the only points that could yield a
+                        // feasibility claim). Sequential, so the online
+                        // corrector trains in a deterministic order.
+                        let mut rng = StdRng::seed_from_u64(seed ^ salt);
+                        let layout_of = |pt: LatticePoint| ChipletLayout::Symmetric16 {
+                            spacing: lattice_spacing(pt, free_units, step),
+                        };
+                        // Scores one lattice point: Ok((found, peak,
+                        // predicted)) where `found` carries a feasible
+                        // exact evaluation, `peak` ranks the point for
+                        // descent and `predicted` marks an unverified
+                        // surrogate estimate.
+                        type Scored = (Option<(ChipletLayout, Arc<Evaluation>)>, f64, bool);
+                        let score = |pt: LatticePoint,
+                                     stats: &mut SearchStats|
+                         -> Result<Scored, EvalError> {
+                            let layout = layout_of(pt);
+                            if let Some(pred) = ev.predict_peak(
+                                &layout,
+                                benchmark,
+                                candidate.op,
+                                candidate.active_cores,
+                            ) {
+                                stats.surrogate_predictions += 1;
+                                if pred.trusted {
+                                    stats.surrogate_skips += 1;
+                                    return Ok((None, pred.corrected_peak_c, true));
+                                }
+                                if pred.raw_peak_c > threshold.value() + guard.raw {
+                                    stats.surrogate_skips += 1;
+                                    return Ok((None, pred.raw_peak_c, true));
+                                }
+                            }
+                            stats.surrogate_fallbacks += 1;
+                            let e = ev.evaluate(
+                                &layout,
+                                benchmark,
+                                candidate.op,
+                                candidate.active_cores,
+                            )?;
+                            let peak = peak_of(&e);
+                            Ok((e.feasible(threshold).then_some((layout, e)), peak, false))
+                        };
+                        for _ in 0..starts {
+                            let mut current = LatticePoint {
+                                s1u: rng.gen_range(0..=s1_max),
+                                s2u: rng.gen_range(0..=s2_max),
+                            };
+                            let (found, mut current_peak, mut current_predicted) =
+                                score(current, stats)?;
+                            if found.is_some() {
+                                return Ok(found);
+                            }
+                            'descend: loop {
+                                let mut neighbors = [
+                                    LatticePoint {
+                                        s1u: current.s1u + 1,
+                                        s2u: current.s2u,
+                                    },
+                                    LatticePoint {
+                                        s1u: current.s1u - 1,
+                                        s2u: current.s2u,
+                                    },
+                                    LatticePoint {
+                                        s1u: current.s1u,
+                                        s2u: current.s2u + 1,
+                                    },
+                                    LatticePoint {
+                                        s1u: current.s1u,
+                                        s2u: current.s2u - 1,
+                                    },
+                                ];
+                                neighbors.shuffle(&mut rng);
+                                for nb in neighbors {
+                                    if nb.s1u < 0
+                                        || nb.s1u > s1_max
+                                        || nb.s2u < 0
+                                        || nb.s2u > s2_max
+                                    {
+                                        continue;
+                                    }
+                                    let (found, nb_peak, nb_predicted) = score(nb, stats)?;
+                                    if found.is_some() {
+                                        return Ok(found);
+                                    }
+                                    if nb_peak < current_peak {
+                                        current = nb;
+                                        current_peak = nb_peak;
+                                        current_predicted = nb_predicted;
+                                        continue 'descend;
+                                    }
+                                }
+                                // Local minimum. An unverified prediction
+                                // within the guard band may actually be
+                                // feasible: verify it exactly. Either way
+                                // the exact solve trains the corrector, so
+                                // later starts predict this neighborhood
+                                // more sharply; on disagreement this start
+                                // simply ends (resuming the descent here
+                                // can oscillate between memoized points).
+                                if current_predicted
+                                    && current_peak <= threshold.value() + guard.band
+                                {
+                                    let layout = layout_of(current);
+                                    let e = ev.evaluate(
+                                        &layout,
+                                        benchmark,
+                                        candidate.op,
+                                        candidate.active_cores,
+                                    )?;
+                                    stats.surrogate_verifications += 1;
+                                    if e.converged {
+                                        let gap = (current_peak - e.peak.value()).abs();
+                                        stats.surrogate_max_abs_error_c =
+                                            stats.surrogate_max_abs_error_c.max(gap);
+                                        stats.surrogate_abs_error_sum_c += gap;
+                                    }
+                                    if e.feasible(threshold) {
+                                        return Ok(Some((layout, e)));
+                                    }
+                                }
+                                break; // infeasible local minimum; next start
+                            }
                         }
-                    };
-                    for _ in 0..starts {
+                        return Ok(None);
+                    }
+                    // Exact path: the starts are independent, so fan them
+                    // out across threads. Each start gets its own RNG
+                    // stream and the returned placement is the one found
+                    // by the lowest-numbered successful start, making the
+                    // result independent of thread scheduling.
+                    let run_start = |idx: usize,
+                                     winner: &AtomicUsize|
+                     -> Result<
+                        Option<(ChipletLayout, Arc<Evaluation>)>,
+                        EvalError,
+                    > {
+                        let mut rng = StdRng::seed_from_u64(
+                            seed ^ salt ^ (idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        );
                         let mut current = LatticePoint {
                             s1u: rng.gen_range(0..=s1_max),
                             s2u: rng.gen_range(0..=s2_max),
@@ -473,16 +773,32 @@ pub fn find_placement(
                         let mut current_peak = peak_of(&e);
                         'descend: loop {
                             let mut neighbors = [
-                                LatticePoint { s1u: current.s1u + 1, s2u: current.s2u },
-                                LatticePoint { s1u: current.s1u - 1, s2u: current.s2u },
-                                LatticePoint { s1u: current.s1u, s2u: current.s2u + 1 },
-                                LatticePoint { s1u: current.s1u, s2u: current.s2u - 1 },
+                                LatticePoint {
+                                    s1u: current.s1u + 1,
+                                    s2u: current.s2u,
+                                },
+                                LatticePoint {
+                                    s1u: current.s1u - 1,
+                                    s2u: current.s2u,
+                                },
+                                LatticePoint {
+                                    s1u: current.s1u,
+                                    s2u: current.s2u + 1,
+                                },
+                                LatticePoint {
+                                    s1u: current.s1u,
+                                    s2u: current.s2u - 1,
+                                },
                             ];
                             neighbors.shuffle(&mut rng);
                             for nb in neighbors {
-                                if nb.s1u < 0 || nb.s1u > s1_max || nb.s2u < 0 || nb.s2u > s2_max
-                                {
+                                if nb.s1u < 0 || nb.s1u > s1_max || nb.s2u < 0 || nb.s2u > s2_max {
                                     continue;
+                                }
+                                // A lower-numbered start already succeeded;
+                                // this one can no longer affect the result.
+                                if winner.load(Ordering::SeqCst) < idx {
+                                    return Ok(None);
                                 }
                                 let (layout, e) = try_point(nb)?;
                                 if e.feasible(threshold) {
@@ -494,10 +810,76 @@ pub fn find_placement(
                                     continue 'descend;
                                 }
                             }
-                            break; // local minimum; next start
+                            break; // local minimum
                         }
+                        Ok(None)
+                    };
+                    let workers = std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                        .min(starts)
+                        .min(8);
+                    if workers <= 1 {
+                        let no_winner = AtomicUsize::new(usize::MAX);
+                        for idx in 0..starts {
+                            if let Some(found) = run_start(idx, &no_winner)? {
+                                return Ok(Some(found));
+                            }
+                        }
+                        return Ok(None);
                     }
-                    Ok(None)
+                    let next = AtomicUsize::new(0);
+                    let winner = AtomicUsize::new(usize::MAX);
+                    let results: Mutex<Vec<Option<Placed>>> = Mutex::new(vec![None; starts]);
+                    let failure: Mutex<Option<EvalError>> = Mutex::new(None);
+                    crossbeam::thread::scope(|s| {
+                        for _ in 0..workers {
+                            s.spawn(|_| loop {
+                                let idx = next.fetch_add(1, Ordering::SeqCst);
+                                if idx >= starts || failure.lock().expect("lock poisoned").is_some()
+                                {
+                                    break;
+                                }
+                                if winner.load(Ordering::SeqCst) < idx {
+                                    continue;
+                                }
+                                match run_start(idx, &winner) {
+                                    Ok(Some(found)) => {
+                                        let mut cur = winner.load(Ordering::SeqCst);
+                                        while idx < cur {
+                                            match winner.compare_exchange(
+                                                cur,
+                                                idx,
+                                                Ordering::SeqCst,
+                                                Ordering::SeqCst,
+                                            ) {
+                                                Ok(_) => break,
+                                                Err(now) => cur = now,
+                                            }
+                                        }
+                                        results.lock().expect("lock poisoned")[idx] = Some(found);
+                                    }
+                                    Ok(None) => {}
+                                    Err(e) => {
+                                        let mut slot = failure.lock().expect("lock poisoned");
+                                        if slot.is_none() {
+                                            *slot = Some(e);
+                                        }
+                                    }
+                                }
+                            });
+                        }
+                    })
+                    .expect("greedy worker panicked");
+                    if let Some(e) = failure.lock().expect("lock poisoned").take() {
+                        return Err(e);
+                    }
+                    let w = winner.load(Ordering::SeqCst);
+                    if w == usize::MAX {
+                        return Ok(None);
+                    }
+                    let found = results.lock().expect("lock poisoned")[w].take();
+                    Ok(found)
                 }
             }
         }
@@ -568,7 +950,7 @@ where
             for cand in run {
                 stats.candidates_tried += 1;
                 if let Some((layout, eval)) =
-                    find_placement(ev, benchmark, cand, cfg.search, cfg.seed)?
+                    find_placement_with(ev, benchmark, cand, cfg, &mut stats)?
                 {
                     found = Some((*cand, layout, eval));
                     break;
@@ -630,8 +1012,7 @@ fn resolve_tie_run(
         // subgroup is (monotonicity).
         let last = *indices.last().expect("groups are non-empty");
         evaluated += 1;
-        let Some(at_last) = find_placement(ev, benchmark, &run[last], cfg.search, cfg.seed)?
-        else {
+        let Some(at_last) = find_placement_with(ev, benchmark, &run[last], cfg, stats)? else {
             continue;
         };
         let (mut lo, mut hi) = (0usize, indices.len() - 1);
@@ -639,7 +1020,7 @@ fn resolve_tie_run(
         while lo < hi {
             let mid = (lo + hi) / 2;
             evaluated += 1;
-            match find_placement(ev, benchmark, &run[indices[mid]], cfg.search, cfg.seed)? {
+            match find_placement_with(ev, benchmark, &run[indices[mid]], cfg, stats)? {
                 Some((layout, eval)) => {
                     best_here = (indices[mid], layout, eval);
                     hi = mid;
@@ -723,7 +1104,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow under the debug profile; validated by the release suite")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow under the debug profile; validated by the release suite"
+    )]
     fn optimizer_beats_baseline_for_high_power_benchmark() {
         // The headline claim: a thermally-aware 2.5D organization
         // outperforms the single chip for thermally-limited benchmarks.
@@ -739,7 +1123,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow under the debug profile; validated by the release suite")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow under the debug profile; validated by the release suite"
+    )]
     fn perf_only_weights_pick_fastest_feasible() {
         let ev = evaluator();
         let result = optimize(&ev, Benchmark::Canneal, &OptimizerConfig::default()).unwrap();
@@ -752,7 +1139,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow under the debug profile; validated by the release suite")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow under the debug profile; validated by the release suite"
+    )]
     fn cost_only_weights_pick_minimum_interposer() {
         let ev = evaluator();
         let cfg = OptimizerConfig {
@@ -770,7 +1160,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow under the debug profile; validated by the release suite")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow under the debug profile; validated by the release suite"
+    )]
     fn greedy_matches_exhaustive_on_candidate_choice() {
         let ev = evaluator();
         let g = optimize(&ev, Benchmark::Hpccg, &OptimizerConfig::default()).unwrap();
@@ -790,7 +1183,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow under the debug profile; validated by the release suite")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow under the debug profile; validated by the release suite"
+    )]
     fn tie_acceleration_preserves_the_answer_with_less_work() {
         let ev1 = evaluator();
         let with = optimize(&ev1, Benchmark::Swaptions, &OptimizerConfig::default()).unwrap();
@@ -812,7 +1208,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow under the debug profile; validated by the release suite")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow under the debug profile; validated by the release suite"
+    )]
     fn tie_acceleration_saves_simulations_on_hot_benchmarks() {
         // shock's leading (f, p) runs are infeasible across most interposer
         // sizes; the sequential walk must disprove each edge while the
@@ -841,7 +1240,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow under the debug profile; validated by the release suite")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow under the debug profile; validated by the release suite"
+    )]
     fn best_at_edge_monotone_in_edge_for_hot_benchmark() {
         let ev = evaluator();
         let small = best_at_edge(
@@ -874,7 +1276,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow under the debug profile; validated by the release suite")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow under the debug profile; validated by the release suite"
+    )]
     fn annealing_finds_placements_too() {
         let ev = evaluator();
         let spec = ev.spec();

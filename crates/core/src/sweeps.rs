@@ -4,7 +4,9 @@
 
 use crate::evaluator::{EvalError, Evaluator};
 use crate::objective::Weights;
-use crate::optimizer::{best_at_edge, interposer_edges, ChipletCount, OptimizeError, PlacementSearch};
+use crate::optimizer::{
+    best_at_edge, interposer_edges, ChipletCount, OptimizeError, PlacementSearch,
+};
 use serde::{Deserialize, Serialize};
 use tac25d_floorplan::organization::ChipletLayout;
 use tac25d_floorplan::units::{Celsius, Mm};
@@ -148,7 +150,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow under the debug profile; validated by the release suite")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow under the debug profile; validated by the release suite"
+    )]
     fn spacing_sweep_is_monotone_decreasing() {
         let ev = evaluator();
         let pts = uniform_spacing_sweep(&ev, Benchmark::Cholesky, 4, Mm(8.0), Mm(2.0)).unwrap();
@@ -163,7 +168,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow under the debug profile; validated by the release suite")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow under the debug profile; validated by the release suite"
+    )]
     fn crossing_matches_feasibility_flags() {
         let ev = evaluator();
         let pts = uniform_spacing_sweep(&ev, Benchmark::Hpccg, 4, Mm(10.0), Mm(1.0)).unwrap();
@@ -180,19 +188,23 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow under the debug profile; validated by the release suite")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow under the debug profile; validated by the release suite"
+    )]
     fn spacing_sweep_respects_interposer_cap() {
         let ev = evaluator();
         // r=16 chiplets: max gap before the 50 mm cap is ~2 mm.
         let pts = uniform_spacing_sweep(&ev, Benchmark::Canneal, 16, Mm(10.0), Mm(0.5)).unwrap();
-        assert!(pts
-            .iter()
-            .all(|p| p.interposer_edge.value() <= 50.0 + 1e-9));
+        assert!(pts.iter().all(|p| p.interposer_edge.value() <= 50.0 + 1e-9));
         assert!(pts.last().expect("non-empty").gap.value() <= 2.5);
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow under the debug profile; validated by the release suite")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow under the debug profile; validated by the release suite"
+    )]
     fn perf_cost_sweep_monotone_cost_and_step_perf() {
         let ev = evaluator();
         let pts = perf_cost_sweep(

@@ -141,7 +141,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow under the debug profile; validated by the release suite")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow under the debug profile; validated by the release suite"
+    )]
     fn steady_workload_matches_steady_state() {
         let spec = spec();
         let w = PhasedWorkload::steady(Benchmark::Hpccg);
@@ -161,7 +164,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow under the debug profile; validated by the release suite")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow under the debug profile; validated by the release suite"
+    )]
     fn bursty_workload_sits_between_the_bounds() {
         let spec = spec();
         // 30% duty, 2-second period: thermal mass should absorb a good
@@ -188,7 +194,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow under the debug profile; validated by the release suite")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow under the debug profile; validated by the release suite"
+    )]
     fn slower_bursts_absorb_less() {
         // Longer periods let the die track the burst: transient peak moves
         // toward the steady peak.

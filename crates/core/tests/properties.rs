@@ -1,8 +1,11 @@
 //! Property-based tests of the organizer's pure (non-thermal) components.
 
 use proptest::prelude::*;
+use tac25d_core::evaluator::{half_mm, layout_key};
 use tac25d_core::prelude::*;
 use tac25d_floorplan::chip::ChipSpec;
+use tac25d_floorplan::organization::{ChipletLayout, Spacing};
+use tac25d_floorplan::units::Mm;
 use tac25d_power::dvfs::VfTable;
 use tac25d_power::perf::Ips;
 
@@ -100,5 +103,54 @@ proptest! {
         let a = ev.ips(b, op, p);
         let e = tac25d_power::perf::system_ips(&b.profile(), op, p);
         prop_assert_eq!(a.0, e.0);
+    }
+
+    /// The evaluator's integer cache key is injective on the 0.5 mm
+    /// spacing lattice: two on-lattice Symmetric16 layouts share a key
+    /// exactly when their spacing triples are identical.
+    #[test]
+    fn cache_key_injective_on_half_mm_lattice(
+        a in (0i64..=100, 0i64..=100, 0i64..=100),
+        b in (0i64..=100, 0i64..=100, 0i64..=100),
+    ) {
+        let layout = |(s1, s2, s3): (i64, i64, i64)| ChipletLayout::Symmetric16 {
+            spacing: Spacing::new(s1 as f64 * 0.5, s2 as f64 * 0.5, s3 as f64 * 0.5),
+        };
+        prop_assert_eq!(
+            layout_key(&layout(a)) == layout_key(&layout(b)),
+            a == b,
+            "keys must collide exactly on equal lattice points: {:?} vs {:?}", a, b
+        );
+    }
+
+    /// The same holds across layout shapes: a 4-chiplet key never
+    /// collides with a 16-chiplet or uniform key, whatever the spacings.
+    #[test]
+    fn cache_key_separates_layout_shapes(s in 0i64..=100, g in 0i64..=100) {
+        let sym4 = ChipletLayout::Symmetric4 { s3: Mm(s as f64 * 0.5) };
+        let sym16 = ChipletLayout::Symmetric16 {
+            spacing: Spacing::new(s as f64 * 0.5, s as f64 * 0.5, s as f64 * 0.5),
+        };
+        let uni = ChipletLayout::Uniform { r: 2, gap: Mm(g as f64 * 0.5) };
+        prop_assert!(layout_key(&sym4) != layout_key(&sym16));
+        prop_assert!(layout_key(&sym4) != layout_key(&uni));
+        prop_assert!(layout_key(&sym16) != layout_key(&uni));
+        prop_assert!(layout_key(&uni) != layout_key(&ChipletLayout::SingleChip));
+    }
+
+    /// Off-lattice spacings snap to the nearest lattice point, and any two
+    /// values within the same snap cell share a key (cache consistency:
+    /// a value never lands farther than 0.25 mm from its snapped point).
+    #[test]
+    fn off_lattice_spacings_snap_consistently(v in 0.0..50.0f64) {
+        let snapped = half_mm(v);
+        prop_assert!((v - snapped as f64 * 0.5).abs() <= 0.25 + 1e-12);
+        // Snapping is idempotent: the snapped value is on the lattice.
+        prop_assert_eq!(half_mm(snapped as f64 * 0.5), snapped);
+        // And a layout built from the off-lattice value shares its cache
+        // key with the layout built from the snapped value.
+        let off = ChipletLayout::Symmetric4 { s3: Mm(v) };
+        let on = ChipletLayout::Symmetric4 { s3: Mm(snapped as f64 * 0.5) };
+        prop_assert_eq!(layout_key(&off), layout_key(&on));
     }
 }

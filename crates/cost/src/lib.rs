@@ -120,7 +120,10 @@ impl CostParams {
     /// Panics if the die does not fit on the wafer.
     pub fn cmos_die_cost(&self, die_area_mm2: f64) -> f64 {
         let n = dies_per_wafer(self.wafer_diameter_mm, die_area_mm2);
-        assert!(n > 0.0, "die of {die_area_mm2} mm² does not fit on the wafer");
+        assert!(
+            n > 0.0,
+            "die of {die_area_mm2} mm² does not fit on the wafer"
+        );
         let y = die_yield(
             die_area_mm2,
             self.defect_density_per_cm2,
@@ -136,7 +139,10 @@ impl CostParams {
     /// Panics if the interposer does not fit on the wafer.
     pub fn interposer_cost(&self, area_mm2: f64) -> f64 {
         let n = dies_per_wafer(self.interposer_wafer_diameter_mm, area_mm2);
-        assert!(n > 0.0, "interposer of {area_mm2} mm² does not fit on the wafer");
+        assert!(
+            n > 0.0,
+            "interposer of {area_mm2} mm² does not fit on the wafer"
+        );
         self.interposer_wafer_cost / (n * self.interposer_yield)
     }
 

@@ -13,9 +13,7 @@ use tac25d_cost::die_yield;
 
 /// Samples Gamma(k, θ) for integer k as a sum of exponentials.
 fn sample_gamma_int(rng: &mut StdRng, k: u32, theta: f64) -> f64 {
-    (0..k)
-        .map(|_| -theta * (1.0 - rng.gen::<f64>()).ln())
-        .sum()
+    (0..k).map(|_| -theta * (1.0 - rng.gen::<f64>()).ln()).sum()
 }
 
 #[test]

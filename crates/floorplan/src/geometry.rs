@@ -77,7 +77,10 @@ impl Rect {
     ///
     /// Panics if `w` or `h` is negative.
     pub fn from_corner(x: f64, y: f64, w: f64, h: f64) -> Self {
-        assert!(w >= 0.0 && h >= 0.0, "rect extents must be non-negative ({w} x {h})");
+        assert!(
+            w >= 0.0 && h >= 0.0,
+            "rect extents must be non-negative ({w} x {h})"
+        );
         Rect {
             origin: Point::new(x, y),
             size: Size::new(w, h),

@@ -305,7 +305,10 @@ impl StackSpec {
 
     /// Total stack thickness (excluding spreader/sink overhang geometry).
     pub fn total_thickness(&self) -> Mm {
-        self.layers.iter().map(|l| l.thickness).fold(Mm(0.0), |a, b| a + b)
+        self.layers
+            .iter()
+            .map(|l| l.thickness)
+            .fold(Mm(0.0), |a, b| a + b)
     }
 }
 

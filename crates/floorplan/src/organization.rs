@@ -249,7 +249,8 @@ impl ChipletLayout {
     /// Edge of the package footprint the thermal model grids over: the
     /// interposer edge for 2.5D systems, the chip edge for the baseline.
     pub fn footprint_edge(&self, chip: &ChipSpec, rules: &PackageRules) -> Mm {
-        self.interposer_edge(chip, rules).unwrap_or_else(|| chip.edge())
+        self.interposer_edge(chip, rules)
+            .unwrap_or_else(|| chip.edge())
     }
 
     /// Checks all organization constraints (non-negative spacings, Eq. (10),
@@ -279,9 +280,7 @@ impl ChipletLayout {
                 }
             }
             ChipletLayout::Symmetric16 { spacing } => {
-                if spacing.s1.value() < 0.0
-                    || spacing.s2.value() < 0.0
-                    || spacing.s3.value() < 0.0
+                if spacing.s1.value() < 0.0 || spacing.s2.value() < 0.0 || spacing.s3.value() < 0.0
                 {
                     return Err(LayoutError::NegativeSpacing {
                         layout: format!("{self:?}"),
@@ -324,7 +323,12 @@ impl ChipletLayout {
         let lg = rules.guard.value();
         match self {
             ChipletLayout::SingleChip => {
-                vec![Rect::from_corner(0.0, 0.0, chip.edge().value(), chip.edge().value())]
+                vec![Rect::from_corner(
+                    0.0,
+                    0.0,
+                    chip.edge().value(),
+                    chip.edge().value(),
+                )]
             }
             ChipletLayout::Uniform { r, gap } => {
                 let r = *r as usize;
@@ -412,11 +416,7 @@ impl fmt::Display for ChipletLayout {
 ///
 /// Returns an empty vector when `edge` is smaller than the minimum
 /// (zero-spacing) interposer or is off-lattice.
-pub fn enumerate_symmetric16(
-    chip: &ChipSpec,
-    rules: &PackageRules,
-    edge: Mm,
-) -> Vec<Spacing> {
+pub fn enumerate_symmetric16(chip: &ChipSpec, rules: &PackageRules, edge: Mm) -> Vec<Spacing> {
     let wc = chip.edge().value() / 4.0;
     let free = edge.value() - 4.0 * wc - 2.0 * rules.guard.value(); // = 2*s1 + s3
     let step = rules.step.value();
@@ -551,7 +551,10 @@ mod tests {
             for col in 0..4usize {
                 let a = rects[row * 4 + col];
                 let b = rects[row * 4 + (3 - col)].mirrored_x(edge / 2.0);
-                assert!((a.x0().value() - b.x0().value()).abs() < 1e-9, "row {row} col {col}");
+                assert!(
+                    (a.x0().value() - b.x0().value()).abs() < 1e-9,
+                    "row {row} col {col}"
+                );
             }
         }
     }
@@ -611,7 +614,10 @@ mod tests {
         let ra = a.chiplet_rects(&chip(), &rules());
         let rb = b.chiplet_rects(&chip(), &rules());
         for (x, y) in ra.iter().zip(rb.iter()) {
-            assert!((x.x0().value() - y.x0().value()).abs() < 1e-9, "{x:?} vs {y:?}");
+            assert!(
+                (x.x0().value() - y.x0().value()).abs() < 1e-9,
+                "{x:?} vs {y:?}"
+            );
             assert!((x.y0().value() - y.y0().value()).abs() < 1e-9);
         }
     }

@@ -32,7 +32,10 @@ impl Grid {
     ///
     /// Panics if either dimension is zero.
     pub fn filled(nx: usize, ny: usize, value: f64) -> Self {
-        assert!(nx > 0 && ny > 0, "grid dimensions must be positive ({nx}x{ny})");
+        assert!(
+            nx > 0 && ny > 0,
+            "grid dimensions must be positive ({nx}x{ny})"
+        );
         Grid {
             nx,
             ny,
@@ -68,7 +71,12 @@ impl Grid {
     /// Panics if the cell is out of range.
     #[inline]
     pub fn idx(&self, ix: usize, iy: usize) -> usize {
-        assert!(ix < self.nx && iy < self.ny, "cell ({ix},{iy}) out of {}x{}", self.nx, self.ny);
+        assert!(
+            ix < self.nx && iy < self.ny,
+            "cell ({ix},{iy}) out of {}x{}",
+            self.nx,
+            self.ny
+        );
         iy * self.nx + ix
     }
 
@@ -147,7 +155,11 @@ pub fn place_cores(
             tile,
             tile,
         );
-        placed.push(PlacedCore { core, chiplet, rect });
+        placed.push(PlacedCore {
+            core,
+            chiplet,
+            rect,
+        });
     }
     Ok(placed)
 }
@@ -173,12 +185,7 @@ pub fn coverage_grid(footprint_edge: Mm, nx: usize, ny: usize, chiplets: &[Rect]
 /// distributing each source's power over the cells it overlaps in proportion
 /// to overlap area. Power is conserved for sources fully inside the
 /// footprint.
-pub fn power_grid(
-    footprint_edge: Mm,
-    nx: usize,
-    ny: usize,
-    sources: &[(Rect, f64)],
-) -> Grid {
+pub fn power_grid(footprint_edge: Mm, nx: usize, ny: usize, sources: &[(Rect, f64)]) -> Grid {
     let mut grid = Grid::filled(nx, ny, 0.0);
     let dx = footprint_edge.value() / nx as f64;
     let dy = footprint_edge.value() / ny as f64;
@@ -292,7 +299,12 @@ mod tests {
     fn power_lands_in_the_right_cells() {
         // One 1x1 source exactly covering cell (2, 3) of a 10x10 grid over
         // a 10 mm footprint.
-        let g = power_grid(Mm(10.0), 10, 10, &[(Rect::from_corner(2.0, 3.0, 1.0, 1.0), 5.0)]);
+        let g = power_grid(
+            Mm(10.0),
+            10,
+            10,
+            &[(Rect::from_corner(2.0, 3.0, 1.0, 1.0), 5.0)],
+        );
         assert!((g.get(2, 3) - 5.0).abs() < 1e-12);
         assert!((g.sum() - 5.0).abs() < 1e-12);
     }
@@ -300,7 +312,12 @@ mod tests {
     #[test]
     fn power_splits_across_cells_by_area() {
         // A 1x1 source centred on the corner shared by 4 cells.
-        let g = power_grid(Mm(10.0), 10, 10, &[(Rect::from_corner(1.5, 1.5, 1.0, 1.0), 4.0)]);
+        let g = power_grid(
+            Mm(10.0),
+            10,
+            10,
+            &[(Rect::from_corner(1.5, 1.5, 1.0, 1.0), 4.0)],
+        );
         for (ix, iy) in [(1, 1), (2, 1), (1, 2), (2, 2)] {
             assert!((g.get(ix, iy) - 1.0).abs() < 1e-12, "cell ({ix},{iy})");
         }
@@ -327,12 +344,7 @@ mod tests {
 
     #[test]
     fn coverage_of_single_chip_is_full_die() {
-        let g = coverage_grid(
-            Mm(18.0),
-            32,
-            32,
-            &[Rect::from_corner(0.0, 0.0, 18.0, 18.0)],
-        );
+        let g = coverage_grid(Mm(18.0), 32, 32, &[Rect::from_corner(0.0, 0.0, 18.0, 18.0)]);
         assert!(g.as_slice().iter().all(|&c| (c - 1.0).abs() < 1e-12));
     }
 }

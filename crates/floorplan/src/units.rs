@@ -261,7 +261,10 @@ mod tests {
     #[test]
     fn mm_conversions_roundtrip() {
         assert!((Mm(18.0).to_meters() - 0.018).abs() < 1e-15);
-        assert_eq!(Mm::from_meters(0.018), Mm(18.000000000000002).min(Mm(18.0)).max(Mm(17.999999)));
+        assert_eq!(
+            Mm::from_meters(0.018),
+            Mm(18.000000000000002).min(Mm(18.0)).max(Mm(17.999999))
+        );
         assert!((Mm::from_um(150.0).value() - 0.15).abs() < 1e-12);
     }
 

@@ -36,6 +36,6 @@ pub mod mesh;
 pub mod throughput;
 
 pub use latency::{average_latency, LatencyReport, TrafficPattern};
-pub use throughput::{saturation_throughput, ThroughputReport};
 pub use link::{LinkParameters, SizedLink, TimingError};
 pub use mesh::{boundary_cuts, mesh_link_count, NocModel, NocPower};
+pub use throughput::{saturation_throughput, ThroughputReport};

@@ -82,7 +82,10 @@ impl SizedLink {
     /// `vdd`, and switching activity `alpha` (transitions per bit per
     /// cycle, typically ≤0.5 plus benchmark load scaling).
     pub fn power(&self, width: u32, freq_hz: f64, vdd: f64, alpha: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&alpha), "activity must be in [0,1], got {alpha}");
+        assert!(
+            (0.0..=1.0).contains(&alpha),
+            "activity must be in [0,1], got {alpha}"
+        );
         f64::from(width) * alpha * 0.5 * self.energy_per_transition(vdd) * freq_hz
     }
 }

@@ -176,9 +176,11 @@ impl NocModel {
         let alpha = self.switching_factor * utilization;
         let mut interposer_links = 0.0;
         for cut in &cuts {
-            let sized = self
-                .link_params
-                .size_for_single_cycle(cut.gap_mm + self.stub_mm, freq_hz, self.timing_fraction)?;
+            let sized = self.link_params.size_for_single_cycle(
+                cut.gap_mm + self.stub_mm,
+                freq_hz,
+                self.timing_fraction,
+            )?;
             interposer_links +=
                 f64::from(cut.links) * sized.power(self.flit_width, freq_hz, op.voltage, alpha);
         }
@@ -270,7 +272,10 @@ mod tests {
     #[test]
     fn large_25d_mesh_consumes_up_to_8_4_w() {
         // Paper anchor: up to 8.4 W for the 2.5D mesh (largest spacings).
-        let layout = ChipletLayout::Uniform { r: 4, gap: Mm(10.0) };
+        let layout = ChipletLayout::Uniform {
+            r: 4,
+            gap: Mm(10.0),
+        };
         let p = NocModel::paper()
             .power(&chip(), &layout, &rules(), VfTable::paper().nominal(), 1.0)
             .unwrap();
@@ -292,7 +297,13 @@ mod tests {
             .unwrap()
             .total();
         let slow = m
-            .power(&chip(), &layout, &rules(), t.at_frequency(533.0).unwrap(), 1.0)
+            .power(
+                &chip(),
+                &layout,
+                &rules(),
+                t.at_frequency(533.0).unwrap(),
+                1.0,
+            )
             .unwrap()
             .total();
         let idle = m

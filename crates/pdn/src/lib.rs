@@ -184,14 +184,8 @@ impl PdnModel {
                 cores_per_row: chip.cores_per_row(),
             }));
         }
-        let chiplet_of = chip
-            .cores()
-            .map(|c| chip.core_to_chiplet(r, c).0)
-            .collect();
-        let r_vert = params.vertical_resistance(
-            chip.tile_area().value(),
-            !layout.is_single_chip(),
-        );
+        let chiplet_of = chip.cores().map(|c| chip.core_to_chiplet(r, c).0).collect();
+        let r_vert = params.vertical_resistance(chip.tile_area().value(), !layout.is_single_chip());
         Ok(PdnModel {
             g_vert: 1.0 / r_vert,
             g_lat: 1.0 / params.r_lat_core,
@@ -331,8 +325,13 @@ mod tests {
 
     #[test]
     fn zero_power_means_zero_droop() {
-        let m = PdnModel::new(&chip(), &ChipletLayout::SingleChip, &rules(), PdnParams::default())
-            .unwrap();
+        let m = PdnModel::new(
+            &chip(),
+            &ChipletLayout::SingleChip,
+            &rules(),
+            PdnParams::default(),
+        )
+        .unwrap();
         let s = m.solve(&uniform_powers(0.0)).unwrap();
         assert!(s.max_droop() < 1e-12);
         assert!(s.meets_budget());
@@ -340,8 +339,13 @@ mod tests {
 
     #[test]
     fn droop_scales_linearly_with_power() {
-        let m = PdnModel::new(&chip(), &ChipletLayout::SingleChip, &rules(), PdnParams::default())
-            .unwrap();
+        let m = PdnModel::new(
+            &chip(),
+            &ChipletLayout::SingleChip,
+            &rules(),
+            PdnParams::default(),
+        )
+        .unwrap();
         let d1 = m.solve(&uniform_powers(0.5)).unwrap().max_droop();
         let d2 = m.solve(&uniform_powers(1.0)).unwrap().max_droop();
         assert!((d2 / d1 - 2.0).abs() < 1e-9, "{d1} vs {d2}");
@@ -349,10 +353,15 @@ mod tests {
 
     #[test]
     fn interposer_path_adds_droop() {
-        let p2d = PdnModel::new(&chip(), &ChipletLayout::SingleChip, &rules(), PdnParams::default())
-            .unwrap()
-            .solve(&uniform_powers(1.0))
-            .unwrap();
+        let p2d = PdnModel::new(
+            &chip(),
+            &ChipletLayout::SingleChip,
+            &rules(),
+            PdnParams::default(),
+        )
+        .unwrap()
+        .solve(&uniform_powers(1.0))
+        .unwrap();
         let p25 = PdnModel::new(
             &chip(),
             &ChipletLayout::Uniform { r: 4, gap: Mm(4.0) },
@@ -391,15 +400,24 @@ mod tests {
         );
         // A moderate configuration passes.
         let mild = m.solve(&uniform_powers(0.6)).unwrap();
-        assert!(mild.meets_budget(), "droop {:.4}", mild.max_droop_fraction());
+        assert!(
+            mild.meets_budget(),
+            "droop {:.4}",
+            mild.max_droop_fraction()
+        );
     }
 
     #[test]
     fn dark_neighbors_relieve_droop() {
         // Mintemp-style alternating actives droop less than a solid block
         // of the same total power: dark cores' via stacks share current.
-        let m = PdnModel::new(&chip(), &ChipletLayout::SingleChip, &rules(), PdnParams::default())
-            .unwrap();
+        let m = PdnModel::new(
+            &chip(),
+            &ChipletLayout::SingleChip,
+            &rules(),
+            PdnParams::default(),
+        )
+        .unwrap();
         let mut checker = vec![0.0; 256];
         let mut block = vec![0.0; 256];
         for i in 0..256 {
@@ -429,10 +447,15 @@ mod tests {
         let centre = 7 * 16 + 7;
         let mut centre_powers = vec![0.0; 256];
         centre_powers[centre] = 5.0;
-        let single = PdnModel::new(&chip(), &ChipletLayout::SingleChip, &rules(), PdnParams::default())
-            .unwrap()
-            .solve(&centre_powers)
-            .unwrap();
+        let single = PdnModel::new(
+            &chip(),
+            &ChipletLayout::SingleChip,
+            &rules(),
+            PdnParams::default(),
+        )
+        .unwrap()
+        .solve(&centre_powers)
+        .unwrap();
         let chiplets = PdnModel::new(
             &chip(),
             &ChipletLayout::Uniform { r: 4, gap: Mm(2.0) },
@@ -463,8 +486,13 @@ mod tests {
 
     #[test]
     fn invalid_power_rejected() {
-        let m = PdnModel::new(&chip(), &ChipletLayout::SingleChip, &rules(), PdnParams::default())
-            .unwrap();
+        let m = PdnModel::new(
+            &chip(),
+            &ChipletLayout::SingleChip,
+            &rules(),
+            PdnParams::default(),
+        )
+        .unwrap();
         let mut powers = uniform_powers(0.5);
         powers[3] = -1.0;
         assert!(matches!(

@@ -225,7 +225,11 @@ mod tests {
         // Sec. V-A: shock, blackscholes, cholesky are high-power;
         // canneal and swaptions low-power.
         let p = |b: Benchmark| b.profile().core_power_nominal;
-        for hi in [Benchmark::Shock, Benchmark::Blackscholes, Benchmark::Cholesky] {
+        for hi in [
+            Benchmark::Shock,
+            Benchmark::Blackscholes,
+            Benchmark::Cholesky,
+        ] {
             for lo in [Benchmark::Canneal, Benchmark::Swaptions] {
                 assert!(p(hi) > p(lo), "{hi} should out-consume {lo}");
             }
@@ -303,14 +307,11 @@ mod tests {
         for b in Benchmark::all() {
             let prof = b.profile();
             assert!(
-                (prof.dynamic_nominal() + prof.leakage_nominal_60c()
-                    - prof.core_power_nominal)
+                (prof.dynamic_nominal() + prof.leakage_nominal_60c() - prof.core_power_nominal)
                     .abs()
                     < 1e-12
             );
-            assert!(
-                (prof.leakage_nominal_60c() / prof.core_power_nominal - 0.3).abs() < 1e-12
-            );
+            assert!((prof.leakage_nominal_60c() / prof.core_power_nominal - 0.3).abs() < 1e-12);
         }
     }
 

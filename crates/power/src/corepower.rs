@@ -62,16 +62,8 @@ impl CorePowerModel {
     }
 
     /// Total power of one *active* core at temperature `t`.
-    pub fn active_power(
-        &self,
-        profile: &BenchmarkProfile,
-        op: OperatingPoint,
-        t: Celsius,
-    ) -> f64 {
-        self.dynamic(profile, op)
-            + self
-                .leakage
-                .leakage(profile.leakage_nominal_60c(), op, t)
+    pub fn active_power(&self, profile: &BenchmarkProfile, op: OperatingPoint, t: Celsius) -> f64 {
+        self.dynamic(profile, op) + self.leakage.leakage(profile.leakage_nominal_60c(), op, t)
     }
 
     /// Power of an idle (sleeping) core — ≈0 W per the paper.
@@ -161,6 +153,9 @@ mod tests {
         let prof = Benchmark::Shock.profile();
         let p60 = m.active_power(&prof, nominal(), Celsius(60.0));
         let p100 = m.active_power(&prof, nominal(), Celsius(100.0));
-        assert!(p100 > p60 * 1.1, "leakage feedback visible: {p60} -> {p100}");
+        assert!(
+            p100 > p60 * 1.1,
+            "leakage feedback visible: {p60} -> {p100}"
+        );
     }
 }

@@ -148,9 +148,6 @@ mod tests {
 
     #[test]
     fn display_format() {
-        assert_eq!(
-            OperatingPoint::new(533.0, 0.71).to_string(),
-            "533MHz@0.71V"
-        );
+        assert_eq!(OperatingPoint::new(533.0, 0.71).to_string(), "533MHz@0.71V");
     }
 }

@@ -156,9 +156,18 @@ mod tests {
         let w = PhasedWorkload::from_phases(
             Benchmark::Canneal,
             vec![
-                WorkloadPhase { duration_s: 1.0, activity: 0.2 },
-                WorkloadPhase { duration_s: 2.0, activity: 0.8 },
-                WorkloadPhase { duration_s: 1.0, activity: 0.5 },
+                WorkloadPhase {
+                    duration_s: 1.0,
+                    activity: 0.2,
+                },
+                WorkloadPhase {
+                    duration_s: 2.0,
+                    activity: 0.8,
+                },
+                WorkloadPhase {
+                    duration_s: 1.0,
+                    activity: 0.5,
+                },
             ],
         );
         assert_eq!(w.activity_at(0.5), 0.2);

@@ -1,0 +1,117 @@
+//! Online residual corrector: a Gaussian-weighted k-nearest-neighbor
+//! regressor over the feature embedding, trained incrementally from
+//! every exact solve the evaluator performs.
+//!
+//! The superposition kernel is systematically biased (translation of
+//! boundary-affected fields, uniform in-chiplet power, truncated
+//! leakage refinement); those biases vary smoothly with the features,
+//! which is exactly what a local regressor corrects.
+
+use crate::features::{distance, Features};
+
+/// A fitted correction and its supporting evidence.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Correction {
+    /// Weighted-mean residual (exact − raw prediction) of the neighbors.
+    pub offset: f64,
+    /// Distance to the nearest training sample.
+    pub nearest: f64,
+    /// Training samples available.
+    pub samples: usize,
+}
+
+/// Per-benchmark residual store (a bounded ring buffer so the kNN scan
+/// stays O(`max_samples`)).
+#[derive(Debug, Default)]
+pub(crate) struct Corrector {
+    samples: Vec<(Features, f64)>,
+    next: usize,
+}
+
+impl Corrector {
+    /// Records one residual observation.
+    pub fn observe(&mut self, x: Features, residual: f64, max_samples: usize) {
+        if !residual.is_finite() {
+            return;
+        }
+        if self.samples.len() < max_samples {
+            self.samples.push((x, residual));
+        } else {
+            self.samples[self.next] = (x, residual);
+            self.next = (self.next + 1) % max_samples;
+        }
+    }
+
+    /// Gaussian-weighted mean residual of the `k` nearest samples, or
+    /// `None` before any observation.
+    pub fn correction(&self, x: &Features, k: usize, bandwidth: f64) -> Option<Correction> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut near: Vec<(f64, f64)> = self
+            .samples
+            .iter()
+            .map(|(f, r)| (distance(x, f), *r))
+            .collect();
+        near.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("distances are finite"));
+        near.truncate(k.max(1));
+        let nearest = near[0].0;
+        let mut wsum = 0.0;
+        let mut acc = 0.0;
+        for &(d, r) in &near {
+            let w = (-(d / bandwidth) * (d / bandwidth)).exp() + 1e-12;
+            wsum += w;
+            acc += w * r;
+        }
+        Some(Correction {
+            offset: acc / wsum,
+            nearest,
+            samples: self.samples.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(v: f64) -> Features {
+        [v, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]
+    }
+
+    #[test]
+    fn empty_corrector_offers_no_correction() {
+        let c = Corrector::default();
+        assert!(c.correction(&at(0.0), 8, 0.15).is_none());
+    }
+
+    #[test]
+    fn nearby_samples_dominate_the_offset() {
+        let mut c = Corrector::default();
+        c.observe(at(0.0), 2.0, 64);
+        c.observe(at(1.0), -10.0, 64);
+        let corr = c.correction(&at(0.01), 8, 0.15).unwrap();
+        assert!((corr.offset - 2.0).abs() < 0.1, "offset {}", corr.offset);
+        assert!(corr.nearest < 0.02);
+        assert_eq!(corr.samples, 2);
+    }
+
+    #[test]
+    fn ring_buffer_caps_the_store() {
+        let mut c = Corrector::default();
+        for i in 0..10 {
+            c.observe(at(i as f64), i as f64, 4);
+        }
+        let corr = c.correction(&at(9.0), 1, 0.15).unwrap();
+        assert_eq!(corr.samples, 4);
+        // The latest samples survive; the query at 9.0 finds residual 9.
+        assert!((corr.offset - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_finite_residuals_are_dropped() {
+        let mut c = Corrector::default();
+        c.observe(at(0.0), f64::NAN, 8);
+        assert!(c.correction(&at(0.0), 8, 0.15).is_none());
+    }
+}

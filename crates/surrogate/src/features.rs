@@ -1,0 +1,102 @@
+//! The feature embedding of an evaluation point used by the residual
+//! corrector: (f, V, p, n, edge, s1, s2, s3), each scaled to roughly
+//! unit range so Euclidean distances weigh the dimensions evenly.
+
+use tac25d_floorplan::organization::ChipletLayout;
+use tac25d_power::dvfs::OperatingPoint;
+
+/// Dimensionality of the feature embedding.
+pub const FEATURE_DIM: usize = 8;
+
+/// A scaled feature vector.
+pub type Features = [f64; FEATURE_DIM];
+
+/// Embeds one (organization, operating point, active cores) evaluation
+/// point. `edge_mm` is the interposer edge of the layout.
+pub fn feature_vector(
+    layout: &ChipletLayout,
+    op: OperatingPoint,
+    active_cores: u16,
+    edge_mm: f64,
+) -> Features {
+    // Spacings in mm; the uniform grid is its own gap everywhere and the
+    // 4-chiplet layout has only the center cross s3.
+    let (s1, s2, s3) = match layout {
+        ChipletLayout::SingleChip => (0.0, 0.0, 0.0),
+        ChipletLayout::Uniform { gap, .. } => (gap.value(), gap.value(), gap.value()),
+        ChipletLayout::Symmetric4 { s3 } => (0.0, 0.0, s3.value()),
+        ChipletLayout::Symmetric16 { spacing } => {
+            (spacing.s1.value(), spacing.s2.value(), spacing.s3.value())
+        }
+    };
+    [
+        op.freq_mhz / 1000.0,
+        op.voltage,
+        f64::from(active_cores) / 256.0,
+        layout.chiplet_count() as f64 / 16.0,
+        edge_mm / 50.0,
+        s1 / 15.0,
+        s2 / 15.0,
+        s3 / 30.0,
+    ]
+}
+
+/// Euclidean distance between two feature vectors.
+pub fn distance(a: &Features, b: &Features) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tac25d_floorplan::organization::Spacing;
+    use tac25d_floorplan::units::Mm;
+
+    fn op() -> OperatingPoint {
+        OperatingPoint::new(1000.0, 1.0)
+    }
+
+    #[test]
+    fn identical_points_are_at_zero_distance() {
+        let layout = ChipletLayout::Symmetric16 {
+            spacing: Spacing::new(2.0, 1.5, 4.0),
+        };
+        let a = feature_vector(&layout, op(), 256, 30.0);
+        assert_eq!(distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn spacing_changes_move_the_embedding() {
+        let a = feature_vector(
+            &ChipletLayout::Symmetric16 {
+                spacing: Spacing::new(2.0, 1.5, 4.0),
+            },
+            op(),
+            256,
+            30.0,
+        );
+        let b = feature_vector(
+            &ChipletLayout::Symmetric16 {
+                spacing: Spacing::new(3.0, 1.5, 2.0),
+            },
+            op(),
+            256,
+            30.0,
+        );
+        let d = distance(&a, &b);
+        assert!(d > 0.0 && d < 1.0, "nearby spacings stay close: {d}");
+    }
+
+    #[test]
+    fn frequency_steps_dominate_small_spacing_steps() {
+        let layout = ChipletLayout::Symmetric4 { s3: Mm(4.0) };
+        let base = feature_vector(&layout, op(), 256, 30.0);
+        let slow = feature_vector(&layout, OperatingPoint::new(533.0, 0.8), 256, 30.0);
+        let nudged = feature_vector(&ChipletLayout::Symmetric4 { s3: Mm(4.5) }, op(), 256, 30.0);
+        assert!(distance(&base, &slow) > distance(&base, &nudged));
+    }
+}

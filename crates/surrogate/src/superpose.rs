@@ -1,0 +1,186 @@
+//! Superposition of unit-power kernels over a candidate organization's
+//! rasterized power footprint.
+//!
+//! The linear RC network makes the die temperature rise a weighted sum of
+//! per-chiplet unit responses. Each source chiplet of the candidate is
+//! mapped to its symmetry class, the stored representative field is
+//! sampled through the chiplet's octant map plus the small translation
+//! between its mapped center and the representative's, and the rises add.
+
+use crate::kernel::{bilinear, class_of, KernelSet};
+use tac25d_floorplan::geometry::Rect;
+
+/// Superposed temperature-rise estimates of one candidate layout.
+#[derive(Debug, Clone)]
+pub(crate) struct SuperposedField {
+    /// Peak rise over all probe points (°C above ambient).
+    pub peak_rise: f64,
+    /// Mean rise over each chiplet's probe points, chiplet-major order.
+    pub chiplet_mean_rise: Vec<f64>,
+}
+
+/// Rise at query point `(x, y)` caused by 1 W on the chiplet at grid
+/// position `(row, col)` centered at `center`.
+fn unit_rise_at(
+    kernels: &KernelSet,
+    row: usize,
+    col: usize,
+    center: (f64, f64),
+    x: f64,
+    y: f64,
+) -> f64 {
+    let (class, map) = class_of(row, col, kernels.r);
+    let k = &kernels.classes[class];
+    let (qx, qy) = map.apply(kernels.footprint, x, y);
+    let (cx, cy) = map.apply(kernels.footprint, center.0, center.1);
+    bilinear(
+        &k.rise,
+        kernels.footprint,
+        qx + k.rep_center.0 - cx,
+        qy + k.rep_center.1 - cy,
+    )
+}
+
+/// Superposes the kernel set over the candidate's chiplet rectangles
+/// (row-major over the r×r grid) with the given per-chiplet total watts.
+pub(crate) fn superpose(
+    kernels: &KernelSet,
+    rects: &[Rect],
+    watts: &[f64],
+    probes_per_axis: usize,
+) -> SuperposedField {
+    let r = kernels.r;
+    assert_eq!(rects.len(), r * r, "expected one rect per grid cell");
+    assert_eq!(watts.len(), rects.len(), "one power figure per chiplet");
+    assert!(probes_per_axis >= 1);
+    let centers: Vec<(f64, f64)> = rects
+        .iter()
+        .map(|rc| {
+            let c = rc.center();
+            (c.x.value(), c.y.value())
+        })
+        .collect();
+    let mut peak_rise = f64::NEG_INFINITY;
+    let mut chiplet_mean_rise = Vec::with_capacity(rects.len());
+    for target in rects {
+        let (x0, y0) = (target.x0().value(), target.y0().value());
+        let (w, h) = (target.x1().value() - x0, target.y1().value() - y0);
+        let mut sum = 0.0;
+        for py in 0..probes_per_axis {
+            let y = y0 + (py as f64 + 0.5) / probes_per_axis as f64 * h;
+            for px in 0..probes_per_axis {
+                let x = x0 + (px as f64 + 0.5) / probes_per_axis as f64 * w;
+                let mut rise = 0.0;
+                for (j, &center) in centers.iter().enumerate() {
+                    if watts[j] == 0.0 {
+                        continue;
+                    }
+                    let (row, col) = (j / r, j % r);
+                    rise += watts[j] * unit_rise_at(kernels, row, col, center, x, y);
+                }
+                sum += rise;
+                peak_rise = peak_rise.max(rise);
+            }
+        }
+        chiplet_mean_rise.push(sum / (probes_per_axis * probes_per_axis) as f64);
+    }
+    SuperposedField {
+        peak_rise,
+        chiplet_mean_rise,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tac25d_floorplan::chip::ChipSpec;
+    use tac25d_floorplan::layers::StackSpec;
+    use tac25d_floorplan::organization::{ChipletLayout, PackageRules};
+    use tac25d_floorplan::units::Mm;
+    use tac25d_thermal::model::{PackageModel, ThermalConfig};
+
+    fn kernels(edge: f64, r: u16) -> KernelSet {
+        KernelSet::build(
+            &ChipSpec::scc_256(),
+            &PackageRules::default(),
+            &StackSpec::system_25d(),
+            &ThermalConfig {
+                grid: 16,
+                ..ThermalConfig::default()
+            },
+            Mm(edge),
+            r,
+        )
+        .unwrap()
+        .expect("edge fits")
+    }
+
+    #[test]
+    fn superposed_peak_matches_exact_solve_on_the_reference_layout() {
+        // On the uniform reference layout itself the translations are all
+        // zero and the symmetry maps are exact, so superposition must
+        // reproduce the direct solve to interpolation accuracy.
+        let chip = ChipSpec::scc_256();
+        let rules = PackageRules::default();
+        let edge = 30.0;
+        let set = kernels(edge, 4);
+        let wc = chip.edge().value() / 4.0;
+        let gap = (edge - 4.0 * wc - 2.0 * rules.guard.value()) / 3.0;
+        let layout = ChipletLayout::Uniform { r: 4, gap: Mm(gap) };
+        let rects = layout.chiplet_rects(&chip, &rules);
+        let watts = vec![6.0; 16];
+        let field = superpose(&set, &rects, &watts, 5);
+        let model = PackageModel::new(
+            &chip,
+            &layout,
+            &rules,
+            &StackSpec::system_25d(),
+            ThermalConfig {
+                grid: 16,
+                ..ThermalConfig::default()
+            },
+        )
+        .unwrap();
+        let sources: Vec<_> = rects.iter().map(|r| (*r, 6.0)).collect();
+        let exact = model.solve(&sources).unwrap();
+        let exact_rise = exact.peak().value() - set.ambient();
+        assert!(
+            (field.peak_rise - exact_rise).abs() < 0.05 * exact_rise + 0.5,
+            "superposed {} vs exact {}",
+            field.peak_rise,
+            exact_rise
+        );
+    }
+
+    #[test]
+    fn asymmetric_power_heats_the_powered_corner_most() {
+        let chip = ChipSpec::scc_256();
+        let rules = PackageRules::default();
+        let set = kernels(30.0, 2);
+        let layout = ChipletLayout::Symmetric4 {
+            s3: Mm(30.0 - chip.edge().value() - 2.0 * rules.guard.value()),
+        };
+        let rects = layout.chiplet_rects(&chip, &rules);
+        // Power only the upper-right chiplet (index 3).
+        let watts = vec![0.0, 0.0, 0.0, 40.0];
+        let field = superpose(&set, &rects, &watts, 5);
+        let hot = field.chiplet_mean_rise[3];
+        let cold = field.chiplet_mean_rise[0];
+        assert!(hot > 2.0 * cold, "hot {hot} vs cold {cold}");
+        assert!(field.peak_rise >= hot);
+    }
+
+    #[test]
+    fn rise_scales_linearly_with_power() {
+        let chip = ChipSpec::scc_256();
+        let rules = PackageRules::default();
+        let set = kernels(26.0, 2);
+        let layout = ChipletLayout::Symmetric4 {
+            s3: Mm(26.0 - chip.edge().value() - 2.0 * rules.guard.value()),
+        };
+        let rects = layout.chiplet_rects(&chip, &rules);
+        let f1 = superpose(&set, &rects, &[10.0; 4], 4);
+        let f2 = superpose(&set, &rects, &[20.0; 4], 4);
+        assert!((f2.peak_rise / f1.peak_rise - 2.0).abs() < 1e-9);
+    }
+}

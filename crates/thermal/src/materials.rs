@@ -148,9 +148,7 @@ impl MaterialLibrary {
             Material::Fr4 => self.fr4_cv,
             Material::InterfaceMaterial => self.tim_cv,
             Material::Filler => self.filler_cv,
-            Material::MicrobumpComposite => {
-                blend(&self.microbumps, self.copper_cv, self.epoxy_cv)
-            }
+            Material::MicrobumpComposite => blend(&self.microbumps, self.copper_cv, self.epoxy_cv),
             Material::TsvSilicon => blend(&self.tsvs, self.copper_cv, self.silicon_cv),
             Material::C4Composite => blend(&self.c4, self.copper_cv, self.epoxy_cv),
         }
@@ -165,9 +163,9 @@ impl MaterialLibrary {
             Material::Fr4 => self.fr4,
             Material::InterfaceMaterial => self.tim,
             Material::Filler => self.filler,
-            Material::MicrobumpComposite => {
-                self.microbumps.effective_conductivity(self.copper, self.epoxy)
-            }
+            Material::MicrobumpComposite => self
+                .microbumps
+                .effective_conductivity(self.copper, self.epoxy),
             Material::TsvSilicon => self.tsvs.effective_conductivity(self.copper, self.silicon),
             Material::C4Composite => self.c4.effective_conductivity(self.copper, self.epoxy),
         }
@@ -194,7 +192,10 @@ mod tests {
             Material::C4Composite,
         ] {
             let k = lib.conductivity(m);
-            assert!(k > lib.epoxy.min(lib.silicon) && k < lib.copper, "{m:?}: {k}");
+            assert!(
+                k > lib.epoxy.min(lib.silicon) && k < lib.copper,
+                "{m:?}: {k}"
+            );
         }
         // Microbump composite ≈ 0.196·390 + 0.804·0.9 ≈ 77.3.
         let k_ub = lib.conductivity(Material::MicrobumpComposite);

@@ -186,7 +186,11 @@ impl ThermalSolution {
     ///
     /// Panics if the cell is out of range.
     pub fn die_cell(&self, ix: usize, iy: usize) -> Celsius {
-        assert!(ix < self.n && iy < self.n, "cell ({ix},{iy}) out of {0}x{0}", self.n);
+        assert!(
+            ix < self.n && iy < self.n,
+            "cell ({ix},{iy}) out of {0}x{0}",
+            self.n
+        );
         Celsius(self.temps[self.die_base + iy * self.n + ix])
     }
 
@@ -314,8 +318,15 @@ impl PackageModel {
         config: ThermalConfig,
     ) -> Result<Self, ThermalError> {
         layout.validate(chip, rules)?;
-        assert!(config.grid >= 8, "grid must be at least 8, got {}", config.grid);
-        assert!(config.htc > 0.0, "heat-transfer coefficient must be positive");
+        assert!(
+            config.grid >= 8,
+            "grid must be at least 8, got {}",
+            config.grid
+        );
+        assert!(
+            config.htc > 0.0,
+            "heat-transfer coefficient must be positive"
+        );
         assert!(
             config.spreader_ratio >= 1.0 && config.sink_ratio >= 1.0,
             "spreader/sink ratios must be >= 1"
@@ -410,13 +421,8 @@ impl PackageModel {
             let scale = (t_avg_k / 300.0).powf(-n_exp);
             let mut config = self.config.clone();
             config.materials.silicon = k0 * scale;
-            let model = PackageModel::new(
-                &self.chip,
-                &self.layout,
-                &self.rules,
-                &self.stack,
-                config,
-            )?;
+            let model =
+                PackageModel::new(&self.chip, &self.layout, &self.rules, &self.stack, config)?;
             let next = model.solve_with_guess(sources, Some(&current))?;
             let delta = (next.peak().value() - current.peak().value()).abs();
             current = next;
@@ -471,6 +477,28 @@ impl PackageModel {
         Ok(self.make_solution(sol.x, total_power, sol.iterations))
     }
 
+    /// Unit-power thermal response: the steady state with 1 W spread
+    /// uniformly over chiplet `idx` and every other source off. Because
+    /// the network is linear, these solutions are the Green's-function
+    /// kernels surrogate predictors superpose (rise fields scale with
+    /// watts and add across sources).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::solve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is not a valid chiplet index of the modelled layout.
+    pub fn unit_response(&self, idx: usize) -> Result<ThermalSolution, ThermalError> {
+        assert!(
+            idx < self.die_rects.len(),
+            "chiplet index {idx} out of {}",
+            self.die_rects.len()
+        );
+        self.solve(&[(self.die_rects[idx], 1.0)])
+    }
+
     /// Access to the assembled network for the transient solver.
     pub(crate) fn network(&self) -> &Network {
         &self.net
@@ -497,10 +525,7 @@ impl PackageModel {
     /// ambient boundary terms) for a validated source set injected into
     /// the topmost die tier; returns the vector and the total injected
     /// power.
-    pub(crate) fn rhs_for(
-        &self,
-        sources: &[(Rect, f64)],
-    ) -> Result<(Vec<f64>, f64), ThermalError> {
+    pub(crate) fn rhs_for(&self, sources: &[(Rect, f64)]) -> Result<(Vec<f64>, f64), ThermalError> {
         self.rhs_for_tiers(&[sources])
     }
 
@@ -520,8 +545,7 @@ impl PackageModel {
             });
         }
         let n = self.config.grid;
-        let fp_rect =
-            Rect::from_corner(0.0, 0.0, self.footprint.value(), self.footprint.value());
+        let fp_rect = Rect::from_corner(0.0, 0.0, self.footprint.value(), self.footprint.value());
         let mut b = vec![0.0; self.net.nodes];
         let mut total_power = 0.0;
         for (tier, sources) in tiers.iter().enumerate() {
@@ -562,10 +586,7 @@ impl PackageModel {
     ///
     /// Same contract as [`Self::solve`], plus an error when more tiers are
     /// supplied than the stack has heat-source layers.
-    pub fn solve_tiers(
-        &self,
-        tiers: &[&[(Rect, f64)]],
-    ) -> Result<ThermalSolution, ThermalError> {
+    pub fn solve_tiers(&self, tiers: &[&[(Rect, f64)]]) -> Result<ThermalSolution, ThermalError> {
         let (b, total_power) = self.rhs_for_tiers(tiers)?;
         let sol = pcg(
             &self.net.matrix,
@@ -662,7 +683,10 @@ mod tests {
                 let t = sol.die_cell(ix, iy).value();
                 let t_mirror = sol.die_cell(n - 1 - ix, iy).value();
                 let t_transpose = sol.die_cell(iy, ix).value();
-                assert!((t - t_mirror).abs() < 1e-5, "({ix},{iy}): {t} vs {t_mirror}");
+                assert!(
+                    (t - t_mirror).abs() < 1e-5,
+                    "({ix},{iy}): {t} vs {t_mirror}"
+                );
                 assert!((t - t_transpose).abs() < 1e-5);
             }
         }
@@ -700,18 +724,10 @@ mod tests {
         // bigger chiplet spacing ⇒ lower peak temperature.
         let total = 300.0;
         let peak_at = |gap: f64| {
-            let layout = ChipletLayout::Uniform {
-                r: 4,
-                gap: Mm(gap),
-            };
-            let model = PackageModel::new(
-                &chip(),
-                &layout,
-                &rules(),
-                &StackSpec::system_25d(),
-                cfg(),
-            )
-            .unwrap();
+            let layout = ChipletLayout::Uniform { r: 4, gap: Mm(gap) };
+            let model =
+                PackageModel::new(&chip(), &layout, &rules(), &StackSpec::system_25d(), cfg())
+                    .unwrap();
             let rects = layout.chiplet_rects(&chip(), &rules());
             let per = total / rects.len() as f64;
             let sources: Vec<_> = rects.iter().map(|r| (*r, per)).collect();
@@ -720,7 +736,10 @@ mod tests {
         let tight = peak_at(0.5);
         let medium = peak_at(4.0);
         let wide = peak_at(8.0);
-        assert!(tight > medium && medium > wide, "{tight} > {medium} > {wide}");
+        assert!(
+            tight > medium && medium > wide,
+            "{tight} > {medium} > {wide}"
+        );
     }
 
     #[test]
@@ -734,14 +753,9 @@ mod tests {
             let wc = 18.0 / f64::from(r);
             let gap = (30.0 - 2.0 - wc * f64::from(r)) / f64::from(r - 1);
             let layout = ChipletLayout::Uniform { r, gap: Mm(gap) };
-            let model = PackageModel::new(
-                &chip(),
-                &layout,
-                &rules,
-                &StackSpec::system_25d(),
-                cfg(),
-            )
-            .unwrap();
+            let model =
+                PackageModel::new(&chip(), &layout, &rules, &StackSpec::system_25d(), cfg())
+                    .unwrap();
             let rects = layout.chiplet_rects(&chip(), &rules);
             let sources: Vec<_> = rects
                 .iter()
@@ -862,7 +876,9 @@ mod tests {
     fn nonlinear_with_zero_exponent_is_linear() {
         let die = Rect::from_corner(0.0, 0.0, 18.0, 18.0);
         let m = single_chip_model();
-        let (nl, outer) = m.solve_nonlinear(&[(die, 200.0)], Celsius(0.1), 10).unwrap();
+        let (nl, outer) = m
+            .solve_nonlinear(&[(die, 200.0)], Celsius(0.1), 10)
+            .unwrap();
         assert_eq!(outer, 1);
         let lin = m.solve(&[(die, 200.0)]).unwrap();
         assert!((nl.peak().value() - lin.peak().value()).abs() < 1e-12);
@@ -921,18 +937,55 @@ mod tests {
     }
 
     #[test]
-    fn invalid_layout_is_reported() {
-        let layout = ChipletLayout::Symmetric16 {
-            spacing: Spacing::new(0.0, 5.0, 0.0),
-        };
-        let err = PackageModel::new(
+    fn unit_responses_superpose_to_the_direct_solve() {
+        // Linearity check behind the Green's-function surrogate: scaling
+        // and adding per-chiplet unit responses reproduces the full solve.
+        let layout = ChipletLayout::Symmetric4 { s3: Mm(5.0) };
+        let model = PackageModel::new(
             &chip(),
             &layout,
             &rules(),
             &StackSpec::system_25d(),
-            cfg(),
+            ThermalConfig {
+                grid: 16,
+                rel_tol: 1e-11,
+                ..ThermalConfig::default()
+            },
         )
-        .unwrap_err();
+        .unwrap();
+        let watts = [70.0, 30.0, 55.0, 90.0];
+        let rects = model.chiplet_rects().to_vec();
+        let sources: Vec<_> = rects.iter().zip(watts).map(|(r, w)| (*r, w)).collect();
+        let direct = model.solve(&sources).unwrap();
+        let kernels: Vec<_> = (0..rects.len())
+            .map(|i| model.unit_response(i).unwrap())
+            .collect();
+        let ambient = model.config().ambient.value();
+        let n = model.config().grid;
+        for iy in 0..n {
+            for ix in 0..n {
+                let superposed = ambient
+                    + kernels
+                        .iter()
+                        .zip(watts)
+                        .map(|(k, w)| w * (k.die_cell(ix, iy).value() - ambient))
+                        .sum::<f64>();
+                let exact = direct.die_cell(ix, iy).value();
+                assert!(
+                    (superposed - exact).abs() < 1e-4,
+                    "cell ({ix},{iy}): {superposed} vs {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_layout_is_reported() {
+        let layout = ChipletLayout::Symmetric16 {
+            spacing: Spacing::new(0.0, 5.0, 0.0),
+        };
+        let err = PackageModel::new(&chip(), &layout, &rules(), &StackSpec::system_25d(), cfg())
+            .unwrap_err();
         assert!(matches!(err, ThermalError::Layout(_)));
     }
 }

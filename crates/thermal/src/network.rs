@@ -115,8 +115,17 @@ pub(crate) fn assemble(geom: &NetworkGeometry) -> Network {
     );
     let n2 = n * n;
     for l in &geom.layers {
-        assert_eq!(l.k.len(), n2, "layer {:?} conductivity grid mismatch", l.role);
-        assert!(l.thickness_m > 0.0, "layer {:?} thickness must be positive", l.role);
+        assert_eq!(
+            l.k.len(),
+            n2,
+            "layer {:?} conductivity grid mismatch",
+            l.role
+        );
+        assert!(
+            l.thickness_m > 0.0,
+            "layer {:?} thickness must be positive",
+            l.role
+        );
         assert!(
             l.k.iter().all(|&k| k > 0.0 && k.is_finite()),
             "layer {:?} has non-positive conductivity",
@@ -143,8 +152,7 @@ pub(crate) fn assemble(geom: &NetworkGeometry) -> Network {
     let substrate_layer = geom.layer_index(LayerRole::Substrate);
 
     let eps = 1e-12;
-    let has_sp_periph =
-        spreader_layer.is_some() && geom.spreader_m > geom.footprint_m + eps;
+    let has_sp_periph = spreader_layer.is_some() && geom.spreader_m > geom.footprint_m + eps;
     let has_sink_outer = sink_layer.is_some() && geom.sink_m > geom.spreader_m + eps;
 
     // Extra (lumped) node layout after the grid nodes.
@@ -263,9 +271,8 @@ pub(crate) fn assemble(geom: &NetworkGeometry) -> Network {
         let overhang = (geom.spreader_m - geom.footprint_m) / 2.0;
         let d = overhang / 2.0 + dx / 2.0;
         connect_periphery_to_boundary(&mut m, geom, skl, sib, t_sk, k_sk, d);
-        let area_side =
-            (geom.spreader_m * geom.spreader_m - geom.footprint_m * geom.footprint_m)
-                / SIDES as f64;
+        let area_side = (geom.spreader_m * geom.spreader_m - geom.footprint_m * geom.footprint_m)
+            / SIDES as f64;
         for s in 0..SIDES {
             let g = geom.htc * area_side;
             m.add_ground(sib + s, g);
@@ -307,8 +314,7 @@ pub(crate) fn assemble(geom: &NetworkGeometry) -> Network {
     if let (Some(spb), Some(sl)) = (sp_periph_base, spreader_layer) {
         let t_sp = geom.layers[sl].thickness_m;
         let cv = geom.layers[sl].cv[0];
-        let area_side = (geom.spreader_m * geom.spreader_m
-            - geom.footprint_m * geom.footprint_m)
+        let area_side = (geom.spreader_m * geom.spreader_m - geom.footprint_m * geom.footprint_m)
             / SIDES as f64;
         for s in 0..SIDES {
             cap[spb + s] = cv * area_side * t_sp;
@@ -317,8 +323,7 @@ pub(crate) fn assemble(geom: &NetworkGeometry) -> Network {
     if let (Some(sib), Some(skl)) = (sink_inner_base, sink_layer) {
         let t_sk = geom.layers[skl].thickness_m;
         let cv = geom.layers[skl].cv[0];
-        let area_side = (geom.spreader_m * geom.spreader_m
-            - geom.footprint_m * geom.footprint_m)
+        let area_side = (geom.spreader_m * geom.spreader_m - geom.footprint_m * geom.footprint_m)
             / SIDES as f64;
         for s in 0..SIDES {
             cap[sib + s] = cv * area_side * t_sk;
@@ -453,8 +458,8 @@ mod tests {
                 role: LayerRole::Spreader,
                 thickness_m: 0.001,
                 k: vec![390.0; n * n],
-                    is_heat_source: false,
-                    cv: vec![1.6e6; n * n],
+                is_heat_source: false,
+                cv: vec![1.6e6; n * n],
             },
         );
         geom.spreader_m = 0.04;
@@ -514,8 +519,8 @@ mod tests {
                 role: LayerRole::Substrate,
                 thickness_m: 0.0002,
                 k: vec![0.3; n * n],
-                    is_heat_source: false,
-                    cv: vec![1.6e6; n * n],
+                is_heat_source: false,
+                cv: vec![1.6e6; n * n],
             });
             geom.htc_secondary = htc2;
             geom

@@ -121,7 +121,12 @@ impl TripletMatrix {
         while row_ptr.len() < n + 1 {
             row_ptr.push(col.len() as u32);
         }
-        CsrMatrix { n, row_ptr, col, val }
+        CsrMatrix {
+            n,
+            row_ptr,
+            col,
+            val,
+        }
     }
 }
 
@@ -487,12 +492,15 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn pcg_matches_dense_solution_on_random_spd() {
         // Deterministic pseudo-random diagonally dominant SPD matrix.
         let n = 30;
         let mut seed = 0x12345678u64;
         let mut rng = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64) / (u32::MAX as f64)
         };
         let mut dense = vec![vec![0.0f64; n]; n];
@@ -569,7 +577,10 @@ mod tests {
         let a = t.to_csr();
         let b = vec![1.0; n];
         match pcg(&a, &b, None, 1e-14, 2) {
-            Err(SolveError::NoConvergence { iterations: 2, residual }) => {
+            Err(SolveError::NoConvergence {
+                iterations: 2,
+                residual,
+            }) => {
                 assert!(residual > 0.0)
             }
             other => panic!("expected NoConvergence, got {other:?}"),

@@ -93,9 +93,9 @@ impl PackageModel {
         let t_amb = self.config().ambient.value();
 
         // Iteration matrix A = G + C/dt (diagonal augmentation of the CSR).
-        let a = net.matrix.with_added_diagonal(
-            &net.cap.iter().map(|c| c / dt_s).collect::<Vec<_>>(),
-        );
+        let a = net
+            .matrix
+            .with_added_diagonal(&net.cap.iter().map(|c| c / dt_s).collect::<Vec<_>>());
 
         let mut temps: Vec<f64> = match initial {
             Some(s) => {
@@ -209,7 +209,9 @@ mod tests {
         let trace = m
             .simulate_transient(None, |_, _, _| vec![(die(), 500.0)], 0.5, 200)
             .unwrap();
-        let t85 = trace.time_to_reach(Celsius(85.0)).expect("500 W must cross 85°C");
+        let t85 = trace
+            .time_to_reach(Celsius(85.0))
+            .expect("500 W must cross 85°C");
         assert!(t85 > 0.0);
         // Hotter sprint crosses sooner.
         let trace2 = m
@@ -248,6 +250,9 @@ mod tests {
             .unwrap();
         let peak_on = trace.samples[9].peak.value();
         let peak_end = trace.samples[19].peak.value();
-        assert!(peak_on > peak_end, "burst peak {peak_on} then cools to {peak_end}");
+        assert!(
+            peak_on > peak_end,
+            "burst peak {peak_on} then cools to {peak_end}"
+        );
     }
 }

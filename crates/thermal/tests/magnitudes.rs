@@ -8,28 +8,56 @@ fn print_magnitudes() {
     let chip = ChipSpec::scc_256();
     let rules = PackageRules::default();
     // Single chip at several total powers.
-    let m2d = PackageModel::new(&chip, &ChipletLayout::SingleChip, &rules,
-        &StackSpec::baseline_2d(), ThermalConfig::default()).unwrap();
+    let m2d = PackageModel::new(
+        &chip,
+        &ChipletLayout::SingleChip,
+        &rules,
+        &StackSpec::baseline_2d(),
+        ThermalConfig::default(),
+    )
+    .unwrap();
     let die = Rect::from_corner(0.0, 0.0, 18.0, 18.0);
     for p in [162.0, 324.0, 486.0, 648.0] {
         let s = m2d.solve(&[(die, p)]).unwrap();
-        println!("2D chip {p:.0}W ({:.2} W/mm2): peak {:.1}", p/324.0, s.peak().value());
+        println!(
+            "2D chip {p:.0}W ({:.2} W/mm2): peak {:.1}",
+            p / 324.0,
+            s.peak().value()
+        );
     }
     // 16-chiplet uniform spacing sweep at 324 W.
     for gap in [0.5, 2.0, 4.0, 6.0, 8.0, 10.0] {
         let layout = ChipletLayout::Uniform { r: 4, gap: Mm(gap) };
-        let m = PackageModel::new(&chip, &layout, &rules, &StackSpec::system_25d(), ThermalConfig::default()).unwrap();
+        let m = PackageModel::new(
+            &chip,
+            &layout,
+            &rules,
+            &StackSpec::system_25d(),
+            ThermalConfig::default(),
+        )
+        .unwrap();
         let rects = layout.chiplet_rects(&chip, &rules);
-        let srcs: Vec<_> = rects.iter().map(|r| (*r, 324.0/16.0)).collect();
+        let srcs: Vec<_> = rects.iter().map(|r| (*r, 324.0 / 16.0)).collect();
         let s = m.solve(&srcs).unwrap();
-        println!("16-chiplet gap {gap}mm (interposer {:.0}mm): peak {:.1}", layout.footprint_edge(&chip, &rules).value(), s.peak().value());
+        println!(
+            "16-chiplet gap {gap}mm (interposer {:.0}mm): peak {:.1}",
+            layout.footprint_edge(&chip, &rules).value(),
+            s.peak().value()
+        );
     }
     // 4-chiplet
     for gap in [2.0, 8.0] {
         let layout = ChipletLayout::Uniform { r: 2, gap: Mm(gap) };
-        let m = PackageModel::new(&chip, &layout, &rules, &StackSpec::system_25d(), ThermalConfig::default()).unwrap();
+        let m = PackageModel::new(
+            &chip,
+            &layout,
+            &rules,
+            &StackSpec::system_25d(),
+            ThermalConfig::default(),
+        )
+        .unwrap();
         let rects = layout.chiplet_rects(&chip, &rules);
-        let srcs: Vec<_> = rects.iter().map(|r| (*r, 324.0/4.0)).collect();
+        let srcs: Vec<_> = rects.iter().map(|r| (*r, 324.0 / 4.0)).collect();
         let s = m.solve(&srcs).unwrap();
         println!("4-chiplet gap {gap}mm: peak {:.1}", s.peak().value());
     }

@@ -23,9 +23,7 @@ fn main() {
             let c2d = params.single_chip_cost(chip_area);
             for n in [4u32, 16] {
                 let chiplet_area = chip_area / f64::from(n);
-                let c = params
-                    .assembly_cost(n, chiplet_area, edge * edge)
-                    .total();
+                let c = params.assembly_cost(n, chiplet_area, edge * edge).total();
                 cells.push(format!("{:>14.3}", c / c2d));
             }
         }

@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     spec.edge_step = Mm(2.0);
     let ev = Evaluator::new(spec);
     // The fleet mix: mostly memory-bound service traffic, some solvers.
-    let apps = [Benchmark::Canneal, Benchmark::Streamcluster, Benchmark::Hpccg];
+    let apps = [
+        Benchmark::Canneal,
+        Benchmark::Streamcluster,
+        Benchmark::Hpccg,
+    ];
     let usage = [0.5, 0.3, 0.2];
 
     // Baseline fleet: single chips.

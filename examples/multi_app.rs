@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (name, policy) in [
         ("worst-case", MultiAppPolicy::WorstCase),
         ("average", MultiAppPolicy::Average),
-        ("weighted (60/30/10)", MultiAppPolicy::WeightedAverage(usage)),
+        (
+            "weighted (60/30/10)",
+            MultiAppPolicy::WeightedAverage(usage),
+        ),
     ] {
         println!("policy: {name}");
         match optimize_multi_app(

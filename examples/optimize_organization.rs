@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ev = Evaluator::new(spec_from_args());
     let benchmark = benchmarks_from_args()[0];
 
-    println!("optimizing {benchmark} (α=1, β=0, threshold {}) ...", ev.spec().threshold);
+    println!(
+        "optimizing {benchmark} (α=1, β=0, threshold {}) ...",
+        ev.spec().threshold
+    );
     let result = optimize(&ev, benchmark, &OptimizerConfig::default())?;
     let baseline = &result.baseline;
     println!();
@@ -52,7 +55,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
             println!(
                 "search               : {} candidates, {} tried, {} thermal sims",
-                result.stats.candidates_total, result.stats.candidates_tried, result.stats.thermal_sims
+                result.stats.candidates_total,
+                result.stats.candidates_tried,
+                result.stats.thermal_sims
             );
             println!();
             draw_layout(&ev, &best.layout, best.candidate.active_cores);
@@ -80,7 +85,10 @@ fn draw_layout(ev: &Evaluator, layout: &ChipletLayout, p: u16) {
         let glyph = if active.contains(&pc.core) { '#' } else { '.' };
         canvas[rows - 1 - y][x] = glyph;
     }
-    println!("placement ('#' active, '.' dark, {}mm x {0}mm interposer):", edge);
+    println!(
+        "placement ('#' active, '.' dark, {}mm x {0}mm interposer):",
+        edge
+    );
     for row in canvas {
         println!("  |{}|", row.into_iter().collect::<String>());
     }

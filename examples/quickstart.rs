@@ -42,12 +42,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("layout               : {layout}");
     println!("interposer edge      : {edge}");
     println!();
-    println!("single chip peak     : {:>7.1}°C  (threshold {})", e2d.peak.value(), spec.threshold);
+    println!(
+        "single chip peak     : {:>7.1}°C  (threshold {})",
+        e2d.peak.value(),
+        spec.threshold
+    );
     println!("2.5D system peak     : {:>7.1}°C", e25.peak.value());
     println!("single chip power    : {:>7.1} W", e2d.total_power.value());
-    println!("2.5D system power    : {:>7.1} W (incl. {:.1} W NoC)", e25.total_power.value(), e25.noc_power.value());
+    println!(
+        "2.5D system power    : {:>7.1} W (incl. {:.1} W NoC)",
+        e25.total_power.value(),
+        e25.noc_power.value()
+    );
     println!("single chip cost     : {cost_2d:>7.1} $");
-    println!("2.5D system cost     : {cost_25:>7.1} $  ({:+.0}%)", (cost_25 / cost_2d - 1.0) * 100.0);
+    println!(
+        "2.5D system cost     : {cost_25:>7.1} $  ({:+.0}%)",
+        (cost_25 / cost_2d - 1.0) * 100.0
+    );
     println!();
     if e25.feasible(spec.threshold) && !e2d.feasible(spec.threshold) {
         println!(

@@ -17,7 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let benchmark = benchmarks_from_args()[0];
 
     println!("peak temperature vs uniform spacing — {benchmark}, 256 cores @ {op}");
-    println!("{:>10}  {:>12}  {:>12}", "spacing", "4-chiplet", "16-chiplet");
+    println!(
+        "{:>10}  {:>12}  {:>12}",
+        "spacing", "4-chiplet", "16-chiplet"
+    );
     for half_mm in 0..=20 {
         let gap = Mm(0.5 * f64::from(half_mm));
         let mut cells = vec![format!("{:>8.1}mm", gap.value())];

@@ -17,7 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for (label, layout) in [
         ("single chip", ChipletLayout::SingleChip),
-        ("16 chiplets, tight (1 mm uniform)", ChipletLayout::Uniform { r: 4, gap: Mm(1.0) }),
+        (
+            "16 chiplets, tight (1 mm uniform)",
+            ChipletLayout::Uniform { r: 4, gap: Mm(1.0) },
+        ),
         (
             "16 chiplets, thermally aware (s1=4, s2=2.5, s3=5)",
             ChipletLayout::Symmetric16 {
@@ -26,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     ] {
         let e = ev.evaluate(&layout, benchmark, op, 256)?;
-        println!("\n{label} — {benchmark} @ {op}: peak {:.1}°C", e.peak.value());
+        println!(
+            "\n{label} — {benchmark} @ {op}: peak {:.1}°C",
+            e.peak.value()
+        );
         draw(&ev, &layout, benchmark, op)?;
     }
     Ok(())
@@ -61,11 +67,8 @@ fn draw(
         .map(|pc| {
             (
                 pc.rect,
-                spec.core_power.active_power(
-                    &profile,
-                    op,
-                    tac25d_floorplan::units::Celsius(80.0),
-                ),
+                spec.core_power
+                    .active_power(&profile, op, tac25d_floorplan::units::Celsius(80.0)),
             )
         })
         .collect();

@@ -23,7 +23,10 @@ fn full_pipeline_single_evaluation() {
         .expect("evaluation succeeds");
     assert!(e.converged);
     assert!(e.peak.value() > ev.spec().thermal.ambient.value());
-    assert!(e.total_power.value() > 200.0, "256 hpccg cores dissipate >200 W");
+    assert!(
+        e.total_power.value() > 200.0,
+        "256 hpccg cores dissipate >200 W"
+    );
     assert!(e.noc_power.value() > 0.5 && e.noc_power.value() < 15.0);
     assert!(e.ips.gips() > 0.0);
 }
@@ -76,9 +79,7 @@ fn optimizer_output_is_self_consistent() {
     assert!(e.feasible(ev.spec().threshold));
     assert!((e.peak.value() - best.peak.value()).abs() < 1e-9);
     // Normalizations agree with the baseline.
-    assert!(
-        (best.normalized_perf - best.candidate.ips.0 / result.baseline.ips.0).abs() < 1e-12
-    );
+    assert!((best.normalized_perf - best.candidate.ips.0 / result.baseline.ips.0).abs() < 1e-12);
     // The layout's interposer edge matches the candidate's.
     let edge = best
         .layout
@@ -113,7 +114,10 @@ fn optimizer_respects_candidate_filters() {
     .unwrap();
     let best = iso_perf.best.expect("swaptions iso-perf solution exists");
     assert!(best.normalized_perf >= 1.0 - 1e-9);
-    assert!(best.normalized_cost < 1.0, "2.5D at iso-perf must be cheaper");
+    assert!(
+        best.normalized_cost < 1.0,
+        "2.5D at iso-perf must be cheaper"
+    );
 }
 
 #[test]

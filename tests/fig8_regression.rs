@@ -79,8 +79,14 @@ fn fig8_organizations_are_stable() {
             "{} baseline cores",
             g.benchmark
         );
-        let best = r.best.unwrap_or_else(|| panic!("{} has a solution", g.benchmark));
-        assert_eq!(best.candidate.op.freq_mhz, g.opt_mhz, "{} optimum frequency", g.benchmark);
+        let best = r
+            .best
+            .unwrap_or_else(|| panic!("{} has a solution", g.benchmark));
+        assert_eq!(
+            best.candidate.op.freq_mhz, g.opt_mhz,
+            "{} optimum frequency",
+            g.benchmark
+        );
         assert_eq!(
             best.candidate.active_cores, g.opt_cores,
             "{} optimum cores",

@@ -22,11 +22,23 @@ fn evaluator() -> Evaluator {
 fn fig5_single_chip_hot_wide_16_chiplet_cool() {
     let ev = evaluator();
     let op = ev.spec().vf.nominal();
-    for b in [Benchmark::Shock, Benchmark::Blackscholes, Benchmark::Cholesky] {
+    for b in [
+        Benchmark::Shock,
+        Benchmark::Blackscholes,
+        Benchmark::Cholesky,
+    ] {
         let chip = ev.evaluate(&ChipletLayout::SingleChip, b, op, 256).unwrap();
         assert!(chip.peak.value() > 100.0, "{b}: {}", chip.peak);
         let wide = ev
-            .evaluate(&ChipletLayout::Uniform { r: 4, gap: Mm(10.0) }, b, op, 256)
+            .evaluate(
+                &ChipletLayout::Uniform {
+                    r: 4,
+                    gap: Mm(10.0),
+                },
+                b,
+                op,
+                256,
+            )
             .unwrap();
         assert!(
             wide.feasible(Celsius(85.0)),
@@ -68,7 +80,10 @@ fn fig5_low_power_needs_less_spacing() {
 fn fig8_cholesky_story() {
     let ev = evaluator();
     let r = optimize(&ev, Benchmark::Cholesky, &OptimizerConfig::default()).unwrap();
-    assert_eq!(r.baseline.op.freq_mhz, 533.0, "baseline throttled to 533 MHz");
+    assert_eq!(
+        r.baseline.op.freq_mhz, 533.0,
+        "baseline throttled to 533 MHz"
+    );
     let best = r.best.expect("cholesky solution");
     assert_eq!(best.candidate.op.freq_mhz, 1000.0);
     assert_eq!(best.candidate.active_cores, 256);

@@ -1,0 +1,226 @@
+//! Offline stand-in for `criterion` (0.5 API subset).
+//!
+//! The build environment cannot reach a crates.io registry, so the
+//! workspace's benches link against this shim: same surface
+//! (`Criterion`, `benchmark_group`, `Bencher::iter*`, `BenchmarkId`,
+//! `criterion_group!`/`criterion_main!`), but measurement is a plain
+//! mean-of-samples wall-clock timer with no warm-up modeling, outlier
+//! rejection or HTML reports. Good enough to compare orders of
+//! magnitude; swap the real criterion back in for publishable numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark function.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named benchmark group with its own sample size.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many samples each benchmark in the group records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Display,
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, P, F>(&mut self, id: I, input: &P, mut f: F) -> &mut Self
+    where
+        I: Display,
+        P: ?Sized,
+        F: FnMut(&mut Bencher, &P),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (report already printed per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark (`"name/param"`).
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/param`.
+    pub fn new<N: Display, P: Display>(name: N, param: P) -> Self {
+        BenchmarkId {
+            full: format!("{name}/{param}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+
+    /// Times `routine(setup())`, excluding the setup from the measurement.
+    pub fn iter_with_setup<S, O, Setup, Routine>(&mut self, mut setup: Setup, mut routine: Routine)
+    where
+        Setup: FnMut() -> S,
+        Routine: FnMut(S) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        std::hint::black_box(routine(input));
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+
+    /// Alias of [`Bencher::iter_with_setup`] (upstream's batched variant).
+    pub fn iter_batched<S, O, Setup, Routine>(
+        &mut self,
+        setup: Setup,
+        routine: Routine,
+        _size: BatchSize,
+    ) where
+        Setup: FnMut() -> S,
+        Routine: FnMut(S) -> O,
+    {
+        self.iter_with_setup(setup, routine);
+    }
+}
+
+/// Batch sizing hint (ignored by the shim's timer).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    // One untimed warm-up pass, then the recorded samples.
+    f(&mut b);
+    b.elapsed = Duration::ZERO;
+    b.iters = 0;
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    if b.iters == 0 {
+        println!("{id}: no iterations recorded");
+        return;
+    }
+    let per_iter = b.elapsed.as_nanos() / u128::from(b.iters);
+    println!(
+        "{id}: {per_iter} ns/iter (mean of {} iters, shim timer)",
+        b.iters
+    );
+}
+
+/// Collects benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("group");
+        group.sample_size(3);
+        group.bench_function("inner", |b| b.iter_with_setup(|| 5, |x| x * 2));
+        group.bench_with_input(BenchmarkId::new("param", 7), &7, |b, &p| b.iter(|| p + 1));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_function_runs_all_targets() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_formats_as_name_slash_param() {
+        assert_eq!(BenchmarkId::new("grid", 32).to_string(), "grid/32");
+    }
+}

@@ -1,0 +1,107 @@
+//! Offline stand-in for `crossbeam` (0.8 API subset).
+//!
+//! The workspace only uses `crossbeam::thread::scope` + `Scope::spawn`,
+//! which std has provided natively since 1.63 as `std::thread::scope`.
+//! This shim adapts the std API to crossbeam's signatures (the spawned
+//! closure receives the scope again, and `scope` returns a `Result`).
+//!
+//! One behavioral difference: on a panicking child thread, crossbeam's
+//! `scope` returns `Err` while `std::thread::scope` re-panics. Every call
+//! site in the workspace immediately `.expect()`s the result, so the
+//! observable behavior (propagate the panic) is identical.
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// A spawn scope handed to [`scope`]'s closure and to every spawned
+    /// thread's closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    /// Runs `f` with a scope in which borrowing spawns are allowed; all
+    /// spawned threads are joined before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Upstream crossbeam reports child panics as `Err`; this shim
+    /// propagates them as panics (see module docs), so `Ok` is the only
+    /// value actually returned.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope so it
+        /// can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = Scope { inner: self.inner };
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result.
+        ///
+        /// # Errors
+        ///
+        /// Returns the panic payload if the thread panicked.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let counter = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+        })
+        .expect("scope");
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn spawn_returns_joinable_handle() {
+        let out = super::thread::scope(|s| {
+            let h = s.spawn(|_| 21 * 2);
+            h.join().expect("child")
+        })
+        .expect("scope");
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let counter = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .expect("scope");
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types for
+//! future wire formats but never (yet) serializes through them, and the
+//! build environment cannot reach a crates.io registry. This shim keeps
+//! the derive attributes compiling: the traits are universal markers and
+//! the derive macros (in the companion `serde_derive` shim) expand to
+//! nothing. Swapping the real serde back in is a one-line Cargo change.
+
+/// Marker stand-in for `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; satisfied by every type.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! No-op derive macros backing the offline `serde` shim.
+//!
+//! `#[derive(Serialize, Deserialize)]` must resolve for the workspace's
+//! data types, but nothing serializes through the traits yet — the shim
+//! traits in `serde` are blanket-implemented, so the derives here simply
+//! expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the shim's `Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the shim's `Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
