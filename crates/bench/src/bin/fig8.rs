@@ -8,7 +8,7 @@
 //! cutting cost ≈28%; canneal gains ≈7% (saturates at 192 cores) and cuts
 //! cost ≈36%.
 
-use tac25d_bench::runner::{benchmarks_from_args, parallel_map, spec_from_args};
+use tac25d_bench::runner::{benchmarks_from_args, parallel_map, seed_from_args, spec_from_args};
 use tac25d_bench::{fmt, Report};
 use tac25d_core::prelude::*;
 use tac25d_floorplan::prelude::ChipletLayout;
@@ -18,7 +18,7 @@ fn main() -> std::io::Result<()> {
     let benchmarks = benchmarks_from_args();
 
     let results = parallel_map(benchmarks.clone(), |&b| {
-        optimize(&ev, b, &OptimizerConfig::default()).expect("optimize")
+        optimize(&ev, b, &OptimizerConfig::with_seed(seed_from_args())).expect("optimize")
     });
 
     let mut report = Report::new(

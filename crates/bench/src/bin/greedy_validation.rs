@@ -15,7 +15,7 @@
 //! the exact greedy's, demonstrating that the new fidelity tier preserves
 //! the paper's solution-match property while spending fewer exact solves.
 
-use tac25d_bench::runner::{parallel_map, spec_from_args};
+use tac25d_bench::runner::{parallel_map, seed_from_args, spec_from_args};
 use tac25d_bench::{fmt, Report};
 use tac25d_core::prelude::*;
 use tac25d_floorplan::units::Mm;
@@ -134,7 +134,7 @@ fn run_case(b: Benchmark, edge: f64, p: u16) -> CaseResult {
         };
         let cfg = OptimizerConfig {
             search,
-            seed: 42,
+            seed: seed_from_args(),
             fidelity,
             ..OptimizerConfig::default()
         };

@@ -6,7 +6,7 @@
 //! * at the same performance as the single chip, the 2.5D system cuts
 //!   manufacturing cost by 36%.
 
-use tac25d_bench::runner::{benchmarks_from_args, parallel_map, spec_from_args};
+use tac25d_bench::runner::{benchmarks_from_args, parallel_map, seed_from_args, spec_from_args};
 use tac25d_bench::{fmt, Report};
 use tac25d_core::prelude::*;
 use tac25d_floorplan::units::Celsius;
@@ -68,7 +68,7 @@ fn iso_cost_gain(ev: &Evaluator, b: Benchmark) -> Option<f64> {
     let cfg = OptimizerConfig {
         weights: Weights::performance_only(),
         chiplet_counts: vec![ChipletCount::Sixteen],
-        ..OptimizerConfig::default()
+        ..OptimizerConfig::with_seed(seed_from_args())
     };
     let r =
         optimize_with_filter(ev, b, &cfg, |c, base| c.cost <= base.cost + 1e-9).expect("optimize");
@@ -80,7 +80,7 @@ fn iso_cost_gain(ev: &Evaluator, b: Benchmark) -> Option<f64> {
 fn iso_perf_saving(ev: &Evaluator, b: Benchmark) -> Option<f64> {
     let cfg = OptimizerConfig {
         weights: Weights::cost_only(),
-        ..OptimizerConfig::default()
+        ..OptimizerConfig::with_seed(seed_from_args())
     };
     let r = optimize_with_filter(ev, b, &cfg, |c, base| c.ips.0 >= base.ips.0 - 1e-9)
         .expect("optimize");

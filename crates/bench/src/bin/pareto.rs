@@ -7,7 +7,7 @@
 //! organization; the set of non-dominated (normalized IPS, normalized
 //! cost) points is the frontier.
 
-use tac25d_bench::runner::spec_from_args;
+use tac25d_bench::runner::{seed_from_args, spec_from_args};
 use tac25d_bench::{benchmark_filter, fmt, Report};
 use tac25d_core::prelude::*;
 
@@ -40,7 +40,7 @@ fn main() -> std::io::Result<()> {
             let alpha = f64::from(step) / 10.0;
             let cfg = OptimizerConfig {
                 weights: Weights::new(alpha, 1.0 - alpha),
-                ..OptimizerConfig::default()
+                ..OptimizerConfig::with_seed(seed_from_args())
             };
             let r = optimize(&ev, b, &cfg).expect("optimize");
             if let Some(best) = r.best {

@@ -7,7 +7,7 @@
 //! ~500 W is an open engineering problem; this table shows exactly which
 //! reclaimed configurations cross the budget.
 
-use tac25d_bench::runner::{benchmarks_from_args, spec_from_args};
+use tac25d_bench::runner::{benchmarks_from_args, seed_from_args, spec_from_args};
 use tac25d_bench::{fmt, Report};
 use tac25d_core::prelude::*;
 use tac25d_pdn::{PdnModel, PdnParams};
@@ -30,7 +30,8 @@ fn main() -> std::io::Result<()> {
         ],
     );
     for &b in &benchmarks {
-        let result = optimize(&ev, b, &OptimizerConfig::default()).expect("optimize");
+        let result =
+            optimize(&ev, b, &OptimizerConfig::with_seed(seed_from_args())).expect("optimize");
         let Some(best) = result.best else {
             continue;
         };

@@ -7,7 +7,7 @@
 //! lifetime factors. Even benchmarks with zero performance gain (lu.cont,
 //! canneal) show multi-× lifetime improvements.
 
-use tac25d_bench::runner::{benchmarks_from_args, spec_from_args};
+use tac25d_bench::runner::{benchmarks_from_args, seed_from_args, spec_from_args};
 use tac25d_bench::{fmt, Report};
 use tac25d_core::prelude::*;
 use tac25d_power::reliability::ReliabilityModel;
@@ -32,7 +32,7 @@ fn main() -> std::io::Result<()> {
         // Iso-performance, minimum cost — the "free reliability" design.
         let cfg = OptimizerConfig {
             weights: Weights::cost_only(),
-            ..OptimizerConfig::default()
+            ..OptimizerConfig::with_seed(seed_from_args())
         };
         let r = optimize_with_filter(&ev, b, &cfg, |c, base| c.ips.0 >= base.ips.0 - 1e-9)
             .expect("optimize");

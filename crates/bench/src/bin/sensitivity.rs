@@ -5,7 +5,7 @@
 //! Paper anchors: 41%, 41%, 27% and 16% respectively — lower thresholds
 //! throttle the baseline harder, leaving more performance to reclaim.
 
-use tac25d_bench::runner::{benchmarks_from_args, parallel_map, spec_from_args};
+use tac25d_bench::runner::{benchmarks_from_args, parallel_map, seed_from_args, spec_from_args};
 use tac25d_bench::{fmt, Report};
 use tac25d_core::prelude::*;
 use tac25d_floorplan::units::Celsius;
@@ -30,7 +30,7 @@ fn main() -> std::io::Result<()> {
             let cfg = OptimizerConfig {
                 weights: Weights::performance_only(),
                 chiplet_counts: vec![ChipletCount::Sixteen],
-                ..OptimizerConfig::default()
+                ..OptimizerConfig::with_seed(seed_from_args())
             };
             match optimize_with_filter(&ev, b, &cfg, |c, base| c.cost <= base.cost + 1e-9) {
                 Ok(r) => r.best.map(|best| best.normalized_perf - 1.0),

@@ -4,7 +4,7 @@
 //! of feasibility-frontier candidates, how often the greedy agrees with
 //! exhaustive search and how many thermal simulations it spends.
 
-use tac25d_bench::runner::spec_from_args;
+use tac25d_bench::runner::{seed_from_args, spec_from_args};
 use tac25d_bench::{fmt, Report};
 use tac25d_core::prelude::*;
 use tac25d_floorplan::units::Mm;
@@ -51,7 +51,7 @@ fn main() -> std::io::Result<()> {
                 b,
                 &candidate(&ev, b, e),
                 PlacementSearch::MultiStartGreedy { starts },
-                7,
+                seed_from_args().wrapping_add(7),
             )
             .expect("greedy search")
             .is_some();

@@ -19,7 +19,7 @@
 
 use std::time::Instant;
 
-use tac25d_bench::runner::{benchmarks_from_args, parallel_map, spec_from_args};
+use tac25d_bench::runner::{benchmarks_from_args, parallel_map, seed_from_args, spec_from_args};
 use tac25d_bench::{fmt, Report};
 use tac25d_core::prelude::*;
 use tac25d_floorplan::prelude::{ChipletLayout, Mm};
@@ -223,13 +223,14 @@ fn organizer_case(b: Benchmark) -> OrgResult {
 
     let exact_ev = Evaluator::new(spec_from_args());
     let t0 = Instant::now();
-    let exact = optimize(&exact_ev, b, &OptimizerConfig::default()).expect("exact optimize");
+    let exact = optimize(&exact_ev, b, &OptimizerConfig::with_seed(seed_from_args()))
+        .expect("exact optimize");
     let exact_wall = t0.elapsed().as_secs_f64();
 
     let scr_ev = Evaluator::with_surrogate(spec_from_args(), SurrogateConfig::default());
     let cfg = OptimizerConfig {
         fidelity: Fidelity::surrogate_default(),
-        ..OptimizerConfig::default()
+        ..OptimizerConfig::with_seed(seed_from_args())
     };
     let t1 = Instant::now();
     let screened = optimize(&scr_ev, b, &cfg).expect("screened optimize");

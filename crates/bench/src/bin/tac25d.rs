@@ -207,6 +207,7 @@ fn cmd_optimize(opts: &HashMap<String, String>) -> Result<(), String> {
         } else {
             PlacementSearch::MultiStartGreedy { starts }
         },
+        seed: get_f64(opts, "seed", 42.0)? as u64,
         ..OptimizerConfig::default()
     };
     let ev = Evaluator::new(spec);

@@ -114,8 +114,35 @@ impl Report {
             writeln!(f, "{}", csv_line(r))?;
         }
         println!("  -> {}", path.display());
+
+        if trace_enabled() {
+            println!("{}", trace_begin(&self.name));
+            println!("{}", csv_line(&self.header));
+            for r in &self.rows {
+                println!("{}", csv_line(r));
+            }
+            println!("{}", trace_end(&self.name));
+        }
         Ok(path)
     }
+}
+
+/// True when `TAC25D_TRACE=1`: [`Report::finish`] additionally emits the
+/// raw CSV between `---BEGIN/END TRACE---` markers on stdout, so every
+/// bench binary doubles as a machine-readable trace producer (the
+/// golden-trace harness in `crates/verify` consumes these).
+pub fn trace_enabled() -> bool {
+    std::env::var("TAC25D_TRACE").is_ok_and(|v| v == "1")
+}
+
+/// The stdout marker opening the trace block of report `name`.
+pub fn trace_begin(name: &str) -> String {
+    format!("---BEGIN TRACE {name}---")
+}
+
+/// The stdout marker closing the trace block of report `name`.
+pub fn trace_end(name: &str) -> String {
+    format!("---END TRACE {name}---")
 }
 
 /// Renders one CSV record, quoting cells that contain commas or quotes.
@@ -133,9 +160,16 @@ pub fn csv_line(cells: &[String]) -> String {
         .join(",")
 }
 
-/// The `results/` directory at the workspace root (falls back to the
-/// current directory when the workspace root cannot be located).
+/// The CSV output directory: `TAC25D_RESULTS_DIR` when set (the
+/// golden-trace harness redirects runs into scratch directories this way),
+/// otherwise `results/` at the workspace root (falling back to the current
+/// directory when the workspace root cannot be located).
 pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("TAC25D_RESULTS_DIR") {
+        if !dir.is_empty() {
+            return PathBuf::from(dir);
+        }
+    }
     // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two up.
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
@@ -157,10 +191,13 @@ pub fn fast_flag() -> bool {
 
 /// The value following `--benchmark`, if any.
 pub fn benchmark_filter() -> Option<String> {
+    arg_value("--benchmark")
+}
+
+/// The value following a `--flag`, if any.
+pub fn arg_value(flag: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
-    args.windows(2)
-        .find(|w| w[0] == "--benchmark")
-        .map(|w| w[1].clone())
+    args.windows(2).find(|w| w[0] == flag).map(|w| w[1].clone())
 }
 
 #[cfg(test)]

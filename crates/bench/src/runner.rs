@@ -21,6 +21,21 @@ pub fn spec_from_args() -> SystemSpec {
     }
 }
 
+/// The optimizer seed selected by `--seed <n>` (42, the repo-wide pinned
+/// default, otherwise). Golden traces are recorded under this default;
+/// every randomized search in the bench binaries must draw its seed here
+/// so one flag reproduces or perturbs a whole run.
+///
+/// # Panics
+///
+/// Panics if the value after `--seed` is not an unsigned integer.
+pub fn seed_from_args() -> u64 {
+    crate::arg_value("--seed").map_or(42, |v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("--seed expects an unsigned integer, got {v:?}"))
+    })
+}
+
 /// The benchmarks selected by `--benchmark <name>` (all eight otherwise).
 ///
 /// # Panics

@@ -91,6 +91,17 @@ pub struct Evaluation {
     /// Whether the leakage loop converged (false ⇒ thermal runaway or
     /// oscillation; the organization is treated as infeasible).
     pub converged: bool,
+    /// Relative energy-balance residual of the converged steady state
+    /// (|heat out − power in| / power in); NaN when the loop diverged.
+    /// A verification invariant: power injected must leave through the
+    /// sink and secondary path.
+    pub energy_balance_error: f64,
+    /// Peak temperature over each chiplet footprint, in layout order
+    /// (empty when the loop diverged). Drives the per-chiplet |ΔT|
+    /// distributions of the differential-testing harness.
+    pub chiplet_peaks: Vec<Celsius>,
+    /// Outer iterations of the temperature–leakage fixed point.
+    pub outer_iterations: usize,
 }
 
 impl Evaluation {
@@ -387,6 +398,12 @@ impl Evaluator {
                 noc_power: Watts(noc_total),
                 ips: self.ips(benchmark, op, p),
                 converged: c.converged,
+                energy_balance_error: c.solution.energy_balance_error(),
+                chiplet_peaks: chiplet_rects
+                    .iter()
+                    .map(|r| c.solution.rect_max(r))
+                    .collect(),
+                outer_iterations: c.outer_iterations,
             },
             Err(ThermalError::Runaway { peak }) => Evaluation {
                 layout: *layout,
@@ -398,6 +415,9 @@ impl Evaluator {
                 noc_power: Watts(noc_total),
                 ips: self.ips(benchmark, op, p),
                 converged: false,
+                energy_balance_error: f64::NAN,
+                chiplet_peaks: Vec::new(),
+                outer_iterations: 0,
             },
             Err(other) => return Err(EvalError::Thermal(other)),
         };

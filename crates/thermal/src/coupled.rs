@@ -159,6 +159,75 @@ mod tests {
     }
 
     #[test]
+    fn contractive_leakage_converges_monotonically() {
+        // With a contractive positive feedback started from the cold state,
+        // the fixed-point iterates approach the limit from below: each
+        // observed die temperature is at least the previous one, and the
+        // inter-iterate steps shrink geometrically.
+        let m = model();
+        let mut observed: Vec<f64> = Vec::new();
+        let r = solve_coupled(
+            &m,
+            |sol| {
+                let t = sol.map_or(45.0, |s| s.rect_avg(&die()).value());
+                observed.push(t);
+                vec![(die(), 180.0 * (1.0 + 0.012 * (t - 45.0)))]
+            },
+            &CoupledOptions {
+                tol: Celsius(0.001),
+                ..CoupledOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(r.converged);
+        assert!(observed.len() >= 4, "too few iterates: {observed:?}");
+        for w in observed.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "non-monotone iterates: {observed:?}");
+        }
+        let steps: Vec<f64> = observed.windows(2).map(|w| w[1] - w[0]).collect();
+        for w in steps.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "steps must contract: {steps:?}");
+        }
+        // And the limit is a genuine fixed point: re-solving with the
+        // converged temperature's power map reproduces the solution.
+        let t_final = r.solution.rect_avg(&die()).value();
+        let re = m
+            .solve(&[(die(), 180.0 * (1.0 + 0.012 * (t_final - 45.0)))])
+            .unwrap();
+        assert!((re.peak().value() - r.solution.peak().value()).abs() < 0.05);
+    }
+
+    #[test]
+    fn tighter_tolerance_needs_more_iterations() {
+        let m = model();
+        let run = |tol: f64| {
+            solve_coupled(
+                &m,
+                |sol| {
+                    let t = sol.map_or(45.0, |s| s.rect_avg(&die()).value());
+                    vec![(die(), 180.0 * (1.0 + 0.012 * (t - 45.0)))]
+                },
+                &CoupledOptions {
+                    tol: Celsius(tol),
+                    ..CoupledOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        let loose = run(0.5);
+        let tight = run(0.0005);
+        assert!(loose.converged && tight.converged);
+        assert!(
+            tight.outer_iterations >= loose.outer_iterations,
+            "{} < {}",
+            tight.outer_iterations,
+            loose.outer_iterations
+        );
+        // Both bracket the same fixed point.
+        assert!((tight.solution.peak().value() - loose.solution.peak().value()).abs() < 1.0);
+    }
+
+    #[test]
     fn runaway_detected() {
         let m = model();
         // Absurd 40%/°C feedback: guaranteed divergence.

@@ -22,7 +22,10 @@
 //! * [`model`] — the public [`model::PackageModel`] / ThermalSolution API;
 //! * [`coupled`] — the temperature–leakage fixed-point loop;
 //! * [`transient`] — backward-Euler transient simulation over the same
-//!   RC network (computational-sprinting analyses).
+//!   RC network (computational-sprinting analyses);
+//! * [`slab`] — verification hooks: slab-stack assembly with cell-level
+//!   source injection and grid refinement, for the manufactured-solution
+//!   harness in `crates/verify`.
 //!
 //! # Examples
 //!
@@ -49,6 +52,7 @@ pub mod coupled;
 pub mod materials;
 pub mod model;
 pub(crate) mod network;
+pub mod slab;
 pub mod sparse;
 pub mod transient;
 

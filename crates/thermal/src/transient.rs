@@ -177,6 +177,62 @@ mod tests {
     }
 
     #[test]
+    fn step_response_field_converges_to_steady_state() {
+        // Step response: not just the peak but the whole temperature field
+        // must settle onto the steady-state solution, and the gap must
+        // shrink monotonically at the thermal time scale.
+        let m = model();
+        let steady = m.solve(&[(die(), 250.0)]).unwrap();
+        let trace = m
+            .simulate_transient(None, |_, _, _| vec![(die(), 250.0)], 5.0, 300)
+            .unwrap();
+        let max_gap = trace
+            .final_solution
+            .raw_temps()
+            .iter()
+            .zip(steady.raw_temps())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_gap < 0.5, "field gap to steady state: {max_gap}");
+        // The approach is monotone up to inner-solver noise: each sample's
+        // distance to the steady peak is no larger than the previous one's.
+        let target = steady.peak().value();
+        for w in trace.samples.windows(2) {
+            let d0 = (w[0].peak.value() - target).abs();
+            let d1 = (w[1].peak.value() - target).abs();
+            assert!(d1 <= d0 + 1e-5, "{d1} > {d0}");
+        }
+    }
+
+    #[test]
+    fn smaller_time_steps_stay_below_steady_state() {
+        // Backward Euler under-shoots a heating step from below: with half
+        // the step the trajectory is resolved finer but still bounded by
+        // the steady-state peak.
+        let m = model();
+        let steady = m.solve(&[(die(), 250.0)]).unwrap().peak().value();
+        let coarse = m
+            .simulate_transient(None, |_, _, _| vec![(die(), 250.0)], 2.0, 20)
+            .unwrap();
+        let fine = m
+            .simulate_transient(None, |_, _, _| vec![(die(), 250.0)], 1.0, 40)
+            .unwrap();
+        for s in coarse.samples.iter().chain(&fine.samples) {
+            assert!(
+                s.peak.value() <= steady + 1e-6,
+                "{} > {steady}",
+                s.peak.value()
+            );
+        }
+        // Same physical time, finer resolution: the end states agree to
+        // the discretization error.
+        let end_gap = (coarse.samples.last().unwrap().peak.value()
+            - fine.samples.last().unwrap().peak.value())
+        .abs();
+        assert!(end_gap < 1.0, "dt-refinement gap {end_gap}");
+    }
+
+    #[test]
     fn temperature_rises_monotonically_under_constant_power() {
         let m = model();
         let trace = m

@@ -1,0 +1,27 @@
+//! Cross-crate verification subsystem.
+//!
+//! Three pillars, one per module:
+//!
+//! * [`mms`] — method-of-manufactured-solutions checks for the thermal
+//!   solver: cosine-mode fin fields with measured spatial convergence
+//!   order, closed-form 1D resistance chains and two-path energy-split
+//!   invariants, all through the `tac25d_thermal::slab` hooks.
+//! * [`differential`] — the same organization corpus through the exact RC
+//!   solver, the surrogate and the coupled leakage fixed point, with
+//!   per-chiplet |ΔT| distributions and executable re-checks of the PR-1
+//!   screening guarantees.
+//! * [`golden`] — golden-trace regression over the `crates/bench`
+//!   binaries: pinned-seed runs diffed cell-by-cell against snapshots in
+//!   `tests/golden/` with per-column numeric tolerances, regenerated via
+//!   `verify golden --bless`.
+//!
+//! The `verify` binary drives all three from the command line (and from
+//! the CI `verify` job).
+
+pub mod differential;
+pub mod golden;
+pub mod mms;
+
+pub use differential::{DiffPoint, DiffRecord, Fig8Case};
+pub use golden::{GoldenOutcome, GoldenSpec};
+pub use mms::{FinCase, MmsSample, SplitResult};
