@@ -37,6 +37,7 @@ fn main() -> ExitCode {
         "cost" => cmd_cost(&opts),
         "export" => cmd_export(&opts),
         "latency" => cmd_latency(&opts),
+        "obs-report" => cmd_obs_report(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -62,6 +63,13 @@ USAGE:
   tac25d cost     --chiplets <4|16> --edge <mm> [--d0 <defects/cm2>]
   tac25d export   --layout <layout> --out <dir> [--benchmark <name>]
   tac25d latency  --layout <layout> [--freq <MHz>] [--pattern uniform|neighbor|transpose]
+  tac25d obs-report [--profile <BENCH_profile.json>] [--baseline <baseline.json>] [--bless]
+
+OBS-REPORT:
+  Renders the timing tree and top counters of a profile written by any
+  bench bin run with TAC25D_OBS/TAC25D_PROFILE set. With --baseline,
+  checks drift of the guarded counters (>20% fails); with --bless,
+  (re)writes the baseline from the profile.
 
 LAYOUTS:
   2d | uniform:<r>,<gap-mm> | sym4:<s3> | sym16:<s1>,<s2>,<s3>
@@ -76,7 +84,7 @@ fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --option, got {:?}", args[i]))?;
-        let flag = matches!(key, "exhaustive" | "iso-cost" | "fast");
+        let flag = matches!(key, "exhaustive" | "iso-cost" | "fast" | "bless");
         if flag {
             map.insert(key.to_owned(), "true".to_owned());
             i += 1;
@@ -303,6 +311,75 @@ fn cmd_latency(opts: &HashMap<String, String>) -> Result<(), String> {
         sat.aggregate_bits_per_s / 1e12
     );
     Ok(())
+}
+
+fn cmd_obs_report(opts: &HashMap<String, String>) -> Result<(), String> {
+    use tac25d_obs::profile;
+
+    let profile_path = opts
+        .get("profile")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(tac25d_bench::profile_output_path);
+    let doc = profile::load_json(&profile_path)?;
+    print!("{}", profile::render_report(&doc));
+
+    if opts.contains_key("bless") {
+        let baseline_path = opts
+            .get("baseline")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(default_baseline_path);
+        if let Some(parent) = baseline_path.parent() {
+            std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+        }
+        std::fs::write(&baseline_path, profile::baseline_from_profile(&doc))
+            .map_err(|e| e.to_string())?;
+        println!("\nblessed baseline -> {}", baseline_path.display());
+        return Ok(());
+    }
+
+    if let Some(baseline_path) = opts.get("baseline").map(std::path::PathBuf::from) {
+        let baseline = profile::load_json(&baseline_path)?;
+        let drifts = profile::check_drift(&doc, &baseline, profile::DRIFT_TOLERANCE);
+        println!(
+            "\nbaseline drift (tolerance {:.0}%):",
+            profile::DRIFT_TOLERANCE * 100.0
+        );
+        let mut failed = false;
+        for d in &drifts {
+            println!(
+                "  {:<28} baseline {:>10.0}  observed {:>10.0}  drift {:>6.1}% {}",
+                d.name,
+                d.baseline,
+                d.observed,
+                d.relative * 100.0,
+                if d.exceeded { "FAIL" } else { "ok" }
+            );
+            failed |= d.exceeded;
+        }
+        if failed {
+            return Err(format!(
+                "counter drift beyond {:.0}% of {} — investigate, or re-bless with \
+                 `tac25d obs-report --profile {} --bless`",
+                profile::DRIFT_TOLERANCE * 100.0,
+                baseline_path.display(),
+                profile_path.display()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// `tests/obs/baseline.json` at the workspace root — the committed CI
+/// drift baseline.
+fn default_baseline_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(std::path::Path::to_path_buf)
+        .unwrap_or_else(|| std::path::PathBuf::from("."))
+        .join("tests")
+        .join("obs")
+        .join("baseline.json")
 }
 
 fn cmd_export(opts: &HashMap<String, String>) -> Result<(), String> {

@@ -14,11 +14,13 @@
 //! Most binaries accept `--fast` (coarser thermal grid / lattice, for smoke
 //! runs) and `--benchmark <name>` filters where meaningful.
 
-use std::fs;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
 
 pub mod runner;
+pub mod sink;
+
+use sink::RenderedReport;
 
 /// A simple aligned-table + CSV reporter.
 ///
@@ -64,75 +66,69 @@ impl Report {
         self.rows.push(cells.to_vec());
     }
 
-    /// Prints the aligned table to stdout and writes `results/<name>.csv`.
+    /// Emits the report through every default sink: the aligned stdout
+    /// table, `results/<name>.csv`, the `TAC25D_TRACE` stdout block, and
+    /// the obs profile/JSONL stream (see [`sink`]).
     ///
     /// # Errors
     ///
-    /// Returns any I/O error from writing the CSV.
+    /// Returns any I/O error from the sinks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no sink produced an output path (the CSV sink always
+    /// does).
     pub fn finish(self) -> std::io::Result<PathBuf> {
-        let widths: Vec<usize> = self
-            .header
-            .iter()
-            .enumerate()
-            .map(|(i, h)| {
-                self.rows
-                    .iter()
-                    .map(|r| r[i].chars().count())
-                    .chain([h.chars().count()])
-                    .max()
-                    .unwrap_or(0)
-            })
-            .collect();
-        let print_row = |cells: &[String]| {
-            let line: Vec<String> = cells
-                .iter()
-                .zip(&widths)
-                .map(|(c, w)| format!("{c:>w$}", w = w))
-                .collect();
-            println!("  {}", line.join("  "));
+        let rendered = RenderedReport {
+            name: self.name,
+            header: self.header,
+            rows: self.rows,
         };
-        println!("== {} ==", self.name);
-        print_row(&self.header);
-        println!(
-            "  {}",
-            widths
-                .iter()
-                .map(|w| "-".repeat(*w))
-                .collect::<Vec<_>>()
-                .join("  ")
-        );
-        for r in &self.rows {
-            print_row(r);
-        }
-
-        let dir = results_dir();
-        fs::create_dir_all(&dir)?;
-        let path = dir.join(format!("{}.csv", self.name));
-        let mut f = fs::File::create(&path)?;
-        writeln!(f, "{}", csv_line(&self.header))?;
-        for r in &self.rows {
-            writeln!(f, "{}", csv_line(r))?;
-        }
-        println!("  -> {}", path.display());
-
-        if trace_enabled() {
-            println!("{}", trace_begin(&self.name));
-            println!("{}", csv_line(&self.header));
-            for r in &self.rows {
-                println!("{}", csv_line(r));
+        let mut path = None;
+        for s in sink::default_sinks() {
+            if let Some(p) = s.emit(&rendered)? {
+                path = Some(p);
             }
-            println!("{}", trace_end(&self.name));
         }
-        Ok(path)
+        Ok(path.expect("CsvFileSink produces a path"))
     }
 }
 
 /// True when `TAC25D_TRACE=1`: [`Report::finish`] additionally emits the
 /// raw CSV between `---BEGIN/END TRACE---` markers on stdout, so every
 /// bench binary doubles as a machine-readable trace producer (the
-/// golden-trace harness in `crates/verify` consumes these).
+/// golden-trace harness in `crates/verify` consumes these). The env var is
+/// read once and cached.
 pub fn trace_enabled() -> bool {
-    std::env::var("TAC25D_TRACE").is_ok_and(|v| v == "1")
+    static TRACE: OnceLock<bool> = OnceLock::new();
+    *TRACE.get_or_init(|| std::env::var("TAC25D_TRACE").is_ok_and(|v| v == "1"))
+}
+
+/// Where the obs profile document goes: `BENCH_profile.json` inside
+/// `TAC25D_RESULTS_DIR` when that redirect is set (keeping golden-harness
+/// scratch runs isolated), otherwise at the workspace root where the perf
+/// trajectory expects `BENCH_*.json` files.
+pub fn profile_output_path() -> PathBuf {
+    if let Ok(dir) = std::env::var("TAC25D_RESULTS_DIR") {
+        if !dir.is_empty() {
+            return PathBuf::from(dir).join("BENCH_profile.json");
+        }
+    }
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."));
+    root.join("BENCH_profile.json")
+}
+
+/// The running binary's file stem (`fig8`, `tab2`, …) for profile
+/// labelling; `"unknown"` when the executable path is unavailable.
+pub fn bin_name() -> String {
+    std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "unknown".to_owned())
 }
 
 /// The stdout marker opening the trace block of report `name`.

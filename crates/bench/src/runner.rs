@@ -4,10 +4,14 @@
 
 use tac25d_core::prelude::*;
 use tac25d_floorplan::units::Mm;
+use tac25d_obs as obs;
 
 /// Picks the experiment spec: the paper configuration by default, the
 /// coarse one under `--fast`.
 pub fn spec_from_args() -> SystemSpec {
+    // Every bench bin starts here, so this pins the obs epoch (and thus
+    // `total_wall_s` in the profile) to the top of the run.
+    obs::epoch();
     if crate::fast_flag() {
         let mut s = SystemSpec::fast();
         s.thermal.grid = 24;
@@ -68,6 +72,7 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    let _span = obs::span!("bench.parallel_map");
     let threads = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(4)
@@ -82,6 +87,7 @@ where
                 if i >= items.len() {
                     break;
                 }
+                let _item_span = obs::span!("bench.parallel_item");
                 let r = f(&items[i]);
                 *results[i].lock().expect("result lock") = Some(r);
             });

@@ -1,0 +1,152 @@
+//! Report emission sinks.
+//!
+//! [`crate::Report::finish`] renders once into a [`RenderedReport`] and
+//! hands it to each sink in a fixed order, so the human-readable table,
+//! the CSV file, the `---BEGIN/END TRACE---` stdout block consumed by the
+//! golden-trace harness, and the obs profile/JSONL stream all share one
+//! emission path. Sink order is part of the stdout contract — the golden
+//! harness diffs bench output byte-for-byte: table first, then the
+//! `  -> path` line, then the trace block.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::PathBuf;
+
+use tac25d_obs as obs;
+
+/// A report rendered to strings, ready for any sink.
+pub struct RenderedReport {
+    /// Report name (also the CSV file stem).
+    pub name: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl RenderedReport {
+    /// The CSV lines (header first) of this report.
+    pub fn csv_lines(&self) -> Vec<String> {
+        std::iter::once(crate::csv_line(&self.header))
+            .chain(self.rows.iter().map(|r| crate::csv_line(r)))
+            .collect()
+    }
+}
+
+/// One destination for a finished report.
+pub trait ReportSink {
+    /// Emits the report; returns the output path when the sink produced a
+    /// file the caller should report.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the underlying writer.
+    fn emit(&self, report: &RenderedReport) -> io::Result<Option<PathBuf>>;
+}
+
+/// Prints the aligned human-readable table to stdout.
+pub struct ConsoleTableSink;
+
+impl ReportSink for ConsoleTableSink {
+    fn emit(&self, report: &RenderedReport) -> io::Result<Option<PathBuf>> {
+        let widths: Vec<usize> = report
+            .header
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                report
+                    .rows
+                    .iter()
+                    .map(|r| r[i].chars().count())
+                    .chain([h.chars().count()])
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let print_row = |cells: &[String]| {
+            let line: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            println!("  {}", line.join("  "));
+        };
+        println!("== {} ==", report.name);
+        print_row(&report.header);
+        println!(
+            "  {}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for r in &report.rows {
+            print_row(r);
+        }
+        Ok(None)
+    }
+}
+
+/// Writes `results/<name>.csv` and prints the `  -> path` pointer line.
+pub struct CsvFileSink;
+
+impl ReportSink for CsvFileSink {
+    fn emit(&self, report: &RenderedReport) -> io::Result<Option<PathBuf>> {
+        let dir = crate::results_dir();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.csv", report.name));
+        let mut f = fs::File::create(&path)?;
+        for line in report.csv_lines() {
+            writeln!(f, "{line}")?;
+        }
+        println!("  -> {}", path.display());
+        Ok(Some(path))
+    }
+}
+
+/// Replays the CSV between `---BEGIN/END TRACE---` markers on stdout when
+/// `TAC25D_TRACE=1` (the golden-trace harness consumes these).
+pub struct StdoutTraceSink;
+
+impl ReportSink for StdoutTraceSink {
+    fn emit(&self, report: &RenderedReport) -> io::Result<Option<PathBuf>> {
+        if crate::trace_enabled() {
+            println!("{}", crate::trace_begin(&report.name));
+            for line in report.csv_lines() {
+                println!("{line}");
+            }
+            println!("{}", crate::trace_end(&report.name));
+        }
+        Ok(None)
+    }
+}
+
+/// Feeds the obs pipeline when observability is on: bumps
+/// `bench.rows_emitted`, streams a report event plus a counter snapshot to
+/// the JSONL sink, and (re)writes the `BENCH_profile.json` document so the
+/// profile always reflects the run up to the latest finished report.
+pub struct ObsSink;
+
+impl ReportSink for ObsSink {
+    fn emit(&self, report: &RenderedReport) -> io::Result<Option<PathBuf>> {
+        if !obs::enabled() {
+            return Ok(None);
+        }
+        obs::counter!("bench.rows_emitted").add(report.rows.len() as u64);
+        obs::sink::emit_report(&report.name, report.rows.len());
+        obs::sink::emit_counters_snapshot();
+        obs::profile::write_profile(&crate::profile_output_path(), &crate::bin_name())?;
+        Ok(None)
+    }
+}
+
+/// The sinks every report flows through, in stdout-contract order.
+pub fn default_sinks() -> Vec<Box<dyn ReportSink>> {
+    vec![
+        Box::new(ConsoleTableSink),
+        Box::new(CsvFileSink),
+        Box::new(StdoutTraceSink),
+        Box::new(ObsSink),
+    ]
+}

@@ -18,6 +18,7 @@ use tac25d_floorplan::organization::{ChipletLayout, LayoutError};
 use tac25d_floorplan::raster::place_cores;
 use tac25d_floorplan::units::{Celsius, Watts};
 use tac25d_noc::link::TimingError;
+use tac25d_obs as obs;
 use tac25d_power::benchmarks::Benchmark;
 use tac25d_power::dvfs::OperatingPoint;
 use tac25d_power::perf::{system_ips, Ips};
@@ -346,6 +347,7 @@ impl Evaluator {
     ) -> Result<Arc<Evaluation>, EvalError> {
         let key = (layout_key(layout), benchmark, op.freq_mhz as u32, p);
         if let Some(e) = self.evals.lock().expect("lock poisoned").get(&key) {
+            obs::counter!("evaluator.cache_hits").inc();
             return Ok(Arc::clone(e));
         }
 
@@ -367,6 +369,7 @@ impl Evaluator {
         let chip_area: f64 = chiplet_rects.iter().map(|r| r.area().value()).sum();
 
         self.thermal_sims.fetch_add(1, Ordering::Relaxed);
+        obs::counter!("thermal.exact_solves").inc();
         let core_power = &spec.core_power;
         let coupled = solve_coupled(
             &model,

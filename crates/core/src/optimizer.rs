@@ -42,6 +42,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use tac25d_floorplan::organization::{symmetric4_for_edge, ChipletLayout, Spacing};
 use tac25d_floorplan::units::{Celsius, Mm, Watts};
+use tac25d_obs as obs;
 use tac25d_power::benchmarks::Benchmark;
 use tac25d_power::dvfs::OperatingPoint;
 use tac25d_power::perf::Ips;
@@ -457,6 +458,7 @@ fn probe_placement(
     guard: Option<Guards>,
     stats: &mut SearchStats,
 ) -> Result<Probe, EvalError> {
+    obs::counter!("optimizer.moves_evaluated").inc();
     if let Some(guard) = guard {
         if let Some(pred) = ev.predict_peak(layout, benchmark, op, p) {
             stats.surrogate_predictions += 1;
@@ -557,6 +559,7 @@ pub fn find_placement_with(
             let s2_max = free_units / 2; // Eq. (10) on the fixed-edge manifold
             let try_point =
                 |pt: LatticePoint| -> Result<(ChipletLayout, Arc<Evaluation>), EvalError> {
+                    obs::counter!("optimizer.moves_evaluated").inc();
                     let layout = ChipletLayout::Symmetric16 {
                         spacing: lattice_spacing(pt, free_units, step),
                     };
@@ -652,6 +655,7 @@ pub fn find_placement_with(
                         let score = |pt: LatticePoint,
                                      stats: &mut SearchStats|
                          -> Result<Scored, EvalError> {
+                            obs::counter!("optimizer.moves_evaluated").inc();
                             let layout = layout_of(pt);
                             if let Some(pred) = ev.predict_peak(
                                 &layout,
@@ -680,6 +684,8 @@ pub fn find_placement_with(
                             Ok((e.feasible(threshold).then_some((layout, e)), peak, false))
                         };
                         for _ in 0..starts {
+                            let _start_span = obs::span!("optimizer.greedy_start");
+                            obs::counter!("optimizer.greedy_starts").inc();
                             let mut current = LatticePoint {
                                 s1u: rng.gen_range(0..=s1_max),
                                 s2u: rng.gen_range(0..=s2_max),
@@ -722,6 +728,7 @@ pub fn find_placement_with(
                                         return Ok(found);
                                     }
                                     if nb_peak < current_peak {
+                                        obs::counter!("optimizer.moves_accepted").inc();
                                         current = nb;
                                         current_peak = nb_peak;
                                         current_predicted = nb_predicted;
@@ -773,6 +780,8 @@ pub fn find_placement_with(
                         Option<(ChipletLayout, Arc<Evaluation>)>,
                         EvalError,
                     > {
+                        let _start_span = obs::span!("optimizer.greedy_start");
+                        obs::counter!("optimizer.greedy_starts").inc();
                         let mut rng = StdRng::seed_from_u64(
                             seed ^ salt ^ (idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                         );
@@ -819,6 +828,7 @@ pub fn find_placement_with(
                                     return Ok(Some((layout, e)));
                                 }
                                 if peak_of(&e) < current_peak {
+                                    obs::counter!("optimizer.moves_accepted").inc();
                                     current = nb;
                                     current_peak = peak_of(&e);
                                     continue 'descend;
@@ -935,6 +945,7 @@ pub fn optimize_with_filter<F>(
 where
     F: Fn(&Candidate, &Baseline) -> bool,
 {
+    let _span = obs::span!("optimizer.optimize");
     let sims_before = ev.thermal_sims();
     let (candidates, baseline) =
         enumerate_candidates(ev, benchmark, cfg.weights, &cfg.chiplet_counts)?;
@@ -1005,6 +1016,8 @@ fn resolve_tie_run(
     cfg: &OptimizerConfig,
     stats: &mut SearchStats,
 ) -> Result<Option<(Candidate, ChipletLayout, Arc<Evaluation>)>, EvalError> {
+    let _span = obs::span!("optimizer.tie_run");
+    obs::counter!("optimizer.tie_runs_resolved").inc();
     type Key = (ChipletCount, u32, u16);
     let mut groups: HashMap<Key, Vec<usize>> = HashMap::new();
     for (idx, c) in run.iter().enumerate() {

@@ -1,0 +1,430 @@
+//! Global metrics registry: named counters, gauges and log2 histograms.
+//!
+//! All metric handles are `Arc`-shared atomics; the registry itself is a
+//! trio of `Mutex<BTreeMap>`s that is only locked on first registration of
+//! a name (call sites cache the `Arc` in a `OnceLock`, see the `counter!`
+//! family of macros in the crate root) and when exporting. The hot path —
+//! `Counter::inc` under the crossbeam-parallel greedy — is a single
+//! relaxed atomic add.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::json::escape;
+
+/// Number of histogram buckets: bucket 0 holds the value 0, bucket `k`
+/// (1..=63) holds values in `[2^(k-1), 2^k - 1]`, bucket 64 is the
+/// overflow bucket.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (tests and per-run profile isolation).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-value-wins gauge storing an `f64` as atomic bits.
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+impl Gauge {
+    /// Stores `v`.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket log2 histogram of `u64` samples.
+///
+/// Bucket boundaries are powers of two, so `record` is branch-light:
+/// a `leading_zeros` and one atomic add. Suited to iteration counts and
+/// microsecond durations where ~2x resolution is plenty.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index for a sample: 0 → 0, otherwise `64 - leading_zeros`,
+/// i.e. bucket `k` covers `[2^(k-1), 2^k - 1]`.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the overflow
+/// bucket).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i < 64 {
+        (1u64 << i) - 1
+    } else {
+        u64::MAX
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Per-bucket counts.
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Resets all buckets (tests and per-run profile isolation).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// Gets or creates the counter named `name` (convention:
+/// `crate.component.metric`).
+pub fn counter(name: &str) -> Arc<Counter> {
+    let mut map = registry()
+        .counters
+        .lock()
+        .expect("counter registry poisoned");
+    Arc::clone(map.entry(name.to_owned()).or_default())
+}
+
+/// Gets or creates the gauge named `name`.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    let mut map = registry().gauges.lock().expect("gauge registry poisoned");
+    Arc::clone(map.entry(name.to_owned()).or_default())
+}
+
+/// Gets or creates the histogram named `name`.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    let mut map = registry()
+        .histograms
+        .lock()
+        .expect("histogram registry poisoned");
+    Arc::clone(map.entry(name.to_owned()).or_default())
+}
+
+/// Snapshot of all counters, sorted by name.
+pub fn counter_snapshot() -> Vec<(String, u64)> {
+    let map = registry()
+        .counters
+        .lock()
+        .expect("counter registry poisoned");
+    map.iter().map(|(k, v)| (k.clone(), v.get())).collect()
+}
+
+/// Snapshot of all gauges, sorted by name.
+pub fn gauge_snapshot() -> Vec<(String, f64)> {
+    let map = registry().gauges.lock().expect("gauge registry poisoned");
+    map.iter().map(|(k, v)| (k.clone(), v.get())).collect()
+}
+
+/// Snapshot of all histograms, sorted by name:
+/// `(name, bucket_counts, count, sum)`.
+pub fn histogram_snapshot() -> Vec<(String, [u64; HISTOGRAM_BUCKETS], u64, u64)> {
+    let map = registry()
+        .histograms
+        .lock()
+        .expect("histogram registry poisoned");
+    map.iter()
+        .map(|(k, v)| (k.clone(), v.bucket_counts(), v.count(), v.sum()))
+        .collect()
+}
+
+/// Sanitizes a metric name for the Prometheus text format
+/// (`[a-zA-Z0-9_]`, everything else becomes `_`).
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Renders every registered metric in the Prometheus text exposition
+/// format (counters, gauges, and cumulative histogram buckets with
+/// `+Inf`, `_sum` and `_count` series).
+pub fn prometheus_text() -> String {
+    let mut out = String::new();
+    for (name, value) in counter_snapshot() {
+        let n = prom_name(&name);
+        out.push_str(&format!("# TYPE {n} counter\n{n} {value}\n"));
+    }
+    for (name, value) in gauge_snapshot() {
+        let n = prom_name(&name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {value}\n"));
+    }
+    for (name, buckets, count, sum) in histogram_snapshot() {
+        let n = prom_name(&name);
+        out.push_str(&format!("# TYPE {n} histogram\n"));
+        let mut cumulative = 0u64;
+        for (i, c) in buckets.iter().enumerate() {
+            cumulative += c;
+            // Only emit buckets up to the last non-empty one; always
+            // close with +Inf.
+            if *c > 0 || i == 0 {
+                let le = bucket_upper_bound(i);
+                if le != u64::MAX {
+                    out.push_str(&format!("{n}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+                }
+            }
+        }
+        out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {count}\n"));
+        out.push_str(&format!("{n}_sum {sum}\n"));
+        out.push_str(&format!("{n}_count {count}\n"));
+    }
+    out
+}
+
+/// Renders every registered metric as one JSON object:
+/// `{"counters": {..}, "gauges": {..}, "histograms": {..}}`.
+pub fn metrics_json() -> String {
+    let mut out = String::from("{\"counters\":{");
+    let counters = counter_snapshot();
+    for (i, (name, value)) in counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{value}", escape(name)));
+    }
+    out.push_str("},\"gauges\":{");
+    let gauges = gauge_snapshot();
+    for (i, (name, value)) in gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{value}", escape(name)));
+    }
+    out.push_str("},\"histograms\":{");
+    let histograms = histogram_snapshot();
+    for (i, (name, buckets, count, sum)) in histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{}\":{{\"count\":{count},\"sum\":{sum},\"buckets\":[",
+            escape(name)
+        ));
+        let mut first = true;
+        for (bi, c) in buckets.iter().enumerate() {
+            if *c == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let le = bucket_upper_bound(bi);
+            out.push_str(&format!("{{\"le\":{le},\"n\":{c}}}"));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_atomic_under_scoped_threads() {
+        let c = counter("test.registry.atomic_counter");
+        c.reset();
+        crossbeam::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    let c = counter("test.registry.atomic_counter");
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        })
+        .expect("scope");
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn gauge_stores_last_value() {
+        let g = gauge("test.registry.gauge");
+        g.set(-3.25);
+        assert_eq!(g.get(), -3.25);
+        g.set(1e9);
+        assert_eq!(g.get(), 1e9);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Each bucket's range is [upper_bound(i-1)+1, upper_bound(i)].
+        for i in 1..64 {
+            let lo = bucket_upper_bound(i - 1) + 1;
+            let hi = bucket_upper_bound(i);
+            assert_eq!(bucket_index(lo), i, "low edge of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "high edge of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn histogram_counts_and_mean() {
+        let h = histogram("test.registry.hist_mean");
+        h.reset();
+        for v in [0u64, 1, 2, 3, 4] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 10);
+        assert_eq!(h.mean(), 2.0);
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 1); // 0
+        assert_eq!(counts[1], 1); // 1
+        assert_eq!(counts[2], 2); // 2, 3
+        assert_eq!(counts[3], 1); // 4
+    }
+
+    #[test]
+    fn prometheus_text_formats_all_kinds() {
+        counter("test.registry.prom_counter").reset();
+        counter("test.registry.prom_counter").add(7);
+        gauge("test.registry.prom_gauge").set(1.5);
+        let h = histogram("test.registry.prom_hist");
+        h.reset();
+        h.record(3);
+        let text = prometheus_text();
+        assert!(text.contains("# TYPE test_registry_prom_counter counter"));
+        assert!(text.contains("test_registry_prom_counter 7"));
+        assert!(text.contains("# TYPE test_registry_prom_gauge gauge"));
+        assert!(text.contains("test_registry_prom_gauge 1.5"));
+        assert!(text.contains("# TYPE test_registry_prom_hist histogram"));
+        assert!(text.contains("test_registry_prom_hist_bucket{le=\"3\"}"));
+        assert!(text.contains("test_registry_prom_hist_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("test_registry_prom_hist_sum 3"));
+        assert!(text.contains("test_registry_prom_hist_count 1"));
+    }
+
+    #[test]
+    fn metrics_json_is_valid_json() {
+        counter("test.registry.json_counter").add(1);
+        gauge("test.registry.json_gauge").set(2.0);
+        histogram("test.registry.json_hist").record(5);
+        let doc = metrics_json();
+        let v = crate::json::parse(&doc).expect("exporter output parses");
+        assert!(v
+            .get("counters")
+            .and_then(|c| c.get("test.registry.json_counter"))
+            .and_then(crate::json::Value::as_f64)
+            .is_some_and(|n| n >= 1.0));
+        let hist = v
+            .get("histograms")
+            .and_then(|h| h.get("test.registry.json_hist"))
+            .expect("histogram present");
+        assert!(hist
+            .get("count")
+            .and_then(crate::json::Value::as_f64)
+            .is_some_and(|n| n >= 1.0));
+    }
+}

@@ -1,0 +1,128 @@
+//! JSONL event sink, selected by `TAC25D_OBS=path.jsonl`.
+//!
+//! Each event is one JSON object per line:
+//!
+//! ```text
+//! {"ev":"span_open","path":"optimizer.optimize","t_us":1234}
+//! {"ev":"span_close","path":"optimizer.optimize","t_us":5678,"dur_us":4444}
+//! {"ev":"counters","t_us":9999,"counters":{...},"gauges":{...}}
+//! {"ev":"report","name":"fig8","rows":12,"t_us":10000}
+//! ```
+//!
+//! `t_us` is microseconds since the process-wide epoch (first obs use).
+//! Span events are only streamed for shallow spans (depth <
+//! [`SPAN_EVENT_DEPTH`]) — the PCG inner solves run hundreds of times per
+//! greedy start and would swamp the file; their timing is still fully
+//! captured in the aggregated span tree. Every line is flushed on write so
+//! the stream survives `std::process::exit` (the writer is never dropped).
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::sync::{Mutex, OnceLock};
+
+use crate::json::escape;
+
+/// Spans at depth >= this are aggregated only, not streamed as events.
+pub const SPAN_EVENT_DEPTH: usize = 2;
+
+enum SinkState {
+    Disabled,
+    Active(Mutex<BufWriter<File>>),
+}
+
+fn sink() -> &'static SinkState {
+    static SINK: OnceLock<SinkState> = OnceLock::new();
+    SINK.get_or_init(|| {
+        let Some(path) = std::env::var_os("TAC25D_OBS") else {
+            return SinkState::Disabled;
+        };
+        if path.is_empty() {
+            return SinkState::Disabled;
+        }
+        match File::create(&path) {
+            Ok(f) => SinkState::Active(Mutex::new(BufWriter::new(f))),
+            Err(e) => {
+                eprintln!("tac25d-obs: cannot open {}: {e}", path.to_string_lossy());
+                SinkState::Disabled
+            }
+        }
+    })
+}
+
+/// Whether a JSONL sink is attached.
+pub fn active() -> bool {
+    matches!(sink(), SinkState::Active(_))
+}
+
+fn emit_line(line: &str) {
+    if let SinkState::Active(w) = sink() {
+        let mut w = w.lock().expect("obs sink poisoned");
+        // Flush per line: the stream must be complete even if the process
+        // exits without unwinding (bench bins end via main return, but
+        // the golden harness kills children on timeout).
+        let _ = writeln!(w, "{line}");
+        let _ = w.flush();
+    }
+}
+
+fn t_us() -> u128 {
+    crate::uptime().as_micros()
+}
+
+/// Streams a span-open event.
+pub fn emit_span_open(path: &str) {
+    if active() {
+        emit_line(&format!(
+            "{{\"ev\":\"span_open\",\"path\":\"{}\",\"t_us\":{}}}",
+            escape(path),
+            t_us()
+        ));
+    }
+}
+
+/// Streams a span-close event with its duration.
+pub fn emit_span_close(path: &str, dur_ns: u64) {
+    if active() {
+        emit_line(&format!(
+            "{{\"ev\":\"span_close\",\"path\":\"{}\",\"t_us\":{},\"dur_us\":{}}}",
+            escape(path),
+            t_us(),
+            dur_ns / 1_000
+        ));
+    }
+}
+
+/// Streams a full counter/gauge snapshot (called at report boundaries,
+/// not per-event).
+pub fn emit_counters_snapshot() {
+    if !active() {
+        return;
+    }
+    let mut line = format!("{{\"ev\":\"counters\",\"t_us\":{},\"counters\":{{", t_us());
+    for (i, (name, value)) in crate::registry::counter_snapshot().iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push_str(&format!("\"{}\":{value}", escape(name)));
+    }
+    line.push_str("},\"gauges\":{");
+    for (i, (name, value)) in crate::registry::gauge_snapshot().iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push_str(&format!("\"{}\":{value}", escape(name)));
+    }
+    line.push_str("}}");
+    emit_line(&line);
+}
+
+/// Streams a report-finished event (one per `Report::finish`).
+pub fn emit_report(name: &str, rows: usize) {
+    if active() {
+        emit_line(&format!(
+            "{{\"ev\":\"report\",\"name\":\"{}\",\"rows\":{rows},\"t_us\":{}}}",
+            escape(name),
+            t_us()
+        ));
+    }
+}

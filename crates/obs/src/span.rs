@@ -1,0 +1,225 @@
+//! Hierarchical span timing.
+//!
+//! `SpanGuard::enter("thermal.pcg_solve")` (or the `span!` macro) pushes a
+//! frame on a thread-local stack and, on drop, folds the elapsed time into
+//! a global per-path aggregate. Paths are the `/`-joined chain of span
+//! names from that thread's root, so nesting is visible
+//! (`optimizer.optimize/optimizer.greedy_start/thermal.leakage_fixed_point`).
+//! Worker threads spawned inside a span start their own root — the
+//! aggregation merges by path, so the crossbeam-parallel greedy's starts
+//! all fold into one `optimizer.greedy_start` line per thread-root shape.
+//!
+//! Self time is elapsed minus the time spent in child spans, tracked by
+//! adding each child's elapsed into its parent frame at child drop.
+//! When obs is disabled (`enabled()` false at enter), the guard is inert:
+//! no clock read, no allocation, no lock.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::sink;
+
+/// Aggregated statistics for one span path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStat {
+    /// Times this path was entered.
+    pub count: u64,
+    /// Total wall time inside the span, nanoseconds.
+    pub total_ns: u64,
+    /// Total minus time attributed to child spans, nanoseconds.
+    pub self_ns: u64,
+    /// Shortest single entry, nanoseconds.
+    pub min_ns: u64,
+    /// Longest single entry, nanoseconds.
+    pub max_ns: u64,
+}
+
+struct Frame {
+    path: Arc<str>,
+    child_ns: u64,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+fn aggregate() -> &'static Mutex<BTreeMap<String, SpanStat>> {
+    static AGG: OnceLock<Mutex<BTreeMap<String, SpanStat>>> = OnceLock::new();
+    AGG.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// RAII timer for one span entry. Construct via [`SpanGuard::enter`] or
+/// the `span!` macro; the span closes when the guard drops.
+#[must_use = "a span measures the scope holding the guard; dropping it immediately records ~0ns"]
+pub struct SpanGuard {
+    // None when obs is disabled: drop is then a no-op.
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// Opens a span named `name` under the current thread's span stack.
+    /// Inert (no clock read, no allocation) when obs is disabled.
+    pub fn enter(name: &str) -> SpanGuard {
+        if !crate::enabled() {
+            return SpanGuard { start: None };
+        }
+        let (path, depth) = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path: Arc<str> = match stack.last() {
+                Some(parent) => Arc::from(format!("{}/{name}", parent.path)),
+                None => Arc::from(name),
+            };
+            let depth = stack.len();
+            stack.push(Frame {
+                path: Arc::clone(&path),
+                child_ns: 0,
+            });
+            (path, depth)
+        });
+        if depth < sink::SPAN_EVENT_DEPTH {
+            sink::emit_span_open(&path);
+        }
+        SpanGuard {
+            start: Some(Instant::now()),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let elapsed_ns = start.elapsed().as_nanos() as u64;
+        let (frame, depth) = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let frame = stack.pop().expect("span stack underflow");
+            if let Some(parent) = stack.last_mut() {
+                parent.child_ns += elapsed_ns;
+            }
+            (frame, stack.len())
+        });
+        let self_ns = elapsed_ns.saturating_sub(frame.child_ns);
+        {
+            let mut agg = aggregate().lock().expect("span aggregate poisoned");
+            let stat = agg.entry(frame.path.to_string()).or_insert(SpanStat {
+                count: 0,
+                total_ns: 0,
+                self_ns: 0,
+                min_ns: u64::MAX,
+                max_ns: 0,
+            });
+            stat.count += 1;
+            stat.total_ns += elapsed_ns;
+            stat.self_ns += self_ns;
+            stat.min_ns = stat.min_ns.min(elapsed_ns);
+            stat.max_ns = stat.max_ns.max(elapsed_ns);
+        }
+        if depth < sink::SPAN_EVENT_DEPTH {
+            sink::emit_span_close(&frame.path, elapsed_ns);
+        }
+    }
+}
+
+/// Snapshot of all aggregated span paths, sorted by path.
+pub fn snapshot() -> Vec<(String, SpanStat)> {
+    let agg = aggregate().lock().expect("span aggregate poisoned");
+    agg.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+}
+
+/// Clears all aggregated spans (tests).
+pub fn reset() {
+    aggregate().lock().expect("span aggregate poisoned").clear();
+}
+
+/// Leaf name of a span path (`a/b/c` → `c`).
+pub fn leaf_name(path: &str) -> &str {
+    path.rsplit('/').next().unwrap_or(path)
+}
+
+/// Nesting depth of a span path (`a` → 0, `a/b` → 1).
+pub fn depth(path: &str) -> usize {
+    path.matches('/').count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn stats_under(root: &str) -> Vec<(String, SpanStat)> {
+        snapshot()
+            .into_iter()
+            .filter(|(path, _)| path == root || path.starts_with(&format!("{root}/")))
+            .collect()
+    }
+
+    #[test]
+    fn parent_child_self_time_sums_to_total() {
+        crate::force_enable();
+        let root = "test.span.tree_root";
+        {
+            let _outer = SpanGuard::enter(root);
+            std::thread::sleep(Duration::from_millis(5));
+            for _ in 0..2 {
+                let _inner = SpanGuard::enter("test.span.tree_child");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        let stats = stats_under(root);
+        assert_eq!(stats.len(), 2, "expected root + child paths: {stats:?}");
+        let (_, outer) = stats.iter().find(|(p, _)| p == root).expect("root stat");
+        let (child_path, child) = stats.iter().find(|(p, _)| p != root).expect("child stat");
+        assert_eq!(child_path, &format!("{root}/test.span.tree_child"));
+        assert_eq!(outer.count, 1);
+        assert_eq!(child.count, 2);
+        // Self + children == total, exactly by construction for one entry.
+        assert_eq!(outer.self_ns + child.total_ns, outer.total_ns);
+        // And self time should be roughly the 5ms slept outside children
+        // (generous tolerance: sleep granularity + CI jitter).
+        assert!(outer.self_ns >= 4_000_000, "outer self {}ns", outer.self_ns);
+        assert!(
+            outer.self_ns <= outer.total_ns - child.total_ns + 1,
+            "self exceeds total-minus-children"
+        );
+        assert!(child.min_ns <= child.max_ns);
+        assert!(child.total_ns >= 2 * child.min_ns);
+    }
+
+    #[test]
+    fn sibling_threads_merge_by_path() {
+        crate::force_enable();
+        let root = "test.span.thread_root";
+        crossbeam::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(move |_| {
+                    let _g = SpanGuard::enter(root);
+                    std::thread::sleep(Duration::from_millis(1));
+                });
+            }
+        })
+        .expect("scope");
+        let stats = stats_under(root);
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].1.count, 4);
+    }
+
+    #[test]
+    fn disabled_guard_records_nothing() {
+        // Note: other tests in this binary call force_enable(); use a
+        // guard constructed while disabled only if nothing enabled obs
+        // yet. Instead, test the inert path directly.
+        let g = SpanGuard { start: None };
+        drop(g);
+        // No panic, no new paths named after this test.
+        assert!(stats_under("test.span.never_entered").is_empty());
+    }
+
+    #[test]
+    fn path_helpers() {
+        assert_eq!(leaf_name("a/b/c"), "c");
+        assert_eq!(leaf_name("solo"), "solo");
+        assert_eq!(depth("a"), 0);
+        assert_eq!(depth("a/b/c"), 2);
+    }
+}

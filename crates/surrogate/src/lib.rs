@@ -41,6 +41,7 @@ use tac25d_floorplan::chip::ChipSpec;
 use tac25d_floorplan::layers::StackSpec;
 use tac25d_floorplan::organization::{ChipletLayout, PackageRules};
 use tac25d_floorplan::units::{Celsius, Mm};
+use tac25d_obs as obs;
 use tac25d_power::benchmarks::Benchmark;
 use tac25d_power::dvfs::OperatingPoint;
 use tac25d_thermal::model::ThermalConfig;
@@ -162,6 +163,7 @@ impl ThermalSurrogate {
         // Built outside the lock: concurrent duplicate builds only waste
         // work, and kernel solves are three orders cheaper than holding
         // every other predictor on the mutex.
+        let _span = obs::span!("surrogate.kernel_build");
         let built = KernelSet::build(&self.chip, &self.rules, &self.stack, &self.thermal, edge, r)
             .ok()
             .flatten()
@@ -169,6 +171,7 @@ impl ThermalSurrogate {
         if let Some(set) = &built {
             self.kernel_solves
                 .fetch_add(set.solves(), Ordering::Relaxed);
+            obs::counter!("surrogate.kernel_solves").add(set.solves() as u64);
         }
         self.kernels
             .lock()
@@ -237,6 +240,7 @@ impl ThermalSurrogate {
         let kernels = self.kernels_for(edge, r)?;
         let raw = self.raw_peak(&kernels, input, power_of_core)?;
         self.predictions.fetch_add(1, Ordering::Relaxed);
+        obs::counter!("surrogate.predictions").inc();
         let x = feature_vector(&input.layout, input.op, input.active_cores, edge.value());
         let correction = self
             .correctors
@@ -244,6 +248,9 @@ impl ThermalSurrogate {
             .expect("lock poisoned")
             .get(&input.benchmark)
             .and_then(|c| c.correction(&x, self.cfg.knn_k, self.cfg.kernel_bandwidth));
+        if correction.is_some() {
+            obs::counter!("surrogate.knn_corrector_hits").inc();
+        }
         Some(match correction {
             Some(c) => Prediction {
                 raw_peak_c: raw,
@@ -288,6 +295,7 @@ impl ThermalSurrogate {
             .or_default()
             .observe(x, exact_peak.value() - raw, self.cfg.max_samples);
         self.observations.fetch_add(1, Ordering::Relaxed);
+        obs::counter!("surrogate.observations").inc();
     }
 }
 

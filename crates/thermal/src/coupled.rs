@@ -10,6 +10,7 @@
 use crate::model::{PackageModel, ThermalError, ThermalSolution};
 use tac25d_floorplan::geometry::Rect;
 use tac25d_floorplan::units::Celsius;
+use tac25d_obs as obs;
 
 /// Options for the coupled solve.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,6 +58,25 @@ pub struct CoupledSolution {
 ///   genuine thermal runaway and the organization is infeasible;
 /// * any solver/power error from the inner solves.
 pub fn solve_coupled<F>(
+    model: &PackageModel,
+    power_map: F,
+    opts: &CoupledOptions,
+) -> Result<CoupledSolution, ThermalError>
+where
+    F: FnMut(Option<&ThermalSolution>) -> Vec<(Rect, f64)>,
+{
+    let _span = obs::span!("thermal.leakage_fixed_point");
+    obs::counter!("thermal.coupled_solves").inc();
+    let result = solve_coupled_inner(model, power_map, opts);
+    if let Ok(c) = &result {
+        obs::counter!("thermal.leakage_outer_iterations").add(c.outer_iterations as u64);
+        obs::histogram!("thermal.leakage_outer_iterations_per_solve")
+            .record(c.outer_iterations as u64);
+    }
+    result
+}
+
+fn solve_coupled_inner<F>(
     model: &PackageModel,
     mut power_map: F,
     opts: &CoupledOptions,

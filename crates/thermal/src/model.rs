@@ -13,6 +13,7 @@ use tac25d_floorplan::layers::StackSpec;
 use tac25d_floorplan::organization::{ChipletLayout, LayoutError, PackageRules};
 use tac25d_floorplan::raster::{coverage_grid, power_grid, Grid};
 use tac25d_floorplan::units::{Celsius, Mm};
+use tac25d_obs as obs;
 
 /// Solver and boundary-condition configuration.
 ///
@@ -317,6 +318,8 @@ impl PackageModel {
         stack: &StackSpec,
         config: ThermalConfig,
     ) -> Result<Self, ThermalError> {
+        let _span = obs::span!("thermal.matrix_assembly");
+        obs::counter!("thermal.model_builds").inc();
         layout.validate(chip, rules)?;
         assert!(
             config.grid >= 8,

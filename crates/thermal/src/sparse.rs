@@ -10,6 +10,8 @@
 use std::error::Error;
 use std::fmt;
 
+use tac25d_obs as obs;
+
 /// Coordinate-format assembler for a symmetric matrix.
 ///
 /// Duplicate entries are summed when converting to CSR, which makes
@@ -265,6 +267,31 @@ pub struct PcgSolution {
 /// Returns [`SolveError`] if convergence fails, the matrix is detected to be
 /// non-SPD, or numerical breakdown occurs.
 pub fn pcg(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    rel_tol: f64,
+    max_iter: usize,
+) -> Result<PcgSolution, SolveError> {
+    let _span = obs::span!("thermal.pcg_solve");
+    obs::counter!("thermal.pcg_solves").inc();
+    let result = pcg_inner(a, b, x0, rel_tol, max_iter);
+    match &result {
+        Ok(sol) => {
+            obs::counter!("thermal.pcg_iterations").add(sol.iterations as u64);
+            obs::histogram!("thermal.pcg_iterations_per_solve").record(sol.iterations as u64);
+            obs::gauge!("thermal.pcg_final_residual").set(sol.residual);
+        }
+        Err(SolveError::NoConvergence { iterations, .. }) => {
+            obs::counter!("thermal.pcg_iterations").add(*iterations as u64);
+            obs::counter!("thermal.pcg_failures").inc();
+        }
+        Err(_) => obs::counter!("thermal.pcg_failures").inc(),
+    }
+    result
+}
+
+fn pcg_inner(
     a: &CsrMatrix,
     b: &[f64],
     x0: Option<&[f64]>,

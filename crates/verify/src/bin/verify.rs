@@ -4,6 +4,7 @@
 //! verify mms                 # manufactured-solution suite
 //! verify diff [--fast]       # differential corpus + Fig. 8 guarantees
 //! verify golden [--bless] [--only <bin>]
+//! verify obs                 # observability determinism guard
 //! verify all [--fast]        # everything above (golden without bless)
 //! ```
 //!
@@ -24,6 +25,7 @@ use tac25d_floorplan::units::Mm;
 use tac25d_verify::differential::{default_corpus, fig8_guarantees, run_point};
 use tac25d_verify::golden::{golden_dir, manifest, run_spec, workspace_root};
 use tac25d_verify::mms::{chain_error, observed_orders, path_split, FinCase};
+use tac25d_verify::obsguard::{obs_manifest, run_obs_determinism};
 
 /// Acceptance thresholds, mirrored by the in-crate tests.
 const MIN_ORDER: f64 = 1.8;
@@ -235,6 +237,32 @@ fn run_golden(report: &mut String, bless: bool, only: Option<&str>) -> bool {
     ok
 }
 
+fn run_obs(report: &mut String) -> bool {
+    let mut ok = true;
+    let _ = writeln!(report, "Observability determinism guard:");
+    for spec in obs_manifest() {
+        match run_obs_determinism(&spec) {
+            Ok(outcome) => {
+                let status = if outcome.passed() {
+                    "ok"
+                } else {
+                    ok = false;
+                    "FAIL"
+                };
+                let _ = writeln!(report, "  {:<22} {status}", outcome.bin);
+                for f in &outcome.failures {
+                    let _ = writeln!(report, "    {f}");
+                }
+            }
+            Err(e) => {
+                ok = false;
+                let _ = writeln!(report, "  {:<22} ERROR: {e}", spec.bin);
+            }
+        }
+    }
+    ok
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mode = args.first().map(String::as_str).unwrap_or("all");
@@ -250,14 +278,16 @@ fn main() -> ExitCode {
         "mms" => run_mms(&mut report),
         "diff" => run_diff(&mut report, fast),
         "golden" => run_golden(&mut report, bless, only.as_deref()),
+        "obs" => run_obs(&mut report),
         "all" => {
             let a = run_mms(&mut report);
             let b = run_diff(&mut report, fast);
             let c = run_golden(&mut report, bless, only.as_deref());
-            a && b && c
+            let d = run_obs(&mut report);
+            a && b && c && d
         }
         other => {
-            eprintln!("unknown mode {other:?}; use mms | diff | golden | all");
+            eprintln!("unknown mode {other:?}; use mms | diff | golden | obs | all");
             return ExitCode::FAILURE;
         }
     };

@@ -14,13 +14,17 @@
 //!   binaries: pinned-seed runs diffed cell-by-cell against snapshots in
 //!   `tests/golden/` with per-column numeric tolerances, regenerated via
 //!   `verify golden --bless`.
+//! * [`obsguard`] — observability determinism guard: enabling
+//!   `TAC25D_OBS` must change no CSV byte, and the emitted JSONL/profile
+//!   artifacts must be valid and complete.
 //!
-//! The `verify` binary drives all three from the command line (and from
+//! The `verify` binary drives all four from the command line (and from
 //! the CI `verify` job).
 
 pub mod differential;
 pub mod golden;
 pub mod mms;
+pub mod obsguard;
 
 pub use differential::{DiffPoint, DiffRecord, Fig8Case};
 pub use golden::{GoldenOutcome, GoldenSpec};

@@ -1,0 +1,321 @@
+//! Observability determinism guard.
+//!
+//! Observability must be a pure observer: enabling `TAC25D_OBS` may not
+//! change a single byte of any CSV a bench binary emits. This module runs
+//! one manifest binary twice under the pinned seed-42 configuration — once
+//! plain, once with the JSONL sink attached — and diffs the report CSVs
+//! byte-for-byte (the same idea as the differential tester's seed-42
+//! byte-identical check). It also validates the obs artifacts themselves:
+//! every JSONL line must parse as an event object, and the
+//! `BENCH_profile.json` must carry the spans and counters the acceptance
+//! criteria name.
+
+use std::fs;
+use std::path::Path;
+use std::process::Command;
+
+use crate::golden::{bin_dir, workspace_root};
+use tac25d_obs::json::{self, Value};
+
+/// Spans whose per-name rollup must appear (with nonzero count) in a
+/// fig8-class profile.
+pub const REQUIRED_SPANS: &[&str] = &[
+    "thermal.pcg_solve",
+    "thermal.leakage_fixed_point",
+    "optimizer.greedy_start",
+];
+
+/// Counters that must be present and nonzero in a fig8-class profile.
+/// (`surrogate.predictions` is checked on the surrogate-screened entry of
+/// [`obs_manifest`] instead — fig8 runs the exact-fidelity organizer.)
+pub const REQUIRED_COUNTERS: &[&str] = &["thermal.exact_solves", "thermal.pcg_iterations"];
+
+/// One binary the guard drives, with the obs coverage it must produce.
+#[derive(Debug, Clone, Copy)]
+pub struct ObsSpec {
+    /// Bench binary name (resolved next to the `verify` executable).
+    pub bin: &'static str,
+    /// Command-line arguments.
+    pub args: &'static [&'static str],
+    /// Report CSVs diffed byte-for-byte between a plain run and a
+    /// `TAC25D_OBS` run. Empty skips the plain run entirely: the entry
+    /// then only validates obs artifact coverage (for binaries whose
+    /// sims-count columns are scheduling-dependent and so can differ
+    /// between two runs for reasons unrelated to observability).
+    pub reports: &'static [&'static str],
+    /// Spans that must roll up with nonzero counts in the profile.
+    pub required_spans: &'static [&'static str],
+    /// Counters that must be present and nonzero in the profile.
+    pub required_counters: &'static [&'static str],
+}
+
+/// The guarded binaries. fig8 exercises thermal, optimizer and bench
+/// layers under the exact fidelity and has fully deterministic CSVs (it
+/// is in the golden manifest), so it carries the byte-identical check;
+/// the single-benchmark surrogate_validation run covers the screened
+/// prediction path.
+pub fn obs_manifest() -> Vec<ObsSpec> {
+    vec![
+        ObsSpec {
+            bin: "fig8",
+            args: &["--fast"],
+            reports: &["fig8"],
+            required_spans: REQUIRED_SPANS,
+            required_counters: REQUIRED_COUNTERS,
+        },
+        ObsSpec {
+            bin: "surrogate_validation",
+            args: &["--fast", "--benchmark", "cholesky"],
+            reports: &[],
+            required_spans: &["thermal.pcg_solve"],
+            required_counters: &["surrogate.predictions"],
+        },
+    ]
+}
+
+/// The outcome of the determinism guard for one binary.
+#[derive(Debug, Clone)]
+pub struct ObsOutcome {
+    /// The binary.
+    pub bin: String,
+    /// Failure descriptions; empty means the guard passed.
+    pub failures: Vec<String>,
+}
+
+impl ObsOutcome {
+    /// True when observability changed nothing and its artifacts are valid.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Validates a JSONL event stream: every non-empty line parses as a JSON
+/// object with an `ev` string. Returns failure lines.
+pub fn validate_jsonl(stream: &str) -> Vec<String> {
+    let mut failures = Vec::new();
+    let mut events = 0usize;
+    for (i, line) in stream.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match json::parse(line) {
+            Ok(v) => {
+                if v.get("ev").and_then(Value::as_str).is_none() {
+                    failures.push(format!("jsonl line {}: no \"ev\" field", i + 1));
+                } else {
+                    events += 1;
+                }
+            }
+            Err(e) => failures.push(format!("jsonl line {}: {e}", i + 1)),
+        }
+    }
+    if events == 0 {
+        failures.push("jsonl stream contains no events".to_owned());
+    }
+    failures
+}
+
+/// Validates a profile document against the acceptance criteria: total
+/// wall time present, `required_spans` rolled up with nonzero counts,
+/// `required_counters` present and nonzero. Returns failure lines.
+pub fn validate_profile(
+    profile: &Value,
+    required_spans: &[&str],
+    required_counters: &[&str],
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    match profile.get("total_wall_s").and_then(Value::as_f64) {
+        Some(w) if w > 0.0 => {}
+        other => failures.push(format!("total_wall_s missing or non-positive: {other:?}")),
+    }
+    for span in required_spans {
+        let count = profile
+            .get("spans_by_name")
+            .and_then(|s| s.get(span))
+            .and_then(|s| s.get("count"))
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0);
+        if count <= 0.0 {
+            failures.push(format!("span {span} absent from spans_by_name"));
+        }
+    }
+    for counter in required_counters {
+        let v = profile
+            .get("counters")
+            .and_then(|c| c.get(counter))
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0);
+        if v <= 0.0 {
+            failures.push(format!("counter {counter} missing or zero"));
+        }
+    }
+    failures
+}
+
+fn run_once(
+    bin_path: &Path,
+    args: &[&str],
+    scratch: &Path,
+    obs_path: Option<&Path>,
+) -> std::io::Result<std::process::Output> {
+    if scratch.exists() {
+        fs::remove_dir_all(scratch)?;
+    }
+    fs::create_dir_all(scratch)?;
+    let mut cmd = Command::new(bin_path);
+    cmd.args(args)
+        .env("TAC25D_RESULTS_DIR", scratch)
+        .env_remove("TAC25D_TRACE")
+        .env_remove("TAC25D_PROFILE");
+    match obs_path {
+        Some(p) => cmd.env("TAC25D_OBS", p),
+        None => cmd.env_remove("TAC25D_OBS"),
+    };
+    cmd.output()
+}
+
+/// Runs one [`ObsSpec`]: a plain run and a `TAC25D_OBS` run with report
+/// CSVs diffed byte-for-byte (when `spec.reports` is non-empty), plus
+/// JSONL and profile validation against the spec's coverage requirements.
+///
+/// # Errors
+///
+/// Io errors from spawning the binary or reading its outputs. Guard
+/// violations are NOT errors — they are reported in the outcome.
+pub fn run_obs_determinism(spec: &ObsSpec) -> std::io::Result<ObsOutcome> {
+    let bin = spec.bin;
+    let mut failures = Vec::new();
+    let base = workspace_root()
+        .join("target")
+        .join("obs-scratch")
+        .join(bin);
+    let plain_dir = base.join("plain");
+    let obs_dir = base.join("obs");
+    let bin_path = bin_dir()?.join(bin);
+
+    if !spec.reports.is_empty() {
+        let plain = run_once(&bin_path, spec.args, &plain_dir, None)?;
+        if !plain.status.success() {
+            failures.push(format!(
+                "{bin} (plain) exited with {}: {}",
+                plain.status,
+                String::from_utf8_lossy(&plain.stderr)
+            ));
+            return Ok(ObsOutcome {
+                bin: bin.to_owned(),
+                failures,
+            });
+        }
+    }
+    let jsonl_path = base.join("run.jsonl");
+    let with_obs = run_once(&bin_path, spec.args, &obs_dir, Some(&jsonl_path))?;
+    if !with_obs.status.success() {
+        failures.push(format!(
+            "{bin} (TAC25D_OBS) exited with {}: {}",
+            with_obs.status,
+            String::from_utf8_lossy(&with_obs.stderr)
+        ));
+        return Ok(ObsOutcome {
+            bin: bin.to_owned(),
+            failures,
+        });
+    }
+
+    for report in spec.reports {
+        let name = format!("{report}.csv");
+        let a = fs::read(plain_dir.join(&name))?;
+        let b = fs::read(obs_dir.join(&name))?;
+        if a != b {
+            failures.push(format!(
+                "{name}: CSV differs between plain and TAC25D_OBS runs — \
+                 observability must not perturb results"
+            ));
+        }
+    }
+
+    let stream = fs::read_to_string(&jsonl_path)?;
+    failures.extend(validate_jsonl(&stream));
+
+    let profile_path = obs_dir.join("BENCH_profile.json");
+    match fs::read_to_string(&profile_path) {
+        Ok(text) => match json::parse(&text) {
+            Ok(doc) => failures.extend(validate_profile(
+                &doc,
+                spec.required_spans,
+                spec.required_counters,
+            )),
+            Err(e) => failures.push(format!("BENCH_profile.json: {e}")),
+        },
+        Err(e) => failures.push(format!("BENCH_profile.json unreadable: {e}")),
+    }
+
+    Ok(ObsOutcome {
+        bin: bin.to_owned(),
+        failures,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_jsonl_passes() {
+        let stream = "\
+{\"ev\":\"span_open\",\"path\":\"a\",\"t_us\":1}
+{\"ev\":\"span_close\",\"path\":\"a\",\"t_us\":2,\"dur_us\":1}
+{\"ev\":\"counters\",\"t_us\":3,\"counters\":{},\"gauges\":{}}
+";
+        assert!(validate_jsonl(stream).is_empty());
+    }
+
+    #[test]
+    fn jsonl_rejects_garbage_and_missing_ev() {
+        assert_eq!(validate_jsonl("not json\n").len(), 2); // bad line + no events
+        assert_eq!(validate_jsonl("{\"x\":1}\n").len(), 2);
+        assert_eq!(validate_jsonl("").len(), 1);
+    }
+
+    fn profile_with(spans: &str, counters: &str) -> Value {
+        json::parse(&format!(
+            r#"{{"total_wall_s": 1.5, "spans_by_name": {{{spans}}}, "counters": {{{counters}}}}}"#
+        ))
+        .expect("fixture parses")
+    }
+
+    #[test]
+    fn complete_profile_passes() {
+        let p = profile_with(
+            r#""thermal.pcg_solve": {"count": 10}, "thermal.leakage_fixed_point": {"count": 5},
+               "optimizer.greedy_start": {"count": 3}"#,
+            r#""thermal.exact_solves": 4, "thermal.pcg_iterations": 99"#,
+        );
+        assert!(validate_profile(&p, REQUIRED_SPANS, REQUIRED_COUNTERS).is_empty());
+    }
+
+    #[test]
+    fn missing_span_and_zero_counter_flagged() {
+        let p = profile_with(
+            r#""thermal.pcg_solve": {"count": 10}"#,
+            r#""surrogate.predictions": 0, "thermal.pcg_iterations": 99"#,
+        );
+        let failures = validate_profile(
+            &p,
+            REQUIRED_SPANS,
+            &["surrogate.predictions", "thermal.exact_solves"],
+        );
+        assert!(failures.iter().any(|f| f.contains("leakage_fixed_point")));
+        assert!(failures.iter().any(|f| f.contains("greedy_start")));
+        assert!(failures.iter().any(|f| f.contains("surrogate.predictions")));
+        assert!(failures.iter().any(|f| f.contains("thermal.exact_solves")));
+    }
+
+    #[test]
+    fn manifest_carries_byte_identical_guard_and_surrogate_coverage() {
+        let manifest = obs_manifest();
+        assert!(manifest.iter().any(|s| !s.reports.is_empty()));
+        assert!(manifest
+            .iter()
+            .any(|s| s.required_counters.contains(&"surrogate.predictions")));
+    }
+}
