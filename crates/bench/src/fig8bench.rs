@@ -1,0 +1,288 @@
+//! The canonical Fig. 8 solver-performance record: `BENCH_fig8.json`.
+//!
+//! Every observed `fig8` run appends one entry capturing the solver kind,
+//! wall time and PCG effort, so the file accumulates a before/after
+//! trajectory across solver changes (the legacy Jacobi baseline next to
+//! the IC(0) fast path) instead of silently overwriting history. The
+//! document is re-rendered from parsed known fields on each append —
+//! unknown fields are dropped rather than preserved, keeping the schema
+//! authoritative:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "bin": "fig8",
+//!   "entries": [
+//!     {
+//!       "solver": "ic0",
+//!       "fast": true,
+//!       "wall_s": 1.234,
+//!       "pcg_iterations": 12345,
+//!       "pcg_solves": 2317,
+//!       "date": "2026-08-05",
+//!       "git_rev": "abc1234"
+//!     }
+//!   ]
+//! }
+//! ```
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use tac25d_obs as obs;
+
+/// One recorded `fig8` run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8Entry {
+    /// Solver kind the run used (`ic0` or `jacobi`).
+    pub solver: String,
+    /// Whether `--fast` was passed.
+    pub fast: bool,
+    /// Wall-clock seconds from process start to report emission.
+    pub wall_s: f64,
+    /// Total PCG iterations of the run (`thermal.pcg_iterations`).
+    pub pcg_iterations: u64,
+    /// Total PCG solves of the run (`thermal.pcg_solves`).
+    pub pcg_solves: u64,
+    /// Civil date of the run (UTC, `YYYY-MM-DD`).
+    pub date: String,
+    /// Short git revision, `unknown` outside a work tree.
+    pub git_rev: String,
+}
+
+/// Where the record goes: `BENCH_fig8.json` inside `TAC25D_RESULTS_DIR`
+/// when that redirect is set (golden-harness scratch runs must not touch
+/// the canonical file), otherwise at the workspace root next to
+/// `BENCH_profile.json`.
+pub fn fig8_bench_output_path() -> PathBuf {
+    if let Ok(dir) = std::env::var("TAC25D_RESULTS_DIR") {
+        if !dir.is_empty() {
+            return PathBuf::from(dir).join("BENCH_fig8.json");
+        }
+    }
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."));
+    root.join("BENCH_fig8.json")
+}
+
+/// Builds the entry for the current process from the live obs registry
+/// (counters), the obs epoch (wall time) and the environment.
+pub fn current_entry() -> Fig8Entry {
+    let counters = obs::registry::counter_snapshot();
+    let counter = |name: &str| {
+        counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    Fig8Entry {
+        solver: solver_name(),
+        fast: crate::fast_flag(),
+        wall_s: obs::uptime().as_secs_f64(),
+        pcg_iterations: counter("thermal.pcg_iterations"),
+        pcg_solves: counter("thermal.pcg_solves"),
+        date: utc_date(),
+        git_rev: git_rev(),
+    }
+}
+
+/// The active solver kind's name, mirroring the thermal crate's
+/// `SolverKind::from_env` without a dependency edge: `TAC25D_SOLVER=jacobi`
+/// selects the legacy path, anything else the IC(0) default.
+fn solver_name() -> String {
+    match std::env::var("TAC25D_SOLVER") {
+        Ok(v) if v.eq_ignore_ascii_case("jacobi") => "jacobi".to_owned(),
+        _ => "ic0".to_owned(),
+    }
+}
+
+/// Appends `entry` to the record at `path`, preserving existing entries.
+///
+/// # Errors
+///
+/// Returns any I/O error; a present-but-unparsable document is an error
+/// too (the canonical record must never be silently discarded).
+pub fn append_entry(path: &Path, entry: &Fig8Entry) -> io::Result<()> {
+    let mut entries = match std::fs::read_to_string(path) {
+        Ok(text) => {
+            parse_entries(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    entries.push(entry.clone());
+    std::fs::write(path, render(&entries))
+}
+
+fn parse_entries(text: &str) -> Result<Vec<Fig8Entry>, String> {
+    let doc = obs::json::parse(text).map_err(|e| format!("BENCH_fig8.json: {e}"))?;
+    let entries = doc
+        .get("entries")
+        .and_then(|v| v.as_array())
+        .ok_or("BENCH_fig8.json: missing entries array")?;
+    entries
+        .iter()
+        .map(|e| {
+            let str_field = |k: &str| {
+                e.get(k)
+                    .and_then(|v| v.as_str())
+                    .map(str::to_owned)
+                    .ok_or_else(|| format!("BENCH_fig8.json: entry missing {k}"))
+            };
+            let num_field = |k: &str| {
+                e.get(k)
+                    .and_then(|v| v.as_f64())
+                    .ok_or_else(|| format!("BENCH_fig8.json: entry missing {k}"))
+            };
+            Ok(Fig8Entry {
+                solver: str_field("solver")?,
+                fast: matches!(e.get("fast"), Some(obs::json::Value::Bool(true))),
+                wall_s: num_field("wall_s")?,
+                pcg_iterations: num_field("pcg_iterations")? as u64,
+                pcg_solves: num_field("pcg_solves")? as u64,
+                date: str_field("date")?,
+                git_rev: str_field("git_rev")?,
+            })
+        })
+        .collect()
+}
+
+fn render(entries: &[Fig8Entry]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema_version\": 1,\n  \"bin\": \"fig8\",\n  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"solver\": \"{}\", \"fast\": {}, \"wall_s\": {:.3}, \
+             \"pcg_iterations\": {}, \"pcg_solves\": {}, \"date\": \"{}\", \
+             \"git_rev\": \"{}\"}}",
+            obs::json::escape(&e.solver),
+            e.fast,
+            e.wall_s,
+            e.pcg_iterations,
+            e.pcg_solves,
+            obs::json::escape(&e.date),
+            obs::json::escape(&e.git_rev),
+        );
+        out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Today's UTC civil date, `YYYY-MM-DD`, from the system clock alone
+/// (no chrono dependency; Gregorian conversion via the classic
+/// days-from-civil inverse).
+fn utc_date() -> String {
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let days = (secs / 86_400) as i64;
+    let (y, m, d) = civil_from_days(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Gregorian date from days since 1970-01-01 (Howard Hinnant's
+/// `civil_from_days` algorithm).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// The short git revision of the workspace, `unknown` when git or the
+/// repository is unavailable.
+fn git_rev() -> String {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."));
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(root)
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(solver: &str, iters: u64) -> Fig8Entry {
+        Fig8Entry {
+            solver: solver.to_owned(),
+            fast: true,
+            wall_s: 1.5,
+            pcg_iterations: iters,
+            pcg_solves: 10,
+            date: "2026-08-05".to_owned(),
+            git_rev: "abc1234".to_owned(),
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let entries = vec![entry("jacobi", 306_159), entry("ic0", 90_000)];
+        let parsed = parse_entries(&render(&entries)).unwrap();
+        assert_eq!(parsed, entries);
+    }
+
+    #[test]
+    fn append_accumulates_history() {
+        let dir = std::env::temp_dir().join("tac25d-fig8bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_fig8.json");
+        let _ = std::fs::remove_file(&path);
+        append_entry(&path, &entry("jacobi", 300_000)).unwrap();
+        append_entry(&path, &entry("ic0", 90_000)).unwrap();
+        let parsed = parse_entries(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].solver, "jacobi");
+        assert_eq!(parsed[1].solver, "ic0");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unparsable_record_is_an_error_not_a_wipe() {
+        let dir = std::env::temp_dir().join("tac25d-fig8bench-test-bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_fig8.json");
+        std::fs::write(&path, "not json").unwrap();
+        assert!(append_entry(&path, &entry("ic0", 1)).is_err());
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "not json");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn civil_date_conversion_is_gregorian() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1));
+        assert_eq!(civil_from_days(20_670), (2026, 8, 5));
+    }
+
+    #[test]
+    fn current_entry_reads_registry_and_env() {
+        let e = current_entry();
+        assert!(e.solver == "ic0" || e.solver == "jacobi");
+        assert_eq!(e.date.len(), 10);
+        assert!(e.wall_s >= 0.0);
+    }
+}

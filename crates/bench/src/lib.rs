@@ -17,6 +17,7 @@
 use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
 
+pub mod fig8bench;
 pub mod runner;
 pub mod sink;
 

@@ -137,6 +137,14 @@ impl ReportSink for ObsSink {
         obs::sink::emit_report(&report.name, report.rows.len());
         obs::sink::emit_counters_snapshot();
         obs::profile::write_profile(&crate::profile_output_path(), &crate::bin_name())?;
+        // The fig8 run additionally appends to the canonical solver
+        // performance record (one report per run, so one entry per run).
+        if crate::bin_name() == "fig8" {
+            crate::fig8bench::append_entry(
+                &crate::fig8bench::fig8_bench_output_path(),
+                &crate::fig8bench::current_entry(),
+            )?;
+        }
         Ok(None)
     }
 }

@@ -301,6 +301,14 @@ impl Evaluator {
     fn model_for(&self, layout: &ChipletLayout) -> Result<Arc<PackageModel>, EvalError> {
         let key = layout_key(layout);
         if let Some(m) = self.models.lock().expect("lock poisoned").get(&key) {
+            // Successive candidate evaluations of the same organization
+            // share the model — and with it the thermal crate's factored
+            // IC(0) preconditioner and cached reference temperature field,
+            // so repeat evaluations warm-start their solves. The reuse is
+            // keyed to the model (not to whichever evaluation happened to
+            // run last), keeping every result independent of thread
+            // scheduling and safe to memoize.
+            obs::counter!("evaluator.model_reuses").inc();
             return Ok(Arc::clone(m));
         }
         let stack = if layout.is_single_chip() {

@@ -15,9 +15,15 @@
 //!   "counters": {"thermal.pcg_iterations": N, ...},
 //!   "gauges": {"thermal.pcg_final_residual": X, ...},
 //!   "histograms": {"name": {"count": N, "sum": S,
-//!                           "buckets": [{"le": B, "n": C}, ...]}, ...}
+//!                           "buckets": [{"le": B, "n": C}, ...,
+//!                                       {"le": "+Inf", "n": C}]}, ...}
 //! }
 //! ```
+//!
+//! Histogram buckets are sparse (empty finite buckets are skipped) but
+//! always terminated by an explicit `"+Inf"` overflow bucket, so the full
+//! 65-bucket range is representable and the largest finite bound never
+//! masquerades as the end of the scale.
 //!
 //! `spans` keys by full `/`-joined path; `spans_by_name` rolls up by leaf
 //! span name so consumers (CI drift check, acceptance criteria) can find
@@ -43,6 +49,12 @@ pub const CANONICAL_COUNTERS: &[&str] = &[
 
 /// Counters the CI `profile` job guards against drift.
 pub const BASELINE_COUNTERS: &[&str] = &["thermal.pcg_iterations", "thermal.exact_solves"];
+
+/// Baseline counters where only *increases* are regressions: dropping
+/// below the blessed value (a faster solver, a better warm start) must
+/// pass the gate without a re-bless, while exceeding it by the tolerance
+/// still fails.
+pub const ONE_SIDED_COUNTERS: &[&str] = &["thermal.pcg_iterations"];
 
 /// Relative drift allowed against the committed baseline (the parallel
 /// greedy's lowest-index-winner early exit makes solve counts mildly
@@ -141,20 +153,21 @@ pub fn render_profile(bin: &str) -> String {
             "    \"{}\": {{\"count\": {count}, \"sum\": {sum}, \"buckets\": [",
             escape(name)
         ));
-        let mut first = true;
-        for (bi, c) in buckets.iter().enumerate() {
+        // Finite buckets are sparse (zero buckets skipped); the overflow
+        // bucket is always present as an explicit "+Inf" terminator so
+        // consumers never mistake the largest finite bound (previously
+        // printed as a raw u64::MAX) for the top of the range.
+        let last = buckets.len() - 1;
+        for (bi, c) in buckets.iter().take(last).enumerate() {
             if *c == 0 {
                 continue;
             }
-            if !first {
-                out.push_str(", ");
-            }
-            first = false;
             out.push_str(&format!(
-                "{{\"le\": {}, \"n\": {c}}}",
+                "{{\"le\": {}, \"n\": {c}}}, ",
                 crate::registry::bucket_upper_bound(bi)
             ));
         }
+        out.push_str(&format!("{{\"le\": \"+Inf\", \"n\": {}}}", buckets[last]));
         out.push_str(&format!(
             "]}}{}\n",
             if i + 1 < hists.len() { "," } else { "" }
@@ -211,14 +224,17 @@ pub struct Drift {
     /// Observed value from the fresh profile.
     pub observed: f64,
     /// `|observed - baseline| / baseline` (observed itself when the
-    /// baseline is zero and observed is not).
+    /// baseline is zero and observed is not). For [`ONE_SIDED_COUNTERS`]
+    /// only the increase counts: improvements report 0.
     pub relative: f64,
     /// Whether `relative` exceeds the tolerance.
     pub exceeded: bool,
 }
 
 /// Compares a fresh profile against a committed baseline for every
-/// [`BASELINE_COUNTERS`] entry.
+/// [`BASELINE_COUNTERS`] entry. Counters in [`ONE_SIDED_COUNTERS`] gate
+/// only regressions (observed above baseline); every other counter drifts
+/// symmetrically.
 pub fn check_drift(profile: &Value, baseline: &Value, tolerance: f64) -> Vec<Drift> {
     BASELINE_COUNTERS
         .iter()
@@ -229,14 +245,20 @@ pub fn check_drift(profile: &Value, baseline: &Value, tolerance: f64) -> Vec<Dri
                 .and_then(Value::as_f64)
                 .unwrap_or(0.0);
             let base = baseline.get(name).and_then(Value::as_f64).unwrap_or(0.0);
+            let one_sided = ONE_SIDED_COUNTERS.contains(name);
+            let delta = if one_sided {
+                (observed - base).max(0.0)
+            } else {
+                (observed - base).abs()
+            };
             let relative = if base == 0.0 {
-                if observed == 0.0 {
+                if delta == 0.0 {
                     0.0
                 } else {
                     f64::INFINITY
                 }
             } else {
-                (observed - base).abs() / base
+                delta / base
             };
             Drift {
                 name: (*name).to_owned(),
@@ -397,6 +419,49 @@ mod tests {
     }
 
     #[test]
+    fn one_sided_counter_improvement_passes_any_margin() {
+        // pcg_iterations is gated one-sided: a 4x improvement must pass
+        // without a re-bless, while the same swing upward fails.
+        let improved = fake_profile(25.0, 10.0);
+        let baseline = parse(r#"{"thermal.pcg_iterations": 100, "thermal.exact_solves": 10}"#)
+            .expect("baseline parses");
+        let drifts = check_drift(&improved, &baseline, DRIFT_TOLERANCE);
+        let pcg = drifts
+            .iter()
+            .find(|d| d.name == "thermal.pcg_iterations")
+            .unwrap();
+        assert!(!pcg.exceeded, "{pcg:?}");
+        assert_eq!(pcg.relative, 0.0);
+
+        let regressed = fake_profile(175.0, 10.0);
+        let drifts = check_drift(&regressed, &baseline, DRIFT_TOLERANCE);
+        assert!(
+            drifts
+                .iter()
+                .find(|d| d.name == "thermal.pcg_iterations")
+                .unwrap()
+                .exceeded
+        );
+    }
+
+    #[test]
+    fn symmetric_counter_still_fails_on_large_decrease() {
+        // exact_solves is not one-sided: losing half the exact solves is
+        // as suspicious as doubling them.
+        let profile = fake_profile(100.0, 4.0);
+        let baseline = parse(r#"{"thermal.pcg_iterations": 100, "thermal.exact_solves": 10}"#)
+            .expect("baseline parses");
+        let drifts = check_drift(&profile, &baseline, DRIFT_TOLERANCE);
+        assert!(
+            drifts
+                .iter()
+                .find(|d| d.name == "thermal.exact_solves")
+                .unwrap()
+                .exceeded
+        );
+    }
+
+    #[test]
     fn baseline_round_trips_through_profile() {
         let profile = fake_profile(892.0, 42.0);
         let baseline_doc = baseline_from_profile(&profile);
@@ -424,5 +489,31 @@ mod tests {
         let report = render_report(&v);
         assert!(report.contains("total wall time"));
         assert!(report.contains("top counters"));
+    }
+
+    #[test]
+    fn histograms_close_with_explicit_inf_bucket() {
+        crate::force_enable();
+        let h = crate::registry::histogram("test.profile.inf_bucket");
+        h.reset();
+        h.record(3);
+        h.record(300);
+        h.record(u64::MAX); // lands in the overflow bucket
+        let doc = render_profile("unit-test");
+        let v = parse(&doc).expect("profile parses");
+        let buckets = v
+            .get("histograms")
+            .and_then(|h| h.get("test.profile.inf_bucket"))
+            .and_then(|h| h.get("buckets"))
+            .and_then(Value::as_array)
+            .expect("buckets present");
+        let last = buckets.last().expect("non-empty");
+        assert_eq!(last.get("le").and_then(Value::as_str), Some("+Inf"));
+        assert_eq!(last.get("n").and_then(Value::as_f64), Some(1.0));
+        // Every finite bucket keeps a numeric bound strictly below 2^63.
+        for b in &buckets[..buckets.len() - 1] {
+            let le = b.get("le").and_then(Value::as_f64).expect("numeric le");
+            assert!(le < (1u64 << 63) as f64);
+        }
     }
 }

@@ -301,18 +301,17 @@ pub fn metrics_json() -> String {
             "\"{}\":{{\"count\":{count},\"sum\":{sum},\"buckets\":[",
             escape(name)
         ));
-        let mut first = true;
-        for (bi, c) in buckets.iter().enumerate() {
+        // Sparse finite buckets plus an explicit "+Inf" overflow
+        // terminator, mirroring the profile writer's schema.
+        let last = buckets.len() - 1;
+        for (bi, c) in buckets.iter().take(last).enumerate() {
             if *c == 0 {
                 continue;
             }
-            if !first {
-                out.push(',');
-            }
-            first = false;
             let le = bucket_upper_bound(bi);
-            out.push_str(&format!("{{\"le\":{le},\"n\":{c}}}"));
+            out.push_str(&format!("{{\"le\":{le},\"n\":{c}}},"));
         }
+        out.push_str(&format!("{{\"le\":\"+Inf\",\"n\":{}}}", buckets[last]));
         out.push_str("]}");
     }
     out.push_str("}}");

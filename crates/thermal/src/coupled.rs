@@ -8,6 +8,7 @@
 //! the loop iterates to a fixed point or detects thermal runaway.
 
 use crate::model::{PackageModel, ThermalError, ThermalSolution};
+use crate::sparse::SolveScratch;
 use tac25d_floorplan::geometry::Rect;
 use tac25d_floorplan::units::Celsius;
 use tac25d_obs as obs;
@@ -85,8 +86,12 @@ where
     F: FnMut(Option<&ThermalSolution>) -> Vec<(Rect, f64)>,
 {
     assert!(opts.max_iter > 0, "max_iter must be positive");
+    // One scratch for the whole fixed point: every inner solve reuses the
+    // same PCG work vectors, and each iteration warm-starts from the
+    // previous temperature field.
+    let mut scratch = SolveScratch::new();
     let sources = power_map(None);
-    let mut current = model.solve(&sources)?;
+    let mut current = model.solve_with_scratch(&sources, None, &mut scratch)?;
     for it in 1..=opts.max_iter {
         if current.peak() > opts.runaway {
             return Err(ThermalError::Runaway {
@@ -94,7 +99,7 @@ where
             });
         }
         let sources = power_map(Some(&current));
-        let next = model.solve_with_guess(&sources, Some(&current))?;
+        let next = model.solve_with_scratch(&sources, Some(&current), &mut scratch)?;
         let delta = max_abs_delta(current.raw_temps(), next.raw_temps());
         current = next;
         if delta <= opts.tol.value() {
@@ -264,6 +269,59 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, ThermalError::Runaway { .. }), "{err}");
+    }
+
+    #[test]
+    fn warm_started_fixed_point_matches_cold_jacobi_path() {
+        // The fast path (IC(0), scratch reuse, reference warm starts) and
+        // the legacy cold Jacobi path must converge to the same leakage
+        // fixed point; at a tight solver tolerance the fields agree to
+        // well under a microkelvin.
+        use crate::model::SolverKind;
+        let build = |solver: SolverKind| {
+            PackageModel::new(
+                &ChipSpec::scc_256(),
+                &ChipletLayout::SingleChip,
+                &PackageRules::default(),
+                &StackSpec::baseline_2d(),
+                ThermalConfig {
+                    grid: 16,
+                    rel_tol: 1e-12,
+                    solver,
+                    ..ThermalConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let run = |m: &PackageModel| {
+            solve_coupled(
+                m,
+                |sol| {
+                    let t = sol.map_or(45.0, |s| s.rect_avg(&die()).value());
+                    vec![(die(), 160.0 * (1.0 + 0.012 * (t - 45.0)))]
+                },
+                &CoupledOptions {
+                    tol: Celsius(0.001),
+                    ..CoupledOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        let warm = run(&build(SolverKind::Ic0));
+        let cold = run(&build(SolverKind::Jacobi));
+        assert!(warm.converged && cold.converged);
+        assert_eq!(warm.outer_iterations, cold.outer_iterations);
+        let max_dt = warm
+            .solution
+            .raw_temps()
+            .iter()
+            .zip(cold.solution.raw_temps())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(
+            max_dt < 1e-6,
+            "fixed points diverge: max |dT| = {max_dt:.3e}"
+        );
     }
 
     #[test]

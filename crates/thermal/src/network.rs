@@ -19,7 +19,7 @@
 //! positive-definite Laplacian plus positive boundary terms, solved with
 //! PCG ([`crate::sparse`]).
 
-use crate::sparse::{CsrMatrix, TripletMatrix};
+use crate::sparse::{CsrMatrix, Preconditioner, TripletMatrix};
 use tac25d_floorplan::layers::LayerRole;
 
 /// One gridded layer ready for assembly: thickness plus per-cell
@@ -62,6 +62,11 @@ pub(crate) struct NetworkGeometry {
 #[derive(Debug, Clone)]
 pub(crate) struct Network {
     pub matrix: CsrMatrix,
+    /// Preconditioner factored once at assembly and reused by every solve
+    /// of this matrix (the factor-once/solve-many fast path). IC(0) on the
+    /// conductance networks assembly produces; the enum carries the Jacobi
+    /// fallback for completeness.
+    pub precond: Preconditioner,
     /// `(node, conductance-to-ambient)` for every boundary node.
     pub conv: Vec<(usize, f64)>,
     /// Total node count.
@@ -339,8 +344,14 @@ pub(crate) fn assemble(geom: &NetworkGeometry) -> Network {
         }
     }
 
+    let matrix = m.to_csr();
+    // Assembly guarantees a positive diagonal (every cell has at least one
+    // conductance), so a preconditioner always exists.
+    let precond =
+        Preconditioner::ic0_or_jacobi(&matrix).expect("conductance network has positive diagonal");
     Network {
-        matrix: m.to_csr(),
+        matrix,
+        precond,
         conv,
         nodes,
         die_base: die_layer * n2,

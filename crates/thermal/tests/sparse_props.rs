@@ -5,7 +5,9 @@
 //! tolerance on any SPD system it accepts.
 
 use proptest::prelude::*;
-use tac25d_thermal::sparse::{dense_cholesky_solve, pcg, CsrMatrix, TripletMatrix};
+use tac25d_thermal::sparse::{
+    dense_cholesky_solve, pcg, pcg_with, CsrMatrix, Preconditioner, SolveScratch, TripletMatrix,
+};
 
 /// Deterministic xorshift-style generator for filling matrices: proptest
 /// supplies the seed, the closure supplies unlimited uniform values.
@@ -127,5 +129,95 @@ proptest! {
         let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
         prop_assert!(res <= tol * bn.max(1e-30), "residual {res} vs ‖b‖ {bn}");
         prop_assert!(sol.residual <= tol, "reported residual {}", sol.residual);
+    }
+
+    /// The solver fast path's equivalence contract: IC(0)-PCG, Jacobi-PCG
+    /// and the dense Cholesky reference agree to 1e-8 on random SPD
+    /// conductance networks. Networks are M-matrices, so the incomplete
+    /// factorization must also succeed without a diagonal shift.
+    #[test]
+    fn ic0_jacobi_and_dense_agree(n in 3usize..40, seed in 0u64..10_000) {
+        let mut rng = splitmix(seed);
+        let a = random_network(n, &mut rng);
+        let b: Vec<f64> = (0..n).map(|_| rng() * 4.0 - 1.0).collect();
+        let dense = dense_cholesky_solve(&a, &b).unwrap();
+        let jac = pcg(&a, &b, None, 1e-12, 100_000).unwrap();
+        let m = Preconditioner::ic0_or_jacobi(&a).unwrap();
+        prop_assert!(m.is_ic0(), "IC(0) must not break down on an M-matrix");
+        let mut scratch = SolveScratch::new();
+        let ic = pcg_with(&a, &m, &b, None, 1e-12, 100_000, &mut scratch).unwrap();
+        for (i, d) in dense.iter().enumerate() {
+            prop_assert!(
+                (jac.x[i] - d).abs() < 1e-8,
+                "jacobi node {i}: {} vs {d}", jac.x[i]
+            );
+            prop_assert!(
+                (ic.x[i] - d).abs() < 1e-8,
+                "ic0 node {i}: {} vs {d}", ic.x[i]
+            );
+        }
+    }
+
+    /// Warm-started IC(0)-PCG converges to the same answer as a cold
+    /// solve — starting from a perturbed solution of a nearby system must
+    /// not bias the result beyond the residual tolerance.
+    #[test]
+    fn warm_started_pcg_matches_cold(n in 3usize..40, seed in 0u64..10_000) {
+        let mut rng = splitmix(seed);
+        let a = random_network(n, &mut rng);
+        let b: Vec<f64> = (0..n).map(|_| rng() * 4.0 - 1.0).collect();
+        let m = Preconditioner::ic0_or_jacobi(&a).unwrap();
+        let mut scratch = SolveScratch::new();
+        let cold = pcg_with(&a, &m, &b, None, 1e-12, 100_000, &mut scratch).unwrap();
+        let x0: Vec<f64> = cold.x.iter().map(|v| v * (1.0 + 0.1 * rng())).collect();
+        let warm = pcg_with(&a, &m, &b, Some(&x0), 1e-12, 100_000, &mut scratch).unwrap();
+        for i in 0..n {
+            prop_assert!(
+                (warm.x[i] - cold.x[i]).abs() < 1e-8,
+                "node {i}: warm {} vs cold {}", warm.x[i], cold.x[i]
+            );
+        }
+    }
+
+    /// The diagonal-shift breakdown fallback: general SPD systems built
+    /// from signed off-diagonals can defeat plain IC(0); whatever
+    /// `ic0_or_jacobi` returns (shifted IC(0) or the Jacobi fallback)
+    /// must still solve the system to the dense reference.
+    #[test]
+    fn shifted_or_fallback_preconditioner_still_solves(
+        n in 2usize..30,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = splitmix(seed);
+        let mut t = TripletMatrix::new(n);
+        let mut off_sums = vec![0.0f64; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng() < 0.5 {
+                    let v = rng() - 0.5;
+                    t.add(i, j, v);
+                    t.add(j, i, v);
+                    off_sums[i] += v.abs();
+                    off_sums[j] += v.abs();
+                }
+            }
+        }
+        // Barely dominant: small margins provoke incomplete-factorization
+        // pivot breakdowns while the full matrix stays SPD.
+        for (i, off) in off_sums.iter().enumerate() {
+            t.add(i, i, off + 0.01 + 0.01 * rng());
+        }
+        let a = t.to_csr();
+        let b: Vec<f64> = (0..n).map(|_| rng() * 2.0 - 1.0).collect();
+        let dense = dense_cholesky_solve(&a, &b).unwrap();
+        let m = Preconditioner::ic0_or_jacobi(&a).unwrap();
+        let mut scratch = SolveScratch::new();
+        let sol = pcg_with(&a, &m, &b, None, 1e-12, 100_000, &mut scratch).unwrap();
+        for (i, d) in dense.iter().enumerate() {
+            prop_assert!(
+                (sol.x[i] - d).abs() < 1e-8,
+                "node {i}: {} vs {d} (ic0: {})", sol.x[i], m.is_ic0()
+            );
+        }
     }
 }

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! verify mms                 # manufactured-solution suite
+//! verify solver              # IC(0) fast path vs legacy Jacobi path
 //! verify diff [--fast]       # differential corpus + Fig. 8 guarantees
 //! verify golden [--bless] [--only <bin>]
 //! verify obs                 # observability determinism guard
@@ -26,6 +27,7 @@ use tac25d_verify::differential::{default_corpus, fig8_guarantees, run_point};
 use tac25d_verify::golden::{golden_dir, manifest, run_spec, workspace_root};
 use tac25d_verify::mms::{chain_error, observed_orders, path_split, FinCase};
 use tac25d_verify::obsguard::{obs_manifest, run_obs_determinism};
+use tac25d_verify::solvercheck::{solver_equivalence_cases, MAX_SOLVER_DT_C};
 
 /// Acceptance thresholds, mirrored by the in-crate tests.
 const MIN_ORDER: f64 = 1.8;
@@ -99,6 +101,42 @@ fn run_mms(report: &mut String) -> bool {
                 "  FAIL: split rel_err={rel:.3e} balance={:.3e}",
                 s.balance_error
             );
+        }
+    }
+    ok
+}
+
+fn run_solver(report: &mut String) -> bool {
+    let mut ok = true;
+    let _ = writeln!(
+        report,
+        "Solver fast-path equivalence (IC(0)+warm start vs cold Jacobi):"
+    );
+    match solver_equivalence_cases() {
+        Ok(cases) => {
+            for c in &cases {
+                let status = if c.passed() {
+                    "ok"
+                } else {
+                    ok = false;
+                    "FAIL"
+                };
+                let _ = writeln!(
+                    report,
+                    "  {:<18} max|dT|={:.3e} C  iters ic0={:<6} jacobi={:<6} outer_match={} {status}",
+                    c.name, c.max_abs_dt_c, c.ic0_iterations, c.jacobi_iterations, c.outer_match
+                );
+                if !c.passed() {
+                    let _ = writeln!(
+                        report,
+                        "  FAIL: paths must agree to {MAX_SOLVER_DT_C:.0e} C with ic0 iters <= jacobi iters"
+                    );
+                }
+            }
+        }
+        Err(e) => {
+            ok = false;
+            let _ = writeln!(report, "  ERROR: {e}");
         }
     }
     ok
@@ -276,18 +314,20 @@ fn main() -> ExitCode {
     let mut report = String::new();
     let ok = match mode {
         "mms" => run_mms(&mut report),
+        "solver" => run_solver(&mut report),
         "diff" => run_diff(&mut report, fast),
         "golden" => run_golden(&mut report, bless, only.as_deref()),
         "obs" => run_obs(&mut report),
         "all" => {
             let a = run_mms(&mut report);
+            let s = run_solver(&mut report);
             let b = run_diff(&mut report, fast);
             let c = run_golden(&mut report, bless, only.as_deref());
             let d = run_obs(&mut report);
-            a && b && c && d
+            a && s && b && c && d
         }
         other => {
-            eprintln!("unknown mode {other:?}; use mms | diff | golden | obs | all");
+            eprintln!("unknown mode {other:?}; use mms | solver | diff | golden | obs | all");
             return ExitCode::FAILURE;
         }
     };

@@ -17,15 +17,20 @@
 //! * [`obsguard`] — observability determinism guard: enabling
 //!   `TAC25D_OBS` must change no CSV byte, and the emitted JSONL/profile
 //!   artifacts must be valid and complete.
+//! * [`solvercheck`] — solver fast-path equivalence: the IC(0) + warm
+//!   start PCG path against the legacy cold Jacobi path over a small
+//!   organization corpus, max |ΔT| ≤ 1e-6 °C at tight tolerance.
 //!
-//! The `verify` binary drives all four from the command line (and from
+//! The `verify` binary drives all five from the command line (and from
 //! the CI `verify` job).
 
 pub mod differential;
 pub mod golden;
 pub mod mms;
 pub mod obsguard;
+pub mod solvercheck;
 
 pub use differential::{DiffPoint, DiffRecord, Fig8Case};
 pub use golden::{GoldenOutcome, GoldenSpec};
 pub use mms::{FinCase, MmsSample, SplitResult};
+pub use solvercheck::SolverCase;

@@ -1,0 +1,204 @@
+//! Solver fast-path equivalence gate: the IC(0)-preconditioned PCG with
+//! warm starts (the default `SolverKind::Ic0`) must reproduce the legacy
+//! cold-started Jacobi path on representative package models.
+//!
+//! Both solver kinds run the same corpus — a 2D single chip, a uniform
+//! 4×4 2.5D organization and the symmetric 4-chiplet organization — at a
+//! tight PCG tolerance (`SOLVER_REL_TOL`), through both a fixed-power
+//! steady solve and a temperature–leakage fixed point. At that tolerance
+//! each path lands within its own discretization-independent residual of
+//! the exact solution, so the two temperature fields must agree to well
+//! under [`MAX_SOLVER_DT_C`] (1e-6 °C); a larger gap means the fast path
+//! changed the *answer*, not just the iteration count. The gate also
+//! asserts the point of the exercise: the fast path may not spend more
+//! PCG iterations than the legacy path.
+
+use tac25d_floorplan::chip::ChipSpec;
+use tac25d_floorplan::layers::StackSpec;
+use tac25d_floorplan::organization::{ChipletLayout, PackageRules};
+use tac25d_floorplan::units::{Celsius, Mm};
+use tac25d_thermal::coupled::{solve_coupled, CoupledOptions};
+use tac25d_thermal::model::{PackageModel, SolverKind, ThermalConfig, ThermalError};
+
+/// Maximum tolerated |ΔT| between the IC(0) and Jacobi paths, in °C.
+pub const MAX_SOLVER_DT_C: f64 = 1e-6;
+
+/// PCG relative tolerance for the equivalence runs. The production
+/// tolerance (1e-8/1e-9) only bounds each path's *residual*; byte-level
+/// field agreement needs both paths converged far below the 1e-6 °C
+/// comparison threshold.
+pub const SOLVER_REL_TOL: f64 = 1e-11;
+
+/// One organization's differential comparison of the two solver paths.
+#[derive(Debug, Clone)]
+pub struct SolverCase {
+    /// Corpus point name.
+    pub name: &'static str,
+    /// Max |ΔT| over every node of the steady solve *and* every node of
+    /// the converged leakage fixed point.
+    pub max_abs_dt_c: f64,
+    /// PCG iterations of the fast path's steady solve.
+    pub ic0_iterations: usize,
+    /// PCG iterations of the legacy path's steady solve.
+    pub jacobi_iterations: usize,
+    /// Outer fixed-point iterations (must match between paths).
+    pub outer_match: bool,
+}
+
+impl SolverCase {
+    /// Whether the case satisfies the equivalence contract.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.max_abs_dt_c <= MAX_SOLVER_DT_C
+            && self.ic0_iterations <= self.jacobi_iterations
+            && self.outer_match
+    }
+}
+
+fn corpus() -> Vec<(&'static str, ChipletLayout, StackSpec)> {
+    vec![
+        (
+            "single_chip_2d",
+            ChipletLayout::SingleChip,
+            StackSpec::baseline_2d(),
+        ),
+        (
+            "uniform_4x4_25d",
+            ChipletLayout::Uniform { r: 4, gap: Mm(4.0) },
+            StackSpec::system_25d(),
+        ),
+        (
+            "symmetric4_25d",
+            ChipletLayout::Symmetric4 { s3: Mm(6.0) },
+            StackSpec::system_25d(),
+        ),
+    ]
+}
+
+fn build(layout: &ChipletLayout, stack: &StackSpec, solver: SolverKind) -> PackageModel {
+    PackageModel::new(
+        &ChipSpec::scc_256(),
+        layout,
+        &PackageRules::default(),
+        stack,
+        ThermalConfig {
+            grid: 16,
+            rel_tol: SOLVER_REL_TOL,
+            solver,
+            ..ThermalConfig::default()
+        },
+    )
+    .expect("corpus organization must build")
+}
+
+/// The per-model run under one solver kind: a fixed-power steady solve
+/// plus a contractive leakage fixed point on the same sources.
+fn run_one(model: &PackageModel) -> Result<(Vec<f64>, usize, Vec<f64>, usize), ThermalError> {
+    // Deliberately non-uniform per-chiplet powers so the two paths are
+    // compared on an asymmetric field, not just a scaled reference.
+    let rects = model.chiplet_rects().to_vec();
+    let total = 180.0;
+    let n = rects.len() as f64;
+    let sources: Vec<_> = rects
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (*r, total * (0.6 + 0.8 * i as f64 / n.max(1.0)) / n))
+        .collect();
+    let steady = model.solve(&sources)?;
+    let steady_field = steady.raw_temps().to_vec();
+    let steady_iters = steady.iterations();
+
+    // 1.2 %/°C leakage growth above 45 °C: contractive, converges in a
+    // handful of outer iterations.
+    let coupled = solve_coupled(
+        model,
+        |sol| {
+            let scale = sol.map_or(1.0, |s| 1.0 + 0.012 * (s.peak().value() - 45.0));
+            sources.iter().map(|(r, w)| (*r, w * scale)).collect()
+        },
+        &CoupledOptions {
+            tol: Celsius(0.001),
+            ..CoupledOptions::default()
+        },
+    )?;
+    assert!(coupled.converged, "leakage fixed point must converge");
+    Ok((
+        steady_field,
+        steady_iters,
+        coupled.solution.raw_temps().to_vec(),
+        coupled.outer_iterations,
+    ))
+}
+
+fn max_abs_dt(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Runs the whole corpus under both solver kinds and returns the
+/// per-organization comparison records.
+///
+/// # Errors
+///
+/// Propagates thermal build/solve errors — those are regressions of the
+/// corpus itself, not equivalence measurements.
+///
+/// # Panics
+///
+/// Panics if a leakage fixed point fails to converge (contractive by
+/// construction).
+pub fn solver_equivalence_cases() -> Result<Vec<SolverCase>, ThermalError> {
+    corpus()
+        .into_iter()
+        .map(|(name, layout, stack)| {
+            let fast = build(&layout, &stack, SolverKind::Ic0);
+            let legacy = build(&layout, &stack, SolverKind::Jacobi);
+            let (f_steady, f_iters, f_fixed, f_outer) = run_one(&fast)?;
+            let (l_steady, l_iters, l_fixed, l_outer) = run_one(&legacy)?;
+            let max_abs_dt_c = max_abs_dt(&f_steady, &l_steady).max(max_abs_dt(&f_fixed, &l_fixed));
+            Ok(SolverCase {
+                name,
+                max_abs_dt_c,
+                ic0_iterations: f_iters,
+                jacobi_iterations: l_iters,
+                outer_match: f_outer == l_outer,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_passes_equivalence_gate() {
+        for case in solver_equivalence_cases().unwrap() {
+            assert!(
+                case.passed(),
+                "{}: max|dT| = {:.3e} C, ic0 {} vs jacobi {} iters, outer_match {}",
+                case.name,
+                case.max_abs_dt_c,
+                case.ic0_iterations,
+                case.jacobi_iterations,
+                case.outer_match
+            );
+        }
+    }
+
+    #[test]
+    fn fast_path_actually_saves_iterations() {
+        // The gate's ≤ comparison would pass on a no-op; the fast path
+        // must beat the legacy path by a wide margin on at least the
+        // steady solves (reference warm start + IC(0) vs cold Jacobi).
+        let cases = solver_equivalence_cases().unwrap();
+        let ic0: usize = cases.iter().map(|c| c.ic0_iterations).sum();
+        let jac: usize = cases.iter().map(|c| c.jacobi_iterations).sum();
+        assert!(
+            ic0 * 4 <= jac,
+            "expected >=4x fewer iterations, got {ic0} vs {jac}"
+        );
+    }
+}
