@@ -61,7 +61,8 @@ pub fn benchmarks_from_args() -> Vec<Benchmark> {
 }
 
 /// Applies `f` to every item on scoped worker threads, preserving input
-/// order in the output.
+/// order in the output. Items are dispatched in input order; see
+/// [`parallel_map_by_cost`] when per-item run times vary widely.
 ///
 /// # Panics
 ///
@@ -69,34 +70,73 @@ pub fn benchmarks_from_args() -> Vec<Benchmark> {
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send + Sync,
-    R: Send,
+    R: Send + Sync,
     F: Fn(&T) -> R + Sync,
+{
+    parallel_map_by_cost(items, |_| 0.0, f)
+}
+
+/// Like [`parallel_map`], but workers pull items in *descending estimated
+/// cost* order so the longest-running items start first and no straggler
+/// is left for last on an otherwise idle pool (classic LPT scheduling).
+/// The output still preserves input order, and `f`'s results must not
+/// depend on execution order — `cost` only shapes the schedule. `cost`
+/// must be deterministic (ties fall back to input order), keeping the
+/// dispatch order itself reproducible run to run.
+///
+/// Each worker writes its result into that item's own slot, so result
+/// collection is lock-free (no shared `Mutex` on the hot path).
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn parallel_map_by_cost<T, R, F, C>(items: Vec<T>, cost: C, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send + Sync,
+    F: Fn(&T) -> R + Sync,
+    C: Fn(&T) -> f64,
 {
     let _span = obs::span!("bench.parallel_map");
     let threads = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(4)
         .min(items.len().max(1));
-    let results: Vec<std::sync::Mutex<Option<R>>> =
-        items.iter().map(|_| std::sync::Mutex::new(None)).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
+    let costs: Vec<f64> = items.iter().map(&cost).collect();
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by(|&a, &b| {
+        costs[b]
+            .partial_cmp(&costs[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let slots: Vec<std::sync::OnceLock<R>> =
+        items.iter().map(|_| std::sync::OnceLock::new()).collect();
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
     crossbeam::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= items.len() {
+                let at = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if at >= order.len() {
                     break;
                 }
+                let i = order[at];
                 let _item_span = obs::span!("bench.parallel_item");
                 let r = f(&items[i]);
-                *results[i].lock().expect("result lock") = Some(r);
+                if slots[i].set(r).is_err() {
+                    panic!("slot {i} filled twice");
+                }
             });
         }
     })
     .expect("worker thread panicked");
-    results
+    slots
         .into_iter()
-        .map(|m| m.into_inner().expect("lock").expect("worker filled slot"))
+        .enumerate()
+        .map(|(i, s)| {
+            s.into_inner()
+                .unwrap_or_else(|| panic!("worker left slot {i} empty"))
+        })
         .collect()
 }
 
@@ -114,6 +154,22 @@ mod tests {
     fn parallel_map_empty_ok() {
         let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |&x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn cost_ordered_dispatch_preserves_output_order() {
+        // Whatever the cost estimates (here: reversed, constant, NaN),
+        // outputs must line up with inputs.
+        let items: Vec<i32> = (0..64).collect();
+        for cost in [
+            (|&x: &i32| f64::from(x)) as fn(&i32) -> f64,
+            |&x: &i32| -f64::from(x),
+            |_: &i32| 1.0,
+            |_: &i32| f64::NAN,
+        ] {
+            let out = parallel_map_by_cost(items.clone(), cost, |&x| x * 3);
+            assert_eq!(out, (0..64).map(|x| x * 3).collect::<Vec<_>>());
+        }
     }
 
     #[test]

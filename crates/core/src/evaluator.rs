@@ -9,9 +9,11 @@
 
 use crate::allocation::mintemp_active_cores;
 use crate::system::SystemSpec;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use tac25d_floorplan::organization::{ChipletLayout, LayoutError};
@@ -113,54 +115,142 @@ impl Evaluation {
     }
 }
 
-/// Integer cache key for a layout (spacings snapped to the 0.5 mm lattice).
+/// Integer cache key for a layout (spacings snapped to the 0.25 mm cache
+/// lattice), *canonical* under the layout symmetry group: parameterizations
+/// that describe the same physical package map to the same key.
+/// `Symmetric4 { s3 }` is exactly the 2×2 uniform grid with gap `s3`, and a
+/// `Symmetric16` whose spacings satisfy `s1 = s3` and `s2 = s3/2` is exactly
+/// the 4×4 uniform grid with gap `s3` (same interposer edge, same chiplet
+/// rectangles); both fold onto [`LayoutKey::Grid`], so each equivalence
+/// class is solved once. Cross-parameterization cache reuses are counted
+/// under `evaluator.canonical_hits`.
 ///
 /// Public only for the cache-key property tests; not a stable API.
 #[doc(hidden)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LayoutKey {
     Single,
-    Uniform { r: u16, gap: i64 },
-    Sym4 { s3: i64 },
-    Sym16 { s1: i64, s2: i64, s3: i64 },
+    /// An `r × r` uniform grid with lattice gap `gap` — the canonical form
+    /// of `Uniform`, `Symmetric4` (r = 2) and grid-degenerate `Symmetric16`
+    /// (r = 4) layouts.
+    Grid {
+        r: u16,
+        gap: i64,
+    },
+    /// A symmetric 16-chiplet organization that is not a uniform grid.
+    Sym16 {
+        s1: i64,
+        s2: i64,
+        s3: i64,
+    },
 }
 
-/// Snaps a millimetre value to the 0.5 mm cache lattice.
+/// Snaps a millimetre value to the 0.25 mm cache lattice — half the
+/// optimizer's 0.5 mm spacing step, so every distinct search candidate
+/// stays distinct while the uniform-grid midpoint `s2 = s3/2` still lands
+/// exactly on the lattice.
 #[doc(hidden)]
-pub fn half_mm(v: f64) -> i64 {
-    (v * 2.0).round() as i64
+pub fn quarter_mm(v: f64) -> i64 {
+    (v * 4.0).round() as i64
 }
 
-/// The cache key of a layout.
+/// The canonical cache key of a layout.
 #[doc(hidden)]
 pub fn layout_key(layout: &ChipletLayout) -> LayoutKey {
     match layout {
         ChipletLayout::SingleChip => LayoutKey::Single,
-        ChipletLayout::Uniform { r, gap } => LayoutKey::Uniform {
+        ChipletLayout::Uniform { r, gap } => LayoutKey::Grid {
             r: *r,
-            gap: half_mm(gap.value()),
+            gap: quarter_mm(gap.value()),
         },
-        ChipletLayout::Symmetric4 { s3 } => LayoutKey::Sym4 {
-            s3: half_mm(s3.value()),
+        ChipletLayout::Symmetric4 { s3 } => LayoutKey::Grid {
+            r: 2,
+            gap: quarter_mm(s3.value()),
         },
-        ChipletLayout::Symmetric16 { spacing } => LayoutKey::Sym16 {
-            s1: half_mm(spacing.s1.value()),
-            s2: half_mm(spacing.s2.value()),
-            s3: half_mm(spacing.s3.value()),
-        },
+        ChipletLayout::Symmetric16 { spacing } => {
+            let s1 = quarter_mm(spacing.s1.value());
+            let s2 = quarter_mm(spacing.s2.value());
+            let s3 = quarter_mm(spacing.s3.value());
+            if s1 == s3 && 2 * s2 == s3 {
+                LayoutKey::Grid { r: 4, gap: s3 }
+            } else {
+                LayoutKey::Sym16 { s1, s2, s3 }
+            }
+        }
     }
 }
 
 type EvalKey = (LayoutKey, Benchmark, u32, u16);
 
+/// Number of independently-locked stripes per cache. More than the bench
+/// runner's worker count, so concurrent evaluations of different keys
+/// rarely contend on the same lock.
+const CACHE_STRIPES: usize = 16;
+
+/// A hash map sharded into independently-locked stripes. Under the
+/// parallel figure drivers every worker thread hits the evaluator caches
+/// on each candidate; striping replaces the former single global
+/// `Mutex<HashMap>` (a serialization point) with per-stripe locks chosen
+/// by key hash.
+struct StripedCache<K, V> {
+    shards: Vec<Mutex<HashMap<K, V>>>,
+}
+
+impl<K: Eq + Hash, V: Clone> StripedCache<K, V> {
+    fn new() -> Self {
+        StripedCache {
+            shards: (0..CACHE_STRIPES)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, V>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    fn get(&self, key: &K) -> Option<V> {
+        self.shard(key)
+            .lock()
+            .expect("lock poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    fn insert(&self, key: K, value: V) {
+        self.shard(&key)
+            .lock()
+            .expect("lock poisoned")
+            .insert(key, value);
+    }
+
+    fn clear(&self) {
+        for s in &self.shards {
+            s.lock().expect("lock poisoned").clear();
+        }
+    }
+}
+
 /// Memoizing system evaluator. Cheap to share behind a reference across
 /// threads (all interior state is synchronized).
 pub struct Evaluator {
     spec: SystemSpec,
-    models: Mutex<HashMap<LayoutKey, Arc<PackageModel>>>,
-    evals: Mutex<HashMap<EvalKey, Arc<Evaluation>>>,
+    models: StripedCache<LayoutKey, Arc<PackageModel>>,
+    evals: StripedCache<EvalKey, Arc<Evaluation>>,
+    /// One representative assembled model per (single-chip?, footprint
+    /// edge) class, used as the patch base for incremental network
+    /// assembly of sibling layouts ([`PackageModel::new_like`]). Because
+    /// the incremental build is bitwise identical to a full build, results
+    /// never depend on which model seeded the class.
+    bases: Mutex<HashMap<(bool, u64), Arc<PackageModel>>>,
     thermal_sims: AtomicUsize,
     surrogate: Option<Arc<ThermalSurrogate>>,
+    /// Explicit coupled-solve options; `None` defers to
+    /// [`CoupledOptions::default`] at call time (which reads the
+    /// `TAC25D_FIXEDPOINT` strategy override from the environment).
+    coupled: Option<CoupledOptions>,
 }
 
 impl fmt::Debug for Evaluator {
@@ -176,10 +266,24 @@ impl Evaluator {
     pub fn new(spec: SystemSpec) -> Self {
         Evaluator {
             spec,
-            models: Mutex::new(HashMap::new()),
-            evals: Mutex::new(HashMap::new()),
+            models: StripedCache::new(),
+            evals: StripedCache::new(),
+            bases: Mutex::new(HashMap::new()),
             thermal_sims: AtomicUsize::new(0),
             surrogate: None,
+            coupled: None,
+        }
+    }
+
+    /// Creates an evaluator whose coupled (temperature–leakage) solves run
+    /// with explicit options instead of [`CoupledOptions::default`].
+    /// Verification harnesses use this to pin the fixed-point strategy per
+    /// evaluator — comparing, say, Picard against Anderson in one process —
+    /// without racing on the process-global `TAC25D_FIXEDPOINT` override.
+    pub fn with_coupled_options(spec: SystemSpec, options: CoupledOptions) -> Self {
+        Evaluator {
+            coupled: Some(options),
+            ..Evaluator::new(spec)
         }
     }
 
@@ -286,8 +390,9 @@ impl Evaluator {
 
     /// Clears all caches and the counter.
     pub fn clear(&self) {
-        self.models.lock().expect("lock poisoned").clear();
-        self.evals.lock().expect("lock poisoned").clear();
+        self.models.clear();
+        self.evals.clear();
+        self.bases.lock().expect("lock poisoned").clear();
         self.reset_sim_counter();
     }
 
@@ -300,7 +405,7 @@ impl Evaluator {
 
     fn model_for(&self, layout: &ChipletLayout) -> Result<Arc<PackageModel>, EvalError> {
         let key = layout_key(layout);
-        if let Some(m) = self.models.lock().expect("lock poisoned").get(&key) {
+        if let Some(m) = self.models.get(&key) {
             // Successive candidate evaluations of the same organization
             // share the model — and with it the thermal crate's factored
             // IC(0) preconditioner and cached reference temperature field,
@@ -309,30 +414,55 @@ impl Evaluator {
             // run last), keeping every result independent of thread
             // scheduling and safe to memoize.
             obs::counter!("evaluator.model_reuses").inc();
-            return Ok(Arc::clone(m));
+            if m.layout() != layout {
+                obs::counter!("evaluator.canonical_hits").inc();
+            }
+            return Ok(m);
         }
-        let stack = if layout.is_single_chip() {
+        let single = layout.is_single_chip();
+        let stack = if single {
             &self.spec.stack_2d
         } else {
             &self.spec.stack_25d
         };
-        let model = Arc::new(
-            PackageModel::new(
+        // Same-footprint layouts differ only in the cells under moved
+        // chiplets, so a sibling model of the same (stack, edge) class
+        // seeds an incremental assembly instead of a from-scratch one.
+        let base_key = (
+            single,
+            layout
+                .footprint_edge(&self.spec.chip, &self.spec.rules)
+                .value()
+                .to_bits(),
+        );
+        let base = self
+            .bases
+            .lock()
+            .expect("lock poisoned")
+            .get(&base_key)
+            .cloned();
+        let built = match &base {
+            Some(b) => PackageModel::new_like(b, layout),
+            None => PackageModel::new(
                 &self.spec.chip,
                 layout,
                 &self.spec.rules,
                 stack,
                 self.spec.thermal.clone(),
-            )
-            .map_err(|e| match e {
-                ThermalError::Layout(l) => EvalError::Layout(l),
-                other => EvalError::Thermal(other),
-            })?,
-        );
-        self.models
-            .lock()
-            .expect("lock poisoned")
-            .insert(key, Arc::clone(&model));
+            ),
+        };
+        let model = Arc::new(built.map_err(|e| match e {
+            ThermalError::Layout(l) => EvalError::Layout(l),
+            other => EvalError::Thermal(other),
+        })?);
+        if base.is_none() {
+            self.bases
+                .lock()
+                .expect("lock poisoned")
+                .entry(base_key)
+                .or_insert_with(|| Arc::clone(&model));
+        }
+        self.models.insert(key, Arc::clone(&model));
         Ok(model)
     }
 
@@ -354,9 +484,15 @@ impl Evaluator {
         p: u16,
     ) -> Result<Arc<Evaluation>, EvalError> {
         let key = (layout_key(layout), benchmark, op.freq_mhz as u32, p);
-        if let Some(e) = self.evals.lock().expect("lock poisoned").get(&key) {
+        if let Some(e) = self.evals.get(&key) {
             obs::counter!("evaluator.cache_hits").inc();
-            return Ok(Arc::clone(e));
+            if e.layout != *layout {
+                // The stored evaluation came from a symmetry-equivalent
+                // parameterization of the same physical package (e.g.
+                // `Symmetric4` vs the 2×2 `Uniform` grid).
+                obs::counter!("evaluator.canonical_hits").inc();
+            }
+            return Ok(e);
         }
 
         let spec = &self.spec;
@@ -395,7 +531,7 @@ impl Evaluator {
                 }
                 sources
             },
-            &CoupledOptions::default(),
+            &self.coupled.unwrap_or_default(),
         );
 
         let eval = match coupled {
@@ -445,10 +581,7 @@ impl Evaluator {
             }
         }
         let eval = Arc::new(eval);
-        self.evals
-            .lock()
-            .expect("lock poisoned")
-            .insert(key, Arc::clone(&eval));
+        self.evals.insert(key, Arc::clone(&eval));
         Ok(eval)
     }
 }

@@ -1,7 +1,7 @@
 //! Property-based tests of the organizer's pure (non-thermal) components.
 
 use proptest::prelude::*;
-use tac25d_core::evaluator::{half_mm, layout_key};
+use tac25d_core::evaluator::{layout_key, quarter_mm};
 use tac25d_core::prelude::*;
 use tac25d_floorplan::chip::ChipSpec;
 use tac25d_floorplan::organization::{ChipletLayout, Spacing};
@@ -123,34 +123,54 @@ proptest! {
         );
     }
 
-    /// The same holds across layout shapes: a 4-chiplet key never
-    /// collides with a 16-chiplet or uniform key, whatever the spacings.
+    /// Canonical folding: parameterizations of the same physical package
+    /// share one key — `Symmetric4 { s3 }` *is* the 2×2 uniform grid with
+    /// gap s3, and a uniform-spaced `Symmetric16` *is* the 4×4 uniform
+    /// grid — while layouts of different physical packages never collide.
     #[test]
-    fn cache_key_separates_layout_shapes(s in 0i64..=100, g in 0i64..=100) {
-        let sym4 = ChipletLayout::Symmetric4 { s3: Mm(s as f64 * 0.5) };
-        let sym16 = ChipletLayout::Symmetric16 {
-            spacing: Spacing::new(s as f64 * 0.5, s as f64 * 0.5, s as f64 * 0.5),
-        };
-        let uni = ChipletLayout::Uniform { r: 2, gap: Mm(g as f64 * 0.5) };
-        prop_assert!(layout_key(&sym4) != layout_key(&sym16));
-        prop_assert!(layout_key(&sym4) != layout_key(&uni));
-        prop_assert!(layout_key(&sym16) != layout_key(&uni));
-        prop_assert!(layout_key(&uni) != layout_key(&ChipletLayout::SingleChip));
+    fn cache_key_canonical_under_symmetry_group(s in 0i64..=100, g in 0i64..=100) {
+        let sv = s as f64 * 0.5;
+        let gv = g as f64 * 0.5;
+        let sym4 = ChipletLayout::Symmetric4 { s3: Mm(sv) };
+        let uni2 = ChipletLayout::Uniform { r: 2, gap: Mm(sv) };
+        let sym16u = ChipletLayout::Symmetric16 { spacing: Spacing::uniform(Mm(gv)) };
+        let uni4 = ChipletLayout::Uniform { r: 4, gap: Mm(gv) };
+        // Symmetry-equivalent aliases fold onto one canonical key…
+        prop_assert_eq!(layout_key(&sym4), layout_key(&uni2));
+        prop_assert_eq!(layout_key(&sym16u), layout_key(&uni4));
+        // …but 4- and 16-chiplet classes never meet, nor the single chip.
+        prop_assert!(layout_key(&sym4) != layout_key(&uni4));
+        prop_assert!(layout_key(&sym4) != layout_key(&sym16u));
+        prop_assert!(layout_key(&uni2) != layout_key(&ChipletLayout::SingleChip));
+        // A Symmetric16 off the uniform-grid manifold keeps its own key
+        // ((s, s, s) is uniform only at s = 0, where s2 = s3/2 = 0).
+        if s > 0 {
+            let skew = ChipletLayout::Symmetric16 {
+                spacing: Spacing::new(sv, sv, sv),
+            };
+            prop_assert!(layout_key(&skew) != layout_key(&uni4));
+            prop_assert!(layout_key(&skew) != layout_key(&sym16u));
+        }
+        // Injective across non-equivalent members of one class.
+        if s != g {
+            prop_assert!(layout_key(&sym4) != layout_key(&ChipletLayout::Uniform { r: 2, gap: Mm(gv) }));
+            prop_assert!(layout_key(&sym16u) != layout_key(&ChipletLayout::Symmetric16 { spacing: Spacing::uniform(Mm(sv)) }));
+        }
     }
 
     /// Off-lattice spacings snap to the nearest lattice point, and any two
     /// values within the same snap cell share a key (cache consistency:
-    /// a value never lands farther than 0.25 mm from its snapped point).
+    /// a value never lands farther than 0.125 mm from its snapped point).
     #[test]
     fn off_lattice_spacings_snap_consistently(v in 0.0..50.0f64) {
-        let snapped = half_mm(v);
-        prop_assert!((v - snapped as f64 * 0.5).abs() <= 0.25 + 1e-12);
+        let snapped = quarter_mm(v);
+        prop_assert!((v - snapped as f64 * 0.25).abs() <= 0.125 + 1e-12);
         // Snapping is idempotent: the snapped value is on the lattice.
-        prop_assert_eq!(half_mm(snapped as f64 * 0.5), snapped);
+        prop_assert_eq!(quarter_mm(snapped as f64 * 0.25), snapped);
         // And a layout built from the off-lattice value shares its cache
         // key with the layout built from the snapped value.
         let off = ChipletLayout::Symmetric4 { s3: Mm(v) };
-        let on = ChipletLayout::Symmetric4 { s3: Mm(snapped as f64 * 0.5) };
+        let on = ChipletLayout::Symmetric4 { s3: Mm(snapped as f64 * 0.25) };
         prop_assert_eq!(layout_key(&off), layout_key(&on));
     }
 }

@@ -42,19 +42,35 @@ pub const CANONICAL_COUNTERS: &[&str] = &[
     "thermal.pcg_solves",
     "thermal.pcg_iterations",
     "thermal.exact_solves",
+    "thermal.anderson_accepted",
+    "thermal.assembly_rows_reused",
+    "evaluator.canonical_hits",
     "surrogate.predictions",
     "optimizer.greedy_starts",
     "bench.rows_emitted",
 ];
 
 /// Counters the CI `profile` job guards against drift.
-pub const BASELINE_COUNTERS: &[&str] = &["thermal.pcg_iterations", "thermal.exact_solves"];
+pub const BASELINE_COUNTERS: &[&str] = &[
+    "thermal.pcg_iterations",
+    "thermal.exact_solves",
+    "thermal.anderson_accepted",
+    "thermal.assembly_rows_reused",
+];
 
 /// Baseline counters where only *increases* are regressions: dropping
 /// below the blessed value (a faster solver, a better warm start) must
 /// pass the gate without a re-bless, while exceeding it by the tolerance
 /// still fails.
 pub const ONE_SIDED_COUNTERS: &[&str] = &["thermal.pcg_iterations"];
+
+/// The mirror image: improvement counters where only *decreases* are
+/// regressions. These count work *saved* (accepted Anderson steps, CSR
+/// rows patched instead of rebuilt), so exceeding the blessed value is
+/// progress and passes outright, while falling below it by the tolerance
+/// means an optimization quietly stopped firing.
+pub const ONE_SIDED_MIN_COUNTERS: &[&str] =
+    &["thermal.anderson_accepted", "thermal.assembly_rows_reused"];
 
 /// Relative drift allowed against the committed baseline (the parallel
 /// greedy's lowest-index-winner early exit makes solve counts mildly
@@ -225,7 +241,8 @@ pub struct Drift {
     pub observed: f64,
     /// `|observed - baseline| / baseline` (observed itself when the
     /// baseline is zero and observed is not). For [`ONE_SIDED_COUNTERS`]
-    /// only the increase counts: improvements report 0.
+    /// only the increase counts, for [`ONE_SIDED_MIN_COUNTERS`] only the
+    /// decrease: improvements report 0.
     pub relative: f64,
     /// Whether `relative` exceeds the tolerance.
     pub exceeded: bool,
@@ -233,8 +250,9 @@ pub struct Drift {
 
 /// Compares a fresh profile against a committed baseline for every
 /// [`BASELINE_COUNTERS`] entry. Counters in [`ONE_SIDED_COUNTERS`] gate
-/// only regressions (observed above baseline); every other counter drifts
-/// symmetrically.
+/// only regressions (observed above baseline), counters in
+/// [`ONE_SIDED_MIN_COUNTERS`] gate only losses (observed below baseline);
+/// every other counter drifts symmetrically.
 pub fn check_drift(profile: &Value, baseline: &Value, tolerance: f64) -> Vec<Drift> {
     BASELINE_COUNTERS
         .iter()
@@ -245,9 +263,10 @@ pub fn check_drift(profile: &Value, baseline: &Value, tolerance: f64) -> Vec<Dri
                 .and_then(Value::as_f64)
                 .unwrap_or(0.0);
             let base = baseline.get(name).and_then(Value::as_f64).unwrap_or(0.0);
-            let one_sided = ONE_SIDED_COUNTERS.contains(name);
-            let delta = if one_sided {
+            let delta = if ONE_SIDED_COUNTERS.contains(name) {
                 (observed - base).max(0.0)
+            } else if ONE_SIDED_MIN_COUNTERS.contains(name) {
+                (base - observed).max(0.0)
             } else {
                 (observed - base).abs()
             };
@@ -370,11 +389,17 @@ mod tests {
     use super::*;
 
     fn fake_profile(pcg_iters: f64, exact: f64) -> Value {
+        fake_profile_full(pcg_iters, exact, 0.0, 0.0)
+    }
+
+    fn fake_profile_full(pcg_iters: f64, exact: f64, anderson: f64, rows: f64) -> Value {
         parse(&format!(
             r#"{{"schema_version": 1, "bin": "t", "total_wall_s": 1.0,
                 "spans": [], "spans_by_name": {{}},
                 "counters": {{"thermal.pcg_iterations": {pcg_iters},
-                             "thermal.exact_solves": {exact}}},
+                             "thermal.exact_solves": {exact},
+                             "thermal.anderson_accepted": {anderson},
+                             "thermal.assembly_rows_reused": {rows}}},
                 "gauges": {{}}, "histograms": {{}}}}"#
         ))
         .expect("fixture parses")
@@ -386,7 +411,7 @@ mod tests {
         let baseline = parse(r#"{"thermal.pcg_iterations": 100, "thermal.exact_solves": 10}"#)
             .expect("baseline parses");
         let drifts = check_drift(&profile, &baseline, DRIFT_TOLERANCE);
-        assert_eq!(drifts.len(), 2);
+        assert_eq!(drifts.len(), BASELINE_COUNTERS.len());
         assert!(drifts.iter().all(|d| !d.exceeded), "{drifts:?}");
         assert!((drifts[0].relative - 0.10).abs() < 1e-12);
     }
@@ -442,6 +467,36 @@ mod tests {
                 .unwrap()
                 .exceeded
         );
+    }
+
+    #[test]
+    fn min_sided_counter_gain_passes_and_loss_fails() {
+        // Improvement counters gate only the downside: saving *more* rows
+        // or accepting *more* Anderson steps than the blessed baseline is
+        // progress, while losing them past the tolerance means the
+        // optimization quietly stopped firing.
+        let baseline = parse(
+            r#"{"thermal.pcg_iterations": 100, "thermal.exact_solves": 10,
+                "thermal.anderson_accepted": 50, "thermal.assembly_rows_reused": 1000}"#,
+        )
+        .expect("baseline parses");
+
+        let improved = fake_profile_full(100.0, 10.0, 200.0, 4000.0);
+        let drifts = check_drift(&improved, &baseline, DRIFT_TOLERANCE);
+        for name in ONE_SIDED_MIN_COUNTERS {
+            let d = drifts.iter().find(|d| &d.name == name).unwrap();
+            assert!(!d.exceeded, "{d:?}");
+            assert_eq!(d.relative, 0.0);
+        }
+
+        let regressed = fake_profile_full(100.0, 10.0, 10.0, 100.0);
+        let drifts = check_drift(&regressed, &baseline, DRIFT_TOLERANCE);
+        for name in ONE_SIDED_MIN_COUNTERS {
+            assert!(
+                drifts.iter().find(|d| &d.name == name).unwrap().exceeded,
+                "loss of {name} must fail the gate"
+            );
+        }
     }
 
     #[test]

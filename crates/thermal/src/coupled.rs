@@ -6,12 +6,110 @@
 //! supplies a closure that maps the latest thermal solution to an updated
 //! power map (dynamic power + temperature-dependent leakage per core), and
 //! the loop iterates to a fixed point or detects thermal runaway.
+//!
+//! Two strategies drive the iteration:
+//!
+//! * [`CoupledStrategy::Picard`] — the plain successive-substitution loop,
+//!   every inner solve at the model's full PCG tolerance. Byte-for-byte the
+//!   pre-acceleration behavior; kept for differential verification and as
+//!   an escape hatch (`TAC25D_FIXEDPOINT=picard`).
+//! * [`CoupledStrategy::Anderson`] (the default) — an inexact outer loop
+//!   with Eisenstat–Walker-style adaptive forcing terms plus safeguarded
+//!   depth-2 Anderson mixing. Early iterations solve PCG only to a loose
+//!   relative tolerance `η_k` (the outer residual is still far from
+//!   converged, so extra inner digits are wasted work); `η` tightens
+//!   geometrically with the observed contraction,
+//!   `η_{k+1} = 0.9·(Δ_k/Δ_{k-1})²`, and is forced to the confirmation
+//!   tolerance `tol·1e-4` once `Δ_k ≤ 10·tol`. Convergence is declared on
+//!   a confirmation-tolerance solve — whose inexact-solve noise is a
+//!   percent of `tol` — and the accepted field is then *polished* by one
+//!   warm full-tolerance solve of the same power map, so the returned
+//!   field is always a full-accuracy solve and the adaptive path lands on
+//!   the same fixed point as the fixed-tolerance path (gated by `verify
+//!   fixedpoint`). Anderson mixing
+//!   (window 2: one secant pair) extrapolates through the contraction and
+//!   typically removes one to two outer iterations; a monotone-residual
+//!   safeguard falls back to the plain Picard step whenever the residual
+//!   grew, so non-contractive maps cannot be destabilized.
 
 use crate::model::{PackageModel, ThermalError, ThermalSolution};
 use crate::sparse::SolveScratch;
 use tac25d_floorplan::geometry::Rect;
 use tac25d_floorplan::units::Celsius;
 use tac25d_obs as obs;
+
+/// Loosest PCG relative tolerance the adaptive forcing schedule may use
+/// inside the loop. The inexact-solve error this admits (~0.1 °C of field
+/// error on production systems) must stay below the endgame trigger
+/// (`ENDGAME_FACTOR·tol`, 0.5 °C in production), or residual measurements
+/// near the trigger turn to noise and the loop spends extra outer rounds;
+/// measured at 3e-4 the added noise already cost ~15% more outer
+/// iterations, while 1e-4 matches the fixed-tolerance path's outer count.
+const ETA_LOOSE: f64 = 1e-4;
+
+/// Forcing term for the very first solve of the loop. The cold-start
+/// residual dwarfs any inexact-solve noise, so the opening solve can run
+/// an order looser than the in-loop floor without touching the outer
+/// convergence measurements that follow.
+const ETA_FIRST: f64 = 1e-3;
+
+/// Eisenstat–Walker (choice 2) safety factor on the squared contraction
+/// ratio.
+const EW_GAMMA: f64 = 0.9;
+
+/// Once the outer residual is within this factor of the tolerance, every
+/// remaining solve runs at the confirmation tolerance: the next iterate is
+/// a convergence candidate, so its inner-solve slack must be small against
+/// `tol` (see [`CONFIRM_ETA_PER_TOL`]).
+const ENDGAME_FACTOR: f64 = 10.0;
+
+/// Confirmation forcing term as a fraction of the outer tolerance:
+/// convergence candidates solve to `η = tol·1e-4`, which keeps the
+/// inexact-solve noise in the candidate's outer residual around a percent
+/// of `tol` (measured ~1 °C of field error per 1e-3 of relative residual
+/// on production systems). Declaring convergence at this tolerance and
+/// then *polishing* the accepted field with one warm full-tolerance solve
+/// is far cheaper than running every endgame solve at full tolerance —
+/// the polish starts microdegrees from its answer.
+const CONFIRM_ETA_PER_TOL: f64 = 1e-4;
+
+/// Clamp on the Anderson mixing coefficient. Contractive maps produce
+/// γ = q/(q−1) ∈ (−1, 0); the clamp keeps a noisy secant from
+/// extrapolating wildly while still allowing useful acceleration.
+const ANDERSON_CLAMP: f64 = 2.0;
+
+/// How the coupled loop iterates to its fixed point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoupledStrategy {
+    /// Plain successive substitution at full inner tolerance (the legacy
+    /// path).
+    Picard,
+    /// Adaptive-tolerance inner solves + safeguarded Anderson mixing (the
+    /// default).
+    Anderson,
+}
+
+impl CoupledStrategy {
+    /// The strategy selected by the `TAC25D_FIXEDPOINT` environment
+    /// variable: `picard` (case-insensitive) forces the legacy loop,
+    /// anything else — including unset — selects the accelerated path.
+    /// Read per call (not cached) so verification harnesses can compare
+    /// both paths in one process.
+    pub fn from_env() -> Self {
+        match std::env::var("TAC25D_FIXEDPOINT") {
+            Ok(v) if v.eq_ignore_ascii_case("picard") => CoupledStrategy::Picard,
+            _ => CoupledStrategy::Anderson,
+        }
+    }
+
+    /// Stable lowercase name (`picard` / `anderson`) for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CoupledStrategy::Picard => "picard",
+            CoupledStrategy::Anderson => "anderson",
+        }
+    }
+}
 
 /// Options for the coupled solve.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -23,6 +121,8 @@ pub struct CoupledOptions {
     /// Peak temperature above which the loop aborts with
     /// [`ThermalError::Runaway`] (a diverging leakage feedback loop).
     pub runaway: Celsius,
+    /// Iteration strategy (defaults to [`CoupledStrategy::from_env`]).
+    pub strategy: CoupledStrategy,
 }
 
 impl Default for CoupledOptions {
@@ -31,6 +131,7 @@ impl Default for CoupledOptions {
             tol: Celsius(0.05),
             max_iter: 60,
             runaway: Celsius(400.0),
+            strategy: CoupledStrategy::from_env(),
         }
     }
 }
@@ -42,6 +143,11 @@ pub struct CoupledSolution {
     pub solution: ThermalSolution,
     /// Outer (power-update) iterations performed.
     pub outer_iterations: usize,
+    /// Total inner PCG iterations across every solve of the loop — the
+    /// quantity the adaptive forcing schedule economizes (`verify
+    /// fixedpoint` gates the adaptive path on spending no more of these
+    /// than the fixed-tolerance path).
+    pub inner_iterations: usize,
     /// Whether the temperature change dropped below tolerance.
     pub converged: bool,
 }
@@ -68,7 +174,10 @@ where
 {
     let _span = obs::span!("thermal.leakage_fixed_point");
     obs::counter!("thermal.coupled_solves").inc();
-    let result = solve_coupled_inner(model, power_map, opts);
+    let result = match opts.strategy {
+        CoupledStrategy::Picard => solve_coupled_picard(model, power_map, opts),
+        CoupledStrategy::Anderson => solve_coupled_anderson(model, power_map, opts),
+    };
     if let Ok(c) = &result {
         obs::counter!("thermal.leakage_outer_iterations").add(c.outer_iterations as u64);
         obs::histogram!("thermal.leakage_outer_iterations_per_solve")
@@ -77,7 +186,7 @@ where
     result
 }
 
-fn solve_coupled_inner<F>(
+fn solve_coupled_picard<F>(
     model: &PackageModel,
     mut power_map: F,
     opts: &CoupledOptions,
@@ -92,6 +201,7 @@ where
     let mut scratch = SolveScratch::new();
     let sources = power_map(None);
     let mut current = model.solve_with_scratch(&sources, None, &mut scratch)?;
+    let mut inner = current.iterations();
     for it in 1..=opts.max_iter {
         if current.peak() > opts.runaway {
             return Err(ThermalError::Runaway {
@@ -100,12 +210,14 @@ where
         }
         let sources = power_map(Some(&current));
         let next = model.solve_with_scratch(&sources, Some(&current), &mut scratch)?;
+        inner += next.iterations();
         let delta = max_abs_delta(current.raw_temps(), next.raw_temps());
         current = next;
         if delta <= opts.tol.value() {
             return Ok(CoupledSolution {
                 solution: current,
                 outer_iterations: it,
+                inner_iterations: inner,
                 converged: true,
             });
         }
@@ -118,6 +230,124 @@ where
     Ok(CoupledSolution {
         solution: current,
         outer_iterations: opts.max_iter,
+        inner_iterations: inner,
+        converged: false,
+    })
+}
+
+/// The accelerated loop: inexact inner solves with Eisenstat–Walker
+/// forcing terms and safeguarded Anderson(window 2) mixing. Converges to
+/// the same fixed point as the Picard loop (the convergence candidate is
+/// always a full-tolerance solve); `verify fixedpoint` enforces the
+/// equivalence.
+fn solve_coupled_anderson<F>(
+    model: &PackageModel,
+    mut power_map: F,
+    opts: &CoupledOptions,
+) -> Result<CoupledSolution, ThermalError>
+where
+    F: FnMut(Option<&ThermalSolution>) -> Vec<(Rect, f64)>,
+{
+    assert!(opts.max_iter > 0, "max_iter must be positive");
+    let full_tol = model.config().rel_tol;
+    let eta_max = ETA_LOOSE.max(full_tol);
+    let eta_conv = (opts.tol.value() * CONFIRM_ETA_PER_TOL).clamp(full_tol, eta_max);
+    let mut eta = eta_max;
+    let mut scratch = SolveScratch::new();
+    let sources = power_map(None);
+    // `x` is the current outer iterate (possibly an Anderson-mixed field);
+    // each round solves g = G(x) and measures the residual f = g − x.
+    let mut x =
+        model.solve_with_scratch_tol(&sources, None, &mut scratch, ETA_FIRST.max(full_tol))?;
+    let mut inner = x.iterations();
+    let mut prev_delta = f64::INFINITY;
+    // One secant pair of history: (f_{k-1}, g_{k-1}).
+    let mut history: Option<(Vec<f64>, Vec<f64>)> = None;
+    for it in 1..=opts.max_iter {
+        if x.peak() > opts.runaway {
+            return Err(ThermalError::Runaway { peak: x.peak() });
+        }
+        let sources = power_map(Some(&x));
+        let g = model.solve_with_scratch_tol(&sources, Some(&x), &mut scratch, eta)?;
+        inner += g.iterations();
+        let f: Vec<f64> = g
+            .raw_temps()
+            .iter()
+            .zip(x.raw_temps())
+            .map(|(gi, xi)| gi - xi)
+            .collect();
+        let delta = f.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        if delta <= opts.tol.value() && eta <= eta_conv {
+            // Accepted: polish the candidate to the full tolerance. The
+            // solve repeats `g`'s own linear system (same power map), so
+            // it starts within the confirmation slack of its answer and
+            // the returned field is a full-accuracy solve — the same
+            // contract a full-tolerance candidate would have carried, at
+            // a fraction of the endgame cost.
+            let solution = if eta <= full_tol {
+                g
+            } else {
+                let polished =
+                    model.solve_with_scratch_tol(&sources, Some(&g), &mut scratch, full_tol)?;
+                inner += polished.iterations();
+                polished
+            };
+            return Ok(CoupledSolution {
+                solution,
+                outer_iterations: it,
+                inner_iterations: inner,
+                converged: true,
+            });
+        }
+        // Eisenstat–Walker choice 2: match the inner tolerance to the
+        // observed outer contraction, then force the confirmation
+        // tolerance in the endgame so a convergence candidate's residual
+        // measurement carries only a small fraction of `tol` in noise.
+        eta = if prev_delta.is_finite() && prev_delta > 0.0 && delta > 0.0 {
+            (EW_GAMMA * (delta / prev_delta).powi(2)).clamp(full_tol, eta_max)
+        } else {
+            eta_max
+        };
+        if delta <= ENDGAME_FACTOR * opts.tol.value() {
+            eta = eta_conv;
+        }
+        // Safeguarded Anderson(window 2) step: mix through the secant only
+        // while the residual is shrinking; otherwise take the plain Picard
+        // step (and let the fresh history rebuild the secant).
+        let mut next = None;
+        if delta <= prev_delta {
+            if let Some((f_prev, g_prev)) = &history {
+                let mut num = 0.0;
+                let mut den = 0.0;
+                for (fi, fpi) in f.iter().zip(f_prev) {
+                    let d = fi - fpi;
+                    num += fi * d;
+                    den += d * d;
+                }
+                if den > 0.0 && num.is_finite() {
+                    let gamma = (num / den).clamp(-ANDERSON_CLAMP, ANDERSON_CLAMP);
+                    let mixed: Vec<f64> = g
+                        .raw_temps()
+                        .iter()
+                        .zip(g_prev)
+                        .map(|(gi, gpi)| gi - gamma * (gi - gpi))
+                        .collect();
+                    obs::counter!("thermal.anderson_accepted").inc();
+                    next = Some(model.make_solution(mixed, g.total_power(), 0));
+                }
+            }
+        }
+        history = Some((f, g.raw_temps().to_vec()));
+        prev_delta = delta;
+        x = next.unwrap_or(g);
+    }
+    if x.peak() > opts.runaway {
+        return Err(ThermalError::Runaway { peak: x.peak() });
+    }
+    Ok(CoupledSolution {
+        solution: x,
+        outer_iterations: opts.max_iter,
+        inner_iterations: inner,
         converged: false,
     })
 }
@@ -155,12 +385,40 @@ mod tests {
         Rect::from_corner(0.0, 0.0, 18.0, 18.0)
     }
 
+    fn picard_opts() -> CoupledOptions {
+        CoupledOptions {
+            strategy: CoupledStrategy::Picard,
+            ..CoupledOptions::default()
+        }
+    }
+
     #[test]
     fn constant_power_converges_immediately() {
+        // Pinned to Picard: with temperature-independent power the very
+        // first re-solve reproduces the field exactly. (The adaptive path
+        // needs one more outer iteration to confirm at full tolerance; see
+        // constant_power_converges_quickly_with_anderson.)
         let m = model();
-        let r = solve_coupled(&m, |_| vec![(die(), 100.0)], &CoupledOptions::default()).unwrap();
+        let r = solve_coupled(&m, |_| vec![(die(), 100.0)], &picard_opts()).unwrap();
         assert!(r.converged);
         assert_eq!(r.outer_iterations, 1);
+    }
+
+    #[test]
+    fn constant_power_converges_quickly_with_anderson() {
+        let m = model();
+        let opts = CoupledOptions {
+            strategy: CoupledStrategy::Anderson,
+            ..CoupledOptions::default()
+        };
+        let r = solve_coupled(&m, |_| vec![(die(), 100.0)], &opts).unwrap();
+        assert!(r.converged);
+        assert!(r.outer_iterations <= 3, "{}", r.outer_iterations);
+        // And the returned field is the full-tolerance solve, matching the
+        // Picard path on the same (temperature-independent) system.
+        let picard = solve_coupled(&m, |_| vec![(die(), 100.0)], &picard_opts()).unwrap();
+        let max_dt = max_abs_delta(r.solution.raw_temps(), picard.solution.raw_temps());
+        assert!(max_dt < 1e-5, "max |dT| = {max_dt:.3e}");
     }
 
     #[test]
@@ -188,7 +446,10 @@ mod tests {
         // With a contractive positive feedback started from the cold state,
         // the fixed-point iterates approach the limit from below: each
         // observed die temperature is at least the previous one, and the
-        // inter-iterate steps shrink geometrically.
+        // inter-iterate steps shrink geometrically. Pinned to Picard —
+        // monotone approach from below is a successive-substitution
+        // property; Anderson's secant extrapolation deliberately jumps
+        // ahead of it.
         let m = model();
         let mut observed: Vec<f64> = Vec::new();
         let r = solve_coupled(
@@ -200,7 +461,7 @@ mod tests {
             },
             &CoupledOptions {
                 tol: Celsius(0.001),
-                ..CoupledOptions::default()
+                ..picard_opts()
             },
         )
         .unwrap();
@@ -220,6 +481,55 @@ mod tests {
             .solve(&[(die(), 180.0 * (1.0 + 0.012 * (t_final - 45.0)))])
             .unwrap();
         assert!((re.peak().value() - r.solution.peak().value()).abs() < 0.05);
+    }
+
+    #[test]
+    fn anderson_matches_picard_fixed_point() {
+        // The tentpole contract, in miniature: at a tight outer tolerance
+        // both strategies land on the same fixed point (the adaptive path
+        // always returns a full-tolerance solve), and Anderson does not
+        // spend more outer iterations than Picard.
+        let m = PackageModel::new(
+            &ChipSpec::scc_256(),
+            &ChipletLayout::SingleChip,
+            &PackageRules::default(),
+            &StackSpec::baseline_2d(),
+            ThermalConfig {
+                grid: 16,
+                rel_tol: 1e-11,
+                ..ThermalConfig::default()
+            },
+        )
+        .unwrap();
+        let run = |strategy: CoupledStrategy| {
+            solve_coupled(
+                &m,
+                |sol| {
+                    let t = sol.map_or(45.0, |s| s.rect_avg(&die()).value());
+                    vec![(die(), 180.0 * (1.0 + 0.012 * (t - 45.0)))]
+                },
+                &CoupledOptions {
+                    tol: Celsius(1e-6),
+                    strategy,
+                    ..CoupledOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        let picard = run(CoupledStrategy::Picard);
+        let anderson = run(CoupledStrategy::Anderson);
+        assert!(picard.converged && anderson.converged);
+        assert!(
+            anderson.outer_iterations <= picard.outer_iterations,
+            "anderson {} vs picard {}",
+            anderson.outer_iterations,
+            picard.outer_iterations
+        );
+        let max_dt = max_abs_delta(anderson.solution.raw_temps(), picard.solution.raw_temps());
+        assert!(
+            max_dt < 1e-6,
+            "fixed points diverge: max |dT| = {max_dt:.3e}"
+        );
     }
 
     #[test]
@@ -276,7 +586,10 @@ mod tests {
         // The fast path (IC(0), scratch reuse, reference warm starts) and
         // the legacy cold Jacobi path must converge to the same leakage
         // fixed point; at a tight solver tolerance the fields agree to
-        // well under a microkelvin.
+        // well under a microkelvin. Pinned to Picard so only the solver
+        // kind varies: the adaptive strategy's loose intermediate solves
+        // are solver-path-dependent (each PCG stops anywhere inside its
+        // η-ball), so its outer trajectory is not comparable across kinds.
         use crate::model::SolverKind;
         let build = |solver: SolverKind| {
             PackageModel::new(
@@ -302,7 +615,7 @@ mod tests {
                 },
                 &CoupledOptions {
                     tol: Celsius(0.001),
-                    ..CoupledOptions::default()
+                    ..picard_opts()
                 },
             )
             .unwrap()
@@ -328,7 +641,8 @@ mod tests {
     fn non_convergence_reported_without_error() {
         let m = model();
         let mut flip = false;
-        // Oscillating power: never converges, but stays bounded.
+        // Oscillating power: never converges, but stays bounded — the
+        // Anderson safeguard must not let the secant destabilize it.
         let r = solve_coupled(
             &m,
             |_| {
@@ -343,5 +657,12 @@ mod tests {
         .unwrap();
         assert!(!r.converged);
         assert_eq!(r.outer_iterations, 5);
+        assert!(r.solution.peak().value().is_finite());
+    }
+
+    #[test]
+    fn strategy_env_parsing() {
+        assert_eq!(CoupledStrategy::Picard.name(), "picard");
+        assert_eq!(CoupledStrategy::Anderson.name(), "anderson");
     }
 }

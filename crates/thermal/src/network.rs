@@ -18,9 +18,25 @@
 //! `G = A / (t₁/(2k₁) + t₂/(2k₂))`. The network is a symmetric
 //! positive-definite Laplacian plus positive boundary terms, solved with
 //! PCG ([`crate::sparse`]).
+//!
+//! Assembly is split into a symbolic [`Scaffold`] (CSR sparsity pattern
+//! plus the ordered conductance-link list with precomputed value slots)
+//! and a numeric value fill. The scaffold depends only on the package
+//! *geometry* — grid size, edges, layer roles/thicknesses, boundary
+//! coefficients and the homogeneous periphery conductivities — not on the
+//! per-cell conductivity fields, so two layouts on the same footprint
+//! share it. [`assemble_incremental`] exploits this: when only a few
+//! cells' conductivities changed (a chiplet moved along one axis), it
+//! refills just the affected CSR rows and refactors the IC(0) prefix,
+//! producing a matrix and preconditioner *bitwise identical* to a
+//! from-scratch [`assemble`] of the same geometry. Results therefore never
+//! depend on which base model a rebuild was patched from — a requirement
+//! for determinism under parallel evaluation order.
 
-use crate::sparse::{CsrMatrix, Preconditioner, TripletMatrix};
+use crate::sparse::{CsrMatrix, Ic0, Preconditioner};
+use std::sync::Arc;
 use tac25d_floorplan::layers::LayerRole;
+use tac25d_obs as obs;
 
 /// One gridded layer ready for assembly: thickness plus per-cell
 /// conductivity (row-major, same ordering as [`tac25d_floorplan::raster::Grid`]).
@@ -78,6 +94,9 @@ pub(crate) struct Network {
     pub heat_bases: Vec<usize>,
     /// Per-node thermal capacitance, J/K (for transient simulation).
     pub cap: Vec<f64>,
+    /// Symbolic assembly scaffold, shared (`Arc`) with incremental
+    /// rebuilds patched from this network.
+    pub scaffold: Arc<Scaffold>,
 }
 
 const SIDES: usize = 4; // W, E, S, N
@@ -94,276 +113,502 @@ impl NetworkGeometry {
     }
 }
 
-/// Assembles the conductance matrix and boundary list.
+/// How a link's conductance is derived at value-fill time.
+#[derive(Debug, Clone, Copy)]
+enum LinkKind {
+    /// Lateral link between grid cells `cell` and `cell+1` of layer `li`.
+    LatX,
+    /// Lateral link between grid cells `cell` and `cell+n` of layer `li`.
+    LatY,
+    /// Vertical link between cell `cell` of layers `li` and `li+1`.
+    Vert,
+    /// Geometry-only conductance baked at scaffold build (periphery and
+    /// boundary couplings through homogeneous copper).
+    Fixed(f64),
+}
+
+/// One two-node conductance with its four CSR value slots —
+/// `(i,i)`, `(j,j)`, `(i,j)`, `(j,i)` — precomputed by the scaffold so
+/// the value fill is a branch-free scatter in emission order.
+#[derive(Debug, Clone)]
+struct Link {
+    kind: LinkKind,
+    li: u32,
+    cell: u32,
+    ends: [u32; 2],
+    slots: [u32; 4],
+}
+
+/// A conductance to ambient: touches only its node's diagonal slot.
+#[derive(Debug, Clone)]
+struct Ground {
+    node: u32,
+    g: f64,
+    slot: u32,
+}
+
+/// A four-node lumped periphery band (capacitance bookkeeping).
+#[derive(Debug, Clone)]
+struct PeripheryBand {
+    base: usize,
+    layer: usize,
+    area_side: f64,
+}
+
+/// The symbolic half of assembly: CSR sparsity pattern, the ordered link
+/// list with precomputed value slots, boundary conductances and node
+/// bookkeeping.
 ///
-/// # Panics
-///
-/// Panics if the geometry is inconsistent (no layers, conductivity vector
-/// length mismatch, spreader smaller than footprint, sink smaller than
-/// spreader, or a non-positive conductivity/dimension).
-pub(crate) fn assemble(geom: &NetworkGeometry) -> Network {
-    let n = geom.n;
-    assert!(n >= 2, "grid must be at least 2x2, got {n}");
-    assert!(!geom.layers.is_empty(), "stack must contain layers");
-    assert!(geom.footprint_m > 0.0, "footprint must be positive");
-    assert!(
-        geom.spreader_m >= geom.footprint_m - 1e-12,
-        "spreader ({}) smaller than footprint ({})",
-        geom.spreader_m,
-        geom.footprint_m
-    );
-    assert!(
-        geom.sink_m >= geom.spreader_m - 1e-12,
-        "sink ({}) smaller than spreader ({})",
-        geom.sink_m,
-        geom.spreader_m
-    );
-    let n2 = n * n;
-    for l in &geom.layers {
-        assert_eq!(
-            l.k.len(),
-            n2,
-            "layer {:?} conductivity grid mismatch",
-            l.role
-        );
-        assert!(
-            l.thickness_m > 0.0,
-            "layer {:?} thickness must be positive",
-            l.role
-        );
-        assert!(
-            l.k.iter().all(|&k| k > 0.0 && k.is_finite()),
-            "layer {:?} has non-positive conductivity",
-            l.role
-        );
+/// Both full and incremental builds write matrix values through the same
+/// scaffold in the same emission order, so a patched rebuild is bitwise
+/// identical to a from-scratch build of the same geometry.
+#[derive(Debug, Clone)]
+pub(crate) struct Scaffold {
+    n: usize,
+    nodes: usize,
+    row_ptr: Vec<u32>,
+    col: Vec<u32>,
+    links: Vec<Link>,
+    grounds: Vec<Ground>,
+    conv: Vec<(usize, f64)>,
+    die_base: usize,
+    heat_bases: Vec<usize>,
+    periphery: Vec<PeripheryBand>,
+    /// Layers whose `k[0]` is baked into `Fixed` link conductances
+    /// (homogeneous spreader/sink); an incremental rebuild may only reuse
+    /// the scaffold while those values are unchanged.
+    fixed_k_layers: Vec<usize>,
+}
+
+/// Pattern/link collector used by [`Scaffold::build`]; the order links
+/// and grounds are pushed here is the order the value fill replays.
+#[derive(Default)]
+struct Emit {
+    pattern: Vec<(u32, u32)>,
+    links: Vec<Link>,
+    grounds: Vec<(u32, f64)>,
+    conv: Vec<(usize, f64)>,
+}
+
+impl Emit {
+    fn link(&mut self, kind: LinkKind, li: usize, cell: usize, i: usize, j: usize) {
+        let (i, j) = (i as u32, j as u32);
+        self.pattern.extend([(i, i), (j, j), (i, j), (j, i)]);
+        self.links.push(Link {
+            kind,
+            li: li as u32,
+            cell: cell as u32,
+            ends: [i, j],
+            slots: [0; 4],
+        });
     }
 
-    let dx = geom.footprint_m / n as f64;
-    let dy = dx;
-    let cell_area = dx * dy;
-    let nl = geom.layers.len();
-
-    let sink_layer = geom.layer_index(LayerRole::HeatSink);
-    let spreader_layer = geom.layer_index(LayerRole::Spreader);
-    let heat_layers: Vec<usize> = geom
-        .layers
-        .iter()
-        .enumerate()
-        .filter_map(|(i, l)| l.is_heat_source.then_some(i))
-        .collect();
-    let die_layer = *heat_layers
-        .first()
-        .expect("stack must contain a heat-source layer");
-    let substrate_layer = geom.layer_index(LayerRole::Substrate);
-
-    let eps = 1e-12;
-    let has_sp_periph = spreader_layer.is_some() && geom.spreader_m > geom.footprint_m + eps;
-    let has_sink_outer = sink_layer.is_some() && geom.sink_m > geom.spreader_m + eps;
-
-    // Extra (lumped) node layout after the grid nodes.
-    let mut next = nl * n2;
-    let sp_periph_base = has_sp_periph.then(|| {
-        let b = next;
-        next += SIDES;
-        b
-    });
-    // The sink inner periphery mirrors the spreader periphery footprint.
-    let sink_inner_base = (has_sp_periph && sink_layer.is_some()).then(|| {
-        let b = next;
-        next += SIDES;
-        b
-    });
-    let sink_outer_base = has_sink_outer.then(|| {
-        let b = next;
-        next += SIDES;
-        b
-    });
-    let nodes = next;
-
-    let mut m = TripletMatrix::new(nodes);
-    let mut conv: Vec<(usize, f64)> = Vec::new();
-    let mut cap = vec![0.0f64; nodes];
-
-    // Per-node thermal capacitance: grid cells first, periphery after the
-    // lumped nodes are laid out below.
-    for (li, layer) in geom.layers.iter().enumerate() {
-        for c in 0..n2 {
-            cap[li * n2 + c] = layer.cv[c] * cell_area * layer.thickness_m;
-        }
+    fn fixed(&mut self, i: usize, j: usize, g: f64) {
+        self.link(LinkKind::Fixed(g), 0, 0, i, j);
     }
 
-    // --- Intra-layer lateral conduction + inter-layer vertical conduction.
-    for (li, layer) in geom.layers.iter().enumerate() {
-        let t = layer.thickness_m;
-        for iy in 0..n {
-            for ix in 0..n {
-                let a = geom.node(li, ix, iy);
-                let ka = layer.k[iy * n + ix];
-                if ix + 1 < n {
-                    let kb = layer.k[iy * n + ix + 1];
-                    let g = t * dy / (dx / (2.0 * ka) + dx / (2.0 * kb));
-                    m.add_conductance(a, geom.node(li, ix + 1, iy), g);
-                }
-                if iy + 1 < n {
-                    let kb = layer.k[(iy + 1) * n + ix];
-                    let g = t * dx / (dy / (2.0 * ka) + dy / (2.0 * kb));
-                    m.add_conductance(a, geom.node(li, ix, iy + 1), g);
-                }
-                if li + 1 < nl {
-                    let below = &geom.layers[li + 1];
-                    let kb = below.k[iy * n + ix];
-                    let g = cell_area / (t / (2.0 * ka) + below.thickness_m / (2.0 * kb));
-                    m.add_conductance(a, geom.node(li + 1, ix, iy), g);
-                }
-            }
-        }
-    }
-
-    // --- Convection from the sink grid cells.
-    if let Some(sl) = sink_layer {
-        for iy in 0..n {
-            for ix in 0..n {
-                let g = geom.htc * cell_area;
-                let node = geom.node(sl, ix, iy);
-                m.add_ground(node, g);
-                conv.push((node, g));
-            }
-        }
-    }
-
-    // --- Secondary path from the substrate bottom.
-    if geom.htc_secondary > 0.0 {
-        if let Some(sub) = substrate_layer {
-            for iy in 0..n {
-                for ix in 0..n {
-                    let g = geom.htc_secondary * cell_area;
-                    let node = geom.node(sub, ix, iy);
-                    m.add_ground(node, g);
-                    conv.push((node, g));
-                }
-            }
-        }
-    }
-
-    // --- Spreader periphery nodes.
-    if let Some(spb) = sp_periph_base {
-        let sl = spreader_layer.expect("periphery requires a spreader layer");
-        let t_sp = geom.layers[sl].thickness_m;
-        let k_sp = geom.layers[sl].k[0]; // spreader is homogeneous copper
-        let overhang = (geom.spreader_m - geom.footprint_m) / 2.0;
-        let d = overhang / 2.0 + dx / 2.0;
-        connect_periphery_to_boundary(&mut m, geom, sl, spb, t_sp, k_sp, d);
-
-        // Vertical coupling to the sink inner periphery above.
-        if let (Some(sib), Some(skl)) = (sink_inner_base, sink_layer) {
-            let t_sk = geom.layers[skl].thickness_m;
-            let k_sk = geom.layers[skl].k[0];
-            let area_side = (geom.spreader_m * geom.spreader_m
-                - geom.footprint_m * geom.footprint_m)
-                / SIDES as f64;
-            let g = area_side / (t_sp / (2.0 * k_sp) + t_sk / (2.0 * k_sk));
-            for s in 0..SIDES {
-                m.add_conductance(spb + s, sib + s, g);
-            }
-        }
-    }
-
-    // --- Sink inner periphery: lateral to sink grid boundary + convection.
-    if let Some(sib) = sink_inner_base {
-        let skl = sink_layer.expect("sink periphery requires a sink layer");
-        let t_sk = geom.layers[skl].thickness_m;
-        let k_sk = geom.layers[skl].k[0];
-        let overhang = (geom.spreader_m - geom.footprint_m) / 2.0;
-        let d = overhang / 2.0 + dx / 2.0;
-        connect_periphery_to_boundary(&mut m, geom, skl, sib, t_sk, k_sk, d);
-        let area_side = (geom.spreader_m * geom.spreader_m - geom.footprint_m * geom.footprint_m)
-            / SIDES as f64;
-        for s in 0..SIDES {
-            let g = geom.htc * area_side;
-            m.add_ground(sib + s, g);
-            conv.push((sib + s, g));
-        }
-
-        // Lateral to the outer periphery.
-        if let Some(sob) = sink_outer_base {
-            let d2 = overhang / 2.0 + (geom.sink_m - geom.spreader_m) / 4.0;
-            // Interface length per side ≈ spreader edge.
-            let g = k_sk * t_sk * geom.spreader_m / d2;
-            for s in 0..SIDES {
-                m.add_conductance(sib + s, sob + s, g);
-            }
-        }
-    }
-
-    // --- Sink outer periphery: convection (and, if there is no inner
-    //     periphery because spreader == footprint, couple directly to the
-    //     sink grid boundary).
-    if let Some(sob) = sink_outer_base {
-        let skl = sink_layer.expect("sink periphery requires a sink layer");
-        let t_sk = geom.layers[skl].thickness_m;
-        let k_sk = geom.layers[skl].k[0];
-        let area_side =
-            (geom.sink_m * geom.sink_m - geom.spreader_m * geom.spreader_m) / SIDES as f64;
-        for s in 0..SIDES {
-            let g = geom.htc * area_side;
-            m.add_ground(sob + s, g);
-            conv.push((sob + s, g));
-        }
-        if sink_inner_base.is_none() {
-            let d = (geom.sink_m - geom.spreader_m) / 4.0 + dx / 2.0;
-            connect_periphery_to_boundary(&mut m, geom, skl, sob, t_sk, k_sk, d);
-        }
-    }
-
-    // Lumped-node capacitances (copper periphery volumes).
-    if let (Some(spb), Some(sl)) = (sp_periph_base, spreader_layer) {
-        let t_sp = geom.layers[sl].thickness_m;
-        let cv = geom.layers[sl].cv[0];
-        let area_side = (geom.spreader_m * geom.spreader_m - geom.footprint_m * geom.footprint_m)
-            / SIDES as f64;
-        for s in 0..SIDES {
-            cap[spb + s] = cv * area_side * t_sp;
-        }
-    }
-    if let (Some(sib), Some(skl)) = (sink_inner_base, sink_layer) {
-        let t_sk = geom.layers[skl].thickness_m;
-        let cv = geom.layers[skl].cv[0];
-        let area_side = (geom.spreader_m * geom.spreader_m - geom.footprint_m * geom.footprint_m)
-            / SIDES as f64;
-        for s in 0..SIDES {
-            cap[sib + s] = cv * area_side * t_sk;
-        }
-    }
-    if let (Some(sob), Some(skl)) = (sink_outer_base, sink_layer) {
-        let t_sk = geom.layers[skl].thickness_m;
-        let cv = geom.layers[skl].cv[0];
-        let area_side =
-            (geom.sink_m * geom.sink_m - geom.spreader_m * geom.spreader_m) / SIDES as f64;
-        for s in 0..SIDES {
-            cap[sob + s] = cv * area_side * t_sk;
-        }
-    }
-
-    let matrix = m.to_csr();
-    // Assembly guarantees a positive diagonal (every cell has at least one
-    // conductance), so a preconditioner always exists.
-    let precond =
-        Preconditioner::ic0_or_jacobi(&matrix).expect("conductance network has positive diagonal");
-    Network {
-        matrix,
-        precond,
-        conv,
-        nodes,
-        die_base: die_layer * n2,
-        heat_bases: heat_layers.iter().map(|&l| l * n2).collect(),
-        cap,
+    fn convection(&mut self, node: usize, g: f64) {
+        self.pattern.push((node as u32, node as u32));
+        self.grounds.push((node as u32, g));
+        self.conv.push((node, g));
     }
 }
 
-/// Connects the four periphery nodes of a layer to that layer's grid
-/// boundary cells with lateral conductances `k·t·w/d` per cell.
-fn connect_periphery_to_boundary(
-    m: &mut TripletMatrix,
+impl Scaffold {
+    /// Builds the symbolic scaffold for a geometry, validating it exactly
+    /// as [`assemble`] documents.
+    fn build(geom: &NetworkGeometry) -> Scaffold {
+        let n = geom.n;
+        assert!(n >= 2, "grid must be at least 2x2, got {n}");
+        assert!(!geom.layers.is_empty(), "stack must contain layers");
+        assert!(geom.footprint_m > 0.0, "footprint must be positive");
+        assert!(
+            geom.spreader_m >= geom.footprint_m - 1e-12,
+            "spreader ({}) smaller than footprint ({})",
+            geom.spreader_m,
+            geom.footprint_m
+        );
+        assert!(
+            geom.sink_m >= geom.spreader_m - 1e-12,
+            "sink ({}) smaller than spreader ({})",
+            geom.sink_m,
+            geom.spreader_m
+        );
+        let n2 = n * n;
+        for l in &geom.layers {
+            assert_eq!(
+                l.k.len(),
+                n2,
+                "layer {:?} conductivity grid mismatch",
+                l.role
+            );
+            assert!(
+                l.thickness_m > 0.0,
+                "layer {:?} thickness must be positive",
+                l.role
+            );
+            assert!(
+                l.k.iter().all(|&k| k > 0.0 && k.is_finite()),
+                "layer {:?} has non-positive conductivity",
+                l.role
+            );
+        }
+
+        let dx = geom.footprint_m / n as f64;
+        let cell_area = dx * dx;
+        let nl = geom.layers.len();
+
+        let sink_layer = geom.layer_index(LayerRole::HeatSink);
+        let spreader_layer = geom.layer_index(LayerRole::Spreader);
+        let heat_layers: Vec<usize> = geom
+            .layers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| l.is_heat_source.then_some(i))
+            .collect();
+        let die_layer = *heat_layers
+            .first()
+            .expect("stack must contain a heat-source layer");
+        let substrate_layer = geom.layer_index(LayerRole::Substrate);
+
+        let eps = 1e-12;
+        let has_sp_periph = spreader_layer.is_some() && geom.spreader_m > geom.footprint_m + eps;
+        let has_sink_outer = sink_layer.is_some() && geom.sink_m > geom.spreader_m + eps;
+
+        // Extra (lumped) node layout after the grid nodes.
+        let mut next = nl * n2;
+        let sp_periph_base = has_sp_periph.then(|| {
+            let b = next;
+            next += SIDES;
+            b
+        });
+        // The sink inner periphery mirrors the spreader periphery footprint.
+        let sink_inner_base = (has_sp_periph && sink_layer.is_some()).then(|| {
+            let b = next;
+            next += SIDES;
+            b
+        });
+        let sink_outer_base = has_sink_outer.then(|| {
+            let b = next;
+            next += SIDES;
+            b
+        });
+        let nodes = next;
+
+        let mut e = Emit::default();
+        let mut periphery: Vec<PeripheryBand> = Vec::new();
+        let mut fixed_k_layers: Vec<usize> = Vec::new();
+
+        // --- Intra-layer lateral conduction + inter-layer vertical
+        //     conduction. Conductance values are field-dependent, so only
+        //     the link topology is recorded here.
+        for li in 0..nl {
+            for iy in 0..n {
+                for ix in 0..n {
+                    let c = iy * n + ix;
+                    let a = geom.node(li, ix, iy);
+                    if ix + 1 < n {
+                        e.link(LinkKind::LatX, li, c, a, geom.node(li, ix + 1, iy));
+                    }
+                    if iy + 1 < n {
+                        e.link(LinkKind::LatY, li, c, a, geom.node(li, ix, iy + 1));
+                    }
+                    if li + 1 < nl {
+                        e.link(LinkKind::Vert, li, c, a, geom.node(li + 1, ix, iy));
+                    }
+                }
+            }
+        }
+
+        // --- Convection from the sink grid cells.
+        if let Some(sl) = sink_layer {
+            for iy in 0..n {
+                for ix in 0..n {
+                    e.convection(geom.node(sl, ix, iy), geom.htc * cell_area);
+                }
+            }
+        }
+
+        // --- Secondary path from the substrate bottom.
+        if geom.htc_secondary > 0.0 {
+            if let Some(sub) = substrate_layer {
+                for iy in 0..n {
+                    for ix in 0..n {
+                        e.convection(geom.node(sub, ix, iy), geom.htc_secondary * cell_area);
+                    }
+                }
+            }
+        }
+
+        // --- Spreader periphery nodes.
+        if let Some(spb) = sp_periph_base {
+            let sl = spreader_layer.expect("periphery requires a spreader layer");
+            let t_sp = geom.layers[sl].thickness_m;
+            let k_sp = geom.layers[sl].k[0]; // spreader is homogeneous copper
+            fixed_k_layers.push(sl);
+            let overhang = (geom.spreader_m - geom.footprint_m) / 2.0;
+            let d = overhang / 2.0 + dx / 2.0;
+            emit_periphery_boundary(&mut e, geom, sl, spb, t_sp, k_sp, d);
+
+            // Vertical coupling to the sink inner periphery above.
+            if let (Some(sib), Some(skl)) = (sink_inner_base, sink_layer) {
+                let t_sk = geom.layers[skl].thickness_m;
+                let k_sk = geom.layers[skl].k[0];
+                fixed_k_layers.push(skl);
+                let area_side = (geom.spreader_m * geom.spreader_m
+                    - geom.footprint_m * geom.footprint_m)
+                    / SIDES as f64;
+                let g = area_side / (t_sp / (2.0 * k_sp) + t_sk / (2.0 * k_sk));
+                for s in 0..SIDES {
+                    e.fixed(spb + s, sib + s, g);
+                }
+            }
+        }
+
+        // --- Sink inner periphery: lateral to sink grid boundary +
+        //     convection.
+        if let Some(sib) = sink_inner_base {
+            let skl = sink_layer.expect("sink periphery requires a sink layer");
+            let t_sk = geom.layers[skl].thickness_m;
+            let k_sk = geom.layers[skl].k[0];
+            fixed_k_layers.push(skl);
+            let overhang = (geom.spreader_m - geom.footprint_m) / 2.0;
+            let d = overhang / 2.0 + dx / 2.0;
+            emit_periphery_boundary(&mut e, geom, skl, sib, t_sk, k_sk, d);
+            let area_side = (geom.spreader_m * geom.spreader_m
+                - geom.footprint_m * geom.footprint_m)
+                / SIDES as f64;
+            for s in 0..SIDES {
+                e.convection(sib + s, geom.htc * area_side);
+            }
+
+            // Lateral to the outer periphery.
+            if let Some(sob) = sink_outer_base {
+                let d2 = overhang / 2.0 + (geom.sink_m - geom.spreader_m) / 4.0;
+                // Interface length per side ≈ spreader edge.
+                let g = k_sk * t_sk * geom.spreader_m / d2;
+                for s in 0..SIDES {
+                    e.fixed(sib + s, sob + s, g);
+                }
+            }
+        }
+
+        // --- Sink outer periphery: convection (and, if there is no inner
+        //     periphery because spreader == footprint, couple directly to
+        //     the sink grid boundary).
+        if let Some(sob) = sink_outer_base {
+            let skl = sink_layer.expect("sink periphery requires a sink layer");
+            let t_sk = geom.layers[skl].thickness_m;
+            let k_sk = geom.layers[skl].k[0];
+            fixed_k_layers.push(skl);
+            let area_side =
+                (geom.sink_m * geom.sink_m - geom.spreader_m * geom.spreader_m) / SIDES as f64;
+            for s in 0..SIDES {
+                e.convection(sob + s, geom.htc * area_side);
+            }
+            if sink_inner_base.is_none() {
+                let d = (geom.sink_m - geom.spreader_m) / 4.0 + dx / 2.0;
+                emit_periphery_boundary(&mut e, geom, skl, sob, t_sk, k_sk, d);
+            }
+        }
+
+        // Lumped-node capacitance bands (copper periphery volumes).
+        if let (Some(spb), Some(sl)) = (sp_periph_base, spreader_layer) {
+            let area_side = (geom.spreader_m * geom.spreader_m
+                - geom.footprint_m * geom.footprint_m)
+                / SIDES as f64;
+            periphery.push(PeripheryBand {
+                base: spb,
+                layer: sl,
+                area_side,
+            });
+        }
+        if let (Some(sib), Some(skl)) = (sink_inner_base, sink_layer) {
+            let area_side = (geom.spreader_m * geom.spreader_m
+                - geom.footprint_m * geom.footprint_m)
+                / SIDES as f64;
+            periphery.push(PeripheryBand {
+                base: sib,
+                layer: skl,
+                area_side,
+            });
+        }
+        if let (Some(sob), Some(skl)) = (sink_outer_base, sink_layer) {
+            let area_side =
+                (geom.sink_m * geom.sink_m - geom.spreader_m * geom.spreader_m) / SIDES as f64;
+            periphery.push(PeripheryBand {
+                base: sob,
+                layer: skl,
+                area_side,
+            });
+        }
+        fixed_k_layers.sort_unstable();
+        fixed_k_layers.dedup();
+
+        // --- Symbolic CSR pattern: sorted, deduplicated (row, col) pairs.
+        let mut pattern = e.pattern;
+        pattern.sort_unstable();
+        pattern.dedup();
+        let mut row_ptr = vec![0u32; nodes + 1];
+        for &(r, _) in &pattern {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..nodes {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let col: Vec<u32> = pattern.iter().map(|&(_, c)| c).collect();
+
+        let slot = |i: u32, j: u32| -> u32 {
+            let lo = row_ptr[i as usize] as usize;
+            let hi = row_ptr[i as usize + 1] as usize;
+            let off = col[lo..hi]
+                .binary_search(&j)
+                .expect("pattern entry must exist");
+            (lo + off) as u32
+        };
+        let mut links = e.links;
+        for link in &mut links {
+            let [i, j] = link.ends;
+            link.slots = [slot(i, i), slot(j, j), slot(i, j), slot(j, i)];
+        }
+        let grounds: Vec<Ground> = e
+            .grounds
+            .iter()
+            .map(|&(node, g)| Ground {
+                node,
+                g,
+                slot: slot(node, node),
+            })
+            .collect();
+
+        Scaffold {
+            n,
+            nodes,
+            row_ptr,
+            col,
+            links,
+            grounds,
+            conv: e.conv,
+            die_base: die_layer * n2,
+            heat_bases: heat_layers.iter().map(|&l| l * n2).collect(),
+            periphery,
+            fixed_k_layers,
+        }
+    }
+
+    /// Writes the CSR values for `geom` through the scaffold. With
+    /// `dirty == None` every value is written; with a dirty-row mask only
+    /// the masked rows are zeroed and refilled. Because both paths add
+    /// each row's contributions in the identical (emission) order, a
+    /// dirty-row refill is bitwise identical to a full fill.
+    fn fill_values(&self, geom: &NetworkGeometry, dirty: Option<&[bool]>, val: &mut [f64]) {
+        let n = self.n;
+        let dx = geom.footprint_m / n as f64;
+        let dy = dx;
+        let cell_area = dx * dy;
+        let eval = |link: &Link| -> f64 {
+            let li = link.li as usize;
+            let c = link.cell as usize;
+            match link.kind {
+                LinkKind::LatX => {
+                    let layer = &geom.layers[li];
+                    let ka = layer.k[c];
+                    let kb = layer.k[c + 1];
+                    layer.thickness_m * dy / (dx / (2.0 * ka) + dx / (2.0 * kb))
+                }
+                LinkKind::LatY => {
+                    let layer = &geom.layers[li];
+                    let ka = layer.k[c];
+                    let kb = layer.k[c + n];
+                    layer.thickness_m * dx / (dy / (2.0 * ka) + dy / (2.0 * kb))
+                }
+                LinkKind::Vert => {
+                    let layer = &geom.layers[li];
+                    let below = &geom.layers[li + 1];
+                    let ka = layer.k[c];
+                    let kb = below.k[c];
+                    cell_area / (layer.thickness_m / (2.0 * ka) + below.thickness_m / (2.0 * kb))
+                }
+                LinkKind::Fixed(g) => g,
+            }
+        };
+        match dirty {
+            None => {
+                val.fill(0.0);
+                for link in &self.links {
+                    let g = eval(link);
+                    let [s_ii, s_jj, s_ij, s_ji] = link.slots;
+                    val[s_ii as usize] += g;
+                    val[s_jj as usize] += g;
+                    val[s_ij as usize] -= g;
+                    val[s_ji as usize] -= g;
+                }
+                for gr in &self.grounds {
+                    val[gr.slot as usize] += gr.g;
+                }
+            }
+            Some(dirty) => {
+                for (i, d) in dirty.iter().enumerate() {
+                    if *d {
+                        let lo = self.row_ptr[i] as usize;
+                        let hi = self.row_ptr[i + 1] as usize;
+                        val[lo..hi].fill(0.0);
+                    }
+                }
+                for link in &self.links {
+                    let di = dirty[link.ends[0] as usize];
+                    let dj = dirty[link.ends[1] as usize];
+                    if !di && !dj {
+                        continue;
+                    }
+                    let g = eval(link);
+                    let [s_ii, s_jj, s_ij, s_ji] = link.slots;
+                    if di {
+                        val[s_ii as usize] += g;
+                        val[s_ij as usize] -= g;
+                    }
+                    if dj {
+                        val[s_jj as usize] += g;
+                        val[s_ji as usize] -= g;
+                    }
+                }
+                for gr in &self.grounds {
+                    if dirty[gr.node as usize] {
+                        val[gr.slot as usize] += gr.g;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Per-node thermal capacitances for `geom`: recomputed in full on
+    /// every build (an O(layers·n²) multiply-add, negligible next to the
+    /// matrix fill).
+    fn compute_caps(&self, geom: &NetworkGeometry) -> Vec<f64> {
+        let n2 = self.n * self.n;
+        let dx = geom.footprint_m / self.n as f64;
+        let cell_area = dx * dx;
+        let mut cap = vec![0.0f64; self.nodes];
+        for (li, layer) in geom.layers.iter().enumerate() {
+            for c in 0..n2 {
+                cap[li * n2 + c] = layer.cv[c] * cell_area * layer.thickness_m;
+            }
+        }
+        for band in &self.periphery {
+            let layer = &geom.layers[band.layer];
+            for s in 0..SIDES {
+                cap[band.base + s] = layer.cv[0] * band.area_side * layer.thickness_m;
+            }
+        }
+        cap
+    }
+}
+
+/// Records the four periphery nodes' couplings to a layer's grid boundary
+/// cells: lateral conductances `k·t·w/d` per boundary cell, baked as
+/// `Fixed` links (homogeneous copper).
+fn emit_periphery_boundary(
+    e: &mut Emit,
     geom: &NetworkGeometry,
     layer: usize,
     periph_base: usize,
@@ -375,13 +620,170 @@ fn connect_periphery_to_boundary(
     let dx = geom.footprint_m / n as f64;
     let g = k * t * dx / d;
     for iy in 0..n {
-        m.add_conductance(geom.node(layer, 0, iy), periph_base, g); // W
-        m.add_conductance(geom.node(layer, n - 1, iy), periph_base + 1, g); // E
+        e.fixed(geom.node(layer, 0, iy), periph_base, g); // W
+        e.fixed(geom.node(layer, n - 1, iy), periph_base + 1, g); // E
     }
     for ix in 0..n {
-        m.add_conductance(geom.node(layer, ix, 0), periph_base + 2, g); // S
-        m.add_conductance(geom.node(layer, ix, n - 1), periph_base + 3, g); // N
+        e.fixed(geom.node(layer, ix, 0), periph_base + 2, g); // S
+        e.fixed(geom.node(layer, ix, n - 1), periph_base + 3, g); // N
     }
+}
+
+fn finish(
+    scaffold: Arc<Scaffold>,
+    matrix: CsrMatrix,
+    precond: Preconditioner,
+    geom: &NetworkGeometry,
+) -> Network {
+    Network {
+        cap: scaffold.compute_caps(geom),
+        conv: scaffold.conv.clone(),
+        nodes: scaffold.nodes,
+        die_base: scaffold.die_base,
+        heat_bases: scaffold.heat_bases.clone(),
+        matrix,
+        precond,
+        scaffold,
+    }
+}
+
+/// Assembles the conductance matrix and boundary list.
+///
+/// # Panics
+///
+/// Panics if the geometry is inconsistent (no layers, conductivity vector
+/// length mismatch, spreader smaller than footprint, sink smaller than
+/// spreader, or a non-positive conductivity/dimension).
+pub(crate) fn assemble(geom: &NetworkGeometry) -> Network {
+    let scaffold = Arc::new(Scaffold::build(geom));
+    let mut val = vec![0.0f64; scaffold.col.len()];
+    scaffold.fill_values(geom, None, &mut val);
+    let matrix = CsrMatrix::from_parts(
+        scaffold.nodes,
+        scaffold.row_ptr.clone(),
+        scaffold.col.clone(),
+        val,
+    );
+    // Assembly guarantees a positive diagonal (every cell has at least one
+    // conductance), so a preconditioner always exists.
+    let precond =
+        Preconditioner::ic0_or_jacobi(&matrix).expect("conductance network has positive diagonal");
+    finish(scaffold, matrix, precond, geom)
+}
+
+/// Rebuilds the network for `new_geom` by patching `base` (built for
+/// `base_geom`) instead of assembling from scratch: only the CSR rows
+/// whose conductances can differ are refilled, and the IC(0) factor's
+/// clean prefix is copied. Returns `None` when the two geometries are not
+/// scaffold-compatible (different grid, edges, layer structure, boundary
+/// coefficients, or changed periphery conductivities) — the caller then
+/// falls back to [`assemble`].
+///
+/// The reused-row count is recorded under `thermal.assembly_rows_reused`.
+pub(crate) fn assemble_incremental(
+    new_geom: &NetworkGeometry,
+    base_geom: &NetworkGeometry,
+    base: &Network,
+) -> Option<Network> {
+    let scaffold = Arc::clone(&base.scaffold);
+    let dirty = dirty_rows(&scaffold, base_geom, new_geom)?;
+    let reused = dirty.iter().filter(|&&d| !d).count();
+    obs::counter!("thermal.assembly_rows_reused").add(reused as u64);
+
+    let mut val = base.matrix.values().to_vec();
+    scaffold.fill_values(new_geom, Some(&dirty), &mut val);
+    let matrix = CsrMatrix::from_parts(
+        scaffold.nodes,
+        scaffold.row_ptr.clone(),
+        scaffold.col.clone(),
+        val,
+    );
+    let first_dirty = dirty.iter().position(|&d| d).unwrap_or(scaffold.nodes);
+    let precond = match &base.precond {
+        Preconditioner::Ic0(f) => match Ic0::refactor_prefix(&matrix, f, first_dirty) {
+            Some(nf) => {
+                obs::counter!("thermal.ic0_factorizations").inc();
+                Preconditioner::Ic0(nf)
+            }
+            None => Preconditioner::ic0_or_jacobi(&matrix)
+                .expect("conductance network has positive diagonal"),
+        },
+        Preconditioner::Jacobi { .. } => Preconditioner::ic0_or_jacobi(&matrix)
+            .expect("conductance network has positive diagonal"),
+    };
+    Some(finish(scaffold, matrix, precond, new_geom))
+}
+
+/// Computes the dirty-row mask of an incremental rebuild, or `None` when
+/// `new` cannot reuse `base`'s scaffold. A grid row is dirty when any
+/// link it reads changed: a changed cell conductivity feeds the lateral
+/// links to its x/y neighbours and the vertical links above and below, so
+/// the cell's own row plus those six neighbour rows are marked.
+fn dirty_rows(
+    scaffold: &Scaffold,
+    base: &NetworkGeometry,
+    new: &NetworkGeometry,
+) -> Option<Vec<bool>> {
+    let n = scaffold.n;
+    if new.n != n
+        || base.n != n
+        || new.layers.len() != base.layers.len()
+        || new.footprint_m.to_bits() != base.footprint_m.to_bits()
+        || new.spreader_m.to_bits() != base.spreader_m.to_bits()
+        || new.sink_m.to_bits() != base.sink_m.to_bits()
+        || new.htc.to_bits() != base.htc.to_bits()
+        || new.htc_secondary.to_bits() != base.htc_secondary.to_bits()
+    {
+        return None;
+    }
+    for (a, b) in base.layers.iter().zip(&new.layers) {
+        if a.role != b.role
+            || a.thickness_m.to_bits() != b.thickness_m.to_bits()
+            || a.is_heat_source != b.is_heat_source
+            || a.k.len() != b.k.len()
+        {
+            return None;
+        }
+    }
+    // Periphery conductances bake `k[0]` of these layers into the
+    // scaffold's fixed links; reuse requires them unchanged.
+    for &li in &scaffold.fixed_k_layers {
+        if base.layers[li].k[0].to_bits() != new.layers[li].k[0].to_bits() {
+            return None;
+        }
+    }
+
+    let n2 = n * n;
+    let nl = new.layers.len();
+    let mut dirty = vec![false; scaffold.nodes];
+    for (li, (a, b)) in base.layers.iter().zip(&new.layers).enumerate() {
+        for c in 0..n2 {
+            if a.k[c].to_bits() == b.k[c].to_bits() {
+                continue;
+            }
+            let (ix, iy) = (c % n, c / n);
+            dirty[li * n2 + c] = true;
+            if ix > 0 {
+                dirty[li * n2 + c - 1] = true;
+            }
+            if ix + 1 < n {
+                dirty[li * n2 + c + 1] = true;
+            }
+            if iy > 0 {
+                dirty[li * n2 + c - n] = true;
+            }
+            if iy + 1 < n {
+                dirty[li * n2 + c + n] = true;
+            }
+            if li > 0 {
+                dirty[(li - 1) * n2 + c] = true;
+            }
+            if li + 1 < nl {
+                dirty[(li + 1) * n2 + c] = true;
+            }
+        }
+    }
+    Some(dirty)
 }
 
 #[cfg(test)]
@@ -566,5 +968,103 @@ mod tests {
         let mut geom = toy_geom(4, 100.0);
         geom.spreader_m = 0.01;
         let _ = assemble(&geom);
+    }
+
+    /// A geometry with overhanging spreader and sink so the incremental
+    /// path also exercises periphery (Fixed) links and grounds.
+    fn periph_geom(n: usize) -> NetworkGeometry {
+        let mut geom = toy_geom(n, 700.0);
+        geom.layers.insert(
+            1,
+            GriddedLayer {
+                role: LayerRole::Spreader,
+                thickness_m: 0.001,
+                k: vec![390.0; n * n],
+                is_heat_source: false,
+                cv: vec![3.4e6; n * n],
+            },
+        );
+        geom.spreader_m = 0.03;
+        geom.sink_m = 0.05;
+        geom
+    }
+
+    #[test]
+    fn incremental_rebuild_matches_full_bitwise() {
+        let n = 6;
+        let mut base_geom = periph_geom(n);
+        // Heterogeneous die conductivities so lateral links are asymmetric.
+        for (c, k) in base_geom.layers[2].k.iter_mut().enumerate() {
+            *k = 100.0 + c as f64;
+        }
+        let base = assemble(&base_geom);
+        let mut new_geom = base_geom.clone();
+        // Perturb a small patch of die cells (a "moved chiplet").
+        for c in [7usize, 8, 13, 14] {
+            new_geom.layers[2].k[c] = 45.0;
+        }
+        let patched = assemble_incremental(&new_geom, &base_geom, &base)
+            .expect("same-scaffold rebuild must take the incremental path");
+        let full = assemble(&new_geom);
+
+        assert_eq!(
+            patched.matrix.values(),
+            full.matrix.values(),
+            "patched CSR values must be bitwise identical to a full build"
+        );
+        assert_eq!(patched.cap, full.cap);
+        assert_eq!(patched.conv, full.conv);
+        assert!(patched.precond.is_ic0() && full.precond.is_ic0());
+        let (Preconditioner::Ic0(pf), Preconditioner::Ic0(ff)) = (&patched.precond, &full.precond)
+        else {
+            unreachable!()
+        };
+        let r: Vec<f64> = (0..full.nodes).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut zp = vec![0.0; full.nodes];
+        let mut zf = vec![0.0; full.nodes];
+        pf.apply(&r, &mut zp);
+        ff.apply(&r, &mut zf);
+        assert_eq!(zp, zf, "refactored IC(0) must apply bitwise identically");
+    }
+
+    #[test]
+    fn incremental_rebuild_is_independent_of_base_values() {
+        // Patching from two *different* bases must produce the same bytes:
+        // the result depends only on the target geometry.
+        let n = 5;
+        let geom_a = periph_geom(n);
+        let mut geom_b = geom_a.clone();
+        geom_b.layers[2].k[4] = 77.0;
+        let mut target = geom_a.clone();
+        target.layers[2].k[12] = 55.0;
+        target.layers[2].k[17] = 210.0;
+
+        let from_a = assemble_incremental(&target, &geom_a, &assemble(&geom_a)).unwrap();
+        let from_b = assemble_incremental(&target, &geom_b, &assemble(&geom_b)).unwrap();
+        assert_eq!(from_a.matrix.values(), from_b.matrix.values());
+    }
+
+    #[test]
+    fn incompatible_geometries_reject_incremental_path() {
+        let n = 5;
+        let base_geom = periph_geom(n);
+        let base = assemble(&base_geom);
+
+        let mut other = base_geom.clone();
+        other.footprint_m *= 1.5;
+        other.spreader_m *= 1.5;
+        other.sink_m *= 1.5;
+        assert!(
+            assemble_incremental(&other, &base_geom, &base).is_none(),
+            "different edges must fall back to full assembly"
+        );
+
+        // Changing the spreader conductivity invalidates the baked
+        // periphery links.
+        let mut other = base_geom.clone();
+        for k in &mut other.layers[1].k {
+            *k = 250.0;
+        }
+        assert!(assemble_incremental(&other, &base_geom, &base).is_none());
     }
 }

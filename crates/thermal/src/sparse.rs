@@ -147,6 +147,32 @@ pub struct CsrMatrix {
 }
 
 impl CsrMatrix {
+    /// Assembles a CSR matrix from precomputed parts — the scaffolded
+    /// assembly path in [`crate::network`] derives the sparsity pattern
+    /// once per package shape and refills only the values.
+    pub(crate) fn from_parts(
+        n: usize,
+        row_ptr: Vec<u32>,
+        col: Vec<u32>,
+        val: Vec<f64>,
+    ) -> CsrMatrix {
+        debug_assert_eq!(row_ptr.len(), n + 1, "row pointer length mismatch");
+        debug_assert_eq!(col.len(), val.len(), "col/val length mismatch");
+        debug_assert_eq!(row_ptr[n] as usize, col.len(), "row pointer tail mismatch");
+        CsrMatrix {
+            n,
+            row_ptr,
+            col,
+            val,
+        }
+    }
+
+    /// The stored entry values in pattern order (row-major, ascending
+    /// columns) — the layout [`CsrMatrix::from_parts`] expects back.
+    pub(crate) fn values(&self) -> &[f64] {
+        &self.val
+    }
+
     /// Matrix dimension.
     pub fn n(&self) -> usize {
         self.n
@@ -169,8 +195,8 @@ impl CsrMatrix {
             let lo = self.row_ptr[i] as usize;
             let hi = self.row_ptr[i + 1] as usize;
             let mut acc = 0.0;
-            for k in lo..hi {
-                acc += self.val[k] * x[self.col[k] as usize];
+            for (v, c) in self.val[lo..hi].iter().zip(&self.col[lo..hi]) {
+                acc += v * x[*c as usize];
             }
             *yi = acc;
         }
@@ -305,6 +331,21 @@ impl Ic0 {
             .find_map(|&shift| factor_with_shift(a, shift))
     }
 
+    /// Refactors after an incremental matrix patch that left every row
+    /// before `first_dirty` unchanged: rows `< first_dirty` of the factor
+    /// are copied from `base` (an up-looking IC(0) row depends only on
+    /// rows `≤ i` of `A`), the rest recomputed — bitwise identical to a
+    /// full factorization of the patched matrix. Only valid for a clean
+    /// (shift-0) base factor; returns `None` when the patched matrix no
+    /// longer factors at shift 0, in which case the caller should fall
+    /// back to [`Ic0::factor`] and its retry schedule.
+    pub(crate) fn refactor_prefix(a: &CsrMatrix, base: &Ic0, first_dirty: usize) -> Option<Ic0> {
+        if base.n != a.n() || base.shift != 0.0 {
+            return None;
+        }
+        factor_rows(a, 0.0, Some((base, first_dirty.min(a.n()))))
+    }
+
     /// The diagonal shift `α` the factorization succeeded with (0 for a
     /// clean factorization, positive after a breakdown retry).
     pub fn shift(&self) -> f64 {
@@ -330,8 +371,8 @@ impl Ic0 {
             let mut acc = r[i];
             let lo = self.l_row_ptr[i] as usize;
             let hi = self.l_row_ptr[i + 1] as usize;
-            for k in lo..hi {
-                acc -= self.l_val[k] * z[self.l_col[k] as usize];
+            for (v, c) in self.l_val[lo..hi].iter().zip(&self.l_col[lo..hi]) {
+                acc -= v * z[*c as usize];
             }
             z[i] = acc * self.inv_diag[i];
         }
@@ -341,8 +382,8 @@ impl Ic0 {
             let mut acc = z[i];
             let lo = self.u_row_ptr[i] as usize;
             let hi = self.u_row_ptr[i + 1] as usize;
-            for k in lo..hi {
-                acc -= self.u_val[k] * z[self.u_col[k] as usize];
+            for (v, c) in self.u_val[lo..hi].iter().zip(&self.u_col[lo..hi]) {
+                acc -= v * z[*c as usize];
             }
             z[i] = acc * self.inv_diag[i];
         }
@@ -351,14 +392,35 @@ impl Ic0 {
 
 /// Up-looking IC(0) of `A + shift·diag(A)`; `None` on a non-positive pivot.
 fn factor_with_shift(a: &CsrMatrix, shift: f64) -> Option<Ic0> {
+    factor_rows(a, shift, None)
+}
+
+/// The up-looking factorization loop behind [`factor_with_shift`] and
+/// [`Ic0::refactor_prefix`]. With `prefix = (base, d0)`, rows `< d0` of
+/// `L` are copied from `base` instead of recomputed; because row `i` of an
+/// up-looking factor is a function of rows `≤ i` of `A` alone, the result
+/// is bitwise identical to factoring the whole matrix from scratch.
+fn factor_rows(a: &CsrMatrix, shift: f64, prefix: Option<(&Ic0, usize)>) -> Option<Ic0> {
     let n = a.n();
-    let mut l_row_ptr = Vec::with_capacity(n + 1);
-    l_row_ptr.push(0u32);
-    let mut l_col: Vec<u32> = Vec::new();
-    let mut l_val: Vec<f64> = Vec::new();
     let mut inv_diag = vec![0.0f64; n];
-    let mut diag = vec![0.0f64; n];
-    for i in 0..n {
+    let (mut l_row_ptr, mut l_col, mut l_val, start) = match prefix {
+        Some((base, d0)) => {
+            let end = base.l_row_ptr[d0] as usize;
+            inv_diag[..d0].copy_from_slice(&base.inv_diag[..d0]);
+            (
+                base.l_row_ptr[..=d0].to_vec(),
+                base.l_col[..end].to_vec(),
+                base.l_val[..end].to_vec(),
+                d0,
+            )
+        }
+        None => {
+            let mut l_row_ptr = Vec::with_capacity(n + 1);
+            l_row_ptr.push(0u32);
+            (l_row_ptr, Vec::new(), Vec::new(), 0)
+        }
+    };
+    for i in start..n {
         let row_start = l_val.len();
         let lo = a.row_ptr[i] as usize;
         let hi = a.row_ptr[i + 1] as usize;
@@ -400,7 +462,6 @@ fn factor_with_shift(a: &CsrMatrix, shift: f64) -> Option<Ic0> {
             return None;
         }
         let d = arg.sqrt();
-        diag[i] = d;
         inv_diag[i] = 1.0 / d;
         l_row_ptr.push(l_val.len() as u32);
     }
@@ -632,12 +693,40 @@ fn pcg_with_inner(
     for i in 0..n {
         r[i] = b[i] - r[i];
     }
+    // Convergence is tested right after each residual update (and for the
+    // initial residual, right here) so a converging iteration skips its
+    // preconditioner apply and direction update; the residual norm is
+    // accumulated inside the update loop in index order, making it
+    // bitwise identical to a separate `norm(r)` pass.
+    let res = norm(r) / b_norm;
+    if !res.is_finite() {
+        return Err(SolveError::NumericalBreakdown);
+    }
+    if res <= rel_tol {
+        return Ok(PcgSolution {
+            x,
+            iterations: 0,
+            residual: res,
+        });
+    }
     m.apply(r, z);
     p.copy_from_slice(z);
     let mut rz = dot(r, z);
 
-    for it in 0..max_iter {
-        let res = norm(r) / b_norm;
+    for it in 1..=max_iter {
+        a.mul_vec(p, ap);
+        let pap = dot(p, ap);
+        if pap <= 0.0 || !pap.is_finite() {
+            return Err(SolveError::NotPositiveDefinite);
+        }
+        let alpha = rz / pap;
+        let mut rn2 = 0.0;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+            rn2 += r[i] * r[i];
+        }
+        let res = rn2.sqrt() / b_norm;
         if !res.is_finite() {
             return Err(SolveError::NumericalBreakdown);
         }
@@ -648,15 +737,8 @@ fn pcg_with_inner(
                 residual: res,
             });
         }
-        a.mul_vec(p, ap);
-        let pap = dot(p, ap);
-        if pap <= 0.0 || !pap.is_finite() {
-            return Err(SolveError::NotPositiveDefinite);
-        }
-        let alpha = rz / pap;
-        for i in 0..n {
-            x[i] += alpha * p[i];
-            r[i] -= alpha * ap[i];
+        if it == max_iter {
+            break;
         }
         m.apply(r, z);
         let rz_new = dot(r, z);
@@ -1122,6 +1204,36 @@ mod tests {
         for (i, e) in exact.iter().enumerate() {
             assert!((sol.x[i] - e).abs() < 1e-9, "i={i}");
         }
+    }
+
+    #[test]
+    fn prefix_refactor_matches_full_factorization() {
+        // Patch the late rows of a resistor chain and refactor from the
+        // first changed row: the result must match a from-scratch
+        // factorization bitwise, because up-looking IC(0) row i depends
+        // only on rows <= i of A.
+        let n = 12;
+        let build = |g89: f64| {
+            let mut t = TripletMatrix::new(n);
+            for i in 0..n - 1 {
+                let g = if i == 8 { g89 } else { 1.0 + i as f64 * 0.1 };
+                t.add_conductance(i, i + 1, g);
+            }
+            t.add_ground(0, 0.7);
+            t.to_csr()
+        };
+        let base_m = build(1.8);
+        let base = Ic0::factor(&base_m).unwrap();
+        // Changing the 8–9 conductance dirties rows 8 and 9 only.
+        let patched = build(3.25);
+        let full = Ic0::factor(&patched).unwrap();
+        let inc = Ic0::refactor_prefix(&patched, &base, 8).unwrap();
+        assert_eq!(inc.shift(), 0.0);
+        let r: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() + 1.5).collect();
+        let (mut z_full, mut z_inc) = (vec![0.0; n], vec![0.0; n]);
+        full.apply(&r, &mut z_full);
+        inc.apply(&r, &mut z_inc);
+        assert_eq!(z_full, z_inc, "prefix refactor must be bitwise identical");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use proptest::prelude::*;
 use tac25d_floorplan::prelude::*;
+use tac25d_thermal::coupled::{solve_coupled, CoupledOptions, CoupledStrategy};
 use tac25d_thermal::model::{PackageModel, ThermalConfig};
 use tac25d_thermal::sparse::{pcg, TripletMatrix};
 
@@ -110,6 +111,105 @@ proptest! {
             .collect();
         let sol = model.solve(&sources).unwrap();
         prop_assert!(sol.energy_balance_error() < 1e-6, "{}", sol.energy_balance_error());
+    }
+
+    /// The adaptive (Anderson + Eisenstat–Walker) coupled loop lands
+    /// within the coupled tolerance of the fixed-tolerance Picard loop
+    /// over random contractive leakage feedbacks: each converged iterate
+    /// sits within `tol` of the true fixed point, so the two paths can
+    /// differ by at most a small multiple of `tol`.
+    #[test]
+    fn adaptive_matches_fixed_within_coupled_tolerance(
+        base_w in 80.0..220.0f64,
+        feedback in 0.004..0.014f64,
+    ) {
+        let chip = ChipSpec::scc_256();
+        let rules = PackageRules::default();
+        let model = PackageModel::new(
+            &chip,
+            &ChipletLayout::SingleChip,
+            &rules,
+            &StackSpec::baseline_2d(),
+            tiny_config(),
+        )
+        .unwrap();
+        let die = Rect::from_corner(0.0, 0.0, 18.0, 18.0);
+        let tol = 0.01;
+        let run = |strategy: CoupledStrategy| {
+            solve_coupled(
+                &model,
+                |sol| {
+                    let t = sol.map_or(45.0, |s| s.rect_avg(&die).value());
+                    vec![(die, base_w * (1.0 + feedback * (t - 45.0)))]
+                },
+                &CoupledOptions {
+                    tol: Celsius(tol),
+                    strategy,
+                    ..CoupledOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        let picard = run(CoupledStrategy::Picard);
+        let anderson = run(CoupledStrategy::Anderson);
+        prop_assert!(picard.converged && anderson.converged);
+        let max_dt = picard
+            .solution
+            .raw_temps()
+            .iter()
+            .zip(anderson.solution.raw_temps())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        prop_assert!(
+            max_dt <= 2.0 * tol,
+            "paths diverge beyond the coupled tolerance: max |dT| = {max_dt:.3e}"
+        );
+    }
+
+    /// On a non-contractive (erratically jumping, bounded) power map, the
+    /// Anderson safeguard must fall back to plain Picard steps rather
+    /// than destabilize: the loop exhausts its iterations without error
+    /// and the field stays bounded by the response to the maximum power.
+    #[test]
+    fn anderson_safeguard_survives_noncontractive_map(seed in 0u64..1000) {
+        let chip = ChipSpec::scc_256();
+        let rules = PackageRules::default();
+        let model = PackageModel::new(
+            &chip,
+            &ChipletLayout::SingleChip,
+            &rules,
+            &StackSpec::baseline_2d(),
+            tiny_config(),
+        )
+        .unwrap();
+        let die = Rect::from_corner(0.0, 0.0, 18.0, 18.0);
+        let w_max = 260.0;
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let r = solve_coupled(
+            &model,
+            move |_| {
+                state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                let u = ((state >> 33) as f64) / f64::from(u32::MAX);
+                // Jumps across [60, 260] W: no contraction to latch onto.
+                vec![(die, 60.0 + (w_max - 60.0) * u)]
+            },
+            &CoupledOptions {
+                max_iter: 8,
+                strategy: CoupledStrategy::Anderson,
+                ..CoupledOptions::default()
+            },
+        )
+        .unwrap();
+        prop_assert!(r.solution.peak().value().is_finite());
+        // Bounded by the steady response to the maximum power plus slack
+        // for the clamped secant extrapolation.
+        let cap = model.solve(&[(die, w_max)]).unwrap().peak().value();
+        prop_assert!(
+            r.solution.peak().value() <= cap + 25.0,
+            "safeguarded loop overshot: {} vs cap {}",
+            r.solution.peak().value(),
+            cap
+        );
     }
 
     /// Peak temperature is monotone in total power for fixed shape.

@@ -3,6 +3,7 @@
 //! ```text
 //! verify mms                 # manufactured-solution suite
 //! verify solver              # IC(0) fast path vs legacy Jacobi path
+//! verify fixedpoint [--fast] # Anderson-vs-Picard + canonical-key gate
 //! verify diff [--fast]       # differential corpus + Fig. 8 guarantees
 //! verify golden [--bless] [--only <bin>]
 //! verify obs                 # observability determinism guard
@@ -24,6 +25,9 @@ use std::process::ExitCode;
 use tac25d_core::prelude::*;
 use tac25d_floorplan::units::Mm;
 use tac25d_verify::differential::{default_corpus, fig8_guarantees, run_point};
+use tac25d_verify::fixedpoint::{
+    alias_cases, decision_cases, strategy_equivalence_cases, MAX_FIXEDPOINT_DT_C,
+};
 use tac25d_verify::golden::{golden_dir, manifest, run_spec, workspace_root};
 use tac25d_verify::mms::{chain_error, observed_orders, path_split, FinCase};
 use tac25d_verify::obsguard::{obs_manifest, run_obs_determinism};
@@ -138,6 +142,96 @@ fn run_solver(report: &mut String) -> bool {
             ok = false;
             let _ = writeln!(report, "  ERROR: {e}");
         }
+    }
+    ok
+}
+
+fn run_fixedpoint(report: &mut String, fast: bool) -> bool {
+    let mut ok = true;
+    let _ = writeln!(
+        report,
+        "Fixed-point strategy equivalence (Anderson vs Picard, rel_tol 1e-11):"
+    );
+    match strategy_equivalence_cases() {
+        Ok(cases) => {
+            for c in &cases {
+                let status = if c.passed() {
+                    "ok"
+                } else {
+                    ok = false;
+                    "FAIL"
+                };
+                let _ = writeln!(
+                    report,
+                    "  {:<18} max|dT|={:.3e} C  inner_pcg anderson={:<5} picard={:<5} converged={} {status}",
+                    c.name, c.max_abs_dt_c, c.anderson_inner, c.picard_inner, c.both_converged
+                );
+                if !c.passed() {
+                    let _ = writeln!(
+                        report,
+                        "  FAIL: strategies must agree to {MAX_FIXEDPOINT_DT_C:.0e} C with anderson inner PCG iters <= picard's"
+                    );
+                }
+            }
+        }
+        Err(e) => {
+            ok = false;
+            let _ = writeln!(report, "  ERROR: {e}");
+        }
+    }
+
+    let spec = verification_spec(fast);
+    let _ = writeln!(
+        report,
+        "Canonical cache-key aliases (independent evaluators):"
+    );
+    match alias_cases(&spec) {
+        Ok(cases) => {
+            for c in &cases {
+                let status = if c.passed() {
+                    "ok"
+                } else {
+                    ok = false;
+                    "FAIL"
+                };
+                let _ = writeln!(
+                    report,
+                    "  {:<20} keys_match={} max|dT|={:.3e} C decisions_match={} {status}",
+                    c.name, c.keys_match, c.max_abs_dt_c, c.decisions_match
+                );
+            }
+        }
+        Err(e) => {
+            ok = false;
+            let _ = writeln!(report, "  ERROR: {e}");
+        }
+    }
+
+    let _ = writeln!(report, "Fig. 8 decisions under both strategies (seed 42):");
+    let cases = decision_cases(&spec, 42);
+    let mut matched = 0usize;
+    for c in &cases {
+        let status = if c.matched() {
+            matched += 1;
+            "ok"
+        } else {
+            ok = false;
+            "FAIL"
+        };
+        let _ = writeln!(
+            report,
+            "  {:<14} picard {:<40} anderson {:<40} {status}",
+            c.benchmark.name(),
+            c.picard_desc,
+            c.anderson_desc
+        );
+    }
+    let _ = writeln!(report, "  decision match: {matched}/{}", cases.len());
+    if matched != cases.len() {
+        let _ = writeln!(
+            report,
+            "  FAIL: the organizer's decisions must not depend on the fixed-point strategy"
+        );
     }
     ok
 }
@@ -315,19 +409,23 @@ fn main() -> ExitCode {
     let ok = match mode {
         "mms" => run_mms(&mut report),
         "solver" => run_solver(&mut report),
+        "fixedpoint" => run_fixedpoint(&mut report, fast),
         "diff" => run_diff(&mut report, fast),
         "golden" => run_golden(&mut report, bless, only.as_deref()),
         "obs" => run_obs(&mut report),
         "all" => {
             let a = run_mms(&mut report);
             let s = run_solver(&mut report);
+            let f = run_fixedpoint(&mut report, fast);
             let b = run_diff(&mut report, fast);
             let c = run_golden(&mut report, bless, only.as_deref());
             let d = run_obs(&mut report);
-            a && s && b && c && d
+            a && s && f && b && c && d
         }
         other => {
-            eprintln!("unknown mode {other:?}; use mms | solver | diff | golden | obs | all");
+            eprintln!(
+                "unknown mode {other:?}; use mms | solver | fixedpoint | diff | golden | obs | all"
+            );
             return ExitCode::FAILURE;
         }
     };

@@ -20,17 +20,23 @@
 //! * [`solvercheck`] — solver fast-path equivalence: the IC(0) + warm
 //!   start PCG path against the legacy cold Jacobi path over a small
 //!   organization corpus, max |ΔT| ≤ 1e-6 °C at tight tolerance.
+//! * [`fixedpoint`] — fixed-point equivalence: the adaptive Anderson
+//!   outer loop against the Picard loop, symmetry-canonical cache-key
+//!   aliases evaluated independently, and the Fig. 8 organizer's
+//!   decisions under both strategies.
 //!
-//! The `verify` binary drives all five from the command line (and from
+//! The `verify` binary drives all six from the command line (and from
 //! the CI `verify` job).
 
 pub mod differential;
+pub mod fixedpoint;
 pub mod golden;
 pub mod mms;
 pub mod obsguard;
 pub mod solvercheck;
 
 pub use differential::{DiffPoint, DiffRecord, Fig8Case};
+pub use fixedpoint::{AliasCase, DecisionCase, StrategyCase};
 pub use golden::{GoldenOutcome, GoldenSpec};
 pub use mms::{FinCase, MmsSample, SplitResult};
 pub use solvercheck::SolverCase;

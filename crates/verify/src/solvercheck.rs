@@ -17,7 +17,7 @@ use tac25d_floorplan::chip::ChipSpec;
 use tac25d_floorplan::layers::StackSpec;
 use tac25d_floorplan::organization::{ChipletLayout, PackageRules};
 use tac25d_floorplan::units::{Celsius, Mm};
-use tac25d_thermal::coupled::{solve_coupled, CoupledOptions};
+use tac25d_thermal::coupled::{solve_coupled, CoupledOptions, CoupledStrategy};
 use tac25d_thermal::model::{PackageModel, SolverKind, ThermalConfig, ThermalError};
 
 /// Maximum tolerated |ΔT| between the IC(0) and Jacobi paths, in °C.
@@ -109,7 +109,11 @@ fn run_one(model: &PackageModel) -> Result<(Vec<f64>, usize, Vec<f64>, usize), T
     let steady_iters = steady.iterations();
 
     // 1.2 %/°C leakage growth above 45 °C: contractive, converges in a
-    // handful of outer iterations.
+    // handful of outer iterations. Pinned to the Picard strategy so the
+    // solver kind is the only variable: the adaptive loop's loose
+    // intermediate solves are solver-path-dependent, so its outer
+    // trajectory is not comparable across kinds (the strategy-vs-strategy
+    // contract is `verify fixedpoint`'s job).
     let coupled = solve_coupled(
         model,
         |sol| {
@@ -118,6 +122,7 @@ fn run_one(model: &PackageModel) -> Result<(Vec<f64>, usize, Vec<f64>, usize), T
         },
         &CoupledOptions {
             tol: Celsius(0.001),
+            strategy: CoupledStrategy::Picard,
             ..CoupledOptions::default()
         },
     )?;
