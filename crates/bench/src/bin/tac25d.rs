@@ -38,6 +38,8 @@ fn main() -> ExitCode {
         "export" => cmd_export(&opts),
         "latency" => cmd_latency(&opts),
         "obs-report" => cmd_obs_report(&opts),
+        "serve" => cmd_serve(&opts),
+        "query" => cmd_query(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -64,6 +66,26 @@ USAGE:
   tac25d export   --layout <layout> --out <dir> [--benchmark <name>]
   tac25d latency  --layout <layout> [--freq <MHz>] [--pattern uniform|neighbor|transpose]
   tac25d obs-report [--profile <BENCH_profile.json>] [--baseline <baseline.json>] [--bless]
+  tac25d serve    [--addr <host:port>] [--workers <n>] [--queue <n>]
+                  [--deadline-ms <ms>] [--threshold <C>] [--fast]
+  tac25d query    --benchmark <name> (--layout <layout> | --optimize)
+                  (--addr <host:port> | --local) [--freq <MHz>] [--cores <p>]
+                  [--threshold <C>] [--deadline-ms <ms>] [--seed <n>] [--starts <n>]
+                  [--alpha <a>] [--beta <b>] [--iso-cost] [--exhaustive] [--fast]
+  tac25d help
+
+SUBCOMMANDS:
+  evaluate    one organization at one operating point (human-readable)
+  optimize    full organizer run (human-readable)
+  cost        2.5D vs single-chip manufacturing cost breakdown
+  export      HotSpot .flp/.ptrace and SVG for a layout
+  latency     NoC latency/saturation for a layout
+  obs-report  render/check an observability profile
+  serve       long-running evaluation daemon (POST /v1/evaluate,
+              POST /v1/optimize, GET /healthz, GET /metrics)
+  query       send one request to a daemon (--addr) or answer it locally
+              (--local); prints the JSON response either way, byte-identical
+  help        this message
 
 OBS-REPORT:
   Renders the timing tree and top counters of a profile written by any
@@ -84,7 +106,10 @@ fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --option, got {:?}", args[i]))?;
-        let flag = matches!(key, "exhaustive" | "iso-cost" | "fast" | "bless");
+        let flag = matches!(
+            key,
+            "exhaustive" | "iso-cost" | "fast" | "bless" | "local" | "optimize"
+        );
         if flag {
             map.insert(key.to_owned(), "true".to_owned());
             i += 1;
@@ -101,55 +126,12 @@ fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
 
 fn parse_benchmark(opts: &HashMap<String, String>) -> Result<Benchmark, String> {
     let name = opts.get("benchmark").ok_or("--benchmark is required")?;
-    Benchmark::all()
-        .into_iter()
-        .find(|b| b.name() == name)
-        .ok_or_else(|| format!("unknown benchmark {name:?}"))
+    tac25d_serve::protocol::parse_benchmark(name)
 }
 
-fn parse_layout(s: &str) -> Result<ChipletLayout, String> {
-    let (kind, params) = s.split_once(':').unwrap_or((s, ""));
-    let nums = || -> Result<Vec<f64>, String> {
-        params
-            .split(',')
-            .filter(|p| !p.is_empty())
-            .map(|p| {
-                p.parse::<f64>()
-                    .map_err(|e| format!("bad number {p:?}: {e}"))
-            })
-            .collect()
-    };
-    match kind {
-        "2d" => Ok(ChipletLayout::SingleChip),
-        "uniform" => {
-            let v = nums()?;
-            if v.len() != 2 {
-                return Err("uniform needs <r>,<gap>".into());
-            }
-            Ok(ChipletLayout::Uniform {
-                r: v[0] as u16,
-                gap: Mm(v[1]),
-            })
-        }
-        "sym4" => {
-            let v = nums()?;
-            if v.len() != 1 {
-                return Err("sym4 needs <s3>".into());
-            }
-            Ok(ChipletLayout::Symmetric4 { s3: Mm(v[0]) })
-        }
-        "sym16" => {
-            let v = nums()?;
-            if v.len() != 3 {
-                return Err("sym16 needs <s1>,<s2>,<s3>".into());
-            }
-            Ok(ChipletLayout::Symmetric16 {
-                spacing: Spacing::new(v[0], v[1], v[2]),
-            })
-        }
-        other => Err(format!("unknown layout kind {other:?}")),
-    }
-}
+// The layout grammar is shared with the serve protocol so CLI arguments
+// and request bodies parse identically.
+use tac25d_serve::protocol::parse_layout;
 
 fn get_f64(opts: &HashMap<String, String>, key: &str, default: f64) -> Result<f64, String> {
     match opts.get(key) {
@@ -380,6 +362,113 @@ fn default_baseline_path() -> std::path::PathBuf {
         .join("tests")
         .join("obs")
         .join("baseline.json")
+}
+
+fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
+    use tac25d_serve::engine::EngineState;
+    use tac25d_serve::server::{install_signal_handlers, start, ServerConfig};
+
+    let spec = make_spec(opts)?;
+    let config = ServerConfig {
+        addr: opts
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:8425".to_owned()),
+        workers: get_f64(opts, "workers", 0.0)? as usize,
+        queue_capacity: get_f64(opts, "queue", 64.0)? as usize,
+        default_deadline_ms: opts
+            .get("deadline-ms")
+            .map(|v| {
+                v.parse::<u64>()
+                    .map_err(|e| format!("bad --deadline-ms {v:?}: {e}"))
+            })
+            .transpose()?,
+    };
+    install_signal_handlers();
+    let engine = std::sync::Arc::new(EngineState::new(spec));
+    let handle = start(config, engine).map_err(|e| format!("bind failed: {e}"))?;
+    println!("tac25d serve listening on {}", handle.local_addr());
+    handle.join();
+    println!("tac25d serve drained and stopped");
+    Ok(())
+}
+
+/// Builds the request body shared by the remote and local query paths.
+fn query_body(opts: &HashMap<String, String>) -> Result<(String, bool), String> {
+    use tac25d_obs::json::{obj, Value};
+
+    let benchmark = parse_benchmark(opts)?;
+    let optimize = opts.contains_key("optimize");
+    let mut fields: Vec<(&str, Value)> = vec![("benchmark", Value::from(benchmark.name()))];
+    if optimize {
+        fields.push(("alpha", Value::from(get_f64(opts, "alpha", 1.0)?)));
+        fields.push(("beta", Value::from(get_f64(opts, "beta", 0.0)?)));
+        fields.push(("starts", Value::from(get_f64(opts, "starts", 10.0)? as u64)));
+        fields.push(("seed", Value::from(get_f64(opts, "seed", 42.0)? as u64)));
+        fields.push(("iso_cost", Value::from(opts.contains_key("iso-cost"))));
+        fields.push(("exhaustive", Value::from(opts.contains_key("exhaustive"))));
+    } else {
+        let layout = opts.get("layout").ok_or("--layout is required")?;
+        parse_layout(layout)?; // validate before shipping
+        fields.push(("layout", Value::from(layout.as_str())));
+        fields.push(("freq_mhz", Value::from(get_f64(opts, "freq", 1000.0)?)));
+        fields.push(("cores", Value::from(get_f64(opts, "cores", 256.0)? as u64)));
+    }
+    fields.push((
+        "threshold_c",
+        Value::from(get_f64(opts, "threshold", 85.0)?),
+    ));
+    if let Some(ms) = opts.get("deadline-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|e| format!("bad --deadline-ms {ms:?}: {e}"))?;
+        fields.push(("deadline_ms", Value::from(ms)));
+    }
+    Ok((obj(fields).render(), optimize))
+}
+
+fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
+    use tac25d_serve::engine::EngineState;
+    use tac25d_serve::protocol::{EvaluateRequest, OptimizeRequest};
+
+    let (body, optimize) = query_body(opts)?;
+    let (status, response) = if opts.contains_key("local") {
+        // One-shot local answer through the same engine code path the
+        // daemon runs — byte-identical by construction.
+        let engine = EngineState::new(make_spec(opts)?);
+        let value = tac25d_obs::json::parse(&body).map_err(|e| e.to_string())?;
+        let deadline = opts
+            .get("deadline-ms")
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
+        let result = if optimize {
+            engine.optimize(&OptimizeRequest::from_json(&value)?, deadline)
+        } else {
+            engine.evaluate(&EvaluateRequest::from_json(&value)?, deadline)
+        };
+        (result.status, result.body)
+    } else {
+        let addr = opts
+            .get("addr")
+            .ok_or("--addr <host:port> or --local is required")?;
+        let mut client =
+            tac25d_serve::client::Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        let path = if optimize {
+            "/v1/optimize"
+        } else {
+            "/v1/evaluate"
+        };
+        let r = client
+            .post(path, &body)
+            .map_err(|e| format!("request: {e}"))?;
+        (r.status, r.text())
+    };
+    println!("{response}");
+    if status == 200 {
+        Ok(())
+    } else {
+        Err(format!("HTTP {status}"))
+    }
 }
 
 fn cmd_export(opts: &HashMap<String, String>) -> Result<(), String> {

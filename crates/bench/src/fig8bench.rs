@@ -178,7 +178,7 @@ fn render(entries: &[Fig8Entry]) -> String {
 /// Today's UTC civil date, `YYYY-MM-DD`, from the system clock alone
 /// (no chrono dependency; Gregorian conversion via the classic
 /// days-from-civil inverse).
-fn utc_date() -> String {
+pub(crate) fn utc_date() -> String {
     let secs = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
@@ -204,7 +204,7 @@ fn civil_from_days(z: i64) -> (i64, u32, u32) {
 
 /// The short git revision of the workspace, `unknown` when git or the
 /// repository is unavailable.
-fn git_rev() -> String {
+pub(crate) fn git_rev() -> String {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)

@@ -19,6 +19,7 @@ use std::sync::OnceLock;
 
 pub mod fig8bench;
 pub mod runner;
+pub mod servebench;
 pub mod sink;
 
 use sink::RenderedReport;

@@ -97,11 +97,32 @@ where
     F: Fn(&T) -> R + Sync,
     C: Fn(&T) -> f64,
 {
+    let threads = obs::threads_override().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4)
+    });
+    parallel_map_with_threads(items, threads, cost, f)
+}
+
+/// [`parallel_map_by_cost`] with an explicit worker count, bypassing both
+/// `TAC25D_THREADS` and `available_parallelism`. Exists so tests can assert
+/// the thread-count-independence contract directly (1-thread and N-thread
+/// runs must produce identical output) without mutating the process
+/// environment.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn parallel_map_with_threads<T, R, F, C>(items: Vec<T>, threads: usize, cost: C, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send + Sync,
+    F: Fn(&T) -> R + Sync,
+    C: Fn(&T) -> f64,
+{
     let _span = obs::span!("bench.parallel_map");
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(items.len().max(1));
+    let threads = threads.max(1).min(items.len().max(1));
     let costs: Vec<f64> = items.iter().map(&cost).collect();
     let mut order: Vec<usize> = (0..items.len()).collect();
     order.sort_by(|&a, &b| {
@@ -175,5 +196,31 @@ mod tests {
     #[test]
     fn default_benchmarks_are_all_eight() {
         assert_eq!(benchmarks_from_args().len(), 8);
+    }
+
+    #[test]
+    fn one_thread_and_many_threads_are_byte_identical() {
+        // The `TAC25D_THREADS` contract: worker count only trades wall
+        // time for cores, never results. Render each item through a
+        // float-accumulating closure and compare the *bytes* of the
+        // formatted output across pool sizes.
+        let items: Vec<u32> = (0..97).collect();
+        let work = |&x: &u32| {
+            let mut acc = 0.0_f64;
+            for k in 1..=64 {
+                acc += f64::from(x * k) / (f64::from(k) + 0.25);
+            }
+            format!("{x}:{acc}")
+        };
+        let cost = |&x: &u32| f64::from(x % 7);
+        let single = parallel_map_with_threads(items.clone(), 1, cost, work);
+        for threads in [2, 4, 8] {
+            let pooled = parallel_map_with_threads(items.clone(), threads, cost, work);
+            assert_eq!(
+                single.join("\n").into_bytes(),
+                pooled.join("\n").into_bytes(),
+                "{threads}-thread output diverged from the 1-thread run"
+            );
+        }
     }
 }

@@ -1,0 +1,250 @@
+//! The canonical serve-throughput record: `BENCH_serve.json`.
+//!
+//! Every `loadgen` run appends one entry comparing the naive
+//! one-cold-engine-per-request baseline against the warm daemon's
+//! steady-state throughput, so the file accumulates an amortization
+//! trajectory across serve-layer changes instead of silently overwriting
+//! history. The document is re-rendered from parsed known fields on each
+//! append — unknown fields are dropped rather than preserved, keeping the
+//! schema authoritative:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "bin": "loadgen",
+//!   "entries": [
+//!     {
+//!       "clients": 8,
+//!       "requests": 512,
+//!       "naive_rps": 1.9,
+//!       "served_rps": 120.4,
+//!       "speedup": 63.4,
+//!       "p50_us": 310,
+//!       "p99_us": 1840,
+//!       "cache_hits": 508,
+//!       "singleflight_joins": 3,
+//!       "date": "2026-08-09",
+//!       "git_rev": "abc1234"
+//!     }
+//!   ]
+//! }
+//! ```
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use tac25d_obs as obs;
+
+use crate::fig8bench::{git_rev, utc_date};
+
+/// One recorded `loadgen` run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeEntry {
+    /// Concurrent keep-alive clients in the served phase.
+    pub clients: u64,
+    /// Requests completed in the served phase.
+    pub requests: u64,
+    /// Naive baseline throughput: fresh cold engine per request,
+    /// sequential (one-process-per-request semantics).
+    pub naive_rps: f64,
+    /// Steady-state daemon throughput over the shared warm caches.
+    pub served_rps: f64,
+    /// `served_rps / naive_rps` — the cross-request amortization factor.
+    pub speedup: f64,
+    /// Median served request latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile served request latency, microseconds.
+    pub p99_us: u64,
+    /// `evaluator.cache_hits` observed by the daemon during the run.
+    pub cache_hits: u64,
+    /// `evaluator.singleflight_joins` observed during the run.
+    pub singleflight_joins: u64,
+    /// Civil date of the run (UTC, `YYYY-MM-DD`).
+    pub date: String,
+    /// Short git revision, `unknown` outside a work tree.
+    pub git_rev: String,
+}
+
+/// Where the record goes: `BENCH_serve.json` inside `TAC25D_RESULTS_DIR`
+/// when that redirect is set (CI and scratch runs must not touch the
+/// canonical file), otherwise at the workspace root next to
+/// `BENCH_fig8.json`.
+pub fn serve_bench_output_path() -> PathBuf {
+    if let Ok(dir) = std::env::var("TAC25D_RESULTS_DIR") {
+        if !dir.is_empty() {
+            return PathBuf::from(dir).join("BENCH_serve.json");
+        }
+    }
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."));
+    root.join("BENCH_serve.json")
+}
+
+/// Stamps `entry` with today's date and the current git revision.
+pub fn stamp(mut entry: ServeEntry) -> ServeEntry {
+    entry.date = utc_date();
+    entry.git_rev = git_rev();
+    entry
+}
+
+/// Appends `entry` to the record at `path`, preserving existing entries.
+///
+/// # Errors
+///
+/// Returns any I/O error; a present-but-unparsable document is an error
+/// too (the canonical record must never be silently discarded).
+pub fn append_entry(path: &Path, entry: &ServeEntry) -> io::Result<()> {
+    let mut entries = match std::fs::read_to_string(path) {
+        Ok(text) => {
+            parse_entries(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    entries.push(entry.clone());
+    std::fs::write(path, render(&entries))
+}
+
+fn parse_entries(text: &str) -> Result<Vec<ServeEntry>, String> {
+    let doc = obs::json::parse(text).map_err(|e| format!("BENCH_serve.json: {e}"))?;
+    let entries = doc
+        .get("entries")
+        .and_then(|v| v.as_array())
+        .ok_or("BENCH_serve.json: missing entries array")?;
+    entries
+        .iter()
+        .map(|e| {
+            let str_field = |k: &str| {
+                e.get(k)
+                    .and_then(|v| v.as_str())
+                    .map(str::to_owned)
+                    .ok_or_else(|| format!("BENCH_serve.json: entry missing {k}"))
+            };
+            let num_field = |k: &str| {
+                e.get(k)
+                    .and_then(|v| v.as_f64())
+                    .ok_or_else(|| format!("BENCH_serve.json: entry missing {k}"))
+            };
+            Ok(ServeEntry {
+                clients: num_field("clients")? as u64,
+                requests: num_field("requests")? as u64,
+                naive_rps: num_field("naive_rps")?,
+                served_rps: num_field("served_rps")?,
+                speedup: num_field("speedup")?,
+                p50_us: num_field("p50_us")? as u64,
+                p99_us: num_field("p99_us")? as u64,
+                cache_hits: num_field("cache_hits")? as u64,
+                singleflight_joins: num_field("singleflight_joins")? as u64,
+                date: str_field("date")?,
+                git_rev: str_field("git_rev")?,
+            })
+        })
+        .collect()
+}
+
+fn render(entries: &[ServeEntry]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema_version\": 1,\n  \"bin\": \"loadgen\",\n  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"clients\": {}, \"requests\": {}, \"naive_rps\": {:.3}, \
+             \"served_rps\": {:.3}, \"speedup\": {:.2}, \"p50_us\": {}, \"p99_us\": {}, \
+             \"cache_hits\": {}, \"singleflight_joins\": {}, \"date\": \"{}\", \
+             \"git_rev\": \"{}\"}}",
+            e.clients,
+            e.requests,
+            e.naive_rps,
+            e.served_rps,
+            e.speedup,
+            e.p50_us,
+            e.p99_us,
+            e.cache_hits,
+            e.singleflight_joins,
+            obs::json::escape(&e.date),
+            obs::json::escape(&e.git_rev),
+        );
+        out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Latency percentile from sorted microsecond samples (nearest-rank).
+pub fn percentile_us(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(clients: u64, speedup: f64) -> ServeEntry {
+        ServeEntry {
+            clients,
+            requests: 512,
+            naive_rps: 2.0,
+            served_rps: 2.0 * speedup,
+            speedup,
+            p50_us: 310,
+            p99_us: 1840,
+            cache_hits: 500,
+            singleflight_joins: 3,
+            date: "2026-08-09".to_owned(),
+            git_rev: "abc1234".to_owned(),
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let entries = vec![entry(8, 12.5), entry(1, 6.0)];
+        let parsed = parse_entries(&render(&entries)).unwrap();
+        assert_eq!(parsed, entries);
+    }
+
+    #[test]
+    fn append_accumulates_history() {
+        let dir = std::env::temp_dir().join("tac25d_servebench_append");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_serve.json");
+        let _ = std::fs::remove_file(&path);
+        append_entry(&path, &entry(8, 10.0)).unwrap();
+        append_entry(&path, &entry(4, 7.0)).unwrap();
+        let parsed = parse_entries(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].clients, 8);
+        assert_eq!(parsed[1].clients, 4);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unparsable_record_is_an_error_not_a_wipe() {
+        let dir = std::env::temp_dir().join("tac25d_servebench_guard");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_serve.json");
+        std::fs::write(&path, "not json at all").unwrap();
+        let err = append_entry(&path, &entry(8, 10.0)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // The corrupt document is untouched.
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "not json at all");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_us(&sorted, 50.0), 50);
+        assert_eq!(percentile_us(&sorted, 99.0), 99);
+        assert_eq!(percentile_us(&sorted, 100.0), 100);
+        assert_eq!(percentile_us(&[42], 50.0), 42);
+        assert_eq!(percentile_us(&[], 99.0), 0);
+    }
+}

@@ -55,6 +55,10 @@ pub struct DtmResult {
     pub peak: Celsius,
     /// Number of governor level changes.
     pub transitions: usize,
+    /// Deepest VF-ladder level the governor reached (0 = nominal). Always
+    /// `< points.len()`: the governor clamps at the ladder's slowest point
+    /// instead of stepping off it.
+    pub max_level: usize,
 }
 
 impl DtmResult {
@@ -108,6 +112,7 @@ pub fn simulate_dtm(
     // Governor state, updated inside the power-map closure from the sensed
     // (previous-step) temperature field — a true closed loop.
     let level = std::cell::Cell::new(0usize); // 0 = nominal
+    let max_level = std::cell::Cell::new(0usize);
     let transitions = std::cell::Cell::new(0usize);
     let throttled_steps = std::cell::Cell::new(0usize);
     let ips_acc = std::cell::Cell::new(0.0f64);
@@ -128,6 +133,7 @@ pub fn simulate_dtm(
                     }
                 }
                 let lvl = level.get();
+                max_level.set(max_level.get().max(lvl));
                 let op = points[lvl];
                 if lvl > 0 {
                     throttled_steps.set(throttled_steps.get() + 1);
@@ -162,6 +168,7 @@ pub fn simulate_dtm(
                 .fold(f64::NEG_INFINITY, f64::max),
         ),
         transitions: transitions.get(),
+        max_level: max_level.get(),
     })
 }
 
@@ -261,6 +268,64 @@ mod tests {
             chiplets.retention(),
             chip.retention()
         );
+    }
+
+    #[test]
+    fn governor_clamps_at_the_bottom_of_the_vf_ladder() {
+        // An absurdly low trigger keeps the sensed peak above it on every
+        // sample, so the governor descends one level per period — and must
+        // stop *at* the slowest ladder point, never past it.
+        let spec = spec();
+        let ladder = spec.vf.points().len();
+        let r = simulate_dtm(
+            &spec,
+            &ChipletLayout::SingleChip,
+            Benchmark::Shock,
+            256,
+            &DtmPolicy {
+                trigger: Celsius(30.0),
+                release: Celsius(29.0),
+                period_s: 0.2,
+            },
+            3.0,
+        )
+        .unwrap();
+        assert_eq!(
+            r.max_level,
+            ladder - 1,
+            "descent must clamp at the last ladder level"
+        );
+        assert_eq!(
+            r.transitions,
+            ladder - 1,
+            "one transition per level on a monotonic descent, then none"
+        );
+        assert!(r.throttled_fraction > 0.5);
+        assert!(r.retention() < 1.0);
+    }
+
+    #[test]
+    fn governor_never_leaves_nominal_when_trigger_is_unreachable() {
+        // Dual invariant: a trigger above any physical temperature keeps
+        // the governor pinned at level 0 (it cannot step above nominal).
+        let spec = spec();
+        let r = simulate_dtm(
+            &spec,
+            &ChipletLayout::SingleChip,
+            Benchmark::Canneal,
+            32,
+            &DtmPolicy {
+                trigger: Celsius(500.0),
+                release: Celsius(499.0),
+                period_s: 0.2,
+            },
+            3.0,
+        )
+        .unwrap();
+        assert_eq!(r.max_level, 0);
+        assert_eq!(r.transitions, 0);
+        assert_eq!(r.throttled_fraction, 0.0);
+        assert!((r.retention() - 1.0).abs() < 1e-12);
     }
 
     #[test]

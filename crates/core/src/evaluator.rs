@@ -15,7 +15,8 @@ use std::error::Error;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 use tac25d_floorplan::organization::{ChipletLayout, LayoutError};
 use tac25d_floorplan::raster::place_cores;
 use tac25d_floorplan::units::{Celsius, Watts};
@@ -38,6 +39,22 @@ pub enum EvalError {
     Thermal(ThermalError),
     /// An interposer link cannot close single-cycle timing.
     Timing(TimingError),
+    /// The per-request deadline ([`Evaluator::with_deadline`]) expired
+    /// before the evaluation finished. Carries the outer fixed-point
+    /// iterations completed before the abort (0 when the deadline was
+    /// already spent before the solve started).
+    Deadline {
+        /// Coupled-loop outer iterations completed before the abort.
+        outer_iterations: usize,
+    },
+}
+
+impl EvalError {
+    /// Whether this error is a deadline abort (the only retryable kind —
+    /// the serve layer maps it to 504 instead of 500).
+    pub fn is_deadline(&self) -> bool {
+        matches!(self, EvalError::Deadline { .. })
+    }
 }
 
 impl fmt::Display for EvalError {
@@ -46,6 +63,10 @@ impl fmt::Display for EvalError {
             EvalError::Layout(e) => write!(f, "layout error: {e}"),
             EvalError::Thermal(e) => write!(f, "thermal error: {e}"),
             EvalError::Timing(e) => write!(f, "link timing error: {e}"),
+            EvalError::Deadline { outer_iterations } => write!(
+                f,
+                "evaluation deadline expired ({outer_iterations} outer iterations completed)"
+            ),
         }
     }
 }
@@ -56,6 +77,7 @@ impl Error for EvalError {
             EvalError::Layout(e) => Some(e),
             EvalError::Thermal(e) => Some(e),
             EvalError::Timing(e) => Some(e),
+            EvalError::Deadline { .. } => None,
         }
     }
 }
@@ -233,9 +255,74 @@ impl<K: Eq + Hash, V: Clone> StripedCache<K, V> {
     }
 }
 
-/// Memoizing system evaluator. Cheap to share behind a reference across
-/// threads (all interior state is synchronized).
-pub struct Evaluator {
+/// One in-flight exact evaluation of a cache key: the leader computes,
+/// waiters block on the condvar until `finish` runs (in the leader's drop
+/// guard, so a panicking leader still releases its waiters).
+#[derive(Default)]
+struct Flight {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn finish(&self) {
+        *self.done.lock().expect("lock poisoned") = true;
+        self.cv.notify_all();
+    }
+
+    /// Waits for the leader, bounded by the waiter's own deadline.
+    /// Returns `false` on a deadline timeout with the flight still open.
+    fn wait(&self, deadline: Option<Instant>) -> bool {
+        let mut done = self.done.lock().expect("lock poisoned");
+        loop {
+            if *done {
+                return true;
+            }
+            match deadline {
+                None => done = self.cv.wait(done).expect("lock poisoned"),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return false;
+                    }
+                    let (guard, timeout) =
+                        self.cv.wait_timeout(done, d - now).expect("lock poisoned");
+                    done = guard;
+                    if timeout.timed_out() && !*done {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Removes the flight from the in-flight table and wakes every waiter when
+/// the leader finishes — including by panic, so a crashed leader cannot
+/// strand waiters (one of them retries as the next leader).
+struct FlightGuard<'a> {
+    shared: &'a SharedState,
+    key: EvalKey,
+    flight: Arc<Flight>,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        self.shared
+            .inflight
+            .lock()
+            .expect("lock poisoned")
+            .remove(&self.key);
+        self.flight.finish();
+    }
+}
+
+/// The cache state shared by every handle of one evaluator family: the
+/// striped memo tables, the incremental-assembly bases, the surrogate and
+/// the simulation counter. The serve daemon holds exactly one of these per
+/// process; each request gets a cheap [`Evaluator`] handle with its own
+/// deadline via [`Evaluator::with_deadline`].
+struct SharedState {
     spec: SystemSpec,
     models: StripedCache<LayoutKey, Arc<PackageModel>>,
     evals: StripedCache<EvalKey, Arc<Evaluation>>,
@@ -245,12 +332,30 @@ pub struct Evaluator {
     /// the incremental build is bitwise identical to a full build, results
     /// never depend on which model seeded the class.
     bases: Mutex<HashMap<(bool, u64), Arc<PackageModel>>>,
+    /// Exact evaluations currently being computed, for cross-request
+    /// coalescing: concurrent misses on one key elect a single leader and
+    /// the rest wait for its cached result instead of re-running the same
+    /// assembly + factorization + coupled solve.
+    inflight: Mutex<HashMap<EvalKey, Arc<Flight>>>,
     thermal_sims: AtomicUsize,
     surrogate: Option<Arc<ThermalSurrogate>>,
+}
+
+/// Memoizing system evaluator. Cheap to share behind a reference across
+/// threads (all interior state is synchronized), and cheap to *clone as a
+/// handle*: [`Evaluator::share`] / [`Evaluator::with_deadline`] return new
+/// handles onto the same caches, so a long-running service can give every
+/// request its own deadline while all requests warm one memo table.
+pub struct Evaluator {
+    shared: Arc<SharedState>,
     /// Explicit coupled-solve options; `None` defers to
     /// [`CoupledOptions::default`] at call time (which reads the
     /// `TAC25D_FIXEDPOINT` strategy override from the environment).
     coupled: Option<CoupledOptions>,
+    /// This handle's evaluation deadline. Checked before serving a miss
+    /// and threaded into the coupled loop, which aborts between outer
+    /// iterations. Cache hits are always served — they cost microseconds.
+    deadline: Option<Instant>,
 }
 
 impl fmt::Debug for Evaluator {
@@ -265,13 +370,17 @@ impl Evaluator {
     /// Creates an evaluator for a system specification.
     pub fn new(spec: SystemSpec) -> Self {
         Evaluator {
-            spec,
-            models: StripedCache::new(),
-            evals: StripedCache::new(),
-            bases: Mutex::new(HashMap::new()),
-            thermal_sims: AtomicUsize::new(0),
-            surrogate: None,
+            shared: Arc::new(SharedState {
+                spec,
+                models: StripedCache::new(),
+                evals: StripedCache::new(),
+                bases: Mutex::new(HashMap::new()),
+                inflight: Mutex::new(HashMap::new()),
+                thermal_sims: AtomicUsize::new(0),
+                surrogate: None,
+            }),
             coupled: None,
+            deadline: None,
         }
     }
 
@@ -301,19 +410,58 @@ impl Evaluator {
             cfg,
         ));
         Evaluator {
-            surrogate: Some(surrogate),
-            ..Evaluator::new(spec)
+            shared: Arc::new(SharedState {
+                spec,
+                models: StripedCache::new(),
+                evals: StripedCache::new(),
+                bases: Mutex::new(HashMap::new()),
+                inflight: Mutex::new(HashMap::new()),
+                thermal_sims: AtomicUsize::new(0),
+                surrogate: Some(surrogate),
+            }),
+            coupled: None,
+            deadline: None,
         }
+    }
+
+    /// A new handle onto the same shared caches, surrogate and counters,
+    /// with no deadline and the same coupled options. The serve daemon's
+    /// per-request entry point (combined with [`Evaluator::with_deadline`]).
+    pub fn share(&self) -> Evaluator {
+        Evaluator {
+            shared: Arc::clone(&self.shared),
+            coupled: self.coupled,
+            deadline: None,
+        }
+    }
+
+    /// A new handle onto the same shared caches whose evaluations abort
+    /// with [`EvalError::Deadline`] once `deadline` passes. When this
+    /// handle already carries a deadline the earlier of the two wins.
+    /// Deadlines bound *fresh* thermal work: cache hits are still served
+    /// after expiry (they cost microseconds and keep partial-progress
+    /// responses useful).
+    pub fn with_deadline(&self, deadline: Instant) -> Evaluator {
+        Evaluator {
+            shared: Arc::clone(&self.shared),
+            coupled: self.coupled,
+            deadline: Some(self.deadline.map_or(deadline, |d| d.min(deadline))),
+        }
+    }
+
+    /// This handle's deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
     }
 
     /// The attached surrogate, if any.
     pub fn surrogate(&self) -> Option<&Arc<ThermalSurrogate>> {
-        self.surrogate.as_ref()
+        self.shared.surrogate.as_ref()
     }
 
     /// The underlying system specification.
     pub fn spec(&self) -> &SystemSpec {
-        &self.spec
+        &self.shared.spec
     }
 
     /// Builds the surrogate's view of one evaluation point: active cores
@@ -330,7 +478,7 @@ impl Evaluator {
         if layout.is_single_chip() {
             return None;
         }
-        let spec = &self.spec;
+        let spec = &self.shared.spec;
         let placed = place_cores(&spec.chip, layout, &spec.rules).ok()?;
         let mut active_per_chiplet = vec![0u16; layout.chiplet_count()];
         for core in mintemp_active_cores(&spec.chip, p) {
@@ -370,29 +518,29 @@ impl Evaluator {
         op: OperatingPoint,
         p: u16,
     ) -> Option<Prediction> {
-        let surrogate = self.surrogate.as_ref()?;
+        let surrogate = self.shared.surrogate.as_ref()?;
         let input = self.surrogate_input(layout, benchmark, op, p)?;
         let profile = benchmark.profile();
-        let core_power = &self.spec.core_power;
+        let core_power = &self.shared.spec.core_power;
         surrogate.predict(&input, &|t| core_power.active_power(&profile, op, t))
     }
 
     /// Number of distinct thermal simulations performed so far (cache
     /// misses — the paper's search-cost metric).
     pub fn thermal_sims(&self) -> usize {
-        self.thermal_sims.load(Ordering::Relaxed)
+        self.shared.thermal_sims.load(Ordering::Relaxed)
     }
 
     /// Resets the thermal-simulation counter (the caches stay warm).
     pub fn reset_sim_counter(&self) {
-        self.thermal_sims.store(0, Ordering::Relaxed);
+        self.shared.thermal_sims.store(0, Ordering::Relaxed);
     }
 
     /// Clears all caches and the counter.
     pub fn clear(&self) {
-        self.models.clear();
-        self.evals.clear();
-        self.bases.lock().expect("lock poisoned").clear();
+        self.shared.models.clear();
+        self.shared.evals.clear();
+        self.shared.bases.lock().expect("lock poisoned").clear();
         self.reset_sim_counter();
     }
 
@@ -405,7 +553,7 @@ impl Evaluator {
 
     fn model_for(&self, layout: &ChipletLayout) -> Result<Arc<PackageModel>, EvalError> {
         let key = layout_key(layout);
-        if let Some(m) = self.models.get(&key) {
+        if let Some(m) = self.shared.models.get(&key) {
             // Successive candidate evaluations of the same organization
             // share the model — and with it the thermal crate's factored
             // IC(0) preconditioner and cached reference temperature field,
@@ -419,11 +567,12 @@ impl Evaluator {
             }
             return Ok(m);
         }
+        let spec = &self.shared.spec;
         let single = layout.is_single_chip();
         let stack = if single {
-            &self.spec.stack_2d
+            &spec.stack_2d
         } else {
-            &self.spec.stack_25d
+            &spec.stack_25d
         };
         // Same-footprint layouts differ only in the cells under moved
         // chiplets, so a sibling model of the same (stack, edge) class
@@ -431,11 +580,12 @@ impl Evaluator {
         let base_key = (
             single,
             layout
-                .footprint_edge(&self.spec.chip, &self.spec.rules)
+                .footprint_edge(&spec.chip, &spec.rules)
                 .value()
                 .to_bits(),
         );
         let base = self
+            .shared
             .bases
             .lock()
             .expect("lock poisoned")
@@ -443,26 +593,21 @@ impl Evaluator {
             .cloned();
         let built = match &base {
             Some(b) => PackageModel::new_like(b, layout),
-            None => PackageModel::new(
-                &self.spec.chip,
-                layout,
-                &self.spec.rules,
-                stack,
-                self.spec.thermal.clone(),
-            ),
+            None => PackageModel::new(&spec.chip, layout, &spec.rules, stack, spec.thermal.clone()),
         };
         let model = Arc::new(built.map_err(|e| match e {
             ThermalError::Layout(l) => EvalError::Layout(l),
             other => EvalError::Thermal(other),
         })?);
         if base.is_none() {
-            self.bases
+            self.shared
+                .bases
                 .lock()
                 .expect("lock poisoned")
                 .entry(base_key)
                 .or_insert_with(|| Arc::clone(&model));
         }
-        self.models.insert(key, Arc::clone(&model));
+        self.shared.models.insert(key, Arc::clone(&model));
         Ok(model)
     }
 
@@ -484,18 +629,76 @@ impl Evaluator {
         p: u16,
     ) -> Result<Arc<Evaluation>, EvalError> {
         let key = (layout_key(layout), benchmark, op.freq_mhz as u32, p);
-        if let Some(e) = self.evals.get(&key) {
-            obs::counter!("evaluator.cache_hits").inc();
-            if e.layout != *layout {
-                // The stored evaluation came from a symmetry-equivalent
-                // parameterization of the same physical package (e.g.
-                // `Symmetric4` vs the 2×2 `Uniform` grid).
-                obs::counter!("evaluator.canonical_hits").inc();
+        loop {
+            if let Some(e) = self.shared.evals.get(&key) {
+                obs::counter!("evaluator.cache_hits").inc();
+                if e.layout != *layout {
+                    // The stored evaluation came from a symmetry-equivalent
+                    // parameterization of the same physical package (e.g.
+                    // `Symmetric4` vs the 2×2 `Uniform` grid).
+                    obs::counter!("evaluator.canonical_hits").inc();
+                }
+                return Ok(e);
             }
-            return Ok(e);
+            // Single-flight: concurrent requests for the same uncached
+            // point elect one leader to run the exact solve; everyone
+            // else blocks on its completion (bounded by their own
+            // deadline) and re-reads the cache. This is what turns N
+            // simultaneous identical serve requests into one thermal
+            // simulation instead of N.
+            let (flight, leader) = {
+                let mut inflight = self.shared.inflight.lock().expect("lock poisoned");
+                match inflight.get(&key) {
+                    Some(f) => (Arc::clone(f), false),
+                    None => {
+                        let f = Arc::new(Flight::default());
+                        inflight.insert(key, Arc::clone(&f));
+                        (f, true)
+                    }
+                }
+            };
+            if leader {
+                let _guard = FlightGuard {
+                    shared: &self.shared,
+                    key,
+                    flight,
+                };
+                let result = Arc::new(self.evaluate_uncached(layout, benchmark, op, p)?);
+                self.shared.evals.insert(key, Arc::clone(&result));
+                return Ok(result);
+            }
+            obs::counter!("evaluator.singleflight_joins").inc();
+            if !flight.wait(self.deadline) {
+                return Err(EvalError::Deadline {
+                    outer_iterations: 0,
+                });
+            }
+            // Leader finished (or aborted): loop to re-check the cache;
+            // an aborted leader leaves it empty and this handle becomes
+            // the next leader.
         }
+    }
 
-        let spec = &self.spec;
+    /// The cache-miss path of [`Evaluator::evaluate`]: one exact coupled
+    /// solve. Checks this handle's deadline up front and threads it into
+    /// the thermal solver so long fixed-point iterations abort between
+    /// outer iterations. Aborted solves are never cached.
+    fn evaluate_uncached(
+        &self,
+        layout: &ChipletLayout,
+        benchmark: Benchmark,
+        op: OperatingPoint,
+        p: u16,
+    ) -> Result<Evaluation, EvalError> {
+        if self
+            .deadline
+            .is_some_and(|d| std::time::Instant::now() >= d)
+        {
+            return Err(EvalError::Deadline {
+                outer_iterations: 0,
+            });
+        }
+        let spec = &self.shared.spec;
         let profile = benchmark.profile();
         let model = self.model_for(layout)?;
         let placed = place_cores(&spec.chip, layout, &spec.rules)?;
@@ -512,9 +715,14 @@ impl Evaluator {
         let chiplet_rects = layout.chiplet_rects(&spec.chip, &spec.rules);
         let chip_area: f64 = chiplet_rects.iter().map(|r| r.area().value()).sum();
 
-        self.thermal_sims.fetch_add(1, Ordering::Relaxed);
+        self.shared.thermal_sims.fetch_add(1, Ordering::Relaxed);
         obs::counter!("thermal.exact_solves").inc();
         let core_power = &spec.core_power;
+        let mut options = self.coupled.unwrap_or_default();
+        options.deadline = match (options.deadline, self.deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
         let coupled = solve_coupled(
             &model,
             |sol| {
@@ -531,7 +739,7 @@ impl Evaluator {
                 }
                 sources
             },
-            &self.coupled.unwrap_or_default(),
+            &options,
         );
 
         let eval = match coupled {
@@ -566,10 +774,13 @@ impl Evaluator {
                 chiplet_peaks: Vec::new(),
                 outer_iterations: 0,
             },
+            Err(ThermalError::DeadlineExpired { outer_iterations }) => {
+                return Err(EvalError::Deadline { outer_iterations })
+            }
             Err(other) => return Err(EvalError::Thermal(other)),
         };
         // Every converged exact solve doubles as surrogate training data.
-        if let Some(surrogate) = &self.surrogate {
+        if let Some(surrogate) = &self.shared.surrogate {
             if eval.converged {
                 if let Some(input) = self.surrogate_input(layout, benchmark, op, p) {
                     surrogate.observe(
@@ -580,8 +791,6 @@ impl Evaluator {
                 }
             }
         }
-        let eval = Arc::new(eval);
-        self.evals.insert(key, Arc::clone(&eval));
         Ok(eval)
     }
 }
@@ -775,5 +984,59 @@ mod tests {
         assert_eq!(b.op.freq_mhz, 1000.0, "canneal is thermally easy");
         // canneal saturates at 192 cores: more cores reduce IPS.
         assert_eq!(b.active_cores, 192);
+    }
+
+    #[test]
+    fn shared_handles_warm_one_cache() {
+        let ev = evaluator();
+        let op = ev.spec().vf.nominal();
+        let layout = ChipletLayout::Symmetric4 { s3: Mm(3.0) };
+        let a = ev.share();
+        let _ = a.evaluate(&layout, Benchmark::Hpccg, op, 128).unwrap();
+        let sims = ev.thermal_sims();
+        assert_eq!(sims, 1, "handle's solve must count on the shared state");
+        let b = ev.share();
+        let _ = b.evaluate(&layout, Benchmark::Hpccg, op, 128).unwrap();
+        assert_eq!(ev.thermal_sims(), sims, "second handle must hit the cache");
+    }
+
+    #[test]
+    fn expired_deadline_aborts_misses_but_serves_hits() {
+        let ev = evaluator();
+        let op = ev.spec().vf.nominal();
+        let layout = ChipletLayout::Symmetric4 { s3: Mm(5.0) };
+        let expired = ev.with_deadline(Instant::now());
+        let err = expired
+            .evaluate(&layout, Benchmark::Hpccg, op, 128)
+            .unwrap_err();
+        assert!(err.is_deadline(), "got {err}");
+        assert_eq!(ev.thermal_sims(), 0, "no thermal work past the deadline");
+        // Warm the cache without a deadline, then the expired handle must
+        // still serve the hit (partial-progress responses stay useful).
+        let _ = ev.evaluate(&layout, Benchmark::Hpccg, op, 128).unwrap();
+        let hit = ev
+            .with_deadline(Instant::now())
+            .evaluate(&layout, Benchmark::Hpccg, op, 128);
+        assert!(hit.is_ok(), "cache hits are served after expiry");
+    }
+
+    #[test]
+    fn concurrent_identical_misses_coalesce_to_one_solve() {
+        let ev = evaluator();
+        let op = ev.spec().vf.nominal();
+        let layout = ChipletLayout::Symmetric4 { s3: Mm(7.0) };
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = ev.share();
+                s.spawn(move || {
+                    h.evaluate(&layout, Benchmark::Hpccg, op, 64).unwrap();
+                });
+            }
+        });
+        assert_eq!(
+            ev.thermal_sims(),
+            1,
+            "single-flight must elect one leader for one key"
+        );
     }
 }

@@ -838,9 +838,12 @@ pub fn find_placement_with(
                         }
                         Ok(None)
                     };
-                    let workers = std::thread::available_parallelism()
-                        .map(|n| n.get())
-                        .unwrap_or(1)
+                    let workers = obs::threads_override()
+                        .unwrap_or_else(|| {
+                            std::thread::available_parallelism()
+                                .map(|n| n.get())
+                                .unwrap_or(1)
+                        })
                         .min(starts)
                         .min(8);
                     if workers <= 1 {

@@ -141,6 +141,65 @@ mod tests {
     }
 
     #[test]
+    fn headroom_is_always_a_fraction() {
+        // Pure-struct invariant sweep: whatever the three temperatures —
+        // overshoot past the steady bound, undershoot below average,
+        // inverted or degenerate spans — headroom_absorbed stays in [0, 1].
+        let cases = [
+            (80.0, 90.0, 70.0), // in between: the normal case
+            (95.0, 90.0, 70.0), // transient overshoot → clamps to 0
+            (60.0, 90.0, 70.0), // below average → clamps to 1
+            (80.0, 70.0, 70.0), // zero span → defined as 0
+            (80.0, 60.0, 70.0), // inverted bounds → defined as 0
+        ];
+        for (peak, steady, avg) in cases {
+            let e = TransientEvaluation {
+                peak: Celsius(peak),
+                steady_peak: Celsius(steady),
+                average_peak: Celsius(avg),
+                horizon_s: 1.0,
+            };
+            let h = e.headroom_absorbed();
+            assert!(
+                (0.0..=1.0).contains(&h),
+                "headroom {h} out of [0,1] for peak={peak} steady={steady} avg={avg}"
+            );
+        }
+        let mid = TransientEvaluation {
+            peak: Celsius(80.0),
+            steady_peak: Celsius(90.0),
+            average_peak: Celsius(70.0),
+            horizon_s: 1.0,
+        };
+        assert!((mid.headroom_absorbed() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duty_cycled_workload_headroom_is_a_fraction_end_to_end() {
+        // Small-grid end-to-end check of the same invariant on a real
+        // duty-cycled solve (fast enough for the debug profile).
+        let mut spec = spec();
+        spec.thermal.grid = 12;
+        let w = PhasedWorkload::bursty(Benchmark::Shock, 2.0, 0.3, 0.1);
+        let r = evaluate_transient(
+            &spec,
+            &ChipletLayout::SingleChip,
+            &w,
+            spec.vf.nominal(),
+            128,
+            0.5,
+            1,
+        )
+        .unwrap();
+        let h = r.headroom_absorbed();
+        assert!((0.0..=1.0).contains(&h), "headroom {h} out of [0,1]");
+        assert!(
+            r.average_peak <= r.steady_peak,
+            "average-power bound above the peak-power bound"
+        );
+    }
+
+    #[test]
     #[cfg_attr(
         debug_assertions,
         ignore = "slow under the debug profile; validated by the release suite"

@@ -1,11 +1,17 @@
-//! A minimal JSON value model, parser and string escaper.
+//! A minimal JSON value model, parser, serializer and string escaper.
 //!
 //! The obs crate carries no external dependencies (vendored-stub policy),
-//! so the profile/baseline readers and the JSONL sink share this ~200-line
-//! recursive-descent parser instead of serde. It accepts exactly RFC 8259
-//! JSON; numbers are held as `f64` (every value this crate round-trips —
-//! counters, seconds, bucket bounds — fits without loss at the magnitudes
-//! involved).
+//! so the profile/baseline readers, the JSONL sink and the serve daemon's
+//! request/response protocol share this recursive-descent parser and the
+//! matching [`render`] serializer instead of serde. It accepts exactly
+//! RFC 8259 JSON; numbers are held as `f64` (every value this crate
+//! round-trips — counters, seconds, bucket bounds — fits without loss at
+//! the magnitudes involved).
+//!
+//! Rendering is deterministic: object keys keep their insertion order,
+//! numbers use Rust's shortest round-trip `Display` form, and non-finite
+//! floats (which RFC 8259 cannot represent) render as `null`. The serve
+//! daemon's byte-for-byte response determinism rests on these properties.
 
 use std::error::Error;
 use std::fmt;
@@ -69,6 +75,145 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The boolean, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Serializes the value as a compact JSON document. Object key order
+    /// is preserved, numbers use Rust's shortest round-trip form, and
+    /// non-finite floats render as `null` (RFC 8259 has no NaN/Inf).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Number(n) => render_f64(*n, out),
+            Value::String(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            Value::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.render_into(out);
+                }
+                out.push(']');
+            }
+            Value::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&escape(k));
+                    out.push_str("\":");
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+fn render_f64(n: f64, out: &mut String) {
+    use std::fmt::Write as _;
+    if n.is_finite() {
+        // Rust's `{}` for f64 is the shortest string that parses back to
+        // the same bits — deterministic and round-trip exact — and never
+        // uses scientific notation, which keeps the output strict JSON.
+        let _ = write!(out, "{n}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Number(n)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Self {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(n: usize) -> Self {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(n: u32) -> Self {
+        Value::Number(f64::from(n))
+    }
+}
+
+impl From<u16> for Value {
+    fn from(n: u16) -> Self {
+        Value::Number(f64::from(n))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(items: Vec<Value>) -> Self {
+        Value::Array(items)
+    }
+}
+
+impl From<Vec<(String, Value)>> for Value {
+    fn from(pairs: Vec<(String, Value)>) -> Self {
+        Value::Object(pairs)
+    }
+}
+
+/// Builds an object value from `(key, value)` pairs in order — the
+/// ergonomic constructor for response rendering:
+/// `obj([("status", "ok".into())])`.
+pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Value)>) -> Value {
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
 }
 
 /// A parse failure with its byte offset.
@@ -365,5 +510,66 @@ mod tests {
         let raw = "say \"hi\"\n\ttab\\slash\u{1}";
         let doc = format!("\"{}\"", escape(raw));
         assert_eq!(parse(&doc).unwrap().as_str(), Some(raw));
+    }
+
+    #[test]
+    fn render_escapes_quotes_backslashes_and_control_chars() {
+        let v = Value::String("a\"b\\c\nd\re\tf\u{1}g".to_owned());
+        assert_eq!(v.render(), r#""a\"b\\c\nd\re\tf\u0001g""#);
+        // And the rendered document parses back to the same value.
+        assert_eq!(parse(&v.render()).unwrap(), v);
+    }
+
+    #[test]
+    fn render_non_finite_floats_as_null() {
+        assert_eq!(Value::Number(f64::NAN).render(), "null");
+        assert_eq!(Value::Number(f64::INFINITY).render(), "null");
+        assert_eq!(Value::Number(f64::NEG_INFINITY).render(), "null");
+        let doc = obj([("peak", Value::Number(f64::NAN))]).render();
+        assert_eq!(doc, r#"{"peak":null}"#);
+        assert!(parse(&doc).is_ok(), "must stay valid JSON");
+    }
+
+    #[test]
+    fn render_numbers_round_trip_exactly() {
+        for n in [
+            0.0,
+            -0.0,
+            1.5,
+            -273.15,
+            84.999_999_999_999_99,
+            1e-12,
+            9_007_199_254_740_993.0,
+            f64::MIN_POSITIVE,
+        ] {
+            let rendered = Value::Number(n).render();
+            let back = parse(&rendered).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), n.to_bits(), "{n} -> {rendered}");
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trips_nested_documents() {
+        let v = obj([
+            ("name", "tac\u{fc}25d \"serve\"".into()),
+            ("ok", true.into()),
+            ("nothing", Value::Null),
+            (
+                "values",
+                Value::Array(vec![1.25.into(), Value::Null, "x\\y".into()]),
+            ),
+            ("nested", obj([("k", 42u64.into())])),
+        ]);
+        let doc = v.render();
+        assert_eq!(parse(&doc).unwrap(), v);
+        // Key order survives the round trip (the serve determinism gate
+        // compares responses byte for byte).
+        assert_eq!(parse(&doc).unwrap().render(), doc);
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let v = obj([("a", 1u64.into())]);
+        assert_eq!(format!("{v}"), v.render());
     }
 }

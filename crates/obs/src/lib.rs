@@ -77,6 +77,27 @@ pub fn uptime() -> Duration {
     epoch().elapsed()
 }
 
+/// The worker-thread override selected by `TAC25D_THREADS` (cached in a
+/// `OnceLock` like the other env hooks). `None` when unset or invalid —
+/// consumers fall back to `available_parallelism`. Respected by the bench
+/// `parallel_map` pool, the optimizer's multi-start greedy workers and the
+/// serve daemon's worker pool; results are thread-count-independent by
+/// construction, so this only trades wall time for cores.
+pub fn threads_override() -> Option<usize> {
+    static THREADS: OnceLock<Option<usize>> = OnceLock::new();
+    *THREADS.get_or_init(|| parse_threads(std::env::var("TAC25D_THREADS").ok().as_deref()))
+}
+
+/// Parses a `TAC25D_THREADS` value: a positive integer, anything else —
+/// including `0`, empty or garbage — is `None`. Split from
+/// [`threads_override`] so tests can exercise the parsing without racing
+/// on the cached process environment.
+pub fn parse_threads(value: Option<&str>) -> Option<usize> {
+    value
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
 /// Call-site-cached counter handle: `counter!("thermal.pcg_solves").inc()`.
 /// The registry lock is taken once per call site, then the `Arc` is served
 /// from a `static OnceLock`.
@@ -143,5 +164,16 @@ mod tests {
         let a = crate::uptime();
         let b = crate::uptime();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn thread_override_parsing() {
+        assert_eq!(crate::parse_threads(None), None);
+        assert_eq!(crate::parse_threads(Some("")), None);
+        assert_eq!(crate::parse_threads(Some("0")), None);
+        assert_eq!(crate::parse_threads(Some("-2")), None);
+        assert_eq!(crate::parse_threads(Some("four")), None);
+        assert_eq!(crate::parse_threads(Some("1")), Some(1));
+        assert_eq!(crate::parse_threads(Some(" 8 ")), Some(8));
     }
 }

@@ -1,0 +1,139 @@
+//! A minimal keep-alive HTTP client for the daemon — used by
+//! `tac25d query`, the load generator and the `verify serve` harness.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One keep-alive connection to a daemon.
+pub struct Client {
+    stream: TcpStream,
+    carry: Vec<u8>,
+}
+
+/// A received response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Header pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// Body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// First value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `127.0.0.1:8425`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+        Ok(Client {
+            stream,
+            carry: Vec::new(),
+        })
+    }
+
+    /// Sends `GET path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors and malformed responses.
+    pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        self.send(&format!("GET {path} HTTP/1.1\r\nHost: tac25d\r\n\r\n"))?;
+        self.read_response()
+    }
+
+    /// Sends `POST path` with a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors and malformed responses.
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<ClientResponse> {
+        self.send(&format!(
+            "POST {path} HTTP/1.1\r\nHost: tac25d\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        ))?;
+        self.read_response()
+    }
+
+    fn send(&mut self, raw: &str) -> std::io::Result<()> {
+        self.stream.write_all(raw.as_bytes())?;
+        self.stream.flush()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+        let malformed =
+            |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_owned());
+        // Head.
+        let head_end = loop {
+            if let Some(pos) = self.carry.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            let mut chunk = [0u8; 4096];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(malformed("connection closed mid-response"));
+            }
+            self.carry.extend_from_slice(&chunk[..n]);
+        };
+        let head = std::str::from_utf8(&self.carry[..head_end])
+            .map_err(|_| malformed("non-UTF-8 response head"))?
+            .to_owned();
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().ok_or_else(|| malformed("empty response"))?;
+        let status = status_line
+            .split_ascii_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| malformed("bad status line"))?;
+        let mut headers = Vec::new();
+        for line in lines {
+            if let Some((n, v)) = line.split_once(':') {
+                headers.push((n.trim().to_ascii_lowercase(), v.trim().to_owned()));
+            }
+        }
+        let content_length = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok())
+            .ok_or_else(|| malformed("missing content-length"))?;
+        let body_start = head_end + 4;
+        while self.carry.len() < body_start + content_length {
+            let mut chunk = [0u8; 4096];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(malformed("connection closed mid-body"));
+            }
+            self.carry.extend_from_slice(&chunk[..n]);
+        }
+        let body = self.carry[body_start..body_start + content_length].to_vec();
+        self.carry.drain(..body_start + content_length);
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}

@@ -1,0 +1,307 @@
+//! Minimal HTTP/1.1 over `std::net::TcpStream` — exactly the subset the
+//! service needs (the vendored-offline policy rules out hyper et al.).
+//!
+//! Supported: request line + headers + `Content-Length` bodies, keep-alive
+//! with pipelining (a persistent per-connection buffer carries bytes read
+//! past the current request into the next parse), `Connection: close`,
+//! bounded header and body sizes. Not supported (rejected cleanly):
+//! chunked transfer encoding, upgrades, HTTP/2.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Maximum bytes of request line + headers before `431`.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Maximum request-body bytes before `413`.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method, e.g. `GET`.
+    pub method: String,
+    /// Path with query string, e.g. `/v1/evaluate`.
+    pub path: String,
+    /// Header name/value pairs in arrival order; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (empty without `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// exchange (`Connection: close`; keep-alive is the HTTP/1.1 default).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Errors while reading one request. Each maps to a response status (or to
+/// silently dropping the connection for clean EOF / IO errors).
+#[derive(Debug)]
+pub enum HttpError {
+    /// Connection closed with no request bytes (normal keep-alive end).
+    Eof,
+    /// Malformed request line or headers → 400.
+    BadRequest(String),
+    /// Head exceeded [`MAX_HEAD_BYTES`] → 431.
+    HeadTooLarge,
+    /// Body exceeded [`MAX_BODY_BYTES`] → 413.
+    BodyTooLarge,
+    /// Read timed out mid-request (workers poll with a read timeout so
+    /// they can observe shutdown; a timeout with a partial request means
+    /// a stalled or abandoned client).
+    Timeout,
+    /// Transport error.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Eof => write!(f, "connection closed"),
+            HttpError::BadRequest(m) => write!(f, "bad request: {m}"),
+            HttpError::HeadTooLarge => write!(f, "request head too large"),
+            HttpError::BodyTooLarge => write!(f, "request body too large"),
+            HttpError::Timeout => write!(f, "read timed out"),
+            HttpError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one request from `stream`. `carry` is the connection's persistent
+/// buffer: bytes of a *following* pipelined request read past this one are
+/// left in it for the next call. Returns [`HttpError::Eof`] on a clean
+/// close between requests.
+pub fn read_request(stream: &mut TcpStream, carry: &mut Vec<u8>) -> Result<Request, HttpError> {
+    // Accumulate until the blank line ending the head.
+    let head_end = loop {
+        if let Some(pos) = find_head_end(carry) {
+            break pos;
+        }
+        if carry.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::HeadTooLarge);
+        }
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk).map_err(|e| {
+            if is_timeout(&e) {
+                HttpError::Timeout
+            } else {
+                HttpError::Io(e)
+            }
+        })?;
+        if n == 0 {
+            return if carry.iter().all(|&b| b == b'\r' || b == b'\n') {
+                Err(HttpError::Eof)
+            } else {
+                Err(HttpError::BadRequest("truncated request head".into()))
+            };
+        }
+        carry.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&carry[..head_end])
+        .map_err(|_| HttpError::BadRequest("non-UTF-8 request head".into()))?
+        .to_owned();
+    let body_start = head_end + 4; // past \r\n\r\n
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("empty request line".into()))?;
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing method".into()))?
+        .to_ascii_uppercase();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing path".into()))?
+        .to_owned();
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        _ => return Err(HttpError::BadRequest("not an HTTP/1.x request".into())),
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest(format!("malformed header {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::BadRequest(format!("bad content-length {v:?}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::BodyTooLarge);
+    }
+    if headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError::BadRequest(
+            "chunked transfer encoding unsupported".into(),
+        ));
+    }
+
+    // Read the body, carrying any pipelined surplus over to the next call.
+    while carry.len() < body_start + content_length {
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk).map_err(|e| {
+            if is_timeout(&e) {
+                HttpError::Timeout
+            } else {
+                HttpError::Io(e)
+            }
+        })?;
+        if n == 0 {
+            return Err(HttpError::BadRequest("truncated request body".into()));
+        }
+        carry.extend_from_slice(&chunk[..n]);
+    }
+    let body = carry[body_start..body_start + content_length].to_vec();
+    carry.drain(..body_start + content_length);
+
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// Position of the `\r\n\r\n` terminating the request head, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// An outgoing response.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers (Content-Length/Type and Connection are added by
+    /// [`Response::write_to`]).
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+    /// Content type sent with the body.
+    pub content_type: &'static str,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into(),
+            content_type: "application/json",
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into(),
+            content_type: "text/plain; charset=utf-8",
+        }
+    }
+
+    /// Adds a header.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Response {
+        self.headers.push((name.to_owned(), value.into()));
+        self
+    }
+
+    /// Serializes the response to `stream`. `close` sends
+    /// `Connection: close` (otherwise `keep-alive`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn write_to(&self, stream: &mut TcpStream, close: bool) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+            self.status,
+            reason_phrase(self.status),
+            self.content_type,
+            self.body.len(),
+            if close { "close" } else { "keep-alive" },
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// The standard reason phrase for the status codes this service emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_end_detection() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+
+    #[test]
+    fn reason_phrases_cover_emitted_codes() {
+        for code in [200, 400, 404, 405, 413, 422, 431, 500, 503, 504] {
+            assert_ne!(reason_phrase(code), "Unknown", "code {code}");
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! End-to-end daemon tests over real sockets: keep-alive byte-identity,
+//! deadlines, backpressure, and graceful drain.
+
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use tac25d_core::prelude::SystemSpec;
+use tac25d_serve::client::Client;
+use tac25d_serve::engine::EngineState;
+use tac25d_serve::server::{start, ServerConfig};
+
+fn engine() -> Arc<EngineState> {
+    let mut spec = SystemSpec::fast();
+    spec.thermal.grid = 16;
+    Arc::new(EngineState::new(spec))
+}
+
+fn boot(config: ServerConfig) -> (tac25d_serve::server::ServerHandle, String, Arc<EngineState>) {
+    let engine = engine();
+    let handle = start(config, Arc::clone(&engine)).expect("bind ephemeral port");
+    let addr = handle.local_addr().to_string();
+    (handle, addr, engine)
+}
+
+#[test]
+fn healthz_metrics_and_keepalive_byte_identity() {
+    let (handle, addr, engine) = boot(ServerConfig::default());
+    let mut client = Client::connect(&addr).unwrap();
+
+    let health = client.get("/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    assert_eq!(health.text(), r#"{"status":"ok"}"#);
+
+    // Two POSTs on one keep-alive connection; both must match the local
+    // engine's answer byte-for-byte.
+    let body = r#"{"benchmark": "hpccg", "layout": "uniform:4,6"}"#;
+    let expected = engine
+        .evaluate(
+            &tac25d_serve::protocol::EvaluateRequest::from_json(
+                &tac25d_obs::json::parse(body).unwrap(),
+            )
+            .unwrap(),
+            None,
+        )
+        .body;
+    for _ in 0..2 {
+        let r = client.post("/v1/evaluate", body).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.text(), expected, "daemon response diverged from local");
+    }
+
+    let metrics = client.get("/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    let text = metrics.text();
+    assert!(
+        text.contains("serve_requests"),
+        "metrics missing serve_requests:\n{text}"
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn expired_deadline_returns_504_and_connection_stays_usable() {
+    let (handle, addr, _engine) = boot(ServerConfig::default());
+    let mut client = Client::connect(&addr).unwrap();
+
+    // deadline_ms: 0 expires before any thermal work starts. Use a layout
+    // distinct from other tests so a warm cache can't serve it.
+    let r = client
+        .post(
+            "/v1/evaluate",
+            r#"{"benchmark": "shock", "layout": "sym16:4,2,5", "deadline_ms": 0}"#,
+        )
+        .unwrap();
+    assert_eq!(r.status, 504, "{}", r.text());
+    let v = tac25d_obs::json::parse(&r.text()).unwrap();
+    assert_eq!(v.get("completed").unwrap().as_bool(), Some(false));
+
+    // Same connection, no deadline: served fine — the pool is not wedged.
+    let r = client
+        .post(
+            "/v1/evaluate",
+            r#"{"benchmark": "shock", "layout": "sym16:4,2,5"}"#,
+        )
+        .unwrap();
+    assert_eq!(r.status, 200, "{}", r.text());
+
+    handle.shutdown();
+}
+
+#[test]
+fn full_intake_queue_sheds_with_503_without_wedging_the_pool() {
+    let (handle, addr, _engine) = boot(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServerConfig::default()
+    });
+
+    // Occupy the single worker with an idle connection, then fill the
+    // 1-slot queue with a second. Both send no bytes, so they hold their
+    // positions until closed.
+    let blocker = TcpStream::connect(&addr).unwrap();
+    std::thread::sleep(Duration::from_millis(300)); // worker dequeues it
+    let queued = TcpStream::connect(&addr).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+
+    // The next connection must be shed with 503 + Retry-After.
+    let mut shed = Client::connect(&addr).unwrap();
+    let r = shed.get("/healthz").unwrap();
+    assert_eq!(r.status, 503, "{}", r.text());
+    assert_eq!(r.header("retry-after"), Some("1"));
+
+    // Release the pool: the shed connection did not wedge anything.
+    drop(blocker);
+    drop(queued);
+    std::thread::sleep(Duration::from_millis(300));
+    let mut ok = Client::connect(&addr).unwrap();
+    assert_eq!(ok.get("/healthz").unwrap().status, 200);
+
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_and_stops_accepting() {
+    let (handle, addr, _engine) = boot(ServerConfig::default());
+    let mut client = Client::connect(&addr).unwrap();
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+    handle.shutdown();
+    // After drain the daemon no longer serves.
+    let gone = Client::connect(&addr)
+        .and_then(|mut c| c.get("/healthz"))
+        .is_err();
+    assert!(gone, "daemon still answering after shutdown");
+}

@@ -123,6 +123,13 @@ pub struct CoupledOptions {
     pub runaway: Celsius,
     /// Iteration strategy (defaults to [`CoupledStrategy::from_env`]).
     pub strategy: CoupledStrategy,
+    /// Wall-clock instant after which the outer loop aborts with
+    /// [`ThermalError::DeadlineExpired`] instead of starting another
+    /// iteration. `None` (the default) never aborts. The check sits
+    /// *between* outer iterations — an in-flight inner solve always
+    /// completes — so the abort leaves no half-updated state and the
+    /// iteration count it reports is exact.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for CoupledOptions {
@@ -132,8 +139,17 @@ impl Default for CoupledOptions {
             max_iter: 60,
             runaway: Celsius(400.0),
             strategy: CoupledStrategy::from_env(),
+            deadline: None,
         }
     }
+}
+
+/// Whether the options' deadline has passed. Reads the clock only when a
+/// deadline is set, so deadline-free callers (every batch driver) pay
+/// nothing.
+fn deadline_expired(opts: &CoupledOptions) -> bool {
+    opts.deadline
+        .is_some_and(|d| std::time::Instant::now() >= d)
 }
 
 /// Result of a converged (or stagnated) coupled solve.
@@ -195,6 +211,12 @@ where
     F: FnMut(Option<&ThermalSolution>) -> Vec<(Rect, f64)>,
 {
     assert!(opts.max_iter > 0, "max_iter must be positive");
+    if deadline_expired(opts) {
+        obs::counter!("thermal.deadline_aborts").inc();
+        return Err(ThermalError::DeadlineExpired {
+            outer_iterations: 0,
+        });
+    }
     // One scratch for the whole fixed point: every inner solve reuses the
     // same PCG work vectors, and each iteration warm-starts from the
     // previous temperature field.
@@ -203,6 +225,12 @@ where
     let mut current = model.solve_with_scratch(&sources, None, &mut scratch)?;
     let mut inner = current.iterations();
     for it in 1..=opts.max_iter {
+        if deadline_expired(opts) {
+            obs::counter!("thermal.deadline_aborts").inc();
+            return Err(ThermalError::DeadlineExpired {
+                outer_iterations: it - 1,
+            });
+        }
         if current.peak() > opts.runaway {
             return Err(ThermalError::Runaway {
                 peak: current.peak(),
@@ -249,6 +277,12 @@ where
     F: FnMut(Option<&ThermalSolution>) -> Vec<(Rect, f64)>,
 {
     assert!(opts.max_iter > 0, "max_iter must be positive");
+    if deadline_expired(opts) {
+        obs::counter!("thermal.deadline_aborts").inc();
+        return Err(ThermalError::DeadlineExpired {
+            outer_iterations: 0,
+        });
+    }
     let full_tol = model.config().rel_tol;
     let eta_max = ETA_LOOSE.max(full_tol);
     let eta_conv = (opts.tol.value() * CONFIRM_ETA_PER_TOL).clamp(full_tol, eta_max);
@@ -264,6 +298,12 @@ where
     // One secant pair of history: (f_{k-1}, g_{k-1}).
     let mut history: Option<(Vec<f64>, Vec<f64>)> = None;
     for it in 1..=opts.max_iter {
+        if deadline_expired(opts) {
+            obs::counter!("thermal.deadline_aborts").inc();
+            return Err(ThermalError::DeadlineExpired {
+                outer_iterations: it - 1,
+            });
+        }
         if x.peak() > opts.runaway {
             return Err(ThermalError::Runaway { peak: x.peak() });
         }
@@ -664,5 +704,65 @@ mod tests {
     fn strategy_env_parsing() {
         assert_eq!(CoupledStrategy::Picard.name(), "picard");
         assert_eq!(CoupledStrategy::Anderson.name(), "anderson");
+    }
+
+    #[test]
+    fn expired_deadline_aborts_before_any_solve() {
+        let m = model();
+        for strategy in [CoupledStrategy::Picard, CoupledStrategy::Anderson] {
+            let mut calls = 0usize;
+            let err = solve_coupled(
+                &m,
+                |_| {
+                    calls += 1;
+                    vec![(die(), 100.0)]
+                },
+                &CoupledOptions {
+                    deadline: Some(std::time::Instant::now() - std::time::Duration::from_secs(1)),
+                    strategy,
+                    ..CoupledOptions::default()
+                },
+            )
+            .unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ThermalError::DeadlineExpired {
+                        outer_iterations: 0
+                    }
+                ),
+                "{err}"
+            );
+            assert_eq!(
+                calls, 0,
+                "no power map evaluation after an expired deadline"
+            );
+        }
+    }
+
+    #[test]
+    fn generous_deadline_does_not_perturb_the_solve() {
+        let m = model();
+        let map = |sol: Option<&ThermalSolution>| {
+            let t = sol.map_or(45.0, |s| s.rect_avg(&die()).value());
+            vec![(die(), 150.0 * (1.0 + 0.01 * (t - 45.0)))]
+        };
+        let plain = solve_coupled(&m, map, &picard_opts()).unwrap();
+        let with_deadline = solve_coupled(
+            &m,
+            map,
+            &CoupledOptions {
+                deadline: Some(std::time::Instant::now() + std::time::Duration::from_secs(3600)),
+                ..picard_opts()
+            },
+        )
+        .unwrap();
+        assert!(plain.converged && with_deadline.converged);
+        assert_eq!(plain.outer_iterations, with_deadline.outer_iterations);
+        let max_dt = max_abs_delta(
+            plain.solution.raw_temps(),
+            with_deadline.solution.raw_temps(),
+        );
+        assert_eq!(max_dt, 0.0, "deadline must not change the arithmetic");
     }
 }

@@ -141,6 +141,13 @@ pub enum ThermalError {
         /// Peak temperature at the moment of divergence.
         peak: Celsius,
     },
+    /// The caller-supplied deadline (`CoupledOptions::deadline`) expired
+    /// before the coupled loop converged. Not a solver failure: the serve
+    /// daemon maps this to a 504 with partial progress attached.
+    DeadlineExpired {
+        /// Outer iterations completed before the abort.
+        outer_iterations: usize,
+    },
 }
 
 impl fmt::Display for ThermalError {
@@ -151,6 +158,12 @@ impl fmt::Display for ThermalError {
             ThermalError::InvalidPower { reason } => write!(f, "invalid power map: {reason}"),
             ThermalError::Runaway { peak } => {
                 write!(f, "thermal runaway (peak reached {peak})")
+            }
+            ThermalError::DeadlineExpired { outer_iterations } => {
+                write!(
+                    f,
+                    "coupled-solve deadline expired after {outer_iterations} outer iterations"
+                )
             }
         }
     }

@@ -7,6 +7,7 @@
 //! verify diff [--fast]       # differential corpus + Fig. 8 guarantees
 //! verify golden [--bless] [--only <bin>]
 //! verify obs                 # observability determinism guard
+//! verify serve               # daemon byte-identity vs one-shot engine
 //! verify all [--fast]        # everything above (golden without bless)
 //! ```
 //!
@@ -31,6 +32,7 @@ use tac25d_verify::fixedpoint::{
 use tac25d_verify::golden::{golden_dir, manifest, run_spec, workspace_root};
 use tac25d_verify::mms::{chain_error, observed_orders, path_split, FinCase};
 use tac25d_verify::obsguard::{obs_manifest, run_obs_determinism};
+use tac25d_verify::servecheck::{serve_equivalence_report, CONCURRENT_CLIENTS};
 use tac25d_verify::solvercheck::{solver_equivalence_cases, MAX_SOLVER_DT_C};
 
 /// Acceptance thresholds, mirrored by the in-crate tests.
@@ -395,6 +397,50 @@ fn run_obs(report: &mut String) -> bool {
     ok
 }
 
+fn run_serve(report: &mut String) -> bool {
+    let mut ok = true;
+    // Always the coarse grid-16 spec: byte-identity between the daemon
+    // and a one-shot engine is a transport/determinism contract, not a
+    // physics-resolution one, and the coarse spec keeps the corpus +
+    // 8-client contention pass tractable.
+    let spec = verification_spec(true);
+    let _ = writeln!(
+        report,
+        "Serve byte-identity (daemon vs one-shot engine, {CONCURRENT_CLIENTS} concurrent clients):"
+    );
+    match serve_equivalence_report(&spec) {
+        Ok(outcome) => {
+            for c in &outcome.cases {
+                let status = if c.passed() {
+                    "ok"
+                } else {
+                    ok = false;
+                    "FAIL"
+                };
+                let _ = writeln!(
+                    report,
+                    "  {:<22} http={} sequential_match={} concurrent={}/{} {status}",
+                    c.name, c.status, c.sequential_match, c.concurrent_matches, c.concurrent_total
+                );
+            }
+            let _ = writeln!(
+                report,
+                "  healthz={} metrics={}",
+                outcome.healthz_ok, outcome.metrics_ok
+            );
+            if !outcome.healthz_ok || !outcome.metrics_ok {
+                ok = false;
+                let _ = writeln!(report, "  FAIL: endpoint probe failed");
+            }
+        }
+        Err(e) => {
+            ok = false;
+            let _ = writeln!(report, "  ERROR: {e}");
+        }
+    }
+    ok
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mode = args.first().map(String::as_str).unwrap_or("all");
@@ -413,6 +459,7 @@ fn main() -> ExitCode {
         "diff" => run_diff(&mut report, fast),
         "golden" => run_golden(&mut report, bless, only.as_deref()),
         "obs" => run_obs(&mut report),
+        "serve" => run_serve(&mut report),
         "all" => {
             let a = run_mms(&mut report);
             let s = run_solver(&mut report);
@@ -420,11 +467,12 @@ fn main() -> ExitCode {
             let b = run_diff(&mut report, fast);
             let c = run_golden(&mut report, bless, only.as_deref());
             let d = run_obs(&mut report);
-            a && s && f && b && c && d
+            let e = run_serve(&mut report);
+            a && s && f && b && c && d && e
         }
         other => {
             eprintln!(
-                "unknown mode {other:?}; use mms | solver | fixedpoint | diff | golden | obs | all"
+                "unknown mode {other:?}; use mms | solver | fixedpoint | diff | golden | obs | serve | all"
             );
             return ExitCode::FAILURE;
         }

@@ -33,6 +33,7 @@ pub mod fixedpoint;
 pub mod golden;
 pub mod mms;
 pub mod obsguard;
+pub mod servecheck;
 pub mod solvercheck;
 
 pub use differential::{DiffPoint, DiffRecord, Fig8Case};

@@ -1,0 +1,303 @@
+//! Serve-layer equivalence gate: the long-running daemon must answer a
+//! pinned request corpus **byte-identically** to a fresh local engine —
+//! the one-shot CLI semantics — both sequentially and under concurrent
+//! keep-alive clients hammering the shared warm caches.
+//!
+//! The corpus covers every layout grammar form, off-nominal operating
+//! points, partial core occupation, a custom feasibility threshold and
+//! seeded optimize searches. The gate runs on the coarse grid-16 spec
+//! regardless of `--fast`: serving correctness is a transport-and-
+//! determinism property, not a physics-resolution property, and the
+//! contract must hold on any spec.
+
+use std::sync::Arc;
+
+use tac25d_core::prelude::SystemSpec;
+use tac25d_serve::client::Client;
+use tac25d_serve::engine::EngineState;
+use tac25d_serve::protocol::{EvaluateRequest, OptimizeRequest};
+use tac25d_serve::server::{start, ServerConfig};
+
+/// Concurrent keep-alive clients in the contention phase.
+pub const CONCURRENT_CLIENTS: usize = 8;
+
+/// One pinned request.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusRequest {
+    /// Short case name for the report.
+    pub name: &'static str,
+    /// Endpoint path (`/v1/evaluate` or `/v1/optimize`).
+    pub path: &'static str,
+    /// JSON request body.
+    pub body: &'static str,
+}
+
+/// The pinned corpus: every layout grammar form, off-nominal VF points,
+/// partial occupation, custom thresholds, and seeded optimize runs.
+pub fn corpus() -> Vec<CorpusRequest> {
+    let eval = |name, body| CorpusRequest {
+        name,
+        path: "/v1/evaluate",
+        body,
+    };
+    let opt = |name, body| CorpusRequest {
+        name,
+        path: "/v1/optimize",
+        body,
+    };
+    vec![
+        eval(
+            "hpccg_uniform4",
+            r#"{"benchmark": "hpccg", "layout": "uniform:4,6"}"#,
+        ),
+        eval(
+            "shock_uniform4",
+            r#"{"benchmark": "shock", "layout": "uniform:4,6"}"#,
+        ),
+        eval(
+            "cholesky_uniform2",
+            r#"{"benchmark": "cholesky", "layout": "uniform:2,4"}"#,
+        ),
+        eval(
+            "hpccg_sym4",
+            r#"{"benchmark": "hpccg", "layout": "sym4:5"}"#,
+        ),
+        eval(
+            "canneal_800mhz",
+            r#"{"benchmark": "canneal", "layout": "uniform:4,6", "freq_mhz": 800}"#,
+        ),
+        eval("shock_2d", r#"{"benchmark": "shock", "layout": "2d"}"#),
+        eval(
+            "swaptions_sym16",
+            r#"{"benchmark": "swaptions", "layout": "sym16:4,2,5"}"#,
+        ),
+        eval(
+            "streamcluster_192c",
+            r#"{"benchmark": "streamcluster", "layout": "uniform:2,4", "cores": 192}"#,
+        ),
+        eval(
+            "lucont_533mhz",
+            r#"{"benchmark": "lu.cont", "layout": "uniform:4,6", "freq_mhz": 533}"#,
+        ),
+        eval(
+            "blackscholes_t80",
+            r#"{"benchmark": "blackscholes", "layout": "sym4:5", "threshold_c": 80}"#,
+        ),
+        opt(
+            "optimize_hpccg_s42",
+            r#"{"benchmark": "hpccg", "starts": 3, "seed": 42}"#,
+        ),
+        opt(
+            "optimize_shock_s7",
+            r#"{"benchmark": "shock", "starts": 2, "seed": 7, "alpha": 1, "beta": 0.2}"#,
+        ),
+    ]
+}
+
+/// One corpus request's comparison between the daemon and a fresh local
+/// engine.
+#[derive(Debug, Clone)]
+pub struct ServeCase {
+    /// Corpus case name.
+    pub name: &'static str,
+    /// HTTP status the daemon returned sequentially.
+    pub status: u16,
+    /// Whether the sequential daemon response matched the local engine
+    /// byte-for-byte.
+    pub sequential_match: bool,
+    /// Concurrent responses (across all clients) matching byte-for-byte.
+    pub concurrent_matches: usize,
+    /// Concurrent responses expected ([`CONCURRENT_CLIENTS`]).
+    pub concurrent_total: usize,
+}
+
+impl ServeCase {
+    /// Whether the case satisfies the byte-identity contract.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.status == 200
+            && self.sequential_match
+            && self.concurrent_matches == self.concurrent_total
+    }
+}
+
+/// The full gate outcome: per-request cases plus endpoint probes.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Per-corpus-request comparisons.
+    pub cases: Vec<ServeCase>,
+    /// `GET /healthz` returned the exact health body.
+    pub healthz_ok: bool,
+    /// `GET /metrics` rendered Prometheus text with serve counters.
+    pub metrics_ok: bool,
+}
+
+impl ServeReport {
+    /// Whether every case and probe passed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.healthz_ok && self.metrics_ok && self.cases.iter().all(ServeCase::passed)
+    }
+}
+
+/// The expected response body for one corpus request, computed by a
+/// local engine — exactly what the one-shot CLI (`tac25d query --local`)
+/// prints.
+fn local_expected(engine: &EngineState, req: &CorpusRequest) -> Result<String, String> {
+    let v = tac25d_obs::json::parse(req.body).map_err(|e| format!("{}: {e}", req.name))?;
+    let result = match req.path {
+        "/v1/evaluate" => engine.evaluate(
+            &EvaluateRequest::from_json(&v).map_err(|e| format!("{}: {e}", req.name))?,
+            None,
+        ),
+        "/v1/optimize" => engine.optimize(
+            &OptimizeRequest::from_json(&v).map_err(|e| format!("{}: {e}", req.name))?,
+            None,
+        ),
+        other => return Err(format!("{}: unknown path {other}", req.name)),
+    };
+    if result.status != 200 {
+        return Err(format!(
+            "{}: local engine returned {}: {}",
+            req.name, result.status, result.body
+        ));
+    }
+    Ok(result.body)
+}
+
+/// Runs the pinned corpus against a freshly booted daemon and compares
+/// every response byte-for-byte with a fresh local engine, sequentially
+/// and then with [`CONCURRENT_CLIENTS`] clients at once.
+///
+/// # Errors
+///
+/// Returns transport or harness failures (bind, connect, local-engine
+/// errors) — those are environment problems, not equivalence
+/// measurements.
+pub fn serve_equivalence_report(spec: &SystemSpec) -> Result<ServeReport, String> {
+    let requests = corpus();
+
+    // The reference: a fresh (cold) local engine, the one-shot CLI path.
+    let local = EngineState::new(spec.clone());
+    let expected: Vec<String> = requests
+        .iter()
+        .map(|r| local_expected(&local, r))
+        .collect::<Result<_, _>>()?;
+
+    // The daemon under test, on its own engine.
+    let engine = Arc::new(EngineState::new(spec.clone()));
+    let handle = start(ServerConfig::default(), engine).map_err(|e| format!("bind: {e}"))?;
+    let addr = handle.local_addr().to_string();
+
+    let mut client = Client::connect(&addr).map_err(|e| format!("connect: {e}"))?;
+    let healthz_ok = client
+        .get("/healthz")
+        .map(|r| r.status == 200 && r.text() == r#"{"status":"ok"}"#)
+        .unwrap_or(false);
+
+    // Sequential pass over one keep-alive connection.
+    let mut cases: Vec<ServeCase> = Vec::with_capacity(requests.len());
+    for (req, want) in requests.iter().zip(&expected) {
+        let r = client
+            .post(req.path, req.body)
+            .map_err(|e| format!("{}: {e}", req.name))?;
+        cases.push(ServeCase {
+            name: req.name,
+            status: r.status,
+            sequential_match: r.text() == *want,
+            concurrent_matches: 0,
+            concurrent_total: CONCURRENT_CLIENTS,
+        });
+    }
+
+    // Contention pass: every client replays the whole corpus against the
+    // now-warm shared caches; warmth must not change a single byte.
+    let workers: Vec<_> = (0..CONCURRENT_CLIENTS)
+        .map(|_| {
+            let addr = addr.clone();
+            let requests = requests.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || -> Result<Vec<bool>, String> {
+                let mut client = Client::connect(&addr).map_err(|e| format!("connect: {e}"))?;
+                requests
+                    .iter()
+                    .zip(&expected)
+                    .map(|(req, want)| {
+                        client
+                            .post(req.path, req.body)
+                            .map(|r| r.status == 200 && r.text() == *want)
+                            .map_err(|e| format!("{}: {e}", req.name))
+                    })
+                    .collect()
+            })
+        })
+        .collect();
+    for worker in workers {
+        let matches = worker.join().map_err(|_| "client thread panicked")??;
+        for (case, matched) in cases.iter_mut().zip(matches) {
+            case.concurrent_matches += usize::from(matched);
+        }
+    }
+
+    let metrics_ok = client
+        .get("/metrics")
+        .map(|r| {
+            let text = r.text();
+            r.status == 200
+                && text.contains("serve_requests")
+                && text.contains("evaluator_cache_hits")
+        })
+        .unwrap_or(false);
+
+    handle.shutdown();
+    Ok(ServeReport {
+        cases,
+        healthz_ok,
+        metrics_ok,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tac25d_floorplan::units::Mm;
+
+    fn gate_spec() -> SystemSpec {
+        let mut spec = SystemSpec::fast();
+        spec.thermal.grid = 16;
+        spec.edge_step = Mm(2.0);
+        spec
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow under the debug profile; validated by the release suite"
+    )]
+    fn corpus_passes_byte_identity_gate() {
+        let report = serve_equivalence_report(&gate_spec()).unwrap();
+        assert!(report.healthz_ok, "healthz probe failed");
+        assert!(report.metrics_ok, "metrics probe failed");
+        for case in &report.cases {
+            assert!(
+                case.passed(),
+                "{}: status {}, sequential_match {}, concurrent {}/{}",
+                case.name,
+                case.status,
+                case.sequential_match,
+                case.concurrent_matches,
+                case.concurrent_total
+            );
+        }
+    }
+
+    #[test]
+    fn corpus_is_nonempty_and_well_formed() {
+        let requests = corpus();
+        assert!(requests.len() >= 10, "corpus too small: {}", requests.len());
+        assert!(requests.iter().any(|r| r.path == "/v1/optimize"));
+        for r in requests {
+            tac25d_obs::json::parse(r.body).expect("corpus body parses");
+        }
+    }
+}
