@@ -36,7 +36,7 @@ use tac25d_obs as obs;
 /// One recorded `fig8` run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Fig8Entry {
-    /// Solver kind the run used (`ic0` or `jacobi`).
+    /// Solver kind the run used (`ic0`, `jacobi` or `mg`).
     pub solver: String,
     /// Whether `--fast` was passed.
     pub fast: bool,
@@ -93,10 +93,14 @@ pub fn current_entry() -> Fig8Entry {
 
 /// The active solver kind's name, mirroring the thermal crate's
 /// `SolverKind::from_env` without a dependency edge: `TAC25D_SOLVER=jacobi`
-/// selects the legacy path, anything else the IC(0) default.
+/// selects the legacy path, `mg`/`multigrid` the multigrid tier, anything
+/// else the IC(0) default.
 fn solver_name() -> String {
     match std::env::var("TAC25D_SOLVER") {
         Ok(v) if v.eq_ignore_ascii_case("jacobi") => "jacobi".to_owned(),
+        Ok(v) if v.eq_ignore_ascii_case("mg") || v.eq_ignore_ascii_case("multigrid") => {
+            "mg".to_owned()
+        }
         _ => "ic0".to_owned(),
     }
 }
@@ -281,7 +285,7 @@ mod tests {
     #[test]
     fn current_entry_reads_registry_and_env() {
         let e = current_entry();
-        assert!(e.solver == "ic0" || e.solver == "jacobi");
+        assert!(e.solver == "ic0" || e.solver == "jacobi" || e.solver == "mg");
         assert_eq!(e.date.len(), 10);
         assert!(e.wall_s >= 0.0);
     }

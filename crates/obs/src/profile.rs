@@ -44,6 +44,7 @@ pub const CANONICAL_COUNTERS: &[&str] = &[
     "thermal.exact_solves",
     "thermal.anderson_accepted",
     "thermal.assembly_rows_reused",
+    "thermal.mg_vcycles",
     "evaluator.canonical_hits",
     "surrogate.predictions",
     "optimizer.greedy_starts",
@@ -56,13 +57,16 @@ pub const BASELINE_COUNTERS: &[&str] = &[
     "thermal.exact_solves",
     "thermal.anderson_accepted",
     "thermal.assembly_rows_reused",
+    "thermal.mg_vcycles",
 ];
 
 /// Baseline counters where only *increases* are regressions: dropping
 /// below the blessed value (a faster solver, a better warm start) must
 /// pass the gate without a re-bless, while exceeding it by the tolerance
-/// still fails.
-pub const ONE_SIDED_COUNTERS: &[&str] = &["thermal.pcg_iterations"];
+/// still fails. `thermal.mg_vcycles` is 0 on the default path (the gate
+/// rides along for free there) and guards V-cycle-count regressions on
+/// the `TAC25D_SOLVER=mg` profile run.
+pub const ONE_SIDED_COUNTERS: &[&str] = &["thermal.pcg_iterations", "thermal.mg_vcycles"];
 
 /// The mirror image: improvement counters where only *decreases* are
 /// regressions. These count work *saved* (accepted Anderson steps, CSR

@@ -91,6 +91,68 @@ fn expired_deadline_returns_504_and_connection_stays_usable() {
 }
 
 #[test]
+fn concurrent_deadline_504s_are_shaped_and_never_cached() {
+    let (handle, addr, _engine) = boot(ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    });
+
+    // Distinct layouts per thread so every request does fresh thermal work
+    // (a warm cache would serve the answer before the deadline matters).
+    // deadline_ms: 0 is already expired when the fixed point starts, so
+    // each evaluation aborts deterministically mid-flight.
+    let layouts = ["uniform:2,5", "uniform:4,3", "sym4:7", "sym16:3,2,4"];
+    let threads: Vec<_> = layouts
+        .iter()
+        .map(|&layout| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                let body =
+                    format!(r#"{{"benchmark": "shock", "layout": "{layout}", "deadline_ms": 0}}"#);
+                let r = client.post("/v1/evaluate", &body).unwrap();
+                (layout, r.status, r.text())
+            })
+        })
+        .collect();
+    for t in threads {
+        let (layout, status, text) = t.join().unwrap();
+        assert_eq!(status, 504, "{layout}: {text}");
+        // Partial-progress shape: the error string, completed=false and
+        // the outer-iteration count reached when the deadline hit.
+        let v = tac25d_obs::json::parse(&text).unwrap();
+        assert_eq!(v.get("error").unwrap().as_str(), Some("deadline expired"));
+        assert_eq!(v.get("completed").unwrap().as_bool(), Some(false));
+        assert!(
+            v.get("outer_iterations").unwrap().as_f64().is_some(),
+            "{layout}: missing outer_iterations in {text}"
+        );
+    }
+
+    // None of the aborted solves may have been cached: re-running each
+    // layout with no deadline must return 200 and match a cold engine
+    // byte-for-byte (a cached partial fixed point would diverge).
+    for layout in layouts {
+        let mut client = Client::connect(&addr).unwrap();
+        let body = format!(r#"{{"benchmark": "shock", "layout": "{layout}"}}"#);
+        let r = client.post("/v1/evaluate", &body).unwrap();
+        assert_eq!(r.status, 200, "{layout}: {}", r.text());
+        let req = tac25d_serve::protocol::EvaluateRequest::from_json(
+            &tac25d_obs::json::parse(&body).unwrap(),
+        )
+        .unwrap();
+        let expected = engine().evaluate(&req, None).body;
+        assert_eq!(
+            r.text(),
+            expected,
+            "{layout}: daemon diverged from a cold engine after an aborted solve"
+        );
+    }
+
+    handle.shutdown();
+}
+
+#[test]
 fn full_intake_queue_sheds_with_503_without_wedging_the_pool() {
     let (handle, addr, _engine) = boot(ServerConfig {
         workers: 1,

@@ -19,6 +19,10 @@
 //! * [`network`] (internal) — finite-volume assembly of the package
 //!   conductance network with HotSpot-style lumped spreader/sink periphery
 //!   nodes and convective boundaries;
+//! * [`mg`] — the geometric multigrid solver tier: a raster-aware V-cycle
+//!   (full-weighting/bilinear transfers, red-black Gauss–Seidel f32
+//!   smoothing, Galerkin coarse operators) usable standalone or as a PCG
+//!   preconditioner (`TAC25D_SOLVER=mg`);
 //! * [`model`] — the public [`model::PackageModel`] / ThermalSolution API;
 //! * [`coupled`] — the temperature–leakage fixed-point loop;
 //! * [`transient`] — backward-Euler transient simulation over the same
@@ -50,6 +54,7 @@
 
 pub mod coupled;
 pub mod materials;
+pub mod mg;
 pub mod model;
 pub(crate) mod network;
 pub mod slab;

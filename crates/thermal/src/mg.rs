@@ -1,0 +1,754 @@
+//! Geometric multigrid solver tier over the thermal raster.
+//!
+//! The package network ([`crate::network`]) is `layers` copies of an
+//! `n × n` finite-volume grid stacked vertically, plus a handful of lumped
+//! periphery nodes appended after the grid block. That raster structure is
+//! exactly what geometric multigrid exploits: coarse problems are built by
+//! halving the in-plane resolution level by level (layers are few and
+//! strongly heterogeneous, so the hierarchy semicoarsens in-plane only and
+//! keeps every layer at every level), while the lumped periphery nodes ride
+//! along unchanged — the identity block of every transfer operator.
+//!
+//! * **Prolongation** `P` is cell-centered bilinear interpolation per layer
+//!   (weights 3/4 / 1/4 per dimension, folded onto the boundary cell where a
+//!   neighbor is missing), identity on the lumped nodes. Row sums are 1, so
+//!   constants — the nullspace direction the ground links barely pin —
+//!   prolongate exactly.
+//! * **Restriction** is the adjoint `R = Pᵀ` (full weighting up to the
+//!   scalar), which makes the Galerkin coarse operator `A_c = Pᵀ·A·P`
+//!   symmetric and positive definite whenever `A` is: the hierarchy inherits
+//!   SPD-ness all the way down, no rediscretization needed. The same raster
+//!   arithmetic also covers irregular operators (periphery links, ground
+//!   conductances) that a rediscretized coarse stencil would have to model
+//!   by hand.
+//! * **Smoothing** is red-black Gauss–Seidel in *f32*: each level keeps an
+//!   `f32` copy of its matrix values and reciprocal diagonal, and sweeps
+//!   red cells (`(ix+iy+layer)` even) then black; post-smoothing replays the
+//!   exact reverse order so a (ν, ν) V-cycle is symmetric up to `f32`
+//!   rounding. Residuals, transfers and corrections stay in f64 — the
+//!   mixed-precision split of a defect-correction iteration, where the
+//!   low-precision inner solve bounds the *convergence factor*, never the
+//!   attainable accuracy.
+//! * **Coarsest solve** is a dense Cholesky factorization, factored once at
+//!   hierarchy build (the coarsest problem is a few dozen to a few hundred
+//!   nodes).
+//!
+//! The V-cycle is usable two ways: [`MgHierarchy::solve`] iterates
+//! f64 defect correction to a relative-residual tolerance (the standalone
+//! solver the MMS refinement ladder measures), and
+//! [`crate::sparse::Preconditioner::Multigrid`] wraps one V-cycle as the
+//! preconditioner of the existing PCG (`SolverKind::Multigrid` /
+//! `TAC25D_SOLVER=mg`), which is what production solves use — CG
+//! acceleration makes the iteration count even flatter in `h` and inherits
+//! the warm-start and obs plumbing of the fast path.
+
+use std::sync::Mutex;
+
+use crate::sparse::{CsrMatrix, PcgSolution, SolveError, TripletMatrix};
+use tac25d_obs as obs;
+
+/// The raster shape of a network: `layers` stacked `n × n` grids followed
+/// by `extras` lumped (periphery) nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MgRaster {
+    /// Grid cells per side.
+    pub n: usize,
+    /// Number of gridded layers.
+    pub layers: usize,
+    /// Lumped nodes appended after the grid block.
+    pub extras: usize,
+}
+
+impl MgRaster {
+    /// Total node count of this raster.
+    pub fn nodes(&self) -> usize {
+        self.layers * self.n * self.n + self.extras
+    }
+
+    /// Index of grid node `(ix, iy)` on layer `li` — the layout
+    /// `crate::network` assembles.
+    #[inline]
+    fn node(&self, li: usize, ix: usize, iy: usize) -> usize {
+        li * self.n * self.n + iy * self.n + ix
+    }
+
+    /// The next-coarser raster: in-plane cells halved (rounding up), layers
+    /// and lumped nodes unchanged.
+    fn coarsened(&self) -> MgRaster {
+        MgRaster {
+            n: self.n.div_ceil(2),
+            ..*self
+        }
+    }
+}
+
+/// Cycle shape and stopping parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MgOptions {
+    /// Red-black Gauss–Seidel sweeps before coarse-grid correction.
+    pub pre_sweeps: usize,
+    /// Sweeps after correction (reverse order, for symmetry).
+    pub post_sweeps: usize,
+    /// Stop coarsening once `n` is at or below this (the level is then
+    /// solved directly).
+    pub coarsest_n: usize,
+    /// Defect-correction V-cycle budget of [`MgHierarchy::solve`].
+    pub max_cycles: usize,
+}
+
+impl Default for MgOptions {
+    fn default() -> Self {
+        MgOptions {
+            pre_sweeps: 2,
+            post_sweeps: 2,
+            coarsest_n: 4,
+            max_cycles: 200,
+        }
+    }
+}
+
+/// Largest coarsest-level size the dense factorization accepts; a raster
+/// that cannot coarsen below this (pathologically many layers or lumped
+/// nodes) fails the hierarchy build and the caller falls back to IC(0).
+const MAX_DIRECT_NODES: usize = 2048;
+
+/// Cell-centered bilinear prolongation from a coarse raster to the fine
+/// raster one level up, stored CSR-style with fine nodes as rows (≤ 4
+/// grid entries per row, identity on lumped nodes). The adjoint scatter of
+/// the same triplets is the restriction.
+#[derive(Debug, Clone)]
+struct Prolongation {
+    row_ptr: Vec<u32>,
+    col: Vec<u32>,
+    w: Vec<f64>,
+    /// Coarse node count (column dimension).
+    nc: usize,
+}
+
+impl Prolongation {
+    fn build(fine: &MgRaster, coarse: &MgRaster) -> Prolongation {
+        // Per-dimension interpolation stencil of fine cell f: the covering
+        // coarse cell plus (when present) the neighbor the fine cell center
+        // leans toward, weighted 3/4 : 1/4. At the domain edge the missing
+        // neighbor's weight folds onto the covering cell, preserving unit
+        // row sums.
+        let stencil_1d = |f: usize, nc: usize| -> [(usize, f64); 2] {
+            let c = f / 2;
+            let towards = if f.is_multiple_of(2) {
+                c.checked_sub(1)
+            } else {
+                Some(c + 1).filter(|&x| x < nc)
+            };
+            match towards {
+                Some(nb) => [(c, 0.75), (nb, 0.25)],
+                None => [(c, 1.0), (c, 0.0)],
+            }
+        };
+        let mut row_ptr = Vec::with_capacity(fine.nodes() + 1);
+        let mut col = Vec::new();
+        let mut w = Vec::new();
+        row_ptr.push(0u32);
+        for li in 0..fine.layers {
+            for fy in 0..fine.n {
+                let ys = stencil_1d(fy, coarse.n);
+                for fx in 0..fine.n {
+                    let xs = stencil_1d(fx, coarse.n);
+                    for &(cy, wy) in &ys {
+                        for &(cx, wx) in &xs {
+                            let weight = wx * wy;
+                            if weight > 0.0 {
+                                col.push(coarse.node(li, cx, cy) as u32);
+                                w.push(weight);
+                            }
+                        }
+                    }
+                    row_ptr.push(col.len() as u32);
+                }
+            }
+        }
+        let fine_grid = fine.layers * fine.n * fine.n;
+        let coarse_grid = coarse.layers * coarse.n * coarse.n;
+        for e in 0..fine.extras {
+            debug_assert_eq!(fine_grid + e, row_ptr.len() - 1);
+            col.push((coarse_grid + e) as u32);
+            w.push(1.0);
+            row_ptr.push(col.len() as u32);
+        }
+        Prolongation {
+            row_ptr,
+            col,
+            w,
+            nc: coarse.nodes(),
+        }
+    }
+
+    /// `out = Pᵀ·v` (restriction; `v` lives on the fine level).
+    fn restrict(&self, v: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.nc);
+        out.fill(0.0);
+        for (i, &vi) in v.iter().enumerate() {
+            let lo = self.row_ptr[i] as usize;
+            let hi = self.row_ptr[i + 1] as usize;
+            for k in lo..hi {
+                out[self.col[k] as usize] += self.w[k] * vi;
+            }
+        }
+    }
+
+    /// `out += P·v` (prolongated correction; `v` lives on the coarse level).
+    fn prolong_add(&self, v: &[f64], out: &mut [f64]) {
+        for (i, oi) in out.iter_mut().enumerate() {
+            let lo = self.row_ptr[i] as usize;
+            let hi = self.row_ptr[i + 1] as usize;
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.w[k] * v[self.col[k] as usize];
+            }
+            *oi += acc;
+        }
+    }
+
+    /// The Galerkin triple product `Pᵀ·A·P` — the coarse operator. Scatter
+    /// through a triplet accumulator; the pattern is a superset of the
+    /// coarse raster stencil (9-point in-plane) and symmetric to rounding.
+    fn galerkin(&self, a: &CsrMatrix) -> CsrMatrix {
+        let (row_ptr, col, val) = a.parts();
+        let mut t = TripletMatrix::new(self.nc);
+        for i in 0..a.n() {
+            let pi_lo = self.row_ptr[i] as usize;
+            let pi_hi = self.row_ptr[i + 1] as usize;
+            for k in row_ptr[i] as usize..row_ptr[i + 1] as usize {
+                let j = col[k] as usize;
+                let aij = val[k];
+                let pj_lo = self.row_ptr[j] as usize;
+                let pj_hi = self.row_ptr[j + 1] as usize;
+                for ki in pi_lo..pi_hi {
+                    let wi_aij = self.w[ki] * aij;
+                    for kj in pj_lo..pj_hi {
+                        t.add(
+                            self.col[ki] as usize,
+                            self.col[kj] as usize,
+                            wi_aij * self.w[kj],
+                        );
+                    }
+                }
+            }
+        }
+        t.to_csr()
+    }
+}
+
+/// One level of the hierarchy: the (Galerkin) operator, its f32 smoothing
+/// copy, and the red-black sweep order.
+#[derive(Debug, Clone)]
+struct Level {
+    a: CsrMatrix,
+    /// f32 copy of the CSR values, same pattern order — the smoother's
+    /// working precision.
+    a32: Vec<f32>,
+    /// Reciprocal diagonal in f32.
+    inv_diag32: Vec<f32>,
+    /// Red grid cells (`(ix+iy+layer)` even) first, then black cells and
+    /// lumped nodes; post-smoothing replays this order reversed.
+    order: Vec<u32>,
+    /// Prolongation from the next-coarser level (absent on the coarsest).
+    p: Option<Prolongation>,
+}
+
+impl Level {
+    fn new(a: CsrMatrix, raster: &MgRaster) -> Option<Level> {
+        let diag = a.diagonal();
+        if diag.iter().any(|&d| d <= 0.0 || !d.is_finite()) {
+            return None;
+        }
+        let a32: Vec<f32> = a.parts().2.iter().map(|&v| v as f32).collect();
+        let inv_diag32: Vec<f32> = diag.iter().map(|&d| (1.0 / d) as f32).collect();
+        let mut order = Vec::with_capacity(raster.nodes());
+        for color in 0..2usize {
+            for li in 0..raster.layers {
+                for iy in 0..raster.n {
+                    for ix in 0..raster.n {
+                        if (ix + iy + li) % 2 == color {
+                            order.push(raster.node(li, ix, iy) as u32);
+                        }
+                    }
+                }
+            }
+        }
+        let grid = raster.layers * raster.n * raster.n;
+        for e in 0..raster.extras {
+            order.push((grid + e) as u32);
+        }
+        Some(Level {
+            a,
+            a32,
+            inv_diag32,
+            order,
+            p: None,
+        })
+    }
+
+    /// One Gauss–Seidel sweep over `order` (forward) or its reverse
+    /// (backward), in f32: `x[i] ← (b[i] − Σ_{j≠i} a_ij·x[j]) / a_ii`.
+    /// Sequential and in fixed order — bit-for-bit deterministic.
+    fn smooth(&self, b: &[f64], x: &mut [f64], backward: bool) {
+        let (row_ptr, col, _) = self.a.parts();
+        let mut sweep = |i: usize| {
+            let lo = row_ptr[i] as usize;
+            let hi = row_ptr[i + 1] as usize;
+            let mut sigma = 0.0f32;
+            for (&j, &a) in col[lo..hi].iter().zip(&self.a32[lo..hi]) {
+                let j = j as usize;
+                if j != i {
+                    sigma += a * x[j] as f32;
+                }
+            }
+            x[i] = f64::from((b[i] as f32 - sigma) * self.inv_diag32[i]);
+        };
+        if backward {
+            for &i in self.order.iter().rev() {
+                sweep(i as usize);
+            }
+        } else {
+            for &i in &self.order {
+                sweep(i as usize);
+            }
+        }
+    }
+}
+
+/// Dense Cholesky factor of the coarsest operator, factored once at
+/// hierarchy build and reused by every cycle.
+#[derive(Debug, Clone)]
+struct DenseCholesky {
+    n: usize,
+    /// Lower-triangular factor, row-major `n × n` (upper part unused).
+    l: Vec<f64>,
+}
+
+impl DenseCholesky {
+    fn factor(a: &CsrMatrix) -> Option<DenseCholesky> {
+        let n = a.n();
+        let mut m = vec![0.0f64; n * n];
+        let (row_ptr, col, val) = a.parts();
+        for i in 0..n {
+            for k in row_ptr[i] as usize..row_ptr[i + 1] as usize {
+                m[i * n + col[k] as usize] = val[k];
+            }
+        }
+        for j in 0..n {
+            let mut d = m[j * n + j];
+            for k in 0..j {
+                d -= m[j * n + k] * m[j * n + k];
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return None;
+            }
+            let d = d.sqrt();
+            m[j * n + j] = d;
+            for i in (j + 1)..n {
+                let mut s = m[i * n + j];
+                for k in 0..j {
+                    s -= m[i * n + k] * m[j * n + k];
+                }
+                m[i * n + j] = s / d;
+            }
+        }
+        Some(DenseCholesky { n, l: m })
+    }
+
+    fn solve(&self, b: &[f64], x: &mut [f64]) {
+        let n = self.n;
+        // Forward substitution L·y = b (y stored in x) …
+        for i in 0..n {
+            let mut s = b[i];
+            for (k, xk) in x[..i].iter().enumerate() {
+                s -= self.l[i * n + k] * xk;
+            }
+            x[i] = s / self.l[i * n + i];
+        }
+        // … then back substitution Lᵀ·x = y.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for (k, xk) in x.iter().enumerate().skip(i + 1) {
+                s -= self.l[k * n + i] * xk;
+            }
+            x[i] = s / self.l[i * n + i];
+        }
+    }
+}
+
+/// Per-level work vectors, reused across cycles behind a mutex so a shared
+/// hierarchy (the factor-once/solve-many contract, including concurrent
+/// serve evaluators) never allocates in steady state.
+#[derive(Debug, Default)]
+struct LevelScratch {
+    b: Vec<f64>,
+    x: Vec<f64>,
+    r: Vec<f64>,
+}
+
+/// A built multigrid hierarchy: factor-once state reused by every solve of
+/// the same matrix, analogous to [`crate::sparse::Ic0`].
+#[derive(Debug)]
+pub struct MgHierarchy {
+    levels: Vec<Level>,
+    coarse: DenseCholesky,
+    opts: MgOptions,
+    scratch: Mutex<Vec<LevelScratch>>,
+}
+
+impl MgHierarchy {
+    /// Builds the hierarchy for `a` laid out on `raster`: Galerkin coarse
+    /// operators down to `coarsest_n`, f32 smoothing copies, and the dense
+    /// coarsest factorization.
+    ///
+    /// Returns `None` when the hierarchy cannot be built — dimension
+    /// mismatch, a non-positive diagonal on some level, a coarsest problem
+    /// too large to factor densely, or a coarsest factorization breakdown.
+    /// Like IC(0)'s Jacobi fallback, `None` downgrades the caller to the
+    /// existing preconditioner rather than failing the solve.
+    pub fn build(a: &CsrMatrix, raster: MgRaster, opts: MgOptions) -> Option<MgHierarchy> {
+        if raster.n == 0 || raster.layers == 0 || a.n() != raster.nodes() {
+            return None;
+        }
+        let mut levels = Vec::new();
+        let mut cur = raster;
+        let mut fine = Level::new(a.clone(), &cur)?;
+        while cur.n > opts.coarsest_n && cur.coarsened().n < cur.n {
+            let coarse_raster = cur.coarsened();
+            let p = Prolongation::build(&cur, &coarse_raster);
+            let ac = p.galerkin(&fine.a);
+            let next = Level::new(ac, &coarse_raster)?;
+            fine.p = Some(p);
+            levels.push(fine);
+            fine = next;
+            cur = coarse_raster;
+        }
+        if cur.nodes() > MAX_DIRECT_NODES {
+            return None;
+        }
+        let coarse = DenseCholesky::factor(&fine.a)?;
+        levels.push(fine);
+        let scratch = levels
+            .iter()
+            .map(|l| LevelScratch {
+                b: vec![0.0; l.a.n()],
+                x: vec![0.0; l.a.n()],
+                r: vec![0.0; l.a.n()],
+            })
+            .collect();
+        obs::gauge!("thermal.mg_levels").set(levels.len() as f64);
+        Some(MgHierarchy {
+            levels,
+            coarse,
+            opts,
+            scratch: Mutex::new(scratch),
+        })
+    }
+
+    /// Number of levels (finest included).
+    pub fn levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The operator of level `l` (0 = finest; Galerkin products below).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn level_matrix(&self, l: usize) -> &CsrMatrix {
+        &self.levels[l].a
+    }
+
+    /// Restriction `Pᵀ·v` from level `l` to level `l + 1` (test hook for
+    /// the transfer-operator invariants).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is the coarsest level or `v` has the wrong length.
+    pub fn restrict(&self, l: usize, v: &[f64]) -> Vec<f64> {
+        let p = self.levels[l].p.as_ref().expect("level has a coarser one");
+        assert_eq!(v.len(), self.levels[l].a.n(), "fine vector length");
+        let mut out = vec![0.0; p.nc];
+        p.restrict(v, &mut out);
+        out
+    }
+
+    /// Prolongation `P·v` from level `l + 1` to level `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is the coarsest level or `v` has the wrong length.
+    pub fn prolong(&self, l: usize, v: &[f64]) -> Vec<f64> {
+        let p = self.levels[l].p.as_ref().expect("level has a coarser one");
+        assert_eq!(v.len(), p.nc, "coarse vector length");
+        let mut out = vec![0.0; self.levels[l].a.n()];
+        p.prolong_add(v, &mut out);
+        out
+    }
+
+    /// One V-cycle on the error equation `A·z = r` from a zero initial
+    /// guess — the preconditioner application of
+    /// [`crate::sparse::Preconditioner::Multigrid`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector lengths do not match the finest level.
+    pub fn precondition(&self, r: &[f64], z: &mut [f64]) {
+        let mut scratch = self.scratch.lock().expect("mg scratch poisoned");
+        scratch[0].b.copy_from_slice(r);
+        self.vcycle(0, &mut scratch);
+        z.copy_from_slice(&scratch[0].x);
+        obs::counter!("thermal.mg_vcycles").inc();
+    }
+
+    fn vcycle(&self, l: usize, s: &mut [LevelScratch]) {
+        if l + 1 == self.levels.len() {
+            let LevelScratch { b, x, .. } = &mut s[l];
+            self.coarse.solve(b, x);
+            return;
+        }
+        let lvl = &self.levels[l];
+        obs::histogram!("thermal.mg_smooth_level").record(l as u64);
+        {
+            let LevelScratch { b, x, r } = &mut s[l];
+            x.fill(0.0);
+            for _ in 0..self.opts.pre_sweeps {
+                lvl.smooth(b, x, false);
+            }
+            lvl.a.mul_vec(x, r);
+            for (ri, bi) in r.iter_mut().zip(b.iter()) {
+                *ri = bi - *ri;
+            }
+        }
+        let p = lvl.p.as_ref().expect("non-coarsest level prolongates");
+        {
+            let (fine, coarse) = s.split_at_mut(l + 1);
+            p.restrict(&fine[l].r, &mut coarse[0].b);
+        }
+        self.vcycle(l + 1, s);
+        {
+            let (fine, coarse) = s.split_at_mut(l + 1);
+            p.prolong_add(&coarse[0].x, &mut fine[l].x);
+        }
+        let LevelScratch { b, x, .. } = &mut s[l];
+        for _ in 0..self.opts.post_sweeps {
+            lvl.smooth(b, x, true);
+        }
+    }
+
+    /// Standalone multigrid solve of `A·x = b` by f64 defect correction:
+    /// each iteration computes the full-precision residual and applies one
+    /// V-cycle to it, so the f32 smoother bounds the convergence *rate*
+    /// while the attainable accuracy matches the f64 PCG paths.
+    /// `iterations` in the returned solution counts V-cycles.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::NoConvergence`] when the relative residual has not
+    /// reached `rel_tol` within the cycle budget, and
+    /// [`SolveError::NumericalBreakdown`] on non-finite residuals.
+    pub fn solve(
+        &self,
+        b: &[f64],
+        x0: Option<&[f64]>,
+        rel_tol: f64,
+    ) -> Result<PcgSolution, SolveError> {
+        let _span = obs::span!("thermal.mg_solve");
+        let n = self.levels[0].a.n();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        let b_norm = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if b_norm == 0.0 {
+            return Ok(PcgSolution {
+                x: vec![0.0; n],
+                iterations: 0,
+                residual: 0.0,
+            });
+        }
+        let mut x = match x0 {
+            Some(x0) => {
+                assert_eq!(x0.len(), n, "warm-start length mismatch");
+                x0.to_vec()
+            }
+            None => vec![0.0; n],
+        };
+        let mut r = vec![0.0; n];
+        let mut res = f64::INFINITY;
+        for cycles in 0..=self.opts.max_cycles {
+            self.levels[0].a.mul_vec(&x, &mut r);
+            for (ri, bi) in r.iter_mut().zip(b.iter()) {
+                *ri = bi - *ri;
+            }
+            res = r.iter().map(|v| v * v).sum::<f64>().sqrt() / b_norm;
+            if !res.is_finite() {
+                return Err(SolveError::NumericalBreakdown);
+            }
+            if res <= rel_tol {
+                obs::gauge!("thermal.mg_final_residual").set(res);
+                return Ok(PcgSolution {
+                    x,
+                    iterations: cycles,
+                    residual: res,
+                });
+            }
+            if cycles == self.opts.max_cycles {
+                break;
+            }
+            let mut scratch = self.scratch.lock().expect("mg scratch poisoned");
+            scratch[0].b.copy_from_slice(&r);
+            self.vcycle(0, &mut scratch);
+            for (xi, ei) in x.iter_mut().zip(scratch[0].x.iter()) {
+                *xi += ei;
+            }
+            drop(scratch);
+            obs::counter!("thermal.mg_vcycles").inc();
+        }
+        Err(SolveError::NoConvergence {
+            iterations: self.opts.max_cycles,
+            residual: res,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::dense_cholesky_solve;
+
+    /// A raster-shaped conductance network: 5/7-point grid couplings with
+    /// mildly varying conductances plus a ground on every top-layer cell —
+    /// the class of matrices `crate::network` assembles.
+    fn raster_network(raster: &MgRaster, lat: f64, vert: f64, ground: f64) -> CsrMatrix {
+        let mut t = TripletMatrix::new(raster.nodes());
+        let vary = |i: usize| 1.0 + 0.25 * ((i % 7) as f64 - 3.0) / 3.0;
+        for li in 0..raster.layers {
+            for iy in 0..raster.n {
+                for ix in 0..raster.n {
+                    let a = raster.node(li, ix, iy);
+                    if ix + 1 < raster.n {
+                        t.add_conductance(a, raster.node(li, ix + 1, iy), lat * vary(a));
+                    }
+                    if iy + 1 < raster.n {
+                        t.add_conductance(a, raster.node(li, ix, iy + 1), lat * vary(a + 1));
+                    }
+                    if li + 1 < raster.layers {
+                        t.add_conductance(a, raster.node(li + 1, ix, iy), vert * vary(a + 2));
+                    }
+                    if li == 0 {
+                        t.add_ground(a, ground);
+                    }
+                }
+            }
+        }
+        let grid = raster.layers * raster.n * raster.n;
+        for e in 0..raster.extras {
+            // Each lumped node couples to a boundary cell and to ambient.
+            t.add_conductance(grid + e, raster.node(0, 0, e % raster.n), 0.3);
+            t.add_ground(grid + e, 0.2);
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn prolongation_rows_sum_to_one() {
+        let fine = MgRaster {
+            n: 9,
+            layers: 2,
+            extras: 3,
+        };
+        let p = Prolongation::build(&fine, &fine.coarsened());
+        for i in 0..fine.nodes() {
+            let lo = p.row_ptr[i] as usize;
+            let hi = p.row_ptr[i + 1] as usize;
+            let sum: f64 = p.w[lo..hi].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-15, "row {i} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn vcycle_solves_to_dense_reference() {
+        let raster = MgRaster {
+            n: 12,
+            layers: 2,
+            extras: 2,
+        };
+        let a = raster_network(&raster, 1.0, 0.25, 0.05);
+        let h = MgHierarchy::build(&a, raster, MgOptions::default()).expect("hierarchy builds");
+        assert!(h.levels() >= 2, "n=12 must coarsen at least once");
+        let b: Vec<f64> = (0..a.n()).map(|i| ((i % 11) as f64) - 5.0).collect();
+        let dense = dense_cholesky_solve(&a, &b).unwrap();
+        let sol = h.solve(&b, None, 1e-12).unwrap();
+        for (i, d) in dense.iter().enumerate() {
+            assert!((sol.x[i] - d).abs() < 1e-8, "node {i}: {} vs {d}", sol.x[i]);
+        }
+        assert!(sol.iterations > 0 && sol.iterations < 60);
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero_without_cycles() {
+        let raster = MgRaster {
+            n: 8,
+            layers: 1,
+            extras: 0,
+        };
+        let a = raster_network(&raster, 1.0, 0.1, 0.2);
+        let h = MgHierarchy::build(&a, raster, MgOptions::default()).unwrap();
+        let sol = h.solve(&vec![0.0; a.n()], None, 1e-12).unwrap();
+        assert_eq!(sol.iterations, 0);
+        assert!(sol.x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn warm_start_converges_to_the_same_answer() {
+        let raster = MgRaster {
+            n: 8,
+            layers: 2,
+            extras: 1,
+        };
+        let a = raster_network(&raster, 0.8, 0.3, 0.1);
+        let h = MgHierarchy::build(&a, raster, MgOptions::default()).unwrap();
+        let b: Vec<f64> = (0..a.n()).map(|i| (i as f64).sin()).collect();
+        let cold = h.solve(&b, None, 1e-12).unwrap();
+        let x0: Vec<f64> = cold.x.iter().map(|v| v * 1.05).collect();
+        let warm = h.solve(&b, Some(&x0), 1e-12).unwrap();
+        for i in 0..a.n() {
+            assert!((warm.x[i] - cold.x[i]).abs() < 1e-9);
+        }
+        assert!(warm.iterations <= cold.iterations);
+    }
+
+    #[test]
+    fn mismatched_raster_fails_the_build() {
+        let raster = MgRaster {
+            n: 8,
+            layers: 1,
+            extras: 0,
+        };
+        let a = raster_network(&raster, 1.0, 0.1, 0.2);
+        let wrong = MgRaster {
+            n: 9,
+            layers: 1,
+            extras: 0,
+        };
+        assert!(MgHierarchy::build(&a, wrong, MgOptions::default()).is_none());
+    }
+
+    #[test]
+    fn tiny_grids_collapse_to_a_direct_solve() {
+        let raster = MgRaster {
+            n: 3,
+            layers: 2,
+            extras: 1,
+        };
+        let a = raster_network(&raster, 1.0, 0.2, 0.1);
+        let h = MgHierarchy::build(&a, raster, MgOptions::default()).unwrap();
+        assert_eq!(h.levels(), 1, "n ≤ coarsest_n is a single direct level");
+        let b: Vec<f64> = (0..a.n()).map(|i| i as f64 * 0.1 - 0.5).collect();
+        let dense = dense_cholesky_solve(&a, &b).unwrap();
+        let sol = h.solve(&b, None, 1e-12).unwrap();
+        for (i, d) in dense.iter().enumerate() {
+            assert!((sol.x[i] - d).abs() < 1e-9, "node {i}");
+        }
+    }
+}

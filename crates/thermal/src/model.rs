@@ -3,12 +3,13 @@
 //! power maps.
 
 use crate::materials::MaterialLibrary;
+use crate::mg::{MgHierarchy, MgOptions, MgRaster};
 use crate::network::{assemble, assemble_incremental, GriddedLayer, Network, NetworkGeometry};
-use crate::sparse::{pcg, pcg_with, PcgSolution, SolveError, SolveScratch};
+use crate::sparse::{pcg, pcg_with, PcgSolution, Preconditioner, SolveError, SolveScratch};
 use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use tac25d_floorplan::chip::ChipSpec;
 use tac25d_floorplan::geometry::Rect;
 use tac25d_floorplan::layers::StackSpec;
@@ -28,24 +29,37 @@ pub enum SolverKind {
     /// kept for differential verification and as an escape hatch
     /// (`TAC25D_SOLVER=jacobi`).
     Jacobi,
+    /// The geometric multigrid tier (`TAC25D_SOLVER=mg`): PCG
+    /// preconditioned by one raster V-cycle per iteration
+    /// ([`crate::mg::MgHierarchy`]), with the same reference-field warm
+    /// starts and scratch reuse as the IC(0) path. Falls back to the
+    /// model's factored IC(0) preconditioner when a hierarchy cannot be
+    /// built for the raster.
+    Multigrid,
 }
 
 impl SolverKind {
     /// The solver selected by the `TAC25D_SOLVER` environment variable:
-    /// `jacobi` (case-insensitive) forces the legacy path, anything else —
-    /// including unset — selects the IC(0) fast path.
+    /// `jacobi` (case-insensitive) forces the legacy path, `mg` /
+    /// `multigrid` the multigrid tier, anything else — including unset —
+    /// selects the IC(0) fast path.
     pub fn from_env() -> Self {
         match std::env::var("TAC25D_SOLVER") {
             Ok(v) if v.eq_ignore_ascii_case("jacobi") => SolverKind::Jacobi,
+            Ok(v) if v.eq_ignore_ascii_case("mg") || v.eq_ignore_ascii_case("multigrid") => {
+                SolverKind::Multigrid
+            }
             _ => SolverKind::Ic0,
         }
     }
 
-    /// Stable lowercase name (`ic0` / `jacobi`) for reports and benches.
+    /// Stable lowercase name (`ic0` / `jacobi` / `mg`) for reports and
+    /// benches.
     pub fn name(&self) -> &'static str {
         match self {
             SolverKind::Ic0 => "ic0",
             SolverKind::Jacobi => "jacobi",
+            SolverKind::Multigrid => "mg",
         }
     }
 }
@@ -413,6 +427,13 @@ struct SolverState {
     /// Iterations of the first cold reference solve — the baseline for
     /// the `thermal.pcg_iterations_saved` metric.
     cold_iterations: AtomicU64,
+    /// The multigrid hierarchy wrapped as a PCG preconditioner, built
+    /// lazily on the first [`SolverKind::Multigrid`] solve and reused by
+    /// every later one (the factor-once/solve-many contract, mirroring the
+    /// IC(0) factor baked into the network at assembly). `None` inside the
+    /// `OnceLock` records a failed hierarchy build, so the fallback is
+    /// decided once per model, deterministically.
+    mg_precond: OnceLock<Option<Preconditioner>>,
 }
 
 impl SolverState {
@@ -421,6 +442,7 @@ impl SolverState {
             reference: OnceLock::new(),
             reference_loose: OnceLock::new(),
             cold_iterations: AtomicU64::new(0),
+            mg_precond: OnceLock::new(),
         }
     }
 }
@@ -431,6 +453,7 @@ impl Clone for SolverState {
             reference: self.reference.clone(),
             reference_loose: self.reference_loose.clone(),
             cold_iterations: AtomicU64::new(self.cold_iterations.load(Ordering::Relaxed)),
+            mg_precond: self.mg_precond.clone(),
         }
     }
 }
@@ -719,7 +742,7 @@ impl PackageModel {
     ) -> Result<PcgSolution, SolveError> {
         match self.config.solver {
             SolverKind::Jacobi => pcg(&self.net.matrix, b, guess, rel_tol, self.config.max_iter),
-            SolverKind::Ic0 => {
+            SolverKind::Ic0 | SolverKind::Multigrid => {
                 let reference_guess: Option<Vec<f64>> = if guess.is_none() && allow_reference {
                     self.reference_field(rel_tol).map(|f| {
                         let scale = total_watts / f.watts;
@@ -734,9 +757,17 @@ impl PackageModel {
                 if warm {
                     obs::counter!("thermal.warm_start_hits").inc();
                 }
+                // The multigrid tier swaps only the preconditioner; warm
+                // starts, scratch reuse and the iteration bookkeeping are
+                // shared with the IC(0) fast path. A model whose raster
+                // cannot build a hierarchy keeps the factored IC(0).
+                let precond = match self.config.solver {
+                    SolverKind::Multigrid => self.mg_precond().unwrap_or(&self.net.precond),
+                    _ => &self.net.precond,
+                };
                 let sol = pcg_with(
                     &self.net.matrix,
-                    &self.net.precond,
+                    precond,
                     b,
                     x0,
                     rel_tol,
@@ -756,6 +787,39 @@ impl PackageModel {
                 }
                 Ok(sol)
             }
+        }
+    }
+
+    /// The lazily-built multigrid preconditioner of this model — a pure
+    /// function of the assembled network (hierarchy construction is
+    /// deterministic), computed once and shared by every solve of the
+    /// model. `None` when the raster cannot build a hierarchy; the caller
+    /// then falls back to the network's IC(0) factor.
+    fn mg_precond(&self) -> Option<&Preconditioner> {
+        self.solver_state
+            .mg_precond
+            .get_or_init(|| {
+                let n = self.geom.n;
+                let layers = self.geom.layers.len();
+                let raster = MgRaster {
+                    n,
+                    layers,
+                    extras: self.net.nodes - layers * n * n,
+                };
+                MgHierarchy::build(&self.net.matrix, raster, MgOptions::default())
+                    .map(|h| Preconditioner::Multigrid(Arc::new(h)))
+            })
+            .as_ref()
+    }
+
+    /// The multigrid hierarchy of this model's network, built on first use
+    /// (`None` if the raster cannot build one). Exposed for the
+    /// verification ladder and benches; production solves go through
+    /// [`SolverKind::Multigrid`].
+    pub fn mg_hierarchy(&self) -> Option<&Arc<MgHierarchy>> {
+        match self.mg_precond() {
+            Some(Preconditioner::Multigrid(h)) => Some(h),
+            _ => None,
         }
     }
 
@@ -1228,9 +1292,46 @@ mod tests {
     }
 
     #[test]
+    fn multigrid_path_agrees_with_ic0() {
+        // Same differential contract as the Jacobi/IC(0) pair, for the
+        // multigrid tier — including the lumped periphery nodes of the
+        // full package raster (spreader/sink overhang at grid 16).
+        let die = Rect::from_corner(0.0, 0.0, 18.0, 18.0);
+        let solve_with = |solver: SolverKind| {
+            let model = PackageModel::new(
+                &chip(),
+                &ChipletLayout::SingleChip,
+                &rules(),
+                &StackSpec::baseline_2d(),
+                ThermalConfig {
+                    grid: 16,
+                    rel_tol: 1e-12,
+                    solver,
+                    ..ThermalConfig::default()
+                },
+            )
+            .unwrap();
+            let sol = model.solve(&[(die, 180.0)]).unwrap();
+            let mg_built = model.mg_hierarchy().is_some();
+            (sol, mg_built)
+        };
+        let (ic0, _) = solve_with(SolverKind::Ic0);
+        let (mg, mg_built) = solve_with(SolverKind::Multigrid);
+        assert!(mg_built, "package raster must build a hierarchy");
+        let max_dt = ic0
+            .raw_temps()
+            .iter()
+            .zip(mg.raw_temps())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_dt < 1e-6, "max |dT| = {max_dt:.3e}");
+    }
+
+    #[test]
     fn solver_kind_env_parsing() {
         assert_eq!(SolverKind::Ic0.name(), "ic0");
         assert_eq!(SolverKind::Jacobi.name(), "jacobi");
+        assert_eq!(SolverKind::Multigrid.name(), "mg");
     }
 
     #[test]

@@ -708,7 +708,10 @@ pub(crate) fn assemble_incremental(
             None => Preconditioner::ic0_or_jacobi(&matrix)
                 .expect("conductance network has positive diagonal"),
         },
-        Preconditioner::Jacobi { .. } => Preconditioner::ic0_or_jacobi(&matrix)
+        // Networks are always built with `ic0_or_jacobi`; a multigrid
+        // preconditioner lives in `SolverState`, never here, so a full
+        // refactor is the correct fallback for any other variant.
+        _ => Preconditioner::ic0_or_jacobi(&matrix)
             .expect("conductance network has positive diagonal"),
     };
     Some(finish(scaffold, matrix, precond, new_geom))

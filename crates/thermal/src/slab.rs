@@ -42,6 +42,7 @@
 //! assert!(sol.energy_balance_error() < 1e-9);
 //! ```
 
+use crate::mg::{MgHierarchy, MgOptions, MgRaster};
 use crate::network::{assemble, GriddedLayer, Network, NetworkGeometry};
 use crate::sparse::{pcg, SolveError};
 use tac25d_floorplan::layers::LayerRole;
@@ -204,6 +205,45 @@ impl SlabModel {
         rel_tol: f64,
         max_iter: usize,
     ) -> Result<SlabSolution, SolveError> {
+        let (b, power_in) = self.rhs(fields);
+        let sol = pcg(&self.net.matrix, &b, None, rel_tol, max_iter)?;
+        Ok(self.finish(sol.x, power_in, sol.iterations))
+    }
+
+    /// Solves the same injected-field problem with the standalone geometric
+    /// multigrid V-cycle ([`crate::mg`]) instead of PCG. `iterations` in
+    /// the returned solution counts *V-cycles* — the quantity the MMS
+    /// refinement ladder asserts is h-independent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::NotPositiveDefinite`] if the hierarchy cannot
+    /// be built for this raster, or the V-cycle failure if `rel_tol` is
+    /// not reached within the cycle budget.
+    ///
+    /// # Panics
+    ///
+    /// Same field-shape contract as [`Self::solve_fields`].
+    pub fn solve_fields_mg(
+        &self,
+        fields: &[&[f64]],
+        rel_tol: f64,
+    ) -> Result<SlabSolution, SolveError> {
+        let raster = MgRaster {
+            n: self.n,
+            layers: self.roles.len(),
+            extras: self.net.nodes - self.roles.len() * self.n * self.n,
+        };
+        let h = MgHierarchy::build(&self.net.matrix, raster, MgOptions::default())
+            .ok_or(SolveError::NotPositiveDefinite)?;
+        let (b, power_in) = self.rhs(fields);
+        let sol = h.solve(&b, None, rel_tol)?;
+        Ok(self.finish(sol.x, power_in, sol.iterations))
+    }
+
+    /// Assembles the right-hand side (watts per node) from per-cell source
+    /// fields and returns it with the net injected power.
+    fn rhs(&self, fields: &[&[f64]]) -> (Vec<f64>, f64) {
         assert!(
             fields.len() <= self.net.heat_bases.len(),
             "{} source fields supplied but the stack has {} heat-source layers",
@@ -221,13 +261,18 @@ impl SlabModel {
                 power_in += w;
             }
         }
-        let sol = pcg(&self.net.matrix, &b, None, rel_tol, max_iter)?;
-        // Split the boundary flux by path: substrate-bottom convection is
-        // the secondary (board) path, everything else leaves through the
-        // sink surface.
+        (b, power_in)
+    }
+
+    /// Wraps a solved temperature field in a [`SlabSolution`], splitting
+    /// the boundary flux by path: substrate-bottom convection is the
+    /// secondary (board) path, everything else leaves through the sink
+    /// surface.
+    fn finish(&self, temps: Vec<f64>, power_in: f64, iterations: usize) -> SlabSolution {
+        let n2 = self.n * self.n;
         let (mut heat_sink, mut heat_secondary) = (0.0, 0.0);
         for &(i, g) in &self.net.conv {
-            let flux = g * sol.x[i];
+            let flux = g * temps[i];
             let role = self.roles.get(i / n2).copied();
             if role == Some(LayerRole::Substrate) {
                 heat_secondary += flux;
@@ -235,15 +280,15 @@ impl SlabModel {
                 heat_sink += flux;
             }
         }
-        Ok(SlabSolution {
-            temps: sol.x,
+        SlabSolution {
+            temps,
             heat_bases: self.net.heat_bases.clone(),
             n: self.n,
             power_in_w: power_in,
             heat_out_sink_w: heat_sink,
             heat_out_secondary_w: heat_secondary,
-            iterations: sol.iterations,
-        })
+            iterations,
+        }
     }
 
     /// Convenience: uniform total power spread over the topmost source
@@ -400,6 +445,26 @@ mod tests {
         assert!(sol.source_cell(0, 0, 0) > 0.0);
         assert!(sol.source_cell(0, 3, 3) < 0.0);
         assert!(sol.power_in_w().abs() < 1e-12);
+    }
+
+    #[test]
+    fn multigrid_path_matches_pcg() {
+        let model = SlabModel::assemble(&two_layer(16));
+        let mut field = vec![0.0; 256];
+        for (c, w) in field.iter_mut().enumerate() {
+            *w = 0.05 * (1.0 + ((c % 11) as f64 - 5.0) / 7.0);
+        }
+        let pcg = model.solve_fields(&[&field], 1e-12, 50_000).unwrap();
+        let mg = model.solve_fields_mg(&[&field], 1e-12).unwrap();
+        let max_dt = pcg
+            .raw_temps()
+            .iter()
+            .zip(mg.raw_temps())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_dt < 1e-8, "max |dT| = {max_dt}");
+        assert!(mg.iterations() > 0 && mg.iterations() < 60);
+        assert!(mg.energy_balance_error() < 1e-9);
     }
 
     #[test]

@@ -173,6 +173,13 @@ impl CsrMatrix {
         &self.val
     }
 
+    /// The raw CSR triple `(row_ptr, col, val)` — read-only structure
+    /// access for in-crate kernels (the multigrid smoother and transfer
+    /// operators walk rows directly).
+    pub(crate) fn parts(&self) -> (&[u32], &[u32], &[f64]) {
+        (&self.row_ptr, &self.col, &self.val)
+    }
+
     /// Matrix dimension.
     pub fn n(&self) -> usize {
         self.n
@@ -510,6 +517,11 @@ pub enum Preconditioner {
     },
     /// Incomplete Cholesky, `z = (L·Lᵀ)⁻¹·r`.
     Ic0(Ic0),
+    /// One geometric-multigrid V-cycle on the error equation
+    /// (`z = V(0; r)`, see [`crate::mg::MgHierarchy::precondition`]).
+    /// The hierarchy is factor-once state shared behind an `Arc`, like the
+    /// IC(0) factor.
+    Multigrid(std::sync::Arc<crate::mg::MgHierarchy>),
 }
 
 impl Preconditioner {
@@ -552,6 +564,11 @@ impl Preconditioner {
         matches!(self, Preconditioner::Ic0(_))
     }
 
+    /// True for the multigrid variant.
+    pub fn is_multigrid(&self) -> bool {
+        matches!(self, Preconditioner::Multigrid(_))
+    }
+
     fn apply(&self, r: &[f64], z: &mut [f64]) {
         match self {
             Preconditioner::Jacobi { inv_diag } => {
@@ -560,6 +577,7 @@ impl Preconditioner {
                 }
             }
             Preconditioner::Ic0(f) => f.apply(r, z),
+            Preconditioner::Multigrid(h) => h.precondition(r, z),
         }
     }
 }

@@ -1,0 +1,192 @@
+//! Property-based tests of the geometric multigrid tier: the transfer
+//! operators, Galerkin coarse operators and the V-cycle must satisfy
+//! their algebraic contracts on *any* raster-shaped SPD network —
+//! mirroring the `ic0_jacobi_and_dense_agree` style of `sparse_props`.
+
+use proptest::prelude::*;
+use tac25d_thermal::mg::{MgHierarchy, MgOptions, MgRaster};
+use tac25d_thermal::sparse::{dense_cholesky_solve, CsrMatrix, TripletMatrix};
+
+/// Deterministic xorshift-style generator: proptest supplies the seed,
+/// the closure supplies unlimited uniform values in `[0, 1)`.
+fn splitmix(seed: u64) -> impl FnMut() -> f64 {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+    move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64) / f64::from(u32::MAX)
+    }
+}
+
+/// A random raster-shaped conductance network — the class the thermal
+/// assembler produces: positive lateral/vertical grid couplings, ground
+/// links on the top layer, and lumped extras tied to boundary cells.
+fn raster_network(raster: MgRaster, rng: &mut impl FnMut() -> f64) -> CsrMatrix {
+    let (n, layers) = (raster.n, raster.layers);
+    let node = |li: usize, ix: usize, iy: usize| li * n * n + iy * n + ix;
+    let mut t = TripletMatrix::new(raster.nodes());
+    for li in 0..layers {
+        for iy in 0..n {
+            for ix in 0..n {
+                if ix + 1 < n {
+                    t.add_conductance(node(li, ix, iy), node(li, ix + 1, iy), 0.2 + rng());
+                }
+                if iy + 1 < n {
+                    t.add_conductance(node(li, ix, iy), node(li, ix, iy + 1), 0.2 + rng());
+                }
+                if li + 1 < layers {
+                    t.add_conductance(node(li, ix, iy), node(li + 1, ix, iy), 0.05 + 0.3 * rng());
+                }
+            }
+        }
+    }
+    for iy in 0..n {
+        for ix in 0..n {
+            t.add_ground(node(0, ix, iy), 0.02 + 0.1 * rng());
+        }
+    }
+    let grid = layers * n * n;
+    for e in 0..raster.extras {
+        // Each lumped node couples to a boundary cell and to ground, like
+        // the spreader/sink periphery nodes of the real assembly.
+        let ix = (rng() * n as f64) as usize % n;
+        t.add_conductance(grid + e, node(0, ix, 0), 0.1 + 0.5 * rng());
+        t.add_ground(grid + e, 0.05 + 0.2 * rng());
+    }
+    t.to_csr()
+}
+
+/// `x·(A·y)` — asymmetry shows up as a mismatch of the two bilinear forms.
+fn bilinear(a: &CsrMatrix, x: &[f64], y: &[f64]) -> f64 {
+    let mut ay = vec![0.0; y.len()];
+    a.mul_vec(y, &mut ay);
+    x.iter().zip(&ay).map(|(xi, v)| xi * v).sum()
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn random_raster(rng: &mut impl FnMut() -> f64) -> MgRaster {
+    MgRaster {
+        n: 6 + (rng() * 11.0) as usize, // 6..=16
+        layers: 1 + (rng() * 3.0) as usize,
+        extras: (rng() * 5.0) as usize,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Transfer-operator adjointness: restriction is exactly the
+    /// transpose of prolongation, so `⟨R·v, w⟩ = ⟨v, P·w⟩` (the constant
+    /// `c` of full weighting is 1 in this construction) at every level.
+    #[test]
+    fn restriction_is_the_prolongation_transpose(seed in 0u64..10_000) {
+        let mut rng = splitmix(seed);
+        let raster = random_raster(&mut rng);
+        let a = raster_network(raster, &mut rng);
+        let h = MgHierarchy::build(&a, raster, MgOptions::default())
+            .expect("raster hierarchy must build");
+        prop_assert!(h.levels() >= 2, "need at least one coarsening");
+        for l in 0..h.levels() - 1 {
+            let nf = h.level_matrix(l).n();
+            let nc = h.level_matrix(l + 1).n();
+            let v: Vec<f64> = (0..nf).map(|_| rng() - 0.5).collect();
+            let w: Vec<f64> = (0..nc).map(|_| rng() - 0.5).collect();
+            let rv_w = dot(&h.restrict(l, &v), &w);
+            let v_pw = dot(&v, &h.prolong(l, &w));
+            prop_assert!(
+                (rv_w - v_pw).abs() <= 1e-12 * rv_w.abs().max(v_pw.abs()).max(1.0),
+                "level {l}: <Rv,w> = {rv_w} but <v,Pw> = {v_pw}"
+            );
+        }
+    }
+
+    /// Galerkin coarse operators inherit symmetry and SPD-ness from the
+    /// fine operator: the bilinear form is symmetric (to rounding; term
+    /// association differs for transposed entries) and the dense Cholesky
+    /// factorization — which fails on any non-positive pivot — succeeds
+    /// on every level.
+    #[test]
+    fn galerkin_operators_stay_symmetric_and_spd(seed in 0u64..10_000) {
+        let mut rng = splitmix(seed);
+        let raster = random_raster(&mut rng);
+        let a = raster_network(raster, &mut rng);
+        let h = MgHierarchy::build(&a, raster, MgOptions::default())
+            .expect("raster hierarchy must build");
+        for l in 1..h.levels() {
+            let ac = h.level_matrix(l);
+            let nc = ac.n();
+            let x: Vec<f64> = (0..nc).map(|_| rng() - 0.5).collect();
+            let y: Vec<f64> = (0..nc).map(|_| rng() - 0.5).collect();
+            let xy = bilinear(ac, &x, &y);
+            let yx = bilinear(ac, &y, &x);
+            prop_assert!(
+                (xy - yx).abs() <= 1e-11 * xy.abs().max(yx.abs()).max(1.0),
+                "level {l}: x·Ay = {xy} but y·Ax = {yx}"
+            );
+            prop_assert!(
+                dense_cholesky_solve(ac, &x).is_ok(),
+                "level {l}: Cholesky pivot failed — coarse operator not SPD"
+            );
+        }
+    }
+
+    /// One V-cycle contracts the error: applied as a preconditioner to
+    /// the residual of a random iterate, the corrected iterate is strictly
+    /// closer (in the 2-norm) to the dense-reference solution.
+    #[test]
+    fn vcycle_contracts_the_error(seed in 0u64..10_000) {
+        let mut rng = splitmix(seed);
+        let raster = random_raster(&mut rng);
+        let a = raster_network(raster, &mut rng);
+        let h = MgHierarchy::build(&a, raster, MgOptions::default())
+            .expect("raster hierarchy must build");
+        let nodes = raster.nodes();
+        let b: Vec<f64> = (0..nodes).map(|_| rng() * 4.0 - 1.0).collect();
+        let exact = dense_cholesky_solve(&a, &b).unwrap();
+        // Random iterate scaled to the solution's magnitude.
+        let scale = exact.iter().map(|v| v.abs()).fold(0.0, f64::max).max(1.0);
+        let x0: Vec<f64> = (0..nodes).map(|_| scale * (rng() - 0.5)).collect();
+        let mut r = vec![0.0; nodes];
+        a.mul_vec(&x0, &mut r);
+        for (ri, bi) in r.iter_mut().zip(&b) {
+            *ri = bi - *ri;
+        }
+        let mut z = vec![0.0; nodes];
+        h.precondition(&r, &mut z);
+        let err0: f64 = x0.iter().zip(&exact).map(|(x, e)| (x - e) * (x - e)).sum::<f64>().sqrt();
+        let err1: f64 = x0.iter().zip(&z).zip(&exact)
+            .map(|((x, dz), e)| (x + dz - e) * (x + dz - e))
+            .sum::<f64>()
+            .sqrt();
+        prop_assert!(
+            err1 < 0.5 * err0,
+            "V-cycle did not contract: ‖e‖ {err0} -> {err1}"
+        );
+    }
+
+    /// The standalone defect-correction solve agrees with the dense
+    /// Cholesky reference on random raster problems, within a modest
+    /// V-cycle budget — the grid-independence property in miniature.
+    #[test]
+    fn mg_solve_matches_dense_reference(seed in 0u64..10_000) {
+        let mut rng = splitmix(seed);
+        let raster = random_raster(&mut rng);
+        let a = raster_network(raster, &mut rng);
+        let h = MgHierarchy::build(&a, raster, MgOptions::default())
+            .expect("raster hierarchy must build");
+        let b: Vec<f64> = (0..raster.nodes()).map(|_| rng() * 4.0 - 1.0).collect();
+        let dense = dense_cholesky_solve(&a, &b).unwrap();
+        let sol = h.solve(&b, None, 1e-11).unwrap();
+        prop_assert!(sol.iterations < 60, "took {} V-cycles", sol.iterations);
+        for (i, d) in dense.iter().enumerate() {
+            prop_assert!(
+                (sol.x[i] - d).abs() < 1e-7 * d.abs().max(1.0),
+                "node {i}: {} vs {d}", sol.x[i]
+            );
+        }
+    }
+}

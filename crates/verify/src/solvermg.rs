@@ -1,0 +1,202 @@
+//! Multigrid solver-tier equivalence gate: the MG-preconditioned PCG
+//! (`SolverKind::Multigrid` / `TAC25D_SOLVER=mg`) must reproduce the
+//! default IC(0) fast path on representative package models.
+//!
+//! Mirrors [`crate::solvercheck`] one tier up the ladder: both solver
+//! kinds run the same corpus — a 2D single chip, a uniform 4×4 2.5D
+//! organization and the symmetric 4-chiplet organization — at a tight PCG
+//! tolerance, through a fixed-power steady solve and a temperature–leakage
+//! fixed point. The two temperature fields must agree to well under
+//! [`MAX_SOLVER_DT_C`] (1e-6 °C); a larger gap means the multigrid tier
+//! changed the *answer*, not just the iteration count. Each case also
+//! asserts the hierarchy actually built (`mg_active`) — without that check
+//! a silent fallback to IC(0) would pass the gate vacuously.
+
+use crate::solvercheck::{MAX_SOLVER_DT_C, SOLVER_REL_TOL};
+use tac25d_floorplan::chip::ChipSpec;
+use tac25d_floorplan::layers::StackSpec;
+use tac25d_floorplan::organization::{ChipletLayout, PackageRules};
+use tac25d_floorplan::units::{Celsius, Mm};
+use tac25d_thermal::coupled::{solve_coupled, CoupledOptions, CoupledStrategy};
+use tac25d_thermal::model::{PackageModel, SolverKind, ThermalConfig, ThermalError};
+
+/// One organization's differential comparison of the multigrid and IC(0)
+/// solver paths.
+#[derive(Debug, Clone)]
+pub struct MgSolverCase {
+    /// Corpus point name.
+    pub name: &'static str,
+    /// Max |ΔT| over every node of the steady solve *and* every node of
+    /// the converged leakage fixed point.
+    pub max_abs_dt_c: f64,
+    /// PCG iterations of the multigrid path's steady solve.
+    pub mg_iterations: usize,
+    /// PCG iterations of the IC(0) path's steady solve.
+    pub ic0_iterations: usize,
+    /// Outer fixed-point iterations (must match between paths).
+    pub outer_match: bool,
+    /// Whether the multigrid hierarchy actually built for this model (a
+    /// failed build falls back to IC(0), which would pass vacuously).
+    pub mg_active: bool,
+}
+
+impl MgSolverCase {
+    /// Whether the case satisfies the equivalence contract.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.max_abs_dt_c <= MAX_SOLVER_DT_C && self.outer_match && self.mg_active
+    }
+}
+
+fn corpus() -> Vec<(&'static str, ChipletLayout, StackSpec)> {
+    vec![
+        (
+            "single_chip_2d",
+            ChipletLayout::SingleChip,
+            StackSpec::baseline_2d(),
+        ),
+        (
+            "uniform_4x4_25d",
+            ChipletLayout::Uniform { r: 4, gap: Mm(4.0) },
+            StackSpec::system_25d(),
+        ),
+        (
+            "symmetric4_25d",
+            ChipletLayout::Symmetric4 { s3: Mm(6.0) },
+            StackSpec::system_25d(),
+        ),
+    ]
+}
+
+fn build(layout: &ChipletLayout, stack: &StackSpec, solver: SolverKind) -> PackageModel {
+    PackageModel::new(
+        &ChipSpec::scc_256(),
+        layout,
+        &PackageRules::default(),
+        stack,
+        ThermalConfig {
+            grid: 16,
+            rel_tol: SOLVER_REL_TOL,
+            solver,
+            ..ThermalConfig::default()
+        },
+    )
+    .expect("corpus organization must build")
+}
+
+/// The per-model run under one solver kind: a fixed-power steady solve
+/// plus a contractive leakage fixed point on the same sources — identical
+/// exercise to the IC(0)-vs-Jacobi gate so the tiers stay comparable.
+fn run_one(model: &PackageModel) -> Result<(Vec<f64>, usize, Vec<f64>, usize), ThermalError> {
+    let rects = model.chiplet_rects().to_vec();
+    let total = 180.0;
+    let n = rects.len() as f64;
+    let sources: Vec<_> = rects
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (*r, total * (0.6 + 0.8 * i as f64 / n.max(1.0)) / n))
+        .collect();
+    let steady = model.solve(&sources)?;
+    let steady_field = steady.raw_temps().to_vec();
+    let steady_iters = steady.iterations();
+
+    // Pinned to the Picard strategy so the solver kind is the only
+    // variable (see solvercheck for the rationale).
+    let coupled = solve_coupled(
+        model,
+        |sol| {
+            let scale = sol.map_or(1.0, |s| 1.0 + 0.012 * (s.peak().value() - 45.0));
+            sources.iter().map(|(r, w)| (*r, w * scale)).collect()
+        },
+        &CoupledOptions {
+            tol: Celsius(0.001),
+            strategy: CoupledStrategy::Picard,
+            ..CoupledOptions::default()
+        },
+    )?;
+    assert!(coupled.converged, "leakage fixed point must converge");
+    Ok((
+        steady_field,
+        steady_iters,
+        coupled.solution.raw_temps().to_vec(),
+        coupled.outer_iterations,
+    ))
+}
+
+fn max_abs_dt(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Runs the whole corpus under both solver kinds and returns the
+/// per-organization comparison records.
+///
+/// # Errors
+///
+/// Propagates thermal build/solve errors — those are regressions of the
+/// corpus itself, not equivalence measurements.
+///
+/// # Panics
+///
+/// Panics if a leakage fixed point fails to converge (contractive by
+/// construction).
+pub fn mg_equivalence_cases() -> Result<Vec<MgSolverCase>, ThermalError> {
+    corpus()
+        .into_iter()
+        .map(|(name, layout, stack)| {
+            let mg = build(&layout, &stack, SolverKind::Multigrid);
+            let ic0 = build(&layout, &stack, SolverKind::Ic0);
+            let mg_active = mg.mg_hierarchy().is_some();
+            let (m_steady, m_iters, m_fixed, m_outer) = run_one(&mg)?;
+            let (i_steady, i_iters, i_fixed, i_outer) = run_one(&ic0)?;
+            let max_abs_dt_c = max_abs_dt(&m_steady, &i_steady).max(max_abs_dt(&m_fixed, &i_fixed));
+            Ok(MgSolverCase {
+                name,
+                max_abs_dt_c,
+                mg_iterations: m_iters,
+                ic0_iterations: i_iters,
+                outer_match: m_outer == i_outer,
+                mg_active,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_passes_mg_equivalence_gate() {
+        for case in mg_equivalence_cases().unwrap() {
+            assert!(
+                case.passed(),
+                "{}: max|dT| = {:.3e} C, mg {} vs ic0 {} iters, outer_match {}, mg_active {}",
+                case.name,
+                case.max_abs_dt_c,
+                case.mg_iterations,
+                case.ic0_iterations,
+                case.outer_match,
+                case.mg_active
+            );
+        }
+    }
+
+    #[test]
+    fn mg_preconditioner_is_competitive() {
+        // The V-cycle is a stronger preconditioner than IC(0); with shared
+        // warm starts it must not spend more than a small factor of the
+        // IC(0) iterations on any corpus steady solve.
+        for case in mg_equivalence_cases().unwrap() {
+            assert!(
+                case.mg_iterations <= case.ic0_iterations.max(2) * 2,
+                "{}: mg {} vs ic0 {}",
+                case.name,
+                case.mg_iterations,
+                case.ic0_iterations
+            );
+        }
+    }
+}
