@@ -40,6 +40,7 @@ fn main() -> ExitCode {
         "obs-report" => cmd_obs_report(&opts),
         "serve" => cmd_serve(&opts),
         "query" => cmd_query(&opts),
+        "trace-report" => cmd_trace_report(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -65,13 +66,16 @@ USAGE:
   tac25d cost     --chiplets <4|16> --edge <mm> [--d0 <defects/cm2>]
   tac25d export   --layout <layout> --out <dir> [--benchmark <name>]
   tac25d latency  --layout <layout> [--freq <MHz>] [--pattern uniform|neighbor|transpose]
-  tac25d obs-report [--profile <BENCH_profile.json>] [--baseline <baseline.json>] [--bless]
+  tac25d obs-report [--profile <BENCH_profile.json>] [--baseline <baseline.json>]
+                  [--bless] [--json]
   tac25d serve    [--addr <host:port>] [--workers <n>] [--queue <n>]
-                  [--deadline-ms <ms>] [--threshold <C>] [--fast]
+                  [--deadline-ms <ms>] [--threshold <C>] [--fast] [--no-trace]
   tac25d query    --benchmark <name> (--layout <layout> | --optimize)
                   (--addr <host:port> | --local) [--freq <MHz>] [--cores <p>]
                   [--threshold <C>] [--deadline-ms <ms>] [--seed <n>] [--starts <n>]
                   [--alpha <a>] [--beta <b>] [--iso-cost] [--exhaustive] [--fast]
+  tac25d trace-report (--addr <host:port> [--id <request-id>] | --file <trace.json>)
+                  [--json]
   tac25d help
 
 SUBCOMMANDS:
@@ -82,16 +86,22 @@ SUBCOMMANDS:
   latency     NoC latency/saturation for a layout
   obs-report  render/check an observability profile
   serve       long-running evaluation daemon (POST /v1/evaluate,
-              POST /v1/optimize, GET /healthz, GET /metrics)
+              POST /v1/optimize, GET /healthz, GET /metrics,
+              GET /metrics/history, GET /v1/traces[/{id}])
   query       send one request to a daemon (--addr) or answer it locally
               (--local); prints the JSON response either way, byte-identical
+  trace-report
+              render a daemon's stored slow-request exemplars: the listing
+              (--addr), one trace by request id (--id), or a saved document
+              (--file); --json passes the raw JSON through
   help        this message
 
 OBS-REPORT:
   Renders the timing tree and top counters of a profile written by any
   bench bin run with TAC25D_OBS/TAC25D_PROFILE set. With --baseline,
   checks drift of the guarded counters (>20% fails); with --bless,
-  (re)writes the baseline from the profile.
+  (re)writes the baseline from the profile. --json emits the same data
+  (plus drift rows) as one machine-readable document for CI artifacts.
 
 LAYOUTS:
   2d | uniform:<r>,<gap-mm> | sym4:<s3> | sym16:<s1>,<s2>,<s3>
@@ -108,7 +118,14 @@ fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
             .ok_or_else(|| format!("expected --option, got {:?}", args[i]))?;
         let flag = matches!(
             key,
-            "exhaustive" | "iso-cost" | "fast" | "bless" | "local" | "optimize"
+            "exhaustive"
+                | "iso-cost"
+                | "fast"
+                | "bless"
+                | "local"
+                | "optimize"
+                | "json"
+                | "no-trace"
         );
         if flag {
             map.insert(key.to_owned(), "true".to_owned());
@@ -303,7 +320,7 @@ fn cmd_obs_report(opts: &HashMap<String, String>) -> Result<(), String> {
         .map(std::path::PathBuf::from)
         .unwrap_or_else(tac25d_bench::profile_output_path);
     let doc = profile::load_json(&profile_path)?;
-    print!("{}", profile::render_report(&doc));
+    let json_mode = opts.contains_key("json");
 
     if opts.contains_key("bless") {
         let baseline_path = opts
@@ -315,38 +332,78 @@ fn cmd_obs_report(opts: &HashMap<String, String>) -> Result<(), String> {
         }
         std::fs::write(&baseline_path, profile::baseline_from_profile(&doc))
             .map_err(|e| e.to_string())?;
-        println!("\nblessed baseline -> {}", baseline_path.display());
+        println!("blessed baseline -> {}", baseline_path.display());
         return Ok(());
     }
 
-    if let Some(baseline_path) = opts.get("baseline").map(std::path::PathBuf::from) {
-        let baseline = profile::load_json(&baseline_path)?;
-        let drifts = profile::check_drift(&doc, &baseline, profile::DRIFT_TOLERANCE);
-        println!(
-            "\nbaseline drift (tolerance {:.0}%):",
-            profile::DRIFT_TOLERANCE * 100.0
-        );
-        let mut failed = false;
-        for d in &drifts {
+    let baseline_path = opts.get("baseline").map(std::path::PathBuf::from);
+    let drifts = match &baseline_path {
+        Some(path) => {
+            let baseline = profile::load_json(path)?;
+            profile::check_drift(&doc, &baseline, profile::DRIFT_TOLERANCE)
+        }
+        None => Vec::new(),
+    };
+
+    if json_mode {
+        // Machine-readable mirror of the table (plus drift rows when a
+        // baseline was given) — CI archives this as an artifact.
+        println!("{}", profile::render_report_json(&doc, &drifts));
+    } else {
+        print!("{}", profile::render_report(&doc));
+        if baseline_path.is_some() {
             println!(
-                "  {:<28} baseline {:>10.0}  observed {:>10.0}  drift {:>6.1}% {}",
-                d.name,
-                d.baseline,
-                d.observed,
-                d.relative * 100.0,
-                if d.exceeded { "FAIL" } else { "ok" }
+                "\nbaseline drift (tolerance {:.0}%):",
+                profile::DRIFT_TOLERANCE * 100.0
             );
-            failed |= d.exceeded;
+            for d in &drifts {
+                println!(
+                    "  {:<28} baseline {:>10.0}  observed {:>10.0}  drift {:>6.1}% {}",
+                    d.name,
+                    d.baseline,
+                    d.observed,
+                    d.relative * 100.0,
+                    if d.exceeded { "FAIL" } else { "ok" }
+                );
+            }
         }
-        if failed {
-            return Err(format!(
-                "counter drift beyond {:.0}% of {} — investigate, or re-bless with \
-                 `tac25d obs-report --profile {} --bless`",
-                profile::DRIFT_TOLERANCE * 100.0,
-                baseline_path.display(),
-                profile_path.display()
-            ));
+    }
+    if drifts.iter().any(|d| d.exceeded) {
+        return Err(format!(
+            "counter drift beyond {:.0}% of {} — investigate, or re-bless with \
+             `tac25d obs-report --profile {} --bless`",
+            profile::DRIFT_TOLERANCE * 100.0,
+            baseline_path.expect("drift implies baseline").display(),
+            profile_path.display()
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_trace_report(opts: &HashMap<String, String>) -> Result<(), String> {
+    let doc_text = if let Some(file) = opts.get("file") {
+        std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?
+    } else {
+        let addr = opts
+            .get("addr")
+            .ok_or("--addr <host:port> or --file <trace.json> is required")?;
+        let mut client =
+            tac25d_serve::client::Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        let path = match opts.get("id") {
+            Some(id) => format!("/v1/traces/{id}"),
+            None => "/v1/traces".to_owned(),
+        };
+        let r = client.get(&path).map_err(|e| format!("request: {e}"))?;
+        if r.status != 200 {
+            return Err(format!("HTTP {}: {}", r.status, r.text()));
         }
+        r.text()
+    };
+    let doc = tac25d_obs::json::parse(&doc_text).map_err(|e| e.to_string())?;
+    if opts.contains_key("json") {
+        println!("{doc_text}");
+    } else {
+        print!("{}", tac25d_serve::telemetry::render_trace_report(&doc));
     }
     Ok(())
 }
@@ -383,6 +440,7 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
                     .map_err(|e| format!("bad --deadline-ms {v:?}: {e}"))
             })
             .transpose()?,
+        tracing: !opts.contains_key("no-trace"),
     };
     install_signal_handlers();
     let engine = std::sync::Arc::new(EngineState::new(spec));

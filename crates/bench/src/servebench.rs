@@ -21,6 +21,8 @@
 //!       "speedup": 63.4,
 //!       "p50_us": 310,
 //!       "p99_us": 1840,
+//!       "evaluate_p50_us": 255,
+//!       "evaluate_p99_us": 1023,
 //!       "cache_hits": 508,
 //!       "singleflight_joins": 3,
 //!       "date": "2026-08-09",
@@ -56,6 +58,14 @@ pub struct ServeEntry {
     pub p50_us: u64,
     /// 99th-percentile served request latency, microseconds.
     pub p99_us: u64,
+    /// Server-side median handle time for successful `/v1/evaluate`
+    /// requests (`serve.evaluate.2xx_handle_us` log2-quantized quantile
+    /// upper bound), excluding queue wait and client transport. `0` in
+    /// entries recorded before the per-endpoint split existed.
+    pub evaluate_p50_us: u64,
+    /// Server-side p99 handle time for successful `/v1/evaluate`
+    /// requests, same source and caveats as `evaluate_p50_us`.
+    pub evaluate_p99_us: u64,
     /// `evaluator.cache_hits` observed by the daemon during the run.
     pub cache_hits: u64,
     /// `evaluator.singleflight_joins` observed during the run.
@@ -137,6 +147,9 @@ fn parse_entries(text: &str) -> Result<Vec<ServeEntry>, String> {
                 speedup: num_field("speedup")?,
                 p50_us: num_field("p50_us")? as u64,
                 p99_us: num_field("p99_us")? as u64,
+                // Absent in pre-split entries; 0 means "not recorded".
+                evaluate_p50_us: num_field("evaluate_p50_us").unwrap_or(0.0) as u64,
+                evaluate_p99_us: num_field("evaluate_p99_us").unwrap_or(0.0) as u64,
                 cache_hits: num_field("cache_hits")? as u64,
                 singleflight_joins: num_field("singleflight_joins")? as u64,
                 date: str_field("date")?,
@@ -154,6 +167,7 @@ fn render(entries: &[ServeEntry]) -> String {
             out,
             "    {{\"clients\": {}, \"requests\": {}, \"naive_rps\": {:.3}, \
              \"served_rps\": {:.3}, \"speedup\": {:.2}, \"p50_us\": {}, \"p99_us\": {}, \
+             \"evaluate_p50_us\": {}, \"evaluate_p99_us\": {}, \
              \"cache_hits\": {}, \"singleflight_joins\": {}, \"date\": \"{}\", \
              \"git_rev\": \"{}\"}}",
             e.clients,
@@ -163,6 +177,8 @@ fn render(entries: &[ServeEntry]) -> String {
             e.speedup,
             e.p50_us,
             e.p99_us,
+            e.evaluate_p50_us,
+            e.evaluate_p99_us,
             e.cache_hits,
             e.singleflight_joins,
             obs::json::escape(&e.date),
@@ -196,6 +212,8 @@ mod tests {
             speedup,
             p50_us: 310,
             p99_us: 1840,
+            evaluate_p50_us: 255,
+            evaluate_p99_us: 1023,
             cache_hits: 500,
             singleflight_joins: 3,
             date: "2026-08-09".to_owned(),
@@ -236,6 +254,25 @@ mod tests {
         // The corrupt document is untouched.
         assert_eq!(std::fs::read_to_string(&path).unwrap(), "not json at all");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn entries_without_endpoint_percentiles_parse_as_zero() {
+        // Records written before the per-endpoint split must keep
+        // parsing; the new fields default to 0 ("not recorded").
+        let legacy = r#"{
+          "schema_version": 1, "bin": "loadgen",
+          "entries": [
+            {"clients": 8, "requests": 512, "naive_rps": 2.0,
+             "served_rps": 20.0, "speedup": 10.0, "p50_us": 310,
+             "p99_us": 1840, "cache_hits": 500, "singleflight_joins": 3,
+             "date": "2026-08-09", "git_rev": "abc1234"}
+          ]
+        }"#;
+        let parsed = parse_entries(legacy).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].evaluate_p50_us, 0);
+        assert_eq!(parsed[0].evaluate_p99_us, 0);
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! Fixed-capacity time-series sampler over the metrics registry.
+//!
+//! A [`History`] holds the last `capacity` registry snapshots in a ring
+//! buffer. The serve daemon runs a background thread that calls
+//! [`History::sample_registry`] every `TAC25D_OBS_HISTORY` milliseconds
+//! (default 1000) and exports the buffer at `GET /metrics/history`.
+//! Samples carry monotone sequence numbers so a scraper can detect both
+//! wraparound (gaps in `seq` relative to buffer length) and restarts
+//! (`seq` reset).
+//!
+//! Sizing: the default 256 samples × 1 s interval ≈ 4.5 minutes of
+//! history; one sample is a few hundred bytes of counter/gauge pairs,
+//! so the buffer tops out around 100 KB — small enough to keep resident
+//! forever and serialize per scrape without a cache.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::json::{obj, Value};
+use crate::registry;
+
+/// Default ring capacity (samples).
+pub const DEFAULT_CAPACITY: usize = 256;
+
+/// Default sampling interval in milliseconds when `TAC25D_OBS_HISTORY`
+/// is unset or unparsable.
+pub const DEFAULT_INTERVAL_MS: u64 = 1000;
+
+/// Parses a `TAC25D_OBS_HISTORY` value (interval in milliseconds). Any
+/// non-positive or unparsable value falls back to the default. Split out
+/// for tests, like [`crate::parse_threads`].
+pub fn parse_interval_ms(value: Option<&str>) -> u64 {
+    value
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_INTERVAL_MS)
+}
+
+/// The sampling interval selected by the environment.
+pub fn interval_ms_from_env() -> u64 {
+    parse_interval_ms(std::env::var("TAC25D_OBS_HISTORY").ok().as_deref())
+}
+
+/// One point-in-time registry snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Monotone sequence number, starting at 0 per `History`.
+    pub seq: u64,
+    /// Capture time as microseconds since [`crate::epoch`].
+    pub t_us: u64,
+    /// All counters at capture time, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// All gauges at capture time, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+}
+
+struct Inner {
+    next_seq: u64,
+    samples: VecDeque<Sample>,
+}
+
+/// Fixed-capacity ring buffer of registry samples.
+pub struct History {
+    capacity: usize,
+    interval_ms: u64,
+    inner: Mutex<Inner>,
+}
+
+impl History {
+    /// Creates an empty history holding at most `capacity` samples.
+    pub fn new(capacity: usize, interval_ms: u64) -> History {
+        History {
+            capacity: capacity.max(1),
+            interval_ms,
+            inner: Mutex::new(Inner {
+                next_seq: 0,
+                samples: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// Creates a history with the default capacity and the env-selected
+    /// interval.
+    pub fn from_env() -> History {
+        History::new(DEFAULT_CAPACITY, interval_ms_from_env())
+    }
+
+    /// Maximum number of retained samples.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Sampling interval the owner should use, milliseconds.
+    pub fn interval_ms(&self) -> u64 {
+        self.interval_ms
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("history poisoned").samples.len()
+    }
+
+    /// Whether no samples have been taken yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pushes an explicit sample (tests and custom samplers); evicts the
+    /// oldest entry at capacity. Returns the assigned sequence number.
+    pub fn push(&self, counters: Vec<(String, u64)>, gauges: Vec<(String, f64)>) -> u64 {
+        let mut inner = self.inner.lock().expect("history poisoned");
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.samples.len() == self.capacity {
+            inner.samples.pop_front();
+        }
+        inner.samples.push_back(Sample {
+            seq,
+            t_us: crate::uptime().as_micros() as u64,
+            counters,
+            gauges,
+        });
+        seq
+    }
+
+    /// Snapshots the global registry into the ring. Returns the assigned
+    /// sequence number.
+    pub fn sample_registry(&self) -> u64 {
+        self.push(registry::counter_snapshot(), registry::gauge_snapshot())
+    }
+
+    /// All retained samples, oldest first.
+    pub fn samples(&self) -> Vec<Sample> {
+        let inner = self.inner.lock().expect("history poisoned");
+        inner.samples.iter().cloned().collect()
+    }
+
+    /// Renders the buffer as one JSON document:
+    /// `{"capacity":..,"interval_ms":..,"samples":[{"seq":..,"t_us":..,
+    /// "counters":{..},"gauges":{..}},..]}` (oldest first).
+    pub fn to_json(&self) -> Value {
+        let samples: Vec<Value> = self
+            .samples()
+            .into_iter()
+            .map(|s| {
+                obj(vec![
+                    ("seq".to_owned(), Value::Number(s.seq as f64)),
+                    ("t_us".to_owned(), Value::Number(s.t_us as f64)),
+                    (
+                        "counters".to_owned(),
+                        obj(s
+                            .counters
+                            .into_iter()
+                            .map(|(k, v)| (k, Value::Number(v as f64)))
+                            .collect::<Vec<_>>()),
+                    ),
+                    (
+                        "gauges".to_owned(),
+                        obj(s
+                            .gauges
+                            .into_iter()
+                            .map(|(k, v)| (k, Value::Number(v)))
+                            .collect::<Vec<_>>()),
+                    ),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("capacity".to_owned(), Value::Number(self.capacity as f64)),
+            (
+                "interval_ms".to_owned(),
+                Value::Number(self.interval_ms as f64),
+            ),
+            ("samples".to_owned(), Value::Array(samples)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(h: &History, tag: u64) -> u64 {
+        h.push(vec![("test.history.c".to_owned(), tag)], Vec::new())
+    }
+
+    #[test]
+    fn wraparound_at_capacity_keeps_newest() {
+        let h = History::new(4, 50);
+        for tag in 0..10 {
+            sample(&h, tag);
+        }
+        assert_eq!(h.len(), 4);
+        let samples = h.samples();
+        let tags: Vec<u64> = samples.iter().map(|s| s.counters[0].1).collect();
+        assert_eq!(tags, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn sequence_numbers_are_monotone_across_wraparound() {
+        let h = History::new(3, 50);
+        let seqs: Vec<u64> = (0..8).map(|tag| sample(&h, tag)).collect();
+        assert_eq!(seqs, (0..8).collect::<Vec<u64>>());
+        let retained: Vec<u64> = h.samples().iter().map(|s| s.seq).collect();
+        assert_eq!(retained, vec![5, 6, 7]);
+        for w in h.samples().windows(2) {
+            assert!(w[1].seq == w[0].seq + 1);
+            assert!(w[1].t_us >= w[0].t_us);
+        }
+    }
+
+    #[test]
+    fn sample_registry_captures_counters_and_gauges() {
+        crate::counter!("test.history.reg_counter").add(11);
+        crate::gauge!("test.history.reg_gauge").set(2.5);
+        let h = History::new(8, 50);
+        h.sample_registry();
+        let s = &h.samples()[0];
+        assert!(s
+            .counters
+            .iter()
+            .any(|(k, v)| k == "test.history.reg_counter" && *v >= 11));
+        assert!(s
+            .gauges
+            .iter()
+            .any(|(k, v)| k == "test.history.reg_gauge" && *v == 2.5));
+    }
+
+    #[test]
+    fn json_export_parses_and_matches() {
+        let h = History::new(4, 250);
+        h.push(
+            vec![("test.history.j".to_owned(), 3)],
+            vec![("test.history.g".to_owned(), -1.5)],
+        );
+        let doc = h.to_json().render();
+        let v = crate::json::parse(&doc).expect("valid json");
+        assert_eq!(v.get("capacity").and_then(Value::as_f64), Some(4.0));
+        assert_eq!(v.get("interval_ms").and_then(Value::as_f64), Some(250.0));
+        let samples = v.get("samples").and_then(Value::as_array).expect("samples");
+        assert_eq!(samples.len(), 1);
+        assert_eq!(
+            samples[0]
+                .get("counters")
+                .and_then(|c| c.get("test.history.j"))
+                .and_then(Value::as_f64),
+            Some(3.0)
+        );
+        assert_eq!(
+            samples[0]
+                .get("gauges")
+                .and_then(|g| g.get("test.history.g"))
+                .and_then(Value::as_f64),
+            Some(-1.5)
+        );
+    }
+
+    #[test]
+    fn interval_parsing() {
+        assert_eq!(parse_interval_ms(None), DEFAULT_INTERVAL_MS);
+        assert_eq!(parse_interval_ms(Some("")), DEFAULT_INTERVAL_MS);
+        assert_eq!(parse_interval_ms(Some("0")), DEFAULT_INTERVAL_MS);
+        assert_eq!(parse_interval_ms(Some("junk")), DEFAULT_INTERVAL_MS);
+        assert_eq!(parse_interval_ms(Some("250")), 250);
+        assert_eq!(parse_interval_ms(Some(" 50 ")), 50);
+    }
+}

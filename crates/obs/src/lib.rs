@@ -30,11 +30,13 @@
 //! }
 //! ```
 
+pub mod history;
 pub mod json;
 pub mod profile;
 pub mod registry;
 pub mod sink;
 pub mod span;
+pub mod trace;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;

@@ -49,6 +49,9 @@ pub const CANONICAL_COUNTERS: &[&str] = &[
     "surrogate.predictions",
     "optimizer.greedy_starts",
     "bench.rows_emitted",
+    "serve.requests",
+    "serve.shed",
+    "serve.deadline_hits",
 ];
 
 /// Counters the CI `profile` job guards against drift.
@@ -58,6 +61,8 @@ pub const BASELINE_COUNTERS: &[&str] = &[
     "thermal.anderson_accepted",
     "thermal.assembly_rows_reused",
     "thermal.mg_vcycles",
+    "serve.shed",
+    "serve.deadline_hits",
 ];
 
 /// Baseline counters where only *increases* are regressions: dropping
@@ -66,7 +71,15 @@ pub const BASELINE_COUNTERS: &[&str] = &[
 /// still fails. `thermal.mg_vcycles` is 0 on the default path (the gate
 /// rides along for free there) and guards V-cycle-count regressions on
 /// the `TAC25D_SOLVER=mg` profile run.
-pub const ONE_SIDED_COUNTERS: &[&str] = &["thermal.pcg_iterations", "thermal.mg_vcycles"];
+/// `serve.shed` and `serve.deadline_hits` are blessed at 0 — any request
+/// shedding or deadline expiry during a profile run is queue/backpressure
+/// behavior regressing, while staying at 0 rides along for free.
+pub const ONE_SIDED_COUNTERS: &[&str] = &[
+    "thermal.pcg_iterations",
+    "thermal.mg_vcycles",
+    "serve.shed",
+    "serve.deadline_hits",
+];
 
 /// The mirror image: improvement counters where only *decreases* are
 /// regressions. These count work *saved* (accepted Anderson steps, CSR
@@ -377,6 +390,42 @@ pub fn render_report(profile: &Value) -> String {
     out
 }
 
+/// Renders the same data as [`render_report`] (plus the drift rows, when
+/// a baseline was checked) as one machine-readable JSON document, so CI
+/// can archive and diff `tac25d obs-report --json` output instead of
+/// scraping the table.
+pub fn render_report_json(profile: &Value, drifts: &[Drift]) -> String {
+    let mut fields: Vec<(String, Value)> = Vec::new();
+    for key in [
+        "bin",
+        "total_wall_s",
+        "spans_by_name",
+        "counters",
+        "gauges",
+        "histograms",
+    ] {
+        if let Some(v) = profile.get(key) {
+            fields.push((key.to_owned(), v.clone()));
+        }
+    }
+    let drift_rows: Vec<Value> = drifts
+        .iter()
+        .map(|d| {
+            crate::json::obj(vec![
+                ("name".to_owned(), Value::String(d.name.clone())),
+                ("baseline".to_owned(), Value::Number(d.baseline)),
+                ("observed".to_owned(), Value::Number(d.observed)),
+                // Infinite drift (zero baseline, nonzero observed)
+                // renders as null per the serializer's non-finite rule.
+                ("relative".to_owned(), Value::Number(d.relative)),
+                ("exceeded".to_owned(), Value::Bool(d.exceeded)),
+            ])
+        })
+        .collect();
+    fields.push(("drift".to_owned(), Value::Array(drift_rows)));
+    crate::json::obj(fields).render()
+}
+
 /// Parses a profile or baseline file from disk.
 ///
 /// # Errors
@@ -548,6 +597,30 @@ mod tests {
         let report = render_report(&v);
         assert!(report.contains("total wall time"));
         assert!(report.contains("top counters"));
+    }
+
+    #[test]
+    fn json_report_carries_table_data_and_drift() {
+        let profile = fake_profile(130.0, 10.0);
+        let baseline = parse(r#"{"thermal.pcg_iterations": 100, "thermal.exact_solves": 10}"#)
+            .expect("baseline parses");
+        let drifts = check_drift(&profile, &baseline, DRIFT_TOLERANCE);
+        let doc = render_report_json(&profile, &drifts);
+        let v = parse(&doc).expect("json report parses");
+        assert_eq!(v.get("bin").and_then(Value::as_str), Some("t"));
+        assert_eq!(
+            v.get("counters")
+                .and_then(|c| c.get("thermal.pcg_iterations"))
+                .and_then(Value::as_f64),
+            Some(130.0)
+        );
+        let rows = v.get("drift").and_then(Value::as_array).expect("drift");
+        assert_eq!(rows.len(), BASELINE_COUNTERS.len());
+        let pcg = rows
+            .iter()
+            .find(|r| r.get("name").and_then(Value::as_str) == Some("thermal.pcg_iterations"))
+            .expect("pcg row");
+        assert_eq!(pcg.get("exceeded"), Some(&Value::Bool(true)));
     }
 
     #[test]

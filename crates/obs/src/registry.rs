@@ -30,9 +30,12 @@ impl Counter {
         self.add(1);
     }
 
-    /// Adds `n`.
+    /// Adds `n`. When a request trace collector is installed on this
+    /// thread ([`crate::trace`]), the delta is also attributed to the
+    /// in-flight request; the untraced cost is one extra relaxed load.
     pub fn add(&self, n: u64) {
         self.value.fetch_add(n, Ordering::Relaxed);
+        crate::trace::on_counter_add(self as *const Counter as usize, n);
     }
 
     /// Current value.
@@ -149,6 +152,25 @@ impl Histogram {
         std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
     }
 
+    /// Upper bound of the bucket containing the `p`-th percentile
+    /// (`p` in 0..=100), i.e. the log2-quantized quantile. Returns 0 for
+    /// an empty histogram.
+    pub fn percentile_upper_bound(&self, p: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((p / 100.0) * count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, c) in self.bucket_counts().iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
+    }
+
     /// Resets all buckets (tests and per-run profile isolation).
     pub fn reset(&self) {
         for b in &self.buckets {
@@ -194,6 +216,20 @@ pub fn histogram(name: &str) -> Arc<Histogram> {
         .lock()
         .expect("histogram registry poisoned");
     Arc::clone(map.entry(name.to_owned()).or_default())
+}
+
+/// Resolves a counter address (as passed to the trace hook) back to its
+/// registered name. Registration is permanent, so a captured address is
+/// stable for the process lifetime. Linear in registry size — callers
+/// resolve at render time, never on the request hot path.
+pub fn counter_name_of(addr: usize) -> Option<String> {
+    let map = registry()
+        .counters
+        .lock()
+        .expect("counter registry poisoned");
+    map.iter()
+        .find(|(_, c)| Arc::as_ptr(c) as usize == addr)
+        .map(|(name, _)| name.clone())
 }
 
 /// Snapshot of all counters, sorted by name.
@@ -383,6 +419,33 @@ mod tests {
         assert_eq!(counts[1], 1); // 1
         assert_eq!(counts[2], 2); // 2, 3
         assert_eq!(counts[3], 1); // 4
+    }
+
+    #[test]
+    fn counter_name_resolves_by_address() {
+        let c = counter("test.registry.named_counter");
+        let addr = Arc::as_ptr(&c) as usize;
+        assert_eq!(
+            counter_name_of(addr).as_deref(),
+            Some("test.registry.named_counter")
+        );
+        assert_eq!(counter_name_of(0xdead_beef), None);
+    }
+
+    #[test]
+    fn percentile_upper_bounds() {
+        let h = histogram("test.registry.pctl_hist");
+        h.reset();
+        assert_eq!(h.percentile_upper_bound(50.0), 0);
+        for v in [1u64, 2, 2, 3, 100] {
+            h.record(v);
+        }
+        // Buckets: 1 → [1,1], 2/3 → [2,3], 100 → [64,127].
+        assert_eq!(h.percentile_upper_bound(20.0), 1);
+        assert_eq!(h.percentile_upper_bound(50.0), 3);
+        assert_eq!(h.percentile_upper_bound(80.0), 3);
+        assert_eq!(h.percentile_upper_bound(99.0), 127);
+        assert_eq!(h.percentile_upper_bound(100.0), 127);
     }
 
     #[test]

@@ -54,16 +54,41 @@ fn aggregate() -> &'static Mutex<BTreeMap<String, SpanStat>> {
 /// the `span!` macro; the span closes when the guard drops.
 #[must_use = "a span measures the scope holding the guard; dropping it immediately records ~0ns"]
 pub struct SpanGuard {
-    // None when obs is disabled: drop is then a no-op.
+    // None when neither obs nor a trace collector is active: drop is
+    // then a no-op.
     start: Option<Instant>,
+    // Whether to fold into the global aggregate/sink on drop.
+    global: bool,
+    // Whether the thread's trace collector recorded this span at enter.
+    traced: bool,
 }
 
 impl SpanGuard {
     /// Opens a span named `name` under the current thread's span stack.
-    /// Inert (no clock read, no allocation) when obs is disabled.
+    /// Inert (no clock read, no allocation) when obs is disabled and no
+    /// request trace collector is installed on this thread
+    /// ([`crate::trace::begin`]). When only the collector is active the
+    /// span is recorded request-locally and skips the global aggregate
+    /// and sink entirely.
     pub fn enter(name: &str) -> SpanGuard {
-        if !crate::enabled() {
-            return SpanGuard { start: None };
+        let global = crate::enabled();
+        let traced = crate::trace::thread_traced();
+        if !global && !traced {
+            return SpanGuard {
+                start: None,
+                global: false,
+                traced: false,
+            };
+        }
+        if traced {
+            crate::trace::on_span_open(name);
+        }
+        if !global {
+            return SpanGuard {
+                start: Some(Instant::now()),
+                global: false,
+                traced,
+            };
         }
         let (path, depth) = STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
@@ -83,6 +108,8 @@ impl SpanGuard {
         }
         SpanGuard {
             start: Some(Instant::now()),
+            global: true,
+            traced,
         }
     }
 }
@@ -91,6 +118,12 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(start) = self.start else { return };
         let elapsed_ns = start.elapsed().as_nanos() as u64;
+        if self.traced {
+            crate::trace::on_span_close(elapsed_ns);
+        }
+        if !self.global {
+            return;
+        }
         let (frame, depth) = STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
             let frame = stack.pop().expect("span stack underflow");
@@ -209,7 +242,11 @@ mod tests {
         // Note: other tests in this binary call force_enable(); use a
         // guard constructed while disabled only if nothing enabled obs
         // yet. Instead, test the inert path directly.
-        let g = SpanGuard { start: None };
+        let g = SpanGuard {
+            start: None,
+            global: false,
+            traced: false,
+        };
         drop(g);
         // No panic, no new paths named after this test.
         assert!(stats_under("test.span.never_entered").is_empty());

@@ -1,0 +1,119 @@
+//! Property-based tests of the metrics-history ring buffer: wraparound
+//! bookkeeping and a full JSON round-trip through `tac25d_obs::json`
+//! (metric names drawn from a pool of escaper-hostile strings; values
+//! constrained to the f64-exact integer range the hand-rolled JSON
+//! number model uses).
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use tac25d_obs::history::History;
+use tac25d_obs::json::{parse, Value};
+
+/// Names the JSON escaper must handle: dots, quotes, backslashes,
+/// spaces, control characters, non-ASCII.
+const NAME_POOL: &[&str] = &[
+    "serve.requests",
+    "thermal.pcg_iterations",
+    "a b c",
+    "quote\"inside",
+    "back\\slash",
+    "tab\there",
+    "newline\nhere",
+    "µ.non_ascii.héllo",
+    "trailing.dot.",
+    "",
+];
+
+fn any_name() -> impl Strategy<Value = String> {
+    prop::sample::select(NAME_POOL.iter().map(|s| (*s).to_owned()).collect())
+}
+
+/// Counter values exactly representable as f64 (the JSON number model).
+const MAX_EXACT: u64 = 1 << 53;
+
+/// Counter pairs, possibly with duplicate names (deduped by the caller
+/// so the rendered JSON object has unique keys).
+fn any_counter_pairs() -> impl Strategy<Value = Vec<(String, u64)>> {
+    prop::collection::vec((any_name(), 0..MAX_EXACT), 0..6)
+}
+
+/// Gauge pairs; finite values only (non-finite floats deliberately
+/// render as JSON null).
+fn any_gauge_pairs() -> impl Strategy<Value = Vec<(String, f64)>> {
+    prop::collection::vec((any_name(), -1.0e12..1.0e12f64), 0..4)
+}
+
+/// Collapses duplicate names, keeping the last write (map semantics).
+fn dedupe<V: Clone>(pairs: Vec<(String, V)>) -> Vec<(String, V)> {
+    let map: BTreeMap<String, V> = pairs.into_iter().collect();
+    map.into_iter().collect()
+}
+
+proptest! {
+    /// Any push sequence keeps at most `capacity` samples, retains the
+    /// newest, and assigns strictly increasing sequence numbers.
+    #[test]
+    fn ring_keeps_newest_with_monotone_seqs(
+        capacity in 1usize..8,
+        pushes in 0usize..24,
+    ) {
+        let h = History::new(capacity, 1000);
+        for tag in 0..pushes {
+            let seq = h.push(vec![("tag".to_owned(), tag as u64)], Vec::new());
+            prop_assert_eq!(seq, tag as u64);
+        }
+        let samples = h.samples();
+        prop_assert_eq!(samples.len(), pushes.min(capacity));
+        for (i, s) in samples.iter().enumerate() {
+            // Oldest retained sample is push #(pushes - len), newest is
+            // the final push; seq mirrors the push index exactly.
+            let expected = (pushes - samples.len() + i) as u64;
+            prop_assert_eq!(s.seq, expected);
+            prop_assert_eq!(s.counters[0].1, expected);
+        }
+    }
+
+    /// `to_json` → render → parse reproduces every retained sample:
+    /// seq order, counters and gauges survive the hand-rolled JSON
+    /// layer bit-exactly, for escaper-hostile metric names.
+    #[test]
+    fn json_round_trips_samples(
+        raw_counter_sets in prop::collection::vec(any_counter_pairs(), 1..5),
+        raw_gauges in any_gauge_pairs(),
+    ) {
+        let counter_sets: Vec<Vec<(String, u64)>> =
+            raw_counter_sets.into_iter().map(dedupe).collect();
+        let gauges = dedupe(raw_gauges);
+        let h = History::new(8, 250);
+        for counters in &counter_sets {
+            h.push(counters.clone(), gauges.clone());
+        }
+        let doc = h.to_json().render();
+        let v = parse(&doc).expect("history JSON parses");
+        prop_assert_eq!(v.get("capacity").and_then(Value::as_f64), Some(8.0));
+        prop_assert_eq!(v.get("interval_ms").and_then(Value::as_f64), Some(250.0));
+        let samples = v.get("samples").and_then(Value::as_array).expect("samples");
+        prop_assert_eq!(samples.len(), counter_sets.len());
+        for (i, (sample, counters)) in samples.iter().zip(&counter_sets).enumerate() {
+            prop_assert_eq!(
+                sample.get("seq").and_then(Value::as_f64),
+                Some(i as f64)
+            );
+            for (name, want) in counters {
+                let got = sample
+                    .get("counters")
+                    .and_then(|c| c.get(name))
+                    .and_then(Value::as_f64);
+                prop_assert_eq!(got, Some(*want as f64), "counter {:?}", name);
+            }
+            for (name, want) in &gauges {
+                let got = sample
+                    .get("gauges")
+                    .and_then(|g| g.get(name))
+                    .and_then(Value::as_f64);
+                prop_assert_eq!(got, Some(*want), "gauge {:?}", name);
+            }
+        }
+    }
+}

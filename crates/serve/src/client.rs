@@ -70,11 +70,30 @@ impl Client {
     ///
     /// Propagates transport errors and malformed responses.
     pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<ClientResponse> {
-        self.send(&format!(
-            "POST {path} HTTP/1.1\r\nHost: tac25d\r\nContent-Type: application/json\r\n\
-             Content-Length: {}\r\n\r\n{body}",
+        self.post_with(path, body, &[])
+    }
+
+    /// Sends `POST path` with a JSON body plus extra request headers
+    /// (e.g. `X-Request-Id` for trace lookup by a chosen id).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors and malformed responses.
+    pub fn post_with(
+        &mut self,
+        path: &str,
+        body: &str,
+        extra_headers: &[(&str, &str)],
+    ) -> std::io::Result<ClientResponse> {
+        let mut head = format!("POST {path} HTTP/1.1\r\nHost: tac25d\r\n");
+        for (name, value) in extra_headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str(&format!(
+            "Content-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
             body.len()
-        ))?;
+        ));
+        self.send(&head)?;
         self.read_response()
     }
 

@@ -82,6 +82,9 @@ impl EngineState {
     /// deadline (request `deadline_ms` already merged with the server
     /// default by the caller).
     pub fn evaluate(&self, req: &EvaluateRequest, deadline: Option<Instant>) -> EngineResult {
+        // Root of the request's trace capture; inert unless obs or a
+        // per-thread trace collector is active.
+        let _span = tac25d_obs::span!("serve.evaluate");
         let spec = self.spec();
         let Some(op) = spec.vf.at_frequency(req.freq_mhz) else {
             return EngineResult::error(422, format!("no VF point at {} MHz", req.freq_mhz));
@@ -120,6 +123,7 @@ impl EngineState {
 
     /// Runs one `/v1/optimize` request.
     pub fn optimize(&self, req: &OptimizeRequest, deadline: Option<Instant>) -> EngineResult {
+        let _span = tac25d_obs::span!("serve.optimize");
         let spec = self.spec();
         let cfg = OptimizerConfig {
             weights: Weights::new(req.alpha, req.beta),

@@ -34,11 +34,21 @@
 //!   local evaluation of the same request (`tac25d query --local`); the
 //!   `verify serve` mode pins this with a request corpus.
 //!
+//! - **Request-scoped tracing** — evaluate/optimize requests run under a
+//!   per-thread trace collector ([`tac25d_obs::trace`]) capturing a
+//!   request-local span tree and counter deltas; the slowest exemplars
+//!   per endpoint are browsable at `GET /v1/traces`. Identity is
+//!   header-only (`X-Request-Id` in/out), so bodies stay byte-identical;
+//!   `verify trace` pins identity, isolation and ≤2% overhead.
+//!
 //! Endpoints: `POST /v1/evaluate`, `POST /v1/optimize`, `GET /healthz`,
-//! `GET /metrics` (Prometheus text from the obs registry).
+//! `GET /metrics` (Prometheus text from the obs registry),
+//! `GET /metrics/history` (ring-buffer time series), `GET /v1/traces`
+//! and `GET /v1/traces/{id}` (slow-request exemplars).
 
 pub mod client;
 pub mod engine;
 pub mod http;
 pub mod protocol;
 pub mod server;
+pub mod telemetry;

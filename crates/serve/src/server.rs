@@ -22,6 +22,7 @@ use tac25d_obs::registry::prometheus_text;
 use crate::engine::{EngineResult, EngineState};
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::protocol::{EvaluateRequest, OptimizeRequest};
+use crate::telemetry::{self, Endpoint, RequestRecord, StoredTrace, Telemetry};
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -37,6 +38,10 @@ pub struct ServerConfig {
     /// Server-side deadline applied to every request (the effective
     /// deadline is the *smaller* of this and the request's `deadline_ms`).
     pub default_deadline_ms: Option<u64>,
+    /// Whether evaluate/optimize requests run under a request-scoped
+    /// trace collector feeding `GET /v1/traces` (≤2% overhead, gated by
+    /// `verify trace`). Response bodies are identical either way.
+    pub tracing: bool,
 }
 
 impl Default for ServerConfig {
@@ -46,6 +51,7 @@ impl Default for ServerConfig {
             workers: 0,
             queue_capacity: 64,
             default_deadline_ms: None,
+            tracing: true,
         }
     }
 }
@@ -65,9 +71,11 @@ impl ServerConfig {
     }
 }
 
-/// The bounded handoff between the acceptor and the workers.
+/// The bounded handoff between the acceptor and the workers. Connections
+/// carry their enqueue instant so the worker can attribute queue wait
+/// (`serve.queue_wait_us`) separately from handle time.
 struct Intake {
-    queue: Mutex<VecDeque<TcpStream>>,
+    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
     ready: Condvar,
     capacity: usize,
 }
@@ -88,7 +96,7 @@ impl Intake {
         if q.len() >= self.capacity {
             return Err(conn);
         }
-        q.push_back(conn);
+        q.push_back((conn, Instant::now()));
         obs::gauge!("serve.queue_depth").set(q.len() as f64);
         drop(q);
         self.ready.notify_one();
@@ -96,7 +104,7 @@ impl Intake {
     }
 
     /// Dequeues a connection, waiting up to `tick`. `None` on timeout.
-    fn take(&self, tick: Duration) -> Option<TcpStream> {
+    fn take(&self, tick: Duration) -> Option<(TcpStream, Instant)> {
         let mut q = self.queue.lock().expect("lock poisoned");
         if q.is_empty() {
             let (guard, _) = self.ready.wait_timeout(q, tick).expect("lock poisoned");
@@ -190,6 +198,7 @@ pub fn start(config: ServerConfig, engine: Arc<EngineState>) -> std::io::Result<
     let local_addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let intake = Arc::new(Intake::new(config.queue_capacity));
+    let telemetry = Arc::new(Telemetry::new(config.tracing));
     let mut threads = Vec::new();
 
     {
@@ -202,15 +211,26 @@ pub fn start(config: ServerConfig, engine: Arc<EngineState>) -> std::io::Result<
                 .expect("spawn acceptor"),
         );
     }
+    {
+        let stop = Arc::clone(&stop);
+        let telemetry = Arc::clone(&telemetry);
+        threads.push(
+            std::thread::Builder::new()
+                .name("serve-history".into())
+                .spawn(move || history_loop(&telemetry, &stop))
+                .expect("spawn history sampler"),
+        );
+    }
     for i in 0..config.resolved_workers() {
         let stop = Arc::clone(&stop);
         let intake = Arc::clone(&intake);
         let engine = Arc::clone(&engine);
+        let telemetry = Arc::clone(&telemetry);
         let config = config.clone();
         threads.push(
             std::thread::Builder::new()
                 .name(format!("serve-worker-{i}"))
-                .spawn(move || worker_loop(&intake, &engine, &config, &stop))
+                .spawn(move || worker_loop(&intake, &engine, &config, &telemetry, &stop))
                 .expect("spawn worker"),
         );
     }
@@ -220,6 +240,22 @@ pub fn start(config: ServerConfig, engine: Arc<EngineState>) -> std::io::Result<
         stop,
         threads,
     })
+}
+
+/// Samples the registry into the `/metrics/history` ring at the
+/// env-selected interval. One sample is taken immediately so the
+/// endpoint is never empty once the daemon is up.
+fn history_loop(telemetry: &Telemetry, stop: &AtomicBool) {
+    let interval = Duration::from_millis(telemetry.history.interval_ms());
+    telemetry.history.sample_registry();
+    let mut last = Instant::now();
+    while !stopping(stop) {
+        std::thread::sleep(TICK.min(interval));
+        if last.elapsed() >= interval {
+            telemetry.history.sample_registry();
+            last = Instant::now();
+        }
+    }
 }
 
 fn stopping(stop: &AtomicBool) -> bool {
@@ -246,15 +282,24 @@ fn acceptor_loop(listener: &TcpListener, intake: &Intake, stop: &AtomicBool) {
     }
 }
 
-fn worker_loop(intake: &Intake, engine: &EngineState, config: &ServerConfig, stop: &AtomicBool) {
+fn worker_loop(
+    intake: &Intake,
+    engine: &EngineState,
+    config: &ServerConfig,
+    telemetry: &Telemetry,
+    stop: &AtomicBool,
+) {
     loop {
         match intake.take(TICK) {
-            Some(conn) => {
+            Some((conn, queued_at)) => {
                 static BUSY: std::sync::atomic::AtomicUsize =
                     std::sync::atomic::AtomicUsize::new(0);
                 let busy = BUSY.fetch_add(1, Ordering::Relaxed) + 1;
                 obs::gauge!("serve.busy_workers").set(busy as f64);
-                handle_connection(conn, engine, config, stop);
+                let queue_wait_us =
+                    queued_at.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                obs::histogram!("serve.queue_wait_us").record(queue_wait_us);
+                handle_connection(conn, engine, config, telemetry, stop, queue_wait_us);
                 let busy = BUSY.fetch_sub(1, Ordering::Relaxed) - 1;
                 obs::gauge!("serve.busy_workers").set(busy as f64);
             }
@@ -273,13 +318,18 @@ fn handle_connection(
     mut conn: TcpStream,
     engine: &EngineState,
     config: &ServerConfig,
+    telemetry: &Telemetry,
     stop: &AtomicBool,
+    queue_wait_us: u64,
 ) {
     if conn.set_read_timeout(Some(TICK)).is_err() {
         return;
     }
     let _ = conn.set_nodelay(true);
     let mut carry = Vec::new();
+    // Queue wait belongs to the first request on the connection; keep-alive
+    // follow-ups were never queued.
+    let mut first_queue_wait_us = queue_wait_us;
     loop {
         let request = match read_request(&mut conn, &mut carry) {
             Ok(r) => r,
@@ -309,14 +359,48 @@ fn handle_connection(
                 return;
             }
         };
+        let id = telemetry::request_id(request.header("x-request-id"));
+        let endpoint = Endpoint::of(&request.method, &request.path);
+        let traced = telemetry.tracing && endpoint.traceable();
         let started = Instant::now();
-        let response = dispatch(engine, config, &request);
+        if traced {
+            obs::trace::begin();
+        }
+        let response = dispatch(engine, config, telemetry, &request);
+        let capture = if traced { obs::trace::finish() } else { None };
+        let handle_us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
         obs::counter!("serve.requests").inc();
         if response.status == 504 {
             obs::counter!("serve.deadline_hits").inc();
         }
-        obs::histogram!("serve.request_latency_us")
-            .record(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        // Unchanged semantics (dispatch time, probes included) so the
+        // committed serve baselines stay comparable; the per-endpoint
+        // split below is the probe-free surface.
+        obs::histogram!("serve.request_latency_us").record(handle_us);
+        telemetry::handle_histogram(endpoint, response.status).record(handle_us);
+        let record = RequestRecord {
+            id: id.clone(),
+            method: request.method.clone(),
+            path: request.path.clone(),
+            endpoint,
+            status: response.status,
+            queue_wait_us: std::mem::take(&mut first_queue_wait_us),
+            handle_us,
+            bytes_out: response.body.len(),
+        };
+        let t_us = obs::uptime().as_micros().min(u128::from(u64::MAX)) as u64;
+        if let Some(capture) = capture {
+            telemetry.traces.offer(StoredTrace {
+                record: record.clone(),
+                t_us,
+                capture,
+            });
+        }
+        telemetry::log_access(&record, t_us);
+        // Identity is echoed header-only, and unconditionally (traced and
+        // untraced daemons answer identically on the wire modulo the id
+        // value itself): bodies stay byte-identical to `query --local`.
+        let response = response.with_header("X-Request-Id", id);
         let close = request.wants_close() || stopping(stop);
         if response.write_to(&mut conn, close).is_err() || close {
             return;
@@ -325,10 +409,24 @@ fn handle_connection(
 }
 
 /// Routes one request. Transport-agnostic, so tests can call it directly.
-pub fn dispatch(engine: &EngineState, config: &ServerConfig, request: &Request) -> Response {
+pub fn dispatch(
+    engine: &EngineState,
+    config: &ServerConfig,
+    telemetry: &Telemetry,
+    request: &Request,
+) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => Response::json(200, r#"{"status":"ok"}"#),
         ("GET", "/metrics") => Response::text(200, prometheus_text()),
+        ("GET", "/metrics/history") => Response::json(200, telemetry.history.to_json().render()),
+        ("GET", "/v1/traces") => Response::json(200, telemetry.traces.list_json().render()),
+        ("GET", path) if path.starts_with("/v1/traces/") => {
+            let id = &path["/v1/traces/".len()..];
+            match telemetry.traces.get(id) {
+                Some(trace) => Response::json(200, trace.to_json().render()),
+                None => Response::json(404, r#"{"error":"no stored trace with that id"}"#),
+            }
+        }
         ("POST", "/v1/evaluate") => json_endpoint(request, |v, received| {
             let req = EvaluateRequest::from_json(v)?;
             let deadline = effective_deadline(req.deadline_ms, config, received);
@@ -410,35 +508,45 @@ mod tests {
     fn dispatch_routes_and_rejects() {
         let engine = engine();
         let config = ServerConfig::default();
-        assert_eq!(
-            dispatch(&engine, &config, &request("GET", "/healthz", "")).status,
-            200
+        let tel = Telemetry::new(true);
+        let route = |method: &str, path: &str, body: &str| {
+            dispatch(&engine, &config, &tel, &request(method, path, body)).status
+        };
+        assert_eq!(route("GET", "/healthz", ""), 200);
+        assert_eq!(route("GET", "/metrics", ""), 200);
+        assert_eq!(route("GET", "/metrics/history", ""), 200);
+        assert_eq!(route("GET", "/v1/traces", ""), 200);
+        assert_eq!(route("GET", "/v1/traces/req-missing", ""), 404);
+        assert_eq!(route("GET", "/nope", ""), 404);
+        assert_eq!(route("DELETE", "/healthz", ""), 405);
+        assert_eq!(route("POST", "/v1/evaluate", "{not json"), 400);
+        assert_eq!(route("POST", "/v1/evaluate", "{}"), 422);
+    }
+
+    #[test]
+    fn history_and_trace_endpoints_serve_valid_json() {
+        let engine = engine();
+        let config = ServerConfig::default();
+        let tel = Telemetry::new(true);
+        tel.history.sample_registry();
+        let history = dispatch(
+            &engine,
+            &config,
+            &tel,
+            &request("GET", "/metrics/history", ""),
         );
-        assert_eq!(
-            dispatch(&engine, &config, &request("GET", "/metrics", "")).status,
-            200
-        );
-        assert_eq!(
-            dispatch(&engine, &config, &request("GET", "/nope", "")).status,
-            404
-        );
-        assert_eq!(
-            dispatch(&engine, &config, &request("DELETE", "/healthz", "")).status,
-            405
-        );
-        assert_eq!(
-            dispatch(
-                &engine,
-                &config,
-                &request("POST", "/v1/evaluate", "{not json")
-            )
-            .status,
-            400
-        );
-        assert_eq!(
-            dispatch(&engine, &config, &request("POST", "/v1/evaluate", "{}")).status,
-            422
-        );
+        let v = parse(std::str::from_utf8(&history.body).expect("utf8")).expect("history parses");
+        assert!(!v
+            .get("samples")
+            .and_then(tac25d_obs::json::Value::as_array)
+            .expect("samples")
+            .is_empty());
+        let list = dispatch(&engine, &config, &tel, &request("GET", "/v1/traces", ""));
+        let v = parse(std::str::from_utf8(&list.body).expect("utf8")).expect("traces parse");
+        assert!(v
+            .get("traces")
+            .and_then(tac25d_obs::json::Value::as_array)
+            .is_some());
     }
 
     #[test]

@@ -1,0 +1,600 @@
+//! Request-scoped telemetry for the daemon: request identity, per-endpoint
+//! latency breakdowns, the slow-request exemplar store behind
+//! `GET /v1/traces`, and the optional JSONL access log.
+//!
+//! Request identity is **header-only**: the id arrives via `X-Request-Id`
+//! (or is minted as `req-<seq>`) and leaves as the same response header.
+//! Response *bodies* never mention it, so the PR 6 byte-identity contract
+//! — daemon responses byte-equal to a one-shot `query --local` — is
+//! untouched; `verify trace` pins this against an untraced daemon.
+//!
+//! Latency is split into **queue wait** (accept → worker dequeue, visible
+//! as `serve.queue_wait_us`) and **handle time** (read complete →
+//! response ready, recorded per endpoint × status class, e.g.
+//! `serve.evaluate.2xx_handle_us`). Probe endpoints (`/healthz`,
+//! `/metrics*`, `/v1/traces*`) keep their own bucket so scrapes cannot
+//! skew the evaluate/optimize distributions.
+
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use tac25d_obs as obs;
+use tac25d_obs::history::History;
+use tac25d_obs::json::{obj, Value};
+use tac25d_obs::trace::TraceCapture;
+
+/// Exemplars retained per endpoint (top-K by handle time).
+pub const EXEMPLARS_PER_ENDPOINT: usize = 16;
+
+/// Maximum accepted length of a client-supplied `X-Request-Id`.
+pub const MAX_REQUEST_ID_LEN: usize = 128;
+
+/// Endpoint class for latency breakdowns and trace eligibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /v1/evaluate`.
+    Evaluate,
+    /// `POST /v1/optimize`.
+    Optimize,
+    /// Health/metrics/trace scrapes — excluded from the evaluate/optimize
+    /// breakdowns so probes cannot skew them.
+    Probe,
+    /// Everything else (404s, bad methods).
+    Other,
+}
+
+impl Endpoint {
+    /// Classifies a request.
+    pub fn of(method: &str, path: &str) -> Endpoint {
+        match (method, path) {
+            ("POST", "/v1/evaluate") => Endpoint::Evaluate,
+            ("POST", "/v1/optimize") => Endpoint::Optimize,
+            ("GET", "/healthz" | "/metrics" | "/metrics/history" | "/v1/traces") => Endpoint::Probe,
+            ("GET", p) if p.starts_with("/v1/traces/") => Endpoint::Probe,
+            _ => Endpoint::Other,
+        }
+    }
+
+    /// Stable lowercase name used in metric names and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Endpoint::Evaluate => "evaluate",
+            Endpoint::Optimize => "optimize",
+            Endpoint::Probe => "probe",
+            Endpoint::Other => "other",
+        }
+    }
+
+    /// Whether requests to this endpoint get a trace collector.
+    pub fn traceable(self) -> bool {
+        matches!(self, Endpoint::Evaluate | Endpoint::Optimize)
+    }
+}
+
+/// Status class label (`2xx`, `4xx`, ...) for metric names.
+pub fn status_class(status: u16) -> &'static str {
+    match status / 100 {
+        1 => "1xx",
+        2 => "2xx",
+        3 => "3xx",
+        4 => "4xx",
+        _ => "5xx",
+    }
+}
+
+/// The per-endpoint × status-class handle-time histogram, e.g.
+/// `serve.evaluate.2xx_handle_us`. Handles are cached in a static table
+/// so the per-request cost is an index, not a registry lock.
+pub fn handle_histogram(endpoint: Endpoint, status: u16) -> &'static Arc<obs::registry::Histogram> {
+    static TABLE: OnceLock<Vec<Arc<obs::registry::Histogram>>> = OnceLock::new();
+    const ENDPOINTS: [Endpoint; 4] = [
+        Endpoint::Evaluate,
+        Endpoint::Optimize,
+        Endpoint::Probe,
+        Endpoint::Other,
+    ];
+    const CLASSES: [&str; 5] = ["1xx", "2xx", "3xx", "4xx", "5xx"];
+    let table = TABLE.get_or_init(|| {
+        ENDPOINTS
+            .iter()
+            .flat_map(|e| {
+                CLASSES.iter().map(|c| {
+                    obs::registry::histogram(&format!("serve.{}.{c}_handle_us", e.as_str()))
+                })
+            })
+            .collect()
+    });
+    let e_idx = ENDPOINTS.iter().position(|&e| e == endpoint).unwrap_or(3);
+    let c_idx = CLASSES
+        .iter()
+        .position(|&c| c == status_class(status))
+        .unwrap_or(4);
+    &table[e_idx * CLASSES.len() + c_idx]
+}
+
+/// Mints a deterministic request id: `req-1`, `req-2`, ... in arrival
+/// order within the process.
+pub fn mint_request_id() -> String {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    format!("req-{}", SEQ.fetch_add(1, Ordering::Relaxed) + 1)
+}
+
+/// The request's identity: a sane client-supplied `X-Request-Id` verbatim,
+/// otherwise a minted `req-<seq>`. Sanity = non-empty, at most
+/// [`MAX_REQUEST_ID_LEN`] visible-ASCII characters (header injection and
+/// log forgery stay impossible).
+pub fn request_id(header: Option<&str>) -> String {
+    match header {
+        Some(v)
+            if !v.is_empty()
+                && v.len() <= MAX_REQUEST_ID_LEN
+                && v.bytes().all(|b| b.is_ascii_graphic()) =>
+        {
+            v.to_owned()
+        }
+        _ => mint_request_id(),
+    }
+}
+
+/// Everything recorded about one finished request.
+#[derive(Debug, Clone)]
+pub struct RequestRecord {
+    /// Request id (echoed as `X-Request-Id`).
+    pub id: String,
+    /// Request method.
+    pub method: String,
+    /// Request path.
+    pub path: String,
+    /// Endpoint class.
+    pub endpoint: Endpoint,
+    /// Response status.
+    pub status: u16,
+    /// Accept-to-dequeue wait, microseconds (0 for keep-alive follow-ups).
+    pub queue_wait_us: u64,
+    /// Dispatch time, microseconds.
+    pub handle_us: u64,
+    /// Response body bytes.
+    pub bytes_out: usize,
+}
+
+/// One stored exemplar: the request record plus its trace capture.
+#[derive(Debug, Clone)]
+pub struct StoredTrace {
+    /// The request's telemetry record.
+    pub record: RequestRecord,
+    /// Completion time, microseconds since the obs epoch.
+    pub t_us: u64,
+    /// The captured span tree + counter deltas.
+    pub capture: TraceCapture,
+}
+
+impl StoredTrace {
+    fn summary_fields(&self) -> Vec<(String, Value)> {
+        vec![
+            ("id".to_owned(), Value::String(self.record.id.clone())),
+            (
+                "endpoint".to_owned(),
+                Value::String(self.record.endpoint.as_str().to_owned()),
+            ),
+            (
+                "status".to_owned(),
+                Value::Number(f64::from(self.record.status)),
+            ),
+            ("t_us".to_owned(), Value::Number(self.t_us as f64)),
+            (
+                "queue_wait_us".to_owned(),
+                Value::Number(self.record.queue_wait_us as f64),
+            ),
+            (
+                "handle_us".to_owned(),
+                Value::Number(self.record.handle_us as f64),
+            ),
+            (
+                "bytes_out".to_owned(),
+                Value::Number(self.record.bytes_out as f64),
+            ),
+            (
+                "span_count".to_owned(),
+                Value::Number(self.capture.nodes.len() as f64),
+            ),
+        ]
+    }
+
+    /// Full JSON document for `GET /v1/traces/{id}`: the summary fields
+    /// plus the capture's counters and nested span tree.
+    pub fn to_json(&self) -> Value {
+        let mut fields = self.summary_fields();
+        let cap = self.capture.to_json();
+        for key in ["wall_us", "counters", "spans"] {
+            if let Some(v) = cap.get(key) {
+                fields.push((key.to_owned(), v.clone()));
+            }
+        }
+        obj(fields)
+    }
+}
+
+/// Top-K slow-request exemplar store, K per endpoint, keyed for id
+/// lookup. Small (≤ K × endpoints entries), so inserts scan linearly
+/// under one mutex.
+pub struct TraceStore {
+    per_endpoint: usize,
+    inner: Mutex<Vec<StoredTrace>>,
+}
+
+impl Default for TraceStore {
+    fn default() -> Self {
+        TraceStore::new(EXEMPLARS_PER_ENDPOINT)
+    }
+}
+
+impl TraceStore {
+    /// Creates a store retaining at most `per_endpoint` exemplars per
+    /// endpoint class.
+    pub fn new(per_endpoint: usize) -> TraceStore {
+        TraceStore {
+            per_endpoint: per_endpoint.max(1),
+            inner: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Offers a finished trace; the slowest `per_endpoint` requests per
+    /// endpoint (by handle time) survive.
+    pub fn offer(&self, trace: StoredTrace) {
+        let mut traces = self.inner.lock().expect("trace store poisoned");
+        let endpoint = trace.record.endpoint;
+        traces.push(trace);
+        let count = traces
+            .iter()
+            .filter(|t| t.record.endpoint == endpoint)
+            .count();
+        if count > self.per_endpoint {
+            // Evict the fastest exemplar of this endpoint.
+            if let Some(pos) = traces
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.record.endpoint == endpoint)
+                .min_by_key(|(_, t)| t.record.handle_us)
+                .map(|(i, _)| i)
+            {
+                traces.remove(pos);
+            }
+        }
+    }
+
+    /// Number of stored exemplars.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("trace store poisoned").len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The most recent exemplar matching `id` (ids are client-supplied,
+    /// so duplicates are possible; latest wins).
+    pub fn get(&self, id: &str) -> Option<StoredTrace> {
+        let traces = self.inner.lock().expect("trace store poisoned");
+        traces.iter().rev().find(|t| t.record.id == id).cloned()
+    }
+
+    /// `GET /v1/traces` document: exemplar summaries sorted slowest-first
+    /// within endpoint, evaluate/optimize first.
+    pub fn list_json(&self) -> Value {
+        let mut traces = self.inner.lock().expect("trace store poisoned").clone();
+        traces.sort_by(|a, b| {
+            a.record
+                .endpoint
+                .as_str()
+                .cmp(b.record.endpoint.as_str())
+                .then(b.record.handle_us.cmp(&a.record.handle_us))
+        });
+        let rows: Vec<Value> = traces.iter().map(|t| obj(t.summary_fields())).collect();
+        obj(vec![
+            (
+                "per_endpoint_capacity".to_owned(),
+                Value::Number(self.per_endpoint as f64),
+            ),
+            ("traces".to_owned(), Value::Array(rows)),
+        ])
+    }
+}
+
+/// JSONL access log selected by `TAC25D_ACCESS_LOG=path`. Opened lazily
+/// on the first logged request; silently disabled if the path cannot be
+/// opened (a daemon must not die over its log).
+fn access_log() -> Option<&'static Mutex<std::fs::File>> {
+    static LOG: OnceLock<Option<Mutex<std::fs::File>>> = OnceLock::new();
+    LOG.get_or_init(|| {
+        let path = std::env::var_os("TAC25D_ACCESS_LOG").filter(|v| !v.is_empty())?;
+        OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .ok()
+            .map(Mutex::new)
+    })
+    .as_ref()
+}
+
+/// Renders one access-log line (without trailing newline). Split from
+/// [`log_access`] so tests can check the format without touching the
+/// process environment.
+pub fn access_log_line(record: &RequestRecord, t_us: u64) -> String {
+    obj([
+        ("t_us", Value::Number(t_us as f64)),
+        ("id", Value::String(record.id.clone())),
+        ("method", Value::String(record.method.clone())),
+        ("path", Value::String(record.path.clone())),
+        ("status", Value::Number(f64::from(record.status))),
+        ("queue_wait_us", Value::Number(record.queue_wait_us as f64)),
+        ("handle_us", Value::Number(record.handle_us as f64)),
+        ("bytes_out", Value::Number(record.bytes_out as f64)),
+    ])
+    .render()
+}
+
+/// Appends one JSONL line for a finished request when `TAC25D_ACCESS_LOG`
+/// is configured; no-op (one cached `Option` check) otherwise.
+pub fn log_access(record: &RequestRecord, t_us: u64) {
+    if let Some(file) = access_log() {
+        let line = access_log_line(record, t_us);
+        let mut file = file.lock().expect("access log poisoned");
+        let _ = writeln!(file, "{line}");
+    }
+}
+
+/// Shared per-daemon telemetry state, threaded through the worker pool.
+pub struct Telemetry {
+    /// Whether evaluate/optimize requests get a trace collector.
+    pub tracing: bool,
+    /// The slow-request exemplar store.
+    pub traces: TraceStore,
+    /// The `/metrics/history` ring buffer.
+    pub history: History,
+}
+
+impl Telemetry {
+    /// Creates telemetry state; history capacity/interval come from the
+    /// environment (`TAC25D_OBS_HISTORY`).
+    pub fn new(tracing: bool) -> Telemetry {
+        Telemetry {
+            tracing,
+            traces: TraceStore::default(),
+            history: History::from_env(),
+        }
+    }
+}
+
+/// Renders a `/v1/traces/{id}` document (or, with `"traces"` present, a
+/// `/v1/traces` listing) as the human-readable table behind
+/// `tac25d trace-report`.
+pub fn render_trace_report(doc: &Value) -> String {
+    let mut out = String::new();
+    if let Some(rows) = doc.get("traces").and_then(Value::as_array) {
+        out.push_str("== stored trace exemplars ==\n");
+        out.push_str(&format!(
+            "{:<28} {:<9} {:>4} {:>12} {:>12} {:>6}\n",
+            "id", "endpoint", "st", "queue_us", "handle_us", "spans"
+        ));
+        for row in rows {
+            out.push_str(&format!(
+                "{:<28} {:<9} {:>4} {:>12} {:>12} {:>6}\n",
+                row.get("id").and_then(Value::as_str).unwrap_or("?"),
+                row.get("endpoint").and_then(Value::as_str).unwrap_or("?"),
+                num(row, "status"),
+                num(row, "queue_wait_us"),
+                num(row, "handle_us"),
+                num(row, "span_count"),
+            ));
+        }
+        return out;
+    }
+    out.push_str(&format!(
+        "== trace {} ==\n",
+        doc.get("id").and_then(Value::as_str).unwrap_or("?")
+    ));
+    out.push_str(&format!(
+        "endpoint {}  status {}  queue {} us  handle {} us\n",
+        doc.get("endpoint").and_then(Value::as_str).unwrap_or("?"),
+        num(doc, "status"),
+        num(doc, "queue_wait_us"),
+        num(doc, "handle_us"),
+    ));
+    out.push_str("\nspans:\n");
+    match doc.get("spans").and_then(Value::as_array) {
+        Some(spans) if !spans.is_empty() => {
+            for span in spans {
+                render_span(&mut out, span, 1);
+            }
+        }
+        _ => out.push_str("  (no spans captured)\n"),
+    }
+    out.push_str("\ncounter deltas:\n");
+    match doc.get("counters") {
+        Some(Value::Object(pairs)) if !pairs.is_empty() => {
+            for (name, v) in pairs {
+                out.push_str(&format!(
+                    "  {name:<36} {:>12}\n",
+                    v.as_f64().map(|n| format!("{n:.0}")).unwrap_or_default()
+                ));
+            }
+        }
+        _ => out.push_str("  (none)\n"),
+    }
+    out
+}
+
+fn num(doc: &Value, key: &str) -> String {
+    doc.get(key)
+        .and_then(Value::as_f64)
+        .map(|n| format!("{n:.0}"))
+        .unwrap_or_else(|| "?".to_owned())
+}
+
+fn render_span(out: &mut String, span: &Value, depth: usize) {
+    out.push_str(&format!(
+        "{}{}  +{} us  {} us\n",
+        "  ".repeat(depth),
+        span.get("name").and_then(Value::as_str).unwrap_or("?"),
+        num(span, "start_us"),
+        num(span, "dur_us"),
+    ));
+    if let Some(children) = span.get("children").and_then(Value::as_array) {
+        for child in children {
+            render_span(out, child, depth + 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: &str, endpoint: Endpoint, handle_us: u64) -> RequestRecord {
+        RequestRecord {
+            id: id.to_owned(),
+            method: "POST".to_owned(),
+            path: "/v1/evaluate".to_owned(),
+            endpoint,
+            status: 200,
+            queue_wait_us: 5,
+            handle_us,
+            bytes_out: 100,
+        }
+    }
+
+    fn stored(id: &str, endpoint: Endpoint, handle_us: u64) -> StoredTrace {
+        obs::trace::begin();
+        {
+            let _g = obs::span!("serve.test_span");
+        }
+        StoredTrace {
+            record: record(id, endpoint, handle_us),
+            t_us: 1,
+            capture: obs::trace::finish().expect("capture"),
+        }
+    }
+
+    #[test]
+    fn endpoint_classification() {
+        assert_eq!(Endpoint::of("POST", "/v1/evaluate"), Endpoint::Evaluate);
+        assert_eq!(Endpoint::of("POST", "/v1/optimize"), Endpoint::Optimize);
+        assert_eq!(Endpoint::of("GET", "/healthz"), Endpoint::Probe);
+        assert_eq!(Endpoint::of("GET", "/metrics"), Endpoint::Probe);
+        assert_eq!(Endpoint::of("GET", "/metrics/history"), Endpoint::Probe);
+        assert_eq!(Endpoint::of("GET", "/v1/traces"), Endpoint::Probe);
+        assert_eq!(Endpoint::of("GET", "/v1/traces/req-9"), Endpoint::Probe);
+        assert_eq!(Endpoint::of("GET", "/nope"), Endpoint::Other);
+        assert_eq!(Endpoint::of("DELETE", "/healthz"), Endpoint::Other);
+        assert!(Endpoint::Evaluate.traceable());
+        assert!(Endpoint::Optimize.traceable());
+        assert!(!Endpoint::Probe.traceable());
+        assert!(!Endpoint::Other.traceable());
+    }
+
+    #[test]
+    fn status_classes() {
+        assert_eq!(status_class(200), "2xx");
+        assert_eq!(status_class(404), "4xx");
+        assert_eq!(status_class(422), "4xx");
+        assert_eq!(status_class(504), "5xx");
+        assert_eq!(status_class(101), "1xx");
+    }
+
+    #[test]
+    fn handle_histograms_are_per_endpoint_and_class() {
+        let before = handle_histogram(Endpoint::Evaluate, 200).count();
+        handle_histogram(Endpoint::Evaluate, 200).record(10);
+        assert_eq!(
+            handle_histogram(Endpoint::Evaluate, 200).count(),
+            before + 1
+        );
+        // Distinct class/endpoint → distinct histogram handle.
+        assert!(!std::ptr::eq(
+            Arc::as_ptr(handle_histogram(Endpoint::Evaluate, 200)),
+            Arc::as_ptr(handle_histogram(Endpoint::Evaluate, 422)),
+        ));
+        assert!(!std::ptr::eq(
+            Arc::as_ptr(handle_histogram(Endpoint::Evaluate, 200)),
+            Arc::as_ptr(handle_histogram(Endpoint::Probe, 200)),
+        ));
+        // And it is the registered metric.
+        assert_eq!(
+            Arc::as_ptr(handle_histogram(Endpoint::Optimize, 500)),
+            Arc::as_ptr(&obs::registry::histogram("serve.optimize.5xx_handle_us")),
+        );
+    }
+
+    #[test]
+    fn request_ids_accept_sane_headers_and_mint_otherwise() {
+        assert_eq!(request_id(Some("abc-123")), "abc-123");
+        let minted = request_id(None);
+        assert!(minted.starts_with("req-"), "{minted}");
+        // Distinct mints.
+        assert_ne!(request_id(None), minted);
+        // Rejected: empty, oversized, non-graphic.
+        assert!(request_id(Some("")).starts_with("req-"));
+        assert!(request_id(Some(&"x".repeat(200))).starts_with("req-"));
+        assert!(request_id(Some("has space")).starts_with("req-"));
+        assert!(request_id(Some("tab\tbad")).starts_with("req-"));
+    }
+
+    #[test]
+    fn trace_store_keeps_top_k_per_endpoint() {
+        let store = TraceStore::new(2);
+        store.offer(stored("a", Endpoint::Evaluate, 10));
+        store.offer(stored("b", Endpoint::Evaluate, 30));
+        store.offer(stored("c", Endpoint::Evaluate, 20));
+        store.offer(stored("d", Endpoint::Optimize, 1));
+        assert_eq!(store.len(), 3, "2 evaluate + 1 optimize");
+        assert!(store.get("a").is_none(), "fastest evaluate evicted");
+        assert!(store.get("b").is_some());
+        assert!(store.get("c").is_some());
+        assert!(store.get("d").is_some(), "other endpoint unaffected");
+    }
+
+    #[test]
+    fn trace_store_duplicate_ids_latest_wins() {
+        let store = TraceStore::new(4);
+        store.offer(stored("dup", Endpoint::Evaluate, 10));
+        store.offer(stored("dup", Endpoint::Evaluate, 99));
+        assert_eq!(store.get("dup").expect("found").record.handle_us, 99);
+    }
+
+    #[test]
+    fn list_and_get_json_parse_and_sort() {
+        let store = TraceStore::new(4);
+        store.offer(stored("fast", Endpoint::Evaluate, 10));
+        store.offer(stored("slow", Endpoint::Evaluate, 50));
+        let doc = store.list_json().render();
+        let v = tac25d_obs::json::parse(&doc).expect("list parses");
+        let rows = v.get("traces").and_then(Value::as_array).expect("rows");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("id").and_then(Value::as_str), Some("slow"));
+        let full = store.get("slow").expect("stored").to_json().render();
+        let v = tac25d_obs::json::parse(&full).expect("full parses");
+        assert_eq!(v.get("id").and_then(Value::as_str), Some("slow"));
+        assert!(v.get("spans").and_then(Value::as_array).is_some());
+        let report = render_trace_report(&v);
+        assert!(report.contains("serve.test_span"), "{report}");
+    }
+
+    #[test]
+    fn access_log_line_is_escape_correct_json() {
+        let mut r = record("id-1", Endpoint::Evaluate, 42);
+        r.path = "/v1/eval\"uate".to_owned();
+        let line = access_log_line(&r, 7);
+        let v = tac25d_obs::json::parse(&line).expect("line parses");
+        assert_eq!(v.get("id").and_then(Value::as_str), Some("id-1"));
+        assert_eq!(
+            v.get("path").and_then(Value::as_str),
+            Some("/v1/eval\"uate")
+        );
+        assert_eq!(v.get("handle_us").and_then(Value::as_f64), Some(42.0));
+        assert!(!line.contains('\n'));
+    }
+}

@@ -185,6 +185,150 @@ fn full_intake_queue_sheds_with_503_without_wedging_the_pool() {
 }
 
 #[test]
+fn request_id_is_header_only_and_custom_ids_are_honored() {
+    let (handle, addr, _engine) = boot(ServerConfig::default());
+    let mut client = Client::connect(&addr).unwrap();
+
+    let body = r#"{"benchmark": "hpccg", "layout": "uniform:4,6"}"#;
+    let plain = client.post("/v1/evaluate", body).unwrap();
+    assert_eq!(plain.status, 200);
+    let minted = plain.header("x-request-id").expect("minted id echoed");
+    assert!(minted.starts_with("req-"), "unexpected minted id {minted}");
+
+    let custom = client
+        .post_with("/v1/evaluate", body, &[("X-Request-Id", "itest-custom-7")])
+        .unwrap();
+    assert_eq!(custom.header("x-request-id"), Some("itest-custom-7"));
+    // Identity is header-only: the body must not change with the id.
+    assert_eq!(custom.text(), plain.text());
+
+    // Garbage ids (non-graphic, oversized) are replaced with minted ones.
+    let long = "x".repeat(200);
+    let replaced = client
+        .post_with("/v1/evaluate", body, &[("X-Request-Id", &long)])
+        .unwrap();
+    let got = replaced.header("x-request-id").expect("id echoed");
+    assert!(got.starts_with("req-"), "oversized id not replaced: {got}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_history_is_served_over_http() {
+    let (handle, addr, _engine) = boot(ServerConfig::default());
+    let mut client = Client::connect(&addr).unwrap();
+
+    let r = client.get("/metrics/history").unwrap();
+    assert_eq!(r.status, 200);
+    let v = tac25d_obs::json::parse(&r.text()).expect("history JSON parses");
+    assert!(v.get("capacity").unwrap().as_f64().unwrap() >= 1.0);
+    assert!(v.get("interval_ms").unwrap().as_f64().unwrap() >= 1.0);
+    // The sampler takes one snapshot immediately at boot, so the buffer
+    // is never empty; sequence numbers are monotone.
+    let samples = v.get("samples").unwrap().as_array().expect("samples");
+    assert!(!samples.is_empty(), "history empty right after boot");
+    let seqs: Vec<f64> = samples
+        .iter()
+        .map(|s| s.get("seq").unwrap().as_f64().unwrap())
+        .collect();
+    assert!(
+        seqs.windows(2).all(|w| w[1] > w[0]),
+        "seqs not monotone: {seqs:?}"
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn trace_exemplars_cover_evaluates_but_never_probes() {
+    let (handle, addr, _engine) = boot(ServerConfig::default());
+    let mut client = Client::connect(&addr).unwrap();
+
+    // Probes first: they must not leave exemplars.
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+    assert_eq!(client.get("/metrics").unwrap().status, 200);
+    let body = r#"{"benchmark": "hpccg", "layout": "uniform:4,6"}"#;
+    let r = client
+        .post_with("/v1/evaluate", body, &[("X-Request-Id", "itest-trace-1")])
+        .unwrap();
+    assert_eq!(r.status, 200);
+
+    let list = client.get("/v1/traces").unwrap();
+    assert_eq!(list.status, 200);
+    let v = tac25d_obs::json::parse(&list.text()).expect("trace list parses");
+    let traces = v.get("traces").unwrap().as_array().expect("traces");
+    assert!(!traces.is_empty(), "evaluate left no exemplar");
+    for t in traces {
+        let endpoint = t.get("endpoint").unwrap().as_str().unwrap();
+        assert!(
+            endpoint == "evaluate" || endpoint == "optimize",
+            "probe leaked into the exemplar store: {endpoint}"
+        );
+    }
+
+    let one = client.get("/v1/traces/itest-trace-1").unwrap();
+    assert_eq!(one.status, 200, "{}", one.text());
+    let doc = tac25d_obs::json::parse(&one.text()).expect("trace parses");
+    assert_eq!(doc.get("id").unwrap().as_str(), Some("itest-trace-1"));
+    let spans = doc.get("spans").unwrap().as_array().expect("spans");
+    assert_eq!(
+        spans[0].get("name").unwrap().as_str(),
+        Some("serve.evaluate"),
+        "trace root is not the endpoint span"
+    );
+    assert!(
+        doc.get("counters").is_some(),
+        "trace missing counter deltas"
+    );
+
+    assert_eq!(
+        client.get("/v1/traces/itest-no-such-id").unwrap().status,
+        404
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn untraced_daemon_stores_nothing_but_keeps_the_header_contract() {
+    let (handle, addr, engine) = boot(ServerConfig {
+        tracing: false,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(&addr).unwrap();
+
+    let body = r#"{"benchmark": "shock", "layout": "uniform:2,4"}"#;
+    let r = client
+        .post_with("/v1/evaluate", body, &[("X-Request-Id", "itest-untraced")])
+        .unwrap();
+    assert_eq!(r.status, 200);
+    // The wire contract is identical without tracing: id echoed,
+    // body byte-identical to the local engine.
+    assert_eq!(r.header("x-request-id"), Some("itest-untraced"));
+    let expected = engine
+        .evaluate(
+            &tac25d_serve::protocol::EvaluateRequest::from_json(
+                &tac25d_obs::json::parse(body).unwrap(),
+            )
+            .unwrap(),
+            None,
+        )
+        .body;
+    assert_eq!(r.text(), expected);
+
+    // But nothing is captured.
+    let list = client.get("/v1/traces").unwrap();
+    let v = tac25d_obs::json::parse(&list.text()).unwrap();
+    assert!(
+        v.get("traces").unwrap().as_array().unwrap().is_empty(),
+        "untraced daemon stored an exemplar"
+    );
+    assert_eq!(client.get("/v1/traces/itest-untraced").unwrap().status, 404);
+
+    handle.shutdown();
+}
+
+#[test]
 fn graceful_shutdown_drains_and_stops_accepting() {
     let (handle, addr, _engine) = boot(ServerConfig::default());
     let mut client = Client::connect(&addr).unwrap();

@@ -9,6 +9,7 @@
 //! verify golden [--bless] [--only <bin>]
 //! verify obs                 # observability determinism guard
 //! verify serve               # daemon byte-identity vs one-shot engine
+//! verify trace               # request tracing: identity, isolation, overhead
 //! verify all [--fast]        # everything above (golden without bless)
 //! ```
 //!
@@ -36,6 +37,9 @@ use tac25d_verify::obsguard::{obs_manifest, run_obs_determinism};
 use tac25d_verify::servecheck::{serve_equivalence_report, CONCURRENT_CLIENTS};
 use tac25d_verify::solvercheck::{solver_equivalence_cases, MAX_SOLVER_DT_C};
 use tac25d_verify::solvermg::mg_equivalence_cases;
+use tac25d_verify::tracecheck::{
+    trace_report, ISOLATION_CLIENTS, MAX_ABS_OVERHEAD_US, MAX_OVERHEAD_RATIO,
+};
 
 /// Acceptance thresholds, mirrored by the in-crate tests.
 const MIN_ORDER: f64 = 1.8;
@@ -513,6 +517,97 @@ fn run_serve(report: &mut String) -> bool {
     ok
 }
 
+fn run_trace(report: &mut String) -> bool {
+    let mut ok = true;
+    // The coarse grid-16 spec, like `verify serve`: tracing contracts
+    // (wire invisibility, attribution, overhead) are transport
+    // properties, not physics-resolution ones.
+    let spec = verification_spec(true);
+    let _ = writeln!(
+        report,
+        "Trace gate (traced vs untraced daemons, {ISOLATION_CLIENTS} concurrent clients):"
+    );
+    match trace_report(&spec) {
+        Ok(outcome) => {
+            for c in &outcome.identity {
+                let status = if c.passed() {
+                    "ok"
+                } else {
+                    ok = false;
+                    "FAIL"
+                };
+                let _ = writeln!(
+                    report,
+                    "  {:<22} traced http={} match={} untraced http={} match={} ids={} {status}",
+                    c.name,
+                    c.traced_status,
+                    c.traced_match,
+                    c.untraced_status,
+                    c.untraced_match,
+                    c.ids_echoed
+                );
+            }
+            let _ = writeln!(
+                report,
+                "  custom_id_echoed={} minted_id_present={}",
+                outcome.custom_id_echoed, outcome.minted_id_present
+            );
+            if !outcome.custom_id_echoed || !outcome.minted_id_present {
+                ok = false;
+                let _ = writeln!(report, "  FAIL: X-Request-Id header contract violated");
+            }
+
+            let iso = &outcome.isolation;
+            let _ = writeln!(report, "Isolation (per-request counter attribution):");
+            for c in &iso.cases {
+                let status = if c.passed() {
+                    "ok"
+                } else {
+                    ok = false;
+                    "FAIL"
+                };
+                let _ = writeln!(
+                    report,
+                    "  {:<14} {:<12} http={} pcg_delta={:<6} exact={} rooted={} {status}",
+                    c.id, c.layout, c.status, c.pcg_delta, c.exact_delta, c.rooted
+                );
+            }
+            let _ = writeln!(
+                report,
+                "  sum(per-request pcg)={} global pcg delta={}",
+                iso.sum_pcg, iso.global_pcg_delta
+            );
+            if !iso.passed() {
+                ok = false;
+                let _ = writeln!(
+                    report,
+                    "  FAIL: per-request deltas must partition the global counter delta exactly"
+                );
+            }
+
+            let ov = &outcome.overhead;
+            let _ = writeln!(
+                report,
+                "Overhead (best-round cache hits): traced={}us untraced={}us ratio={:.4} per_request={:+.2}us",
+                ov.best_traced_us, ov.best_untraced_us, ov.ratio, ov.per_request_overhead_us
+            );
+            if !ov.passed() {
+                ok = false;
+                let _ = writeln!(
+                    report,
+                    "  FAIL: tracing must cost <= {:.0}% (or <= {MAX_ABS_OVERHEAD_US} us/request)",
+                    (MAX_OVERHEAD_RATIO - 1.0) * 100.0
+                );
+            }
+        }
+        Err(e) => {
+            ok = false;
+            let _ = writeln!(report, "  ERROR: {e}");
+        }
+    }
+    ok
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mode = args.first().map(String::as_str).unwrap_or("all");
@@ -533,6 +628,7 @@ fn main() -> ExitCode {
         "golden" => run_golden(&mut report, bless, only.as_deref()),
         "obs" => run_obs(&mut report),
         "serve" => run_serve(&mut report),
+        "trace" => run_trace(&mut report),
         "all" => {
             let a = run_mms(&mut report);
             let s = run_solver(&mut report);
@@ -542,11 +638,12 @@ fn main() -> ExitCode {
             let c = run_golden(&mut report, bless, only.as_deref());
             let d = run_obs(&mut report);
             let e = run_serve(&mut report);
-            a && s && m && f && b && c && d && e
+            let t = run_trace(&mut report);
+            a && s && m && f && b && c && d && e && t
         }
         other => {
             eprintln!(
-                "unknown mode {other:?}; use mms | solver | solver-mg | fixedpoint | diff | golden | obs | serve | all"
+                "unknown mode {other:?}; use mms | solver | solver-mg | fixedpoint | diff | golden | obs | serve | trace | all"
             );
             return ExitCode::FAILURE;
         }

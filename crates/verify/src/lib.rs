@@ -27,9 +27,15 @@
 //!   outer loop against the Picard loop, symmetry-canonical cache-key
 //!   aliases evaluated independently, and the Fig. 8 organizer's
 //!   decisions under both strategies.
+//! * [`servecheck`] — daemon byte-identity: a pinned request corpus
+//!   against a fresh local engine, sequentially and under concurrent
+//!   keep-alive clients.
+//! * [`tracecheck`] — request-scoped tracing: wire-invisibility
+//!   (traced vs untraced daemons vs local engine), exact concurrent
+//!   counter attribution, and a ≤2% traced-overhead bound.
 //!
-//! The `verify` binary drives all six from the command line (and from
-//! the CI `verify` job).
+//! The `verify` binary drives all of these from the command line (and
+//! from the CI `verify` job).
 
 pub mod differential;
 pub mod fixedpoint;
@@ -39,6 +45,7 @@ pub mod obsguard;
 pub mod servecheck;
 pub mod solvercheck;
 pub mod solvermg;
+pub mod tracecheck;
 
 pub use differential::{DiffPoint, DiffRecord, Fig8Case};
 pub use fixedpoint::{AliasCase, DecisionCase, StrategyCase};
@@ -46,3 +53,4 @@ pub use golden::{GoldenOutcome, GoldenSpec};
 pub use mms::{FinCase, MgMmsSample, MmsSample, SplitResult};
 pub use solvercheck::SolverCase;
 pub use solvermg::MgSolverCase;
+pub use tracecheck::{IsolationCase, TraceIdentityCase, TraceReport};

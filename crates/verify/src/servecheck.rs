@@ -143,7 +143,7 @@ impl ServeReport {
 /// The expected response body for one corpus request, computed by a
 /// local engine — exactly what the one-shot CLI (`tac25d query --local`)
 /// prints.
-fn local_expected(engine: &EngineState, req: &CorpusRequest) -> Result<String, String> {
+pub(crate) fn local_expected(engine: &EngineState, req: &CorpusRequest) -> Result<String, String> {
     let v = tac25d_obs::json::parse(req.body).map_err(|e| format!("{}: {e}", req.name))?;
     let result = match req.path {
         "/v1/evaluate" => engine.evaluate(
