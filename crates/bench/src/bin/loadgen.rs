@@ -177,6 +177,7 @@ fn main() {
         singleflight_joins: joins,
         date: String::new(),
         git_rev: String::new(),
+        host: String::new(),
     });
     let path = serve_bench_output_path();
     if let Some(dir) = path.parent() {

@@ -20,7 +20,8 @@
 //!       "pcg_iterations": 12345,
 //!       "pcg_solves": 2317,
 //!       "date": "2026-08-05",
-//!       "git_rev": "abc1234"
+//!       "git_rev": "abc1234",
+//!       "host": "Intel(R) Xeon(R) Processor @ 2.10GHz (8 threads)"
 //!     }
 //!   ]
 //! }
@@ -32,6 +33,7 @@ use std::path::{Path, PathBuf};
 use std::time::{SystemTime, UNIX_EPOCH};
 
 use tac25d_obs as obs;
+use tac25d_thermal::model::{SolverKind, ThermalConfig};
 
 /// One recorded `fig8` run.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +52,10 @@ pub struct Fig8Entry {
     pub date: String,
     /// Short git revision, `unknown` outside a work tree.
     pub git_rev: String,
+    /// CPU model and logical core count of the machine that ran the
+    /// bench — wall times across entries are only comparable when this
+    /// matches. Empty in entries recorded before the field existed.
+    pub host: String,
 }
 
 /// Where the record goes: `BENCH_fig8.json` inside `TAC25D_RESULTS_DIR`
@@ -88,21 +94,39 @@ pub fn current_entry() -> Fig8Entry {
         pcg_solves: counter("thermal.pcg_solves"),
         date: utc_date(),
         git_rev: git_rev(),
+        host: host_string(),
     }
 }
 
-/// The active solver kind's name, mirroring the thermal crate's
-/// `SolverKind::from_env` without a dependency edge: `TAC25D_SOLVER=jacobi`
-/// selects the legacy path, `mg`/`multigrid` the multigrid tier, anything
-/// else the IC(0) default.
+/// The name of the solver the run *actually* used: `SolverKind::from_env`
+/// resolved against the grid the `--fast` flag selects, so a
+/// `TAC25D_SOLVER=auto` run is recorded as the concrete `mg` or `ic0`
+/// path it dispatched to — entries stay comparable across selection
+/// modes.
 fn solver_name() -> String {
-    match std::env::var("TAC25D_SOLVER") {
-        Ok(v) if v.eq_ignore_ascii_case("jacobi") => "jacobi".to_owned(),
-        Ok(v) if v.eq_ignore_ascii_case("mg") || v.eq_ignore_ascii_case("multigrid") => {
-            "mg".to_owned()
-        }
-        _ => "ic0".to_owned(),
-    }
+    let grid = if crate::fast_flag() {
+        ThermalConfig::fast().grid
+    } else {
+        ThermalConfig::default().grid
+    };
+    SolverKind::from_env().resolve(grid).name().to_owned()
+}
+
+/// CPU model (from `/proc/cpuinfo`) plus logical core count, e.g.
+/// `"Intel(R) Xeon(R) Processor @ 2.10GHz (8 threads)"`. Falls back to
+/// `unknown-cpu` on platforms without `/proc`.
+pub(crate) fn host_string() -> String {
+    let threads = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+    let cpu = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|v| v.trim().to_owned())
+        })
+        .unwrap_or_else(|| "unknown-cpu".to_owned());
+    format!("{cpu} ({threads} threads)")
 }
 
 /// Appends `entry` to the record at `path`, preserving existing entries.
@@ -151,6 +175,8 @@ fn parse_entries(text: &str) -> Result<Vec<Fig8Entry>, String> {
                 pcg_solves: num_field("pcg_solves")? as u64,
                 date: str_field("date")?,
                 git_rev: str_field("git_rev")?,
+                // Absent in pre-host entries; "" means "not recorded".
+                host: str_field("host").unwrap_or_default(),
             })
         })
         .collect()
@@ -164,7 +190,7 @@ fn render(entries: &[Fig8Entry]) -> String {
             out,
             "    {{\"solver\": \"{}\", \"fast\": {}, \"wall_s\": {:.3}, \
              \"pcg_iterations\": {}, \"pcg_solves\": {}, \"date\": \"{}\", \
-             \"git_rev\": \"{}\"}}",
+             \"git_rev\": \"{}\", \"host\": \"{}\"}}",
             obs::json::escape(&e.solver),
             e.fast,
             e.wall_s,
@@ -172,6 +198,7 @@ fn render(entries: &[Fig8Entry]) -> String {
             e.pcg_solves,
             obs::json::escape(&e.date),
             obs::json::escape(&e.git_rev),
+            obs::json::escape(&e.host),
         );
         out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
     }
@@ -239,6 +266,7 @@ mod tests {
             pcg_solves: 10,
             date: "2026-08-05".to_owned(),
             git_rev: "abc1234".to_owned(),
+            host: "Test CPU (4 threads)".to_owned(),
         }
     }
 
@@ -285,8 +313,27 @@ mod tests {
     #[test]
     fn current_entry_reads_registry_and_env() {
         let e = current_entry();
+        // `auto` can never appear: solver_name records the resolved path.
         assert!(e.solver == "ic0" || e.solver == "jacobi" || e.solver == "mg");
         assert_eq!(e.date.len(), 10);
         assert!(e.wall_s >= 0.0);
+        assert!(!e.host.is_empty());
+    }
+
+    #[test]
+    fn entries_without_host_parse_as_empty() {
+        // Records written before the host field must keep parsing; the
+        // field defaults to "" ("not recorded").
+        let legacy = r#"{
+          "schema_version": 1, "bin": "fig8",
+          "entries": [
+            {"solver": "ic0", "fast": true, "wall_s": 3.5,
+             "pcg_iterations": 39145, "pcg_solves": 3219,
+             "date": "2026-08-05", "git_rev": "7aec512"}
+          ]
+        }"#;
+        let parsed = parse_entries(legacy).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].host, "");
     }
 }

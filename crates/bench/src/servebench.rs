@@ -26,7 +26,8 @@
 //!       "cache_hits": 508,
 //!       "singleflight_joins": 3,
 //!       "date": "2026-08-09",
-//!       "git_rev": "abc1234"
+//!       "git_rev": "abc1234",
+//!       "host": "Intel(R) Xeon(R) Processor @ 2.10GHz (8 threads)"
 //!     }
 //!   ]
 //! }
@@ -38,7 +39,7 @@ use std::path::{Path, PathBuf};
 
 use tac25d_obs as obs;
 
-use crate::fig8bench::{git_rev, utc_date};
+use crate::fig8bench::{git_rev, host_string, utc_date};
 
 /// One recorded `loadgen` run.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,6 +75,10 @@ pub struct ServeEntry {
     pub date: String,
     /// Short git revision, `unknown` outside a work tree.
     pub git_rev: String,
+    /// CPU model and logical core count of the machine that ran the
+    /// bench — throughputs across entries are only comparable when this
+    /// matches. Empty in entries recorded before the field existed.
+    pub host: String,
 }
 
 /// Where the record goes: `BENCH_serve.json` inside `TAC25D_RESULTS_DIR`
@@ -94,10 +99,12 @@ pub fn serve_bench_output_path() -> PathBuf {
     root.join("BENCH_serve.json")
 }
 
-/// Stamps `entry` with today's date and the current git revision.
+/// Stamps `entry` with today's date, the current git revision and the
+/// host description.
 pub fn stamp(mut entry: ServeEntry) -> ServeEntry {
     entry.date = utc_date();
     entry.git_rev = git_rev();
+    entry.host = host_string();
     entry
 }
 
@@ -154,6 +161,8 @@ fn parse_entries(text: &str) -> Result<Vec<ServeEntry>, String> {
                 singleflight_joins: num_field("singleflight_joins")? as u64,
                 date: str_field("date")?,
                 git_rev: str_field("git_rev")?,
+                // Absent in pre-host entries; "" means "not recorded".
+                host: str_field("host").unwrap_or_default(),
             })
         })
         .collect()
@@ -169,7 +178,7 @@ fn render(entries: &[ServeEntry]) -> String {
              \"served_rps\": {:.3}, \"speedup\": {:.2}, \"p50_us\": {}, \"p99_us\": {}, \
              \"evaluate_p50_us\": {}, \"evaluate_p99_us\": {}, \
              \"cache_hits\": {}, \"singleflight_joins\": {}, \"date\": \"{}\", \
-             \"git_rev\": \"{}\"}}",
+             \"git_rev\": \"{}\", \"host\": \"{}\"}}",
             e.clients,
             e.requests,
             e.naive_rps,
@@ -183,6 +192,7 @@ fn render(entries: &[ServeEntry]) -> String {
             e.singleflight_joins,
             obs::json::escape(&e.date),
             obs::json::escape(&e.git_rev),
+            obs::json::escape(&e.host),
         );
         out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
     }
@@ -218,6 +228,7 @@ mod tests {
             singleflight_joins: 3,
             date: "2026-08-09".to_owned(),
             git_rev: "abc1234".to_owned(),
+            host: "Test CPU (4 threads)".to_owned(),
         }
     }
 
@@ -273,6 +284,7 @@ mod tests {
         assert_eq!(parsed.len(), 1);
         assert_eq!(parsed[0].evaluate_p50_us, 0);
         assert_eq!(parsed[0].evaluate_p99_us, 0);
+        assert_eq!(parsed[0].host, "");
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! bench isolates solver cost from model construction.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use tac25d_thermal::mg::{MgHierarchy, MgOptions, MgRaster};
+use tac25d_thermal::mg::{MgHierarchy, MgOptions, MgRaster, MgScaffold};
 use tac25d_thermal::sparse::{pcg, pcg_with, Preconditioner, SolveScratch, TripletMatrix};
 
 const NX: usize = 32;
@@ -136,6 +136,50 @@ fn bench_mg_pcg(c: &mut Criterion) {
     }
 }
 
+/// The symbolic scaffold build alone — the once-per-shape cost the
+/// amortization moves out of the per-model path.
+fn bench_mg_scaffold_build(c: &mut Criterion) {
+    for nx in [32usize, 64] {
+        let (a, _) = grid_system_sized(nx);
+        c.bench_function(&format!("mg_scaffold_build_{nx}x{nx}x8"), |bench| {
+            bench.iter(|| {
+                MgScaffold::build(&a, bench_raster(nx), MgOptions::default())
+                    .expect("bench scaffold")
+            })
+        });
+    }
+}
+
+/// The per-model numeric refill on a shared scaffold — Galerkin values,
+/// f32 smoother copies and the dense coarsest factor. The amortization
+/// claim is this being much cheaper than `mg_scaffold_build` plus refill
+/// (what `MgHierarchy::build` pays).
+fn bench_mg_refill(c: &mut Criterion) {
+    for nx in [32usize, 64] {
+        let (a, _) = grid_system_sized(nx);
+        let scaffold = std::sync::Arc::new(
+            MgScaffold::build(&a, bench_raster(nx), MgOptions::default()).expect("bench scaffold"),
+        );
+        c.bench_function(&format!("mg_refill_{nx}x{nx}x8"), |bench| {
+            bench.iter(|| MgHierarchy::from_scaffold(scaffold.clone(), &a).expect("bench refill"))
+        });
+    }
+}
+
+/// One fine-level red-black sweep (forward) — the inner loop the
+/// color-major f32 layout targets.
+fn bench_mg_smooth_sweep(c: &mut Criterion) {
+    for nx in [32usize, 64] {
+        let (a, b) = grid_system_sized(nx);
+        let h = MgHierarchy::build(&a, bench_raster(nx), MgOptions::default())
+            .expect("bench hierarchy");
+        let mut x = vec![0.0; b.len()];
+        c.bench_function(&format!("mg_smooth_sweep_{nx}x{nx}x8"), |bench| {
+            bench.iter(|| h.smooth_once(0, &b, &mut x, false))
+        });
+    }
+}
+
 criterion_group!(
     benches,
     bench_mul_vec,
@@ -143,6 +187,9 @@ criterion_group!(
     bench_ic0_pcg,
     bench_triangular_solve,
     bench_mg_solve,
-    bench_mg_pcg
+    bench_mg_pcg,
+    bench_mg_scaffold_build,
+    bench_mg_refill,
+    bench_mg_smooth_sweep
 );
 criterion_main!(benches);

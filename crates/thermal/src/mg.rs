@@ -21,17 +21,35 @@
 //!   arithmetic also covers irregular operators (periphery links, ground
 //!   conductances) that a rediscretized coarse stencil would have to model
 //!   by hand.
-//! * **Smoothing** is red-black Gauss–Seidel in *f32*: each level keeps an
-//!   `f32` copy of its matrix values and reciprocal diagonal, and sweeps
-//!   red cells (`(ix+iy+layer)` even) then black; post-smoothing replays the
-//!   exact reverse order so a (ν, ν) V-cycle is symmetric up to `f32`
-//!   rounding. Residuals, transfers and corrections stay in f64 — the
-//!   mixed-precision split of a defect-correction iteration, where the
-//!   low-precision inner solve bounds the *convergence factor*, never the
-//!   attainable accuracy.
-//! * **Coarsest solve** is a dense Cholesky factorization, factored once at
-//!   hierarchy build (the coarsest problem is a few dozen to a few hundred
+//! * **Smoothing** is red-black Gauss–Seidel in *f32* over a color-major
+//!   layout: each level's sweep order, off-diagonal structure and value
+//!   slots are precomputed per shape, so the inner loop is a straight zip
+//!   over contiguous f32/column slices with no diagonal branch; the f32
+//!   value copies are refilled alongside the operator, so smoothing
+//!   allocates nothing per solve. Post-smoothing replays the exact reverse
+//!   order so a (ν, ν) V-cycle is symmetric up to `f32` rounding.
+//!   Residuals, transfers and corrections stay in f64 — the mixed-precision
+//!   split of a defect-correction iteration, where the low-precision inner
+//!   solve bounds the *convergence factor*, never the attainable accuracy.
+//! * **Coarsest solve** is a dense Cholesky factorization, factored once
+//!   per refill (the coarsest problem is a few dozen to a few hundred
 //!   nodes).
+//!
+//! # Scaffold / refill split
+//!
+//! Everything shape-determined — the raster ladder, prolongation stencils,
+//! coarse CSR patterns, the Galerkin triple-product scatter plans, and the
+//! smoother orderings — lives in an [`MgScaffold`], a pure function of the
+//! grid shape built once per shape and shared behind an `Arc` (the same
+//! amortization [`crate::network::Scaffold`] applies to CSR assembly).
+//! Per-model numeric state is produced by a cheap refill:
+//! [`MgHierarchy::from_scaffold`] recomputes only the Galerkin values, the
+//! f32 smoothing copies and the dense coarsest factor, and
+//! [`MgHierarchy::refill_dirty`] further restricts the Galerkin work to the
+//! coarse rows reachable from dirty fine rows (the provenance the
+//! incremental network assembly already tracks). Both paths replay each
+//! coarse slot's contributions in the same fixed order, so a refilled
+//! hierarchy is bitwise identical to a from-scratch [`MgHierarchy::build`].
 //!
 //! The V-cycle is usable two ways: [`MgHierarchy::solve`] iterates
 //! f64 defect correction to a relative-residual tolerance (the standalone
@@ -42,9 +60,10 @@
 //! acceleration makes the iteration count even flatter in `h` and inherits
 //! the warm-start and obs plumbing of the fast path.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
-use crate::sparse::{CsrMatrix, PcgSolution, SolveError, TripletMatrix};
+use crate::sparse::{CsrMatrix, PcgSolution, SolveError};
 use tac25d_obs as obs;
 
 /// The raster shape of a network: `layers` stacked `n × n` grids followed
@@ -207,63 +226,63 @@ impl Prolongation {
             *oi += acc;
         }
     }
-
-    /// The Galerkin triple product `Pᵀ·A·P` — the coarse operator. Scatter
-    /// through a triplet accumulator; the pattern is a superset of the
-    /// coarse raster stencil (9-point in-plane) and symmetric to rounding.
-    fn galerkin(&self, a: &CsrMatrix) -> CsrMatrix {
-        let (row_ptr, col, val) = a.parts();
-        let mut t = TripletMatrix::new(self.nc);
-        for i in 0..a.n() {
-            let pi_lo = self.row_ptr[i] as usize;
-            let pi_hi = self.row_ptr[i + 1] as usize;
-            for k in row_ptr[i] as usize..row_ptr[i + 1] as usize {
-                let j = col[k] as usize;
-                let aij = val[k];
-                let pj_lo = self.row_ptr[j] as usize;
-                let pj_hi = self.row_ptr[j + 1] as usize;
-                for ki in pi_lo..pi_hi {
-                    let wi_aij = self.w[ki] * aij;
-                    for kj in pj_lo..pj_hi {
-                        t.add(
-                            self.col[ki] as usize,
-                            self.col[kj] as usize,
-                            wi_aij * self.w[kj],
-                        );
-                    }
-                }
-            }
-        }
-        t.to_csr()
-    }
 }
 
-/// One level of the hierarchy: the (Galerkin) operator, its f32 smoothing
-/// copy, and the red-black sweep order.
-#[derive(Debug, Clone)]
-struct Level {
-    a: CsrMatrix,
-    /// f32 copy of the CSR values, same pattern order — the smoother's
-    /// working precision.
-    a32: Vec<f32>,
-    /// Reciprocal diagonal in f32.
-    inv_diag32: Vec<f32>,
-    /// Red grid cells (`(ix+iy+layer)` even) first, then black cells and
-    /// lumped nodes; post-smoothing replays this order reversed.
+/// Precomputed scatter plan for the Galerkin triple product `Pᵀ·A·P` over
+/// a fixed sparsity pattern: every contribution `w_i·w_j·a_k` is resolved
+/// at scaffold-build time into (fine value index, destination coarse
+/// slot, coefficient), grouped by coarse row with per-slot contributions
+/// in ascending fine-entry order. The full refill and the dirty-row refill
+/// both replay this order, which is what makes them bitwise identical.
+#[derive(Debug)]
+struct GalerkinPlan {
+    /// Contribution range per coarse row (length `coarse n + 1`).
+    rows: Vec<u32>,
+    /// Fine CSR value index of each contribution.
+    src: Vec<u32>,
+    /// Destination slot in the coarse value array.
+    slot: Vec<u32>,
+    /// `w_i·w_j` — a pure function of the prolongation stencils.
+    coeff: Vec<f64>,
+}
+
+/// Everything shape-determined about one level: the CSR pattern, the
+/// color-major smoother structure, and (except on the coarsest level) the
+/// prolongation and the Galerkin scatter plan down to the next level.
+#[derive(Debug)]
+struct LevelShape {
+    raster: MgRaster,
+    n: usize,
+    row_ptr: Vec<u32>,
+    col: Vec<u32>,
+    /// Sweep order: red grid cells (`(ix+iy+layer)` even) first, then
+    /// black cells, then lumped nodes — position `p` smooths row
+    /// `order[p]`. Post-smoothing replays this order reversed.
     order: Vec<u32>,
+    /// Inverse of `order`: the sweep position of each row.
+    pos_of_row: Vec<u32>,
+    /// Off-diagonal range per sweep position (length `n + 1`); laid out
+    /// color-major so each color's entries are contiguous.
+    off_ptr: Vec<u32>,
+    /// Column of each off-diagonal entry, position-major.
+    off_col: Vec<u32>,
+    /// CSR value index feeding each off-diagonal f32 slot.
+    off_src: Vec<u32>,
+    /// CSR value index of the diagonal, per sweep position.
+    diag_src: Vec<u32>,
     /// Prolongation from the next-coarser level (absent on the coarsest).
     p: Option<Prolongation>,
+    /// Galerkin scatter plan to the next-coarser level.
+    plan: Option<GalerkinPlan>,
 }
 
-impl Level {
-    fn new(a: CsrMatrix, raster: &MgRaster) -> Option<Level> {
-        let diag = a.diagonal();
-        if diag.iter().any(|&d| d <= 0.0 || !d.is_finite()) {
-            return None;
-        }
-        let a32: Vec<f32> = a.parts().2.iter().map(|&v| v as f32).collect();
-        let inv_diag32: Vec<f32> = diag.iter().map(|&d| (1.0 / d) as f32).collect();
-        let mut order = Vec::with_capacity(raster.nodes());
+impl LevelShape {
+    /// Derives the smoother structure from a CSR pattern. `None` when some
+    /// row has no stored diagonal (conductance assembly always stores it).
+    fn new(raster: MgRaster, row_ptr: Vec<u32>, col: Vec<u32>) -> Option<LevelShape> {
+        let n = raster.nodes();
+        debug_assert_eq!(row_ptr.len(), n + 1, "pattern row count mismatch");
+        let mut order = Vec::with_capacity(n);
         for color in 0..2usize {
             for li in 0..raster.layers {
                 for iy in 0..raster.n {
@@ -279,46 +298,345 @@ impl Level {
         for e in 0..raster.extras {
             order.push((grid + e) as u32);
         }
-        Some(Level {
-            a,
-            a32,
-            inv_diag32,
+        let mut pos_of_row = vec![0u32; n];
+        for (p, &i) in order.iter().enumerate() {
+            pos_of_row[i as usize] = p as u32;
+        }
+        let mut off_ptr = Vec::with_capacity(n + 1);
+        off_ptr.push(0u32);
+        let mut off_col = Vec::new();
+        let mut off_src = Vec::new();
+        let mut diag_src = Vec::with_capacity(n);
+        for &i in &order {
+            let i = i as usize;
+            let mut diag = None;
+            let lo = row_ptr[i] as usize;
+            for (k, &c) in (lo..).zip(&col[lo..row_ptr[i + 1] as usize]) {
+                if c as usize == i {
+                    diag = Some(k as u32);
+                } else {
+                    off_col.push(c);
+                    off_src.push(k as u32);
+                }
+            }
+            diag_src.push(diag?);
+            off_ptr.push(off_col.len() as u32);
+        }
+        Some(LevelShape {
+            raster,
+            n,
+            row_ptr,
+            col,
             order,
+            pos_of_row,
+            off_ptr,
+            off_col,
+            off_src,
+            diag_src,
             p: None,
+            plan: None,
         })
     }
 
-    /// One Gauss–Seidel sweep over `order` (forward) or its reverse
-    /// (backward), in f32: `x[i] ← (b[i] − Σ_{j≠i} a_ij·x[j]) / a_ii`.
+    /// One Gauss–Seidel sweep in f32 over the color-major order (forward)
+    /// or its reverse (backward):
+    /// `x[i] ← (b[i] − Σ_{j≠i} a_ij·x[j]) / a_ii`. The diagonal is split
+    /// out of the row at scaffold-build time, so the inner loop is a
+    /// branch-free zip over the contiguous f32 value / column slices.
     /// Sequential and in fixed order — bit-for-bit deterministic.
-    fn smooth(&self, b: &[f64], x: &mut [f64], backward: bool) {
-        let (row_ptr, col, _) = self.a.parts();
-        let mut sweep = |i: usize| {
-            let lo = row_ptr[i] as usize;
-            let hi = row_ptr[i + 1] as usize;
+    fn smooth(&self, vals: &LevelValues, b: &[f64], x: &mut [f64], backward: bool) {
+        let mut sweep = |p: usize| {
+            let i = self.order[p] as usize;
+            let lo = self.off_ptr[p] as usize;
+            let hi = self.off_ptr[p + 1] as usize;
             let mut sigma = 0.0f32;
-            for (&j, &a) in col[lo..hi].iter().zip(&self.a32[lo..hi]) {
-                let j = j as usize;
-                if j != i {
-                    sigma += a * x[j] as f32;
-                }
+            for (&a, &j) in vals.off_val[lo..hi].iter().zip(&self.off_col[lo..hi]) {
+                sigma += a * x[j as usize] as f32;
             }
-            x[i] = f64::from((b[i] as f32 - sigma) * self.inv_diag32[i]);
+            x[i] = f64::from((b[i] as f32 - sigma) * vals.inv_diag32[p]);
         };
         if backward {
-            for &i in self.order.iter().rev() {
-                sweep(i as usize);
+            for p in (0..self.order.len()).rev() {
+                sweep(p);
             }
         } else {
-            for &i in &self.order {
-                sweep(i as usize);
+            for p in 0..self.order.len() {
+                sweep(p);
             }
         }
     }
 }
 
-/// Dense Cholesky factor of the coarsest operator, factored once at
-/// hierarchy build and reused by every cycle.
+/// Builds the coarse CSR pattern and the Galerkin scatter plan for one
+/// level transition. Contributions are ordered by (coarse row, coarse col,
+/// fine entry), so each coarse slot's terms replay in ascending fine-entry
+/// order regardless of whether a refill walks every row or only dirty ones.
+///
+/// The order is established by a counting sort on the coarse row followed
+/// by a per-row sort on the coarse column — not a global sort of every
+/// contribution. Generation already visits fine entries in ascending
+/// order, and within one fine entry a coarse pair is reached by at most
+/// one stencil pair, so the stable bucket scatter leaves each (row, col)
+/// group in ascending fine-entry order and the per-row sort (ties broken
+/// by bucket position) reproduces the same total order as a global
+/// (row, col, fine entry) sort at a fraction of the cost: the per-row
+/// slices are a few hundred cache-hot elements instead of one
+/// half-million-tuple sort.
+fn build_transition(fine: &LevelShape, p: &Prolongation) -> (Vec<u32>, Vec<u32>, GalerkinPlan) {
+    let nc = p.nc;
+    let mut gen_ci: Vec<u32> = Vec::new();
+    let mut gen_cj: Vec<u32> = Vec::new();
+    let mut gen_k: Vec<u32> = Vec::new();
+    let mut gen_w: Vec<f64> = Vec::new();
+    let mut rows = vec![0u32; nc + 1];
+    for i in 0..fine.n {
+        let pi_lo = p.row_ptr[i] as usize;
+        let pi_hi = p.row_ptr[i + 1] as usize;
+        for k in fine.row_ptr[i] as usize..fine.row_ptr[i + 1] as usize {
+            let j = fine.col[k] as usize;
+            let pj_lo = p.row_ptr[j] as usize;
+            let pj_hi = p.row_ptr[j + 1] as usize;
+            for ki in pi_lo..pi_hi {
+                let ci = p.col[ki];
+                let wi = p.w[ki];
+                rows[ci as usize + 1] += (pj_hi - pj_lo) as u32;
+                for kj in pj_lo..pj_hi {
+                    gen_ci.push(ci);
+                    gen_cj.push(p.col[kj]);
+                    gen_k.push(k as u32);
+                    gen_w.push(wi * p.w[kj]);
+                }
+            }
+        }
+    }
+    for ci in 0..nc {
+        rows[ci + 1] += rows[ci];
+    }
+    let total = gen_ci.len();
+    let mut bucket_cj = vec![0u32; total];
+    let mut bucket_k = vec![0u32; total];
+    let mut bucket_w = vec![0f64; total];
+    let mut cursor: Vec<u32> = rows[..nc].to_vec();
+    for idx in 0..total {
+        let ci = gen_ci[idx] as usize;
+        let at = cursor[ci] as usize;
+        cursor[ci] += 1;
+        bucket_cj[at] = gen_cj[idx];
+        bucket_k[at] = gen_k[idx];
+        bucket_w[at] = gen_w[idx];
+    }
+    drop(gen_ci);
+    drop(gen_cj);
+    drop(gen_k);
+    drop(gen_w);
+    let mut c_row_ptr = Vec::with_capacity(nc + 1);
+    c_row_ptr.push(0u32);
+    let mut c_col: Vec<u32> = Vec::new();
+    let mut src = Vec::with_capacity(total);
+    let mut slot = Vec::with_capacity(total);
+    let mut coeff = Vec::with_capacity(total);
+    let mut perm: Vec<u32> = Vec::new();
+    for ci in 0..nc {
+        let lo = rows[ci] as usize;
+        let hi = rows[ci + 1] as usize;
+        perm.clear();
+        perm.extend(lo as u32..hi as u32);
+        perm.sort_unstable_by_key(|&q| ((bucket_cj[q as usize] as u64) << 32) | q as u64);
+        // Coarse columns never reach u32::MAX (they index a coarse level),
+        // so it is a safe "no previous column" sentinel.
+        let mut last_cj = u32::MAX;
+        for &q in &perm {
+            let q = q as usize;
+            let cj = bucket_cj[q];
+            if cj != last_cj {
+                c_col.push(cj);
+                last_cj = cj;
+            }
+            src.push(bucket_k[q]);
+            slot.push(c_col.len() as u32 - 1);
+            coeff.push(bucket_w[q]);
+        }
+        c_row_ptr.push(c_col.len() as u32);
+    }
+    (
+        c_row_ptr,
+        c_col,
+        GalerkinPlan {
+            rows,
+            src,
+            slot,
+            coeff,
+        },
+    )
+}
+
+/// The symbolic half of a multigrid hierarchy: raster ladder, prolongation
+/// stencils, coarse CSR patterns, Galerkin scatter plans and smoother
+/// orderings — a pure function of the grid shape, built once per shape and
+/// shared behind an `Arc` across every same-shape model (mirroring
+/// [`crate::network::Scaffold`]). Numeric state lives in [`MgHierarchy`];
+/// see [`MgHierarchy::from_scaffold`] for the refill.
+#[derive(Debug)]
+pub struct MgScaffold {
+    shapes: Vec<LevelShape>,
+    opts: MgOptions,
+}
+
+impl MgScaffold {
+    /// Derives the full symbolic hierarchy from `a`'s sparsity pattern
+    /// laid out on `raster` (values are ignored). Returns `None` on a
+    /// dimension mismatch, a row without a stored diagonal, or a coarsest
+    /// problem too large to factor densely.
+    pub fn build(a: &CsrMatrix, raster: MgRaster, opts: MgOptions) -> Option<MgScaffold> {
+        if raster.n == 0 || raster.layers == 0 || a.n() != raster.nodes() {
+            return None;
+        }
+        let t0 = Instant::now();
+        let (row_ptr, col, _) = a.parts();
+        let mut shapes = Vec::new();
+        let mut cur = raster;
+        let mut fine = LevelShape::new(cur, row_ptr.to_vec(), col.to_vec())?;
+        while cur.n > opts.coarsest_n && cur.coarsened().n < cur.n {
+            let coarse_raster = cur.coarsened();
+            let p = Prolongation::build(&cur, &coarse_raster);
+            let (c_row_ptr, c_col, plan) = build_transition(&fine, &p);
+            let next = LevelShape::new(coarse_raster, c_row_ptr, c_col)?;
+            fine.p = Some(p);
+            fine.plan = Some(plan);
+            shapes.push(fine);
+            fine = next;
+            cur = coarse_raster;
+        }
+        if cur.nodes() > MAX_DIRECT_NODES {
+            return None;
+        }
+        shapes.push(fine);
+        obs::counter!("thermal.mg_build_us").add(t0.elapsed().as_micros() as u64);
+        Some(MgScaffold { shapes, opts })
+    }
+
+    /// Number of levels the scaffold describes (finest included).
+    pub fn levels(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// The raster this scaffold was built for (finest level).
+    pub fn raster(&self) -> MgRaster {
+        self.shapes[0].raster
+    }
+
+    /// True when `a` has exactly the finest-level pattern this scaffold
+    /// was derived from — the precondition of every refill.
+    fn pattern_matches(&self, a: &CsrMatrix) -> bool {
+        let s0 = &self.shapes[0];
+        let (row_ptr, col, _) = a.parts();
+        a.n() == s0.n && row_ptr == &s0.row_ptr[..] && col == &s0.col[..]
+    }
+}
+
+/// The per-model numeric payload of one level: the operator values in the
+/// scaffold's pattern order, plus the f32 smoothing copies (off-diagonal
+/// values position-major, reciprocal diagonal per position) refilled
+/// alongside them so a solve never converts or allocates.
+#[derive(Debug, Clone)]
+struct LevelValues {
+    a: CsrMatrix,
+    off_val: Vec<f32>,
+    inv_diag32: Vec<f32>,
+}
+
+/// Builds a level's numeric payload from scratch. `None` when a diagonal
+/// value is non-positive or non-finite.
+fn fill_values_full(shape: &LevelShape, val: Vec<f64>) -> Option<LevelValues> {
+    let mut off_val = vec![0.0f32; shape.off_col.len()];
+    let mut inv_diag32 = vec![0.0f32; shape.order.len()];
+    for p in 0..shape.order.len() {
+        let d = val[shape.diag_src[p] as usize];
+        if d <= 0.0 || !d.is_finite() {
+            return None;
+        }
+        inv_diag32[p] = (1.0 / d) as f32;
+        for k in shape.off_ptr[p] as usize..shape.off_ptr[p + 1] as usize {
+            off_val[k] = val[shape.off_src[k] as usize] as f32;
+        }
+    }
+    Some(LevelValues {
+        a: CsrMatrix::from_parts(shape.n, shape.row_ptr.clone(), shape.col.clone(), val),
+        off_val,
+        inv_diag32,
+    })
+}
+
+/// Builds a level's numeric payload by patching `base`'s f32 copies for
+/// the dirty rows only; `val` must already hold the full updated value
+/// array (clean rows bitwise equal to `base`'s). `None` when a dirty
+/// diagonal went non-positive or non-finite.
+fn fill_values_dirty(
+    shape: &LevelShape,
+    base: &LevelValues,
+    val: Vec<f64>,
+    dirty: &[bool],
+) -> Option<LevelValues> {
+    let mut off_val = base.off_val.clone();
+    let mut inv_diag32 = base.inv_diag32.clone();
+    for i in dirty
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &d)| d.then_some(i))
+    {
+        let p = shape.pos_of_row[i] as usize;
+        let d = val[shape.diag_src[p] as usize];
+        if d <= 0.0 || !d.is_finite() {
+            return None;
+        }
+        inv_diag32[p] = (1.0 / d) as f32;
+        for k in shape.off_ptr[p] as usize..shape.off_ptr[p + 1] as usize {
+            off_val[k] = val[shape.off_src[k] as usize] as f32;
+        }
+    }
+    Some(LevelValues {
+        a: CsrMatrix::from_parts(shape.n, shape.row_ptr.clone(), shape.col.clone(), val),
+        off_val,
+        inv_diag32,
+    })
+}
+
+/// Full Galerkin refill: replay every contribution of the scatter plan.
+fn galerkin_full(plan: &GalerkinPlan, fine_val: &[f64], coarse_nnz: usize) -> Vec<f64> {
+    let mut out = vec![0.0f64; coarse_nnz];
+    for ((&s, &dst), &c) in plan.src.iter().zip(&plan.slot).zip(&plan.coeff) {
+        out[dst as usize] += c * fine_val[s as usize];
+    }
+    out
+}
+
+/// Dirty Galerkin refill: start from `base_val` and replay only the rows
+/// marked dirty, zeroing their slots first. Per-slot contribution order
+/// matches [`galerkin_full`], so the result is bitwise identical to a full
+/// refill of the same fine values.
+fn galerkin_dirty(
+    plan: &GalerkinPlan,
+    coarse: &LevelShape,
+    fine_val: &[f64],
+    base_val: &[f64],
+    dirty: &[bool],
+) -> Vec<f64> {
+    let mut out = base_val.to_vec();
+    for r in dirty
+        .iter()
+        .enumerate()
+        .filter_map(|(r, &d)| d.then_some(r))
+    {
+        out[coarse.row_ptr[r] as usize..coarse.row_ptr[r + 1] as usize].fill(0.0);
+        for t in plan.rows[r] as usize..plan.rows[r + 1] as usize {
+            out[plan.slot[t] as usize] += plan.coeff[t] * fine_val[plan.src[t] as usize];
+        }
+    }
+    out
+}
+
+/// Dense Cholesky factor of the coarsest operator, factored once per
+/// refill and reused by every cycle.
 #[derive(Debug, Clone)]
 struct DenseCholesky {
     n: usize,
@@ -388,20 +706,23 @@ struct LevelScratch {
     r: Vec<f64>,
 }
 
-/// A built multigrid hierarchy: factor-once state reused by every solve of
-/// the same matrix, analogous to [`crate::sparse::Ic0`].
+/// A built multigrid hierarchy: the per-model numeric state (Galerkin
+/// values, f32 smoothing copies, dense coarsest factor) over a shared
+/// [`MgScaffold`]. Factor-once state reused by every solve of the same
+/// matrix, analogous to [`crate::sparse::Ic0`].
 #[derive(Debug)]
 pub struct MgHierarchy {
-    levels: Vec<Level>,
+    scaffold: Arc<MgScaffold>,
+    levels: Vec<LevelValues>,
     coarse: DenseCholesky,
-    opts: MgOptions,
     scratch: Mutex<Vec<LevelScratch>>,
 }
 
 impl MgHierarchy {
-    /// Builds the hierarchy for `a` laid out on `raster`: Galerkin coarse
-    /// operators down to `coarsest_n`, f32 smoothing copies, and the dense
-    /// coarsest factorization.
+    /// Builds the hierarchy for `a` laid out on `raster`: scaffold plus a
+    /// full numeric refill. Equivalent to [`MgScaffold::build`] followed by
+    /// [`MgHierarchy::from_scaffold`] — callers that evaluate many
+    /// same-shape models should do exactly that and share the scaffold.
     ///
     /// Returns `None` when the hierarchy cannot be built — dimension
     /// mismatch, a non-positive diagonal on some level, a coarsest problem
@@ -409,27 +730,103 @@ impl MgHierarchy {
     /// Like IC(0)'s Jacobi fallback, `None` downgrades the caller to the
     /// existing preconditioner rather than failing the solve.
     pub fn build(a: &CsrMatrix, raster: MgRaster, opts: MgOptions) -> Option<MgHierarchy> {
-        if raster.n == 0 || raster.layers == 0 || a.n() != raster.nodes() {
+        let scaffold = Arc::new(MgScaffold::build(a, raster, opts)?);
+        MgHierarchy::from_scaffold(scaffold, a)
+    }
+
+    /// Numeric refill over a shared scaffold: recomputes the Galerkin
+    /// values level by level through the precomputed scatter plans, the
+    /// f32 smoothing copies, and the dense coarsest factor — no symbolic
+    /// work. Bitwise identical to [`MgHierarchy::build`] on the same
+    /// matrix (build is this refill over a fresh scaffold).
+    ///
+    /// Returns `None` when `a` does not have the scaffold's finest-level
+    /// pattern, a diagonal goes non-positive on some level, or the
+    /// coarsest factorization breaks down.
+    pub fn from_scaffold(scaffold: Arc<MgScaffold>, a: &CsrMatrix) -> Option<MgHierarchy> {
+        if !scaffold.pattern_matches(a) {
             return None;
         }
-        let mut levels = Vec::new();
-        let mut cur = raster;
-        let mut fine = Level::new(a.clone(), &cur)?;
-        while cur.n > opts.coarsest_n && cur.coarsened().n < cur.n {
-            let coarse_raster = cur.coarsened();
-            let p = Prolongation::build(&cur, &coarse_raster);
-            let ac = p.galerkin(&fine.a);
-            let next = Level::new(ac, &coarse_raster)?;
-            fine.p = Some(p);
-            levels.push(fine);
-            fine = next;
-            cur = coarse_raster;
+        let t0 = Instant::now();
+        let mut levels = Vec::with_capacity(scaffold.shapes.len());
+        let mut vals = a.values().to_vec();
+        for (l, shape) in scaffold.shapes.iter().enumerate() {
+            let lv = fill_values_full(shape, vals)?;
+            vals = match &shape.plan {
+                Some(plan) => galerkin_full(plan, lv.a.values(), scaffold.shapes[l + 1].col.len()),
+                None => Vec::new(),
+            };
+            levels.push(lv);
         }
-        if cur.nodes() > MAX_DIRECT_NODES {
+        MgHierarchy::finish(scaffold, levels, t0)
+    }
+
+    /// Incremental refill for a matrix that differs from `base`'s only in
+    /// `dirty` rows (the mask the incremental network assembly produces —
+    /// both ends of every changed link are dirty). Galerkin work is
+    /// restricted to the coarse rows reachable from dirty fine rows
+    /// through the prolongation stencils; everything else is copied from
+    /// `base`. Bitwise identical to a full refill of `a`.
+    ///
+    /// Returns `None` when `base` was not refilled from this exact
+    /// scaffold, the mask length is wrong, `a`'s pattern mismatches, a
+    /// dirty diagonal goes non-positive, or the coarsest factorization
+    /// breaks down — callers then fall back to [`MgHierarchy::from_scaffold`].
+    pub fn refill_dirty(
+        scaffold: Arc<MgScaffold>,
+        a: &CsrMatrix,
+        base: &MgHierarchy,
+        dirty: &[bool],
+    ) -> Option<MgHierarchy> {
+        if !Arc::ptr_eq(&scaffold, &base.scaffold)
+            || dirty.len() != scaffold.shapes[0].n
+            || !scaffold.pattern_matches(a)
+        {
             return None;
         }
-        let coarse = DenseCholesky::factor(&fine.a)?;
-        levels.push(fine);
+        let t0 = Instant::now();
+        let mut levels = Vec::with_capacity(scaffold.shapes.len());
+        let mut vals = a.values().to_vec();
+        let mut dirty_rows = dirty.to_vec();
+        for (l, shape) in scaffold.shapes.iter().enumerate() {
+            let lv = fill_values_dirty(shape, &base.levels[l], vals, &dirty_rows)?;
+            if let Some(plan) = &shape.plan {
+                let p = shape.p.as_ref().expect("non-coarsest level prolongates");
+                let coarse_shape = &scaffold.shapes[l + 1];
+                let mut dc = vec![false; coarse_shape.n];
+                for i in dirty_rows
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &d)| d.then_some(i))
+                {
+                    for k in p.row_ptr[i] as usize..p.row_ptr[i + 1] as usize {
+                        dc[p.col[k] as usize] = true;
+                    }
+                }
+                vals = galerkin_dirty(
+                    plan,
+                    coarse_shape,
+                    lv.a.values(),
+                    base.levels[l + 1].a.values(),
+                    &dc,
+                );
+                dirty_rows = dc;
+            } else {
+                vals = Vec::new();
+            }
+            levels.push(lv);
+        }
+        MgHierarchy::finish(scaffold, levels, t0)
+    }
+
+    /// Shared tail of both refill paths: coarsest factorization, scratch
+    /// allocation, obs accounting.
+    fn finish(
+        scaffold: Arc<MgScaffold>,
+        levels: Vec<LevelValues>,
+        t0: Instant,
+    ) -> Option<MgHierarchy> {
+        let coarse = DenseCholesky::factor(&levels.last()?.a)?;
         let scratch = levels
             .iter()
             .map(|l| LevelScratch {
@@ -439,12 +836,19 @@ impl MgHierarchy {
             })
             .collect();
         obs::gauge!("thermal.mg_levels").set(levels.len() as f64);
+        obs::counter!("thermal.mg_refills").inc();
+        obs::counter!("thermal.mg_build_us").add(t0.elapsed().as_micros() as u64);
         Some(MgHierarchy {
+            scaffold,
             levels,
             coarse,
-            opts,
             scratch: Mutex::new(scratch),
         })
+    }
+
+    /// The shared symbolic scaffold this hierarchy was refilled over.
+    pub fn scaffold(&self) -> &Arc<MgScaffold> {
+        &self.scaffold
     }
 
     /// Number of levels (finest included).
@@ -468,7 +872,10 @@ impl MgHierarchy {
     ///
     /// Panics if `l` is the coarsest level or `v` has the wrong length.
     pub fn restrict(&self, l: usize, v: &[f64]) -> Vec<f64> {
-        let p = self.levels[l].p.as_ref().expect("level has a coarser one");
+        let p = self.scaffold.shapes[l]
+            .p
+            .as_ref()
+            .expect("level has a coarser one");
         assert_eq!(v.len(), self.levels[l].a.n(), "fine vector length");
         let mut out = vec![0.0; p.nc];
         p.restrict(v, &mut out);
@@ -481,11 +888,25 @@ impl MgHierarchy {
     ///
     /// Panics if `l` is the coarsest level or `v` has the wrong length.
     pub fn prolong(&self, l: usize, v: &[f64]) -> Vec<f64> {
-        let p = self.levels[l].p.as_ref().expect("level has a coarser one");
+        let p = self.scaffold.shapes[l]
+            .p
+            .as_ref()
+            .expect("level has a coarser one");
         assert_eq!(v.len(), p.nc, "coarse vector length");
         let mut out = vec![0.0; self.levels[l].a.n()];
         p.prolong_add(v, &mut out);
         out
+    }
+
+    /// One smoother sweep on level `l` — a criterion benchmark hook, not
+    /// part of the solver API.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range or the vector lengths mismatch.
+    #[doc(hidden)]
+    pub fn smooth_once(&self, l: usize, b: &[f64], x: &mut [f64], backward: bool) {
+        self.scaffold.shapes[l].smooth(&self.levels[l], b, x, backward);
     }
 
     /// One V-cycle on the error equation `A·z = r` from a zero initial
@@ -509,20 +930,21 @@ impl MgHierarchy {
             self.coarse.solve(b, x);
             return;
         }
-        let lvl = &self.levels[l];
+        let shape = &self.scaffold.shapes[l];
+        let vals = &self.levels[l];
         obs::histogram!("thermal.mg_smooth_level").record(l as u64);
         {
             let LevelScratch { b, x, r } = &mut s[l];
             x.fill(0.0);
-            for _ in 0..self.opts.pre_sweeps {
-                lvl.smooth(b, x, false);
+            for _ in 0..self.scaffold.opts.pre_sweeps {
+                shape.smooth(vals, b, x, false);
             }
-            lvl.a.mul_vec(x, r);
+            vals.a.mul_vec(x, r);
             for (ri, bi) in r.iter_mut().zip(b.iter()) {
                 *ri = bi - *ri;
             }
         }
-        let p = lvl.p.as_ref().expect("non-coarsest level prolongates");
+        let p = shape.p.as_ref().expect("non-coarsest level prolongates");
         {
             let (fine, coarse) = s.split_at_mut(l + 1);
             p.restrict(&fine[l].r, &mut coarse[0].b);
@@ -533,8 +955,8 @@ impl MgHierarchy {
             p.prolong_add(&coarse[0].x, &mut fine[l].x);
         }
         let LevelScratch { b, x, .. } = &mut s[l];
-        for _ in 0..self.opts.post_sweeps {
-            lvl.smooth(b, x, true);
+        for _ in 0..self.scaffold.opts.post_sweeps {
+            shape.smooth(vals, b, x, true);
         }
     }
 
@@ -575,7 +997,8 @@ impl MgHierarchy {
         };
         let mut r = vec![0.0; n];
         let mut res = f64::INFINITY;
-        for cycles in 0..=self.opts.max_cycles {
+        let max_cycles = self.scaffold.opts.max_cycles;
+        for cycles in 0..=max_cycles {
             self.levels[0].a.mul_vec(&x, &mut r);
             for (ri, bi) in r.iter_mut().zip(b.iter()) {
                 *ri = bi - *ri;
@@ -592,7 +1015,7 @@ impl MgHierarchy {
                     residual: res,
                 });
             }
-            if cycles == self.opts.max_cycles {
+            if cycles == max_cycles {
                 break;
             }
             let mut scratch = self.scratch.lock().expect("mg scratch poisoned");
@@ -605,7 +1028,7 @@ impl MgHierarchy {
             obs::counter!("thermal.mg_vcycles").inc();
         }
         Err(SolveError::NoConvergence {
-            iterations: self.opts.max_cycles,
+            iterations: max_cycles,
             residual: res,
         })
     }
@@ -614,7 +1037,7 @@ impl MgHierarchy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sparse::dense_cholesky_solve;
+    use crate::sparse::{dense_cholesky_solve, TripletMatrix};
 
     /// A raster-shaped conductance network: 5/7-point grid couplings with
     /// mildly varying conductances plus a ground on every top-layer cell —
@@ -750,5 +1173,113 @@ mod tests {
         for (i, d) in dense.iter().enumerate() {
             assert!((sol.x[i] - d).abs() < 1e-9, "node {i}");
         }
+    }
+
+    /// Every operator level of `x` is bitwise equal to `y`'s.
+    fn assert_levels_bitwise(x: &MgHierarchy, y: &MgHierarchy) {
+        assert_eq!(x.levels(), y.levels());
+        for l in 0..x.levels() {
+            assert_eq!(
+                x.level_matrix(l).values(),
+                y.level_matrix(l).values(),
+                "level {l} operator values diverge"
+            );
+            assert_eq!(x.levels[l].off_val, y.levels[l].off_val, "level {l} f32");
+            assert_eq!(
+                x.levels[l].inv_diag32, y.levels[l].inv_diag32,
+                "level {l} diag"
+            );
+        }
+        assert_eq!(x.coarse.l, y.coarse.l, "coarsest factor diverges");
+    }
+
+    #[test]
+    fn refill_on_shared_scaffold_is_bitwise_identical_to_build() {
+        let raster = MgRaster {
+            n: 12,
+            layers: 3,
+            extras: 2,
+        };
+        let a1 = raster_network(&raster, 1.0, 0.25, 0.05);
+        let h1 = MgHierarchy::build(&a1, raster, MgOptions::default()).unwrap();
+        // Same shape, different values — the ~3k-models-per-shape case.
+        let a2 = raster_network(&raster, 1.7, 0.4, 0.02);
+        let fresh = MgHierarchy::build(&a2, raster, MgOptions::default()).unwrap();
+        let refilled = MgHierarchy::from_scaffold(h1.scaffold().clone(), &a2).unwrap();
+        assert_levels_bitwise(&fresh, &refilled);
+        let b: Vec<f64> = (0..a2.n()).map(|i| ((i % 13) as f64) - 6.0).collect();
+        let s1 = fresh.solve(&b, None, 1e-11).unwrap();
+        let s2 = refilled.solve(&b, None, 1e-11).unwrap();
+        assert_eq!(s1.iterations, s2.iterations);
+        assert_eq!(s1.x, s2.x, "solutions must be bitwise identical");
+    }
+
+    #[test]
+    fn dirty_refill_matches_full_refill_bitwise() {
+        let raster = MgRaster {
+            n: 10,
+            layers: 2,
+            extras: 1,
+        };
+        let base_m = raster_network(&raster, 1.0, 0.25, 0.05);
+        let base = MgHierarchy::build(&base_m, raster, MgOptions::default()).unwrap();
+        // Perturb one vertical link: both end rows go dirty, nothing else.
+        let (i, j) = (raster.node(0, 3, 4), raster.node(1, 3, 4));
+        let mut patched = base_m.clone();
+        {
+            let bump = |m: &mut CsrMatrix, r: usize, c: usize, dv: f64| {
+                let (row_ptr, col, _) = m.parts();
+                let k = (row_ptr[r] as usize..row_ptr[r + 1] as usize)
+                    .find(|&k| col[k] as usize == c)
+                    .unwrap();
+                m.values_mut()[k] += dv;
+            };
+            let dg = 0.35;
+            bump(&mut patched, i, i, dg);
+            bump(&mut patched, j, j, dg);
+            bump(&mut patched, i, j, -dg);
+            bump(&mut patched, j, i, -dg);
+        }
+        let mut dirty = vec![false; patched.n()];
+        dirty[i] = true;
+        dirty[j] = true;
+        let full = MgHierarchy::from_scaffold(base.scaffold().clone(), &patched).unwrap();
+        let inc =
+            MgHierarchy::refill_dirty(base.scaffold().clone(), &patched, &base, &dirty).unwrap();
+        assert_levels_bitwise(&full, &inc);
+    }
+
+    #[test]
+    fn refill_rejects_a_foreign_pattern() {
+        let raster = MgRaster {
+            n: 8,
+            layers: 2,
+            extras: 0,
+        };
+        let a = raster_network(&raster, 1.0, 0.25, 0.05);
+        let h = MgHierarchy::build(&a, raster, MgOptions::default()).unwrap();
+        let other_raster = MgRaster {
+            n: 8,
+            layers: 2,
+            extras: 1,
+        };
+        let other = raster_network(&other_raster, 1.0, 0.25, 0.05);
+        assert!(MgHierarchy::from_scaffold(h.scaffold().clone(), &other).is_none());
+        let dirty = vec![false; other.n()];
+        assert!(MgHierarchy::refill_dirty(h.scaffold().clone(), &other, &h, &dirty).is_none());
+    }
+
+    #[test]
+    fn refill_dirty_requires_the_same_scaffold() {
+        let raster = MgRaster {
+            n: 8,
+            layers: 2,
+            extras: 0,
+        };
+        let a = raster_network(&raster, 1.0, 0.25, 0.05);
+        let h = MgHierarchy::build(&a, raster, MgOptions::default()).unwrap();
+        let foreign = Arc::new(MgScaffold::build(&a, raster, MgOptions::default()).unwrap());
+        let dirty = vec![false; a.n()];
+        assert!(MgHierarchy::refill_dirty(foreign, &a, &h, &dirty).is_none());
     }
 }

@@ -3,9 +3,11 @@
 //! power maps.
 
 use crate::materials::MaterialLibrary;
-use crate::mg::{MgHierarchy, MgOptions, MgRaster};
+use crate::mg::{MgHierarchy, MgOptions, MgRaster, MgScaffold};
 use crate::network::{assemble, assemble_incremental, GriddedLayer, Network, NetworkGeometry};
-use crate::sparse::{pcg, pcg_with, PcgSolution, Preconditioner, SolveError, SolveScratch};
+use crate::sparse::{
+    pcg, pcg_escalate, pcg_with, PcgSolution, Preconditioner, SolveError, SolveScratch,
+};
 use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -29,37 +31,89 @@ pub enum SolverKind {
     /// kept for differential verification and as an escape hatch
     /// (`TAC25D_SOLVER=jacobi`).
     Jacobi,
-    /// The geometric multigrid tier (`TAC25D_SOLVER=mg`): PCG
-    /// preconditioned by one raster V-cycle per iteration
-    /// ([`crate::mg::MgHierarchy`]), with the same reference-field warm
-    /// starts and scratch reuse as the IC(0) path. Falls back to the
-    /// model's factored IC(0) preconditioner when a hierarchy cannot be
-    /// built for the raster.
+    /// The escalating multigrid tier (`TAC25D_SOLVER=mg`): every solve
+    /// starts as IC(0)-PCG and, only if it has not converged within
+    /// [`MG_ESCALATION_ITERS`] iterations, lazily builds/refills the
+    /// geometric hierarchy ([`crate::mg::MgHierarchy`], shape-keyed
+    /// scaffold shared across models) and continues from the partial
+    /// iterate under V-cycle preconditioning. Warm-started solves that
+    /// finish under the cap — the overwhelming majority in an
+    /// optimization sweep — never pay for the hierarchy; hard cold
+    /// solves get the V-cycle's grid-independent convergence. Falls back
+    /// to IC(0) throughout when a hierarchy cannot be built for the
+    /// raster.
     Multigrid,
+    /// Grid-dependent selection (`TAC25D_SOLVER=auto`): the escalating
+    /// multigrid tier when the per-layer raster is at least
+    /// [`AUTO_MG_MIN_GRID`] cells per side (where escalated cold solves
+    /// measurably beat pure IC(0) — see DESIGN.md §10 for the measured
+    /// crossover), IC(0) otherwise.
+    Auto,
 }
+
+/// Smallest per-layer raster edge at which [`SolverKind::Auto`] picks the
+/// multigrid tier over IC(0). Below this the cold-solve iteration counts
+/// are too small for escalation to ever fire profitably — the hierarchy
+/// would be built and then idle — while from 32 cells per side upward a
+/// cold escalated solve already beats pure IC(0) wall-for-wall (the
+/// measurement is recorded in DESIGN.md §10).
+pub const AUTO_MG_MIN_GRID: usize = 32;
+
+/// IC(0) iteration budget before a multigrid-tier solve reaches its
+/// escalation checkpoint. Sized from the fig8 `--fast` per-solve
+/// iteration histogram: warm-started production solves finish in ≤ 25
+/// iterations, while cold solves on mg-worthy grids run 40–113 IC(0)
+/// iterations. A solve still going at the checkpoint escalates to
+/// V-cycle preconditioning only when its own contraction rate projects
+/// more remaining iterations than it has already spent (see
+/// [`crate::sparse::pcg_escalate`]) — so a solve that barely crosses the
+/// cap finishes under IC(0) without paying for a hierarchy, and the
+/// 200–500 µs V-cycles are reserved for solves with a long tail ahead
+/// of them.
+pub const MG_ESCALATION_ITERS: usize = 24;
 
 impl SolverKind {
     /// The solver selected by the `TAC25D_SOLVER` environment variable:
     /// `jacobi` (case-insensitive) forces the legacy path, `mg` /
-    /// `multigrid` the multigrid tier, anything else — including unset —
-    /// selects the IC(0) fast path.
+    /// `multigrid` the multigrid tier, `auto` the grid-dependent
+    /// selection, anything else — including unset — selects the IC(0)
+    /// fast path.
     pub fn from_env() -> Self {
         match std::env::var("TAC25D_SOLVER") {
             Ok(v) if v.eq_ignore_ascii_case("jacobi") => SolverKind::Jacobi,
             Ok(v) if v.eq_ignore_ascii_case("mg") || v.eq_ignore_ascii_case("multigrid") => {
                 SolverKind::Multigrid
             }
+            Ok(v) if v.eq_ignore_ascii_case("auto") => SolverKind::Auto,
             _ => SolverKind::Ic0,
         }
     }
 
-    /// Stable lowercase name (`ic0` / `jacobi` / `mg`) for reports and
-    /// benches.
+    /// Stable lowercase name (`ic0` / `jacobi` / `mg` / `auto`) for
+    /// reports and benches.
     pub fn name(&self) -> &'static str {
         match self {
             SolverKind::Ic0 => "ic0",
             SolverKind::Jacobi => "jacobi",
             SolverKind::Multigrid => "mg",
+            SolverKind::Auto => "auto",
+        }
+    }
+
+    /// Resolves [`SolverKind::Auto`] against a per-layer raster edge; the
+    /// concrete kinds return themselves. This is the single place the
+    /// crossover decision lives — benches and reports that need to label
+    /// what `auto` actually ran call this too.
+    pub fn resolve(self, grid: usize) -> SolverKind {
+        match self {
+            SolverKind::Auto => {
+                if grid >= AUTO_MG_MIN_GRID {
+                    SolverKind::Multigrid
+                } else {
+                    SolverKind::Ic0
+                }
+            }
+            other => other,
         }
     }
 }
@@ -133,6 +187,12 @@ impl ThermalConfig {
             rel_tol: 1e-8,
             ..ThermalConfig::default()
         }
+    }
+
+    /// The concrete solver this configuration's solves dispatch to —
+    /// [`SolverKind::Auto`] resolved against the configured grid.
+    pub fn resolved_solver(&self) -> SolverKind {
+        self.solver.resolve(self.grid)
     }
 }
 
@@ -434,6 +494,20 @@ struct SolverState {
     /// `OnceLock` records a failed hierarchy build, so the fallback is
     /// decided once per model, deterministically.
     mg_precond: OnceLock<Option<Preconditioner>>,
+    /// The symbolic multigrid scaffold cell, *shared* (same `Arc`) by
+    /// every model derived through [`PackageModel::new_like`]'s
+    /// incremental path — the multigrid analogue of the network
+    /// `Scaffold`. Whichever same-shape model first needs multigrid pays
+    /// the symbolic build once; all others refill values into it. `None`
+    /// inside the inner `OnceLock` records a shape that cannot build a
+    /// hierarchy.
+    mg_scaffold: Arc<OnceLock<Option<Arc<MgScaffold>>>>,
+    /// The base model's already-built hierarchy plus the dirty-row mask
+    /// from incremental assembly, captured at [`PackageModel::new_like`]
+    /// time. Lets this model's first multigrid solve refill only the
+    /// rows the spacing move touched ([`MgHierarchy::refill_dirty`])
+    /// instead of recomputing every Galerkin value.
+    mg_base: Option<(Arc<MgHierarchy>, Vec<bool>)>,
 }
 
 impl SolverState {
@@ -443,6 +517,27 @@ impl SolverState {
             reference_loose: OnceLock::new(),
             cold_iterations: AtomicU64::new(0),
             mg_precond: OnceLock::new(),
+            mg_scaffold: Arc::new(OnceLock::new()),
+            mg_base: None,
+        }
+    }
+
+    /// State for a model derived from `base` through incremental
+    /// assembly: shares `base`'s scaffold cell (the two networks are the
+    /// same shape by construction) and, when `base` has already built its
+    /// hierarchy, records it with the dirty mask for incremental refill.
+    fn derived(base: &SolverState, dirty: Vec<bool>) -> Self {
+        let mg_base = match base.mg_precond.get() {
+            Some(Some(Preconditioner::Multigrid(h))) => Some((h.clone(), dirty)),
+            _ => None,
+        };
+        SolverState {
+            reference: OnceLock::new(),
+            reference_loose: OnceLock::new(),
+            cold_iterations: AtomicU64::new(0),
+            mg_precond: OnceLock::new(),
+            mg_scaffold: base.mg_scaffold.clone(),
+            mg_base,
         }
     }
 }
@@ -454,6 +549,8 @@ impl Clone for SolverState {
             reference_loose: self.reference_loose.clone(),
             cold_iterations: AtomicU64::new(self.cold_iterations.load(Ordering::Relaxed)),
             mg_precond: self.mg_precond.clone(),
+            mg_scaffold: self.mg_scaffold.clone(),
+            mg_base: self.mg_base.clone(),
         }
     }
 }
@@ -527,8 +624,17 @@ impl PackageModel {
         layout.validate(&base.chip, &base.rules)?;
         let (footprint, rects, geom) =
             Self::prepare_geometry(&base.chip, layout, &base.rules, &base.stack, &base.config);
-        let net =
-            assemble_incremental(&geom, &base.geom, &base.net).unwrap_or_else(|| assemble(&geom));
+        let (net, solver_state) = match assemble_incremental(&geom, &base.geom, &base.net) {
+            Some((net, dirty)) => {
+                // Same shape as the base: share its multigrid scaffold
+                // cell and remember its hierarchy (if built) plus the
+                // dirty rows, so a multigrid solve on this model refills
+                // instead of rebuilding.
+                let state = SolverState::derived(&base.solver_state, dirty);
+                (net, state)
+            }
+            None => (assemble(&geom), SolverState::new()),
+        };
         Ok(PackageModel {
             net,
             config: base.config.clone(),
@@ -539,7 +645,7 @@ impl PackageModel {
             rules: base.rules,
             stack: base.stack.clone(),
             geom,
-            solver_state: SolverState::new(),
+            solver_state,
         })
     }
 
@@ -740,9 +846,10 @@ impl PackageModel {
         allow_reference: bool,
         rel_tol: f64,
     ) -> Result<PcgSolution, SolveError> {
-        match self.config.solver {
+        let solver = self.config.resolved_solver();
+        match solver {
             SolverKind::Jacobi => pcg(&self.net.matrix, b, guess, rel_tol, self.config.max_iter),
-            SolverKind::Ic0 | SolverKind::Multigrid => {
+            SolverKind::Ic0 | SolverKind::Multigrid | SolverKind::Auto => {
                 let reference_guess: Option<Vec<f64>> = if guess.is_none() && allow_reference {
                     self.reference_field(rel_tol).map(|f| {
                         let scale = total_watts / f.watts;
@@ -757,23 +864,35 @@ impl PackageModel {
                 if warm {
                     obs::counter!("thermal.warm_start_hits").inc();
                 }
-                // The multigrid tier swaps only the preconditioner; warm
+                // The multigrid tier is an escalating hybrid: it runs the
+                // same IC(0)-PCG as the fast path up to the escalation
+                // cap, and only a solve that is still going — a hard cold
+                // solve — builds/refills the hierarchy and continues from
+                // its partial iterate under V-cycle preconditioning. Warm
                 // starts, scratch reuse and the iteration bookkeeping are
-                // shared with the IC(0) fast path. A model whose raster
-                // cannot build a hierarchy keeps the factored IC(0).
-                let precond = match self.config.solver {
-                    SolverKind::Multigrid => self.mg_precond().unwrap_or(&self.net.precond),
-                    _ => &self.net.precond,
+                // shared with the IC(0) fast path.
+                let sol = match solver {
+                    SolverKind::Multigrid => pcg_escalate(
+                        &self.net.matrix,
+                        &self.net.precond,
+                        MG_ESCALATION_ITERS,
+                        || self.mg_precond(),
+                        b,
+                        x0,
+                        rel_tol,
+                        self.config.max_iter,
+                        scratch,
+                    )?,
+                    _ => pcg_with(
+                        &self.net.matrix,
+                        &self.net.precond,
+                        b,
+                        x0,
+                        rel_tol,
+                        self.config.max_iter,
+                        scratch,
+                    )?,
                 };
-                let sol = pcg_with(
-                    &self.net.matrix,
-                    precond,
-                    b,
-                    x0,
-                    rel_tol,
-                    self.config.max_iter,
-                    scratch,
-                )?;
                 let cold = self.solver_state.cold_iterations.load(Ordering::Relaxed);
                 if warm {
                     if cold > sol.iterations as u64 {
@@ -795,6 +914,14 @@ impl PackageModel {
     /// deterministic), computed once and shared by every solve of the
     /// model. `None` when the raster cannot build a hierarchy; the caller
     /// then falls back to the network's IC(0) factor.
+    ///
+    /// The symbolic scaffold comes from the shared cell in
+    /// [`SolverState`]: models derived through the incremental assembly
+    /// path reuse whichever same-shape model built it first
+    /// (`thermal.mg_scaffold_hits` counts the reuses), and when the base
+    /// model's hierarchy is available the numeric refill patches only the
+    /// dirty rows. Both paths are bitwise identical to a from-scratch
+    /// [`MgHierarchy::build`] of this model's matrix.
     fn mg_precond(&self) -> Option<&Preconditioner> {
         self.solver_state
             .mg_precond
@@ -806,8 +933,26 @@ impl PackageModel {
                     layers,
                     extras: self.net.nodes - layers * n * n,
                 };
-                MgHierarchy::build(&self.net.matrix, raster, MgOptions::default())
-                    .map(|h| Preconditioner::Multigrid(Arc::new(h)))
+                let prebuilt = self.solver_state.mg_scaffold.get().is_some();
+                let scaffold = self
+                    .solver_state
+                    .mg_scaffold
+                    .get_or_init(|| {
+                        MgScaffold::build(&self.net.matrix, raster, MgOptions::default())
+                            .map(Arc::new)
+                    })
+                    .clone()?;
+                if prebuilt {
+                    obs::counter!("thermal.mg_scaffold_hits").inc();
+                }
+                let hierarchy = match &self.solver_state.mg_base {
+                    Some((base, dirty)) => {
+                        MgHierarchy::refill_dirty(scaffold.clone(), &self.net.matrix, base, dirty)
+                            .or_else(|| MgHierarchy::from_scaffold(scaffold, &self.net.matrix))
+                    }
+                    None => MgHierarchy::from_scaffold(scaffold, &self.net.matrix),
+                }?;
+                Some(Preconditioner::Multigrid(Arc::new(hierarchy)))
             })
             .as_ref()
     }
@@ -852,16 +997,34 @@ impl PackageModel {
         // it still converge to their own tolerance — so solving it beyond
         // `reference_tol` buys nothing: the guess error for a real power
         // map is dominated by the spatial-shape mismatch, not by the
-        // reference's residual. Still a pure function of the model.
-        let sol = pcg_with(
-            &self.net.matrix,
-            &self.net.precond,
-            &b,
-            None,
-            self.config.rel_tol.max(reference_tol),
-            self.config.max_iter,
-            &mut SolveScratch::new(),
-        )
+        // reference's residual. Still a pure function of the model. Under
+        // the multigrid tier this cold solve escalates like any other —
+        // it is the one guess-less solve every model pays for, so on
+        // mg-worthy grids it is exactly where the hierarchy earns its
+        // refill.
+        let rel_tol = self.config.rel_tol.max(reference_tol);
+        let sol = match self.config.resolved_solver() {
+            SolverKind::Multigrid => pcg_escalate(
+                &self.net.matrix,
+                &self.net.precond,
+                MG_ESCALATION_ITERS,
+                || self.mg_precond(),
+                &b,
+                None,
+                rel_tol,
+                self.config.max_iter,
+                &mut SolveScratch::new(),
+            ),
+            _ => pcg_with(
+                &self.net.matrix,
+                &self.net.precond,
+                &b,
+                None,
+                rel_tol,
+                self.config.max_iter,
+                &mut SolveScratch::new(),
+            ),
+        }
         .ok()?;
         if self.solver_state.cold_iterations.load(Ordering::Relaxed) == 0 {
             self.solver_state
@@ -1332,6 +1495,64 @@ mod tests {
         assert_eq!(SolverKind::Ic0.name(), "ic0");
         assert_eq!(SolverKind::Jacobi.name(), "jacobi");
         assert_eq!(SolverKind::Multigrid.name(), "mg");
+        assert_eq!(SolverKind::Auto.name(), "auto");
+    }
+
+    #[test]
+    fn auto_solver_resolution() {
+        // The crossover decision itself.
+        assert_eq!(
+            SolverKind::Auto.resolve(AUTO_MG_MIN_GRID),
+            SolverKind::Multigrid
+        );
+        assert_eq!(
+            SolverKind::Auto.resolve(AUTO_MG_MIN_GRID - 1),
+            SolverKind::Ic0
+        );
+        // Concrete kinds are unaffected by the grid.
+        assert_eq!(SolverKind::Ic0.resolve(256), SolverKind::Ic0);
+        assert_eq!(SolverKind::Multigrid.resolve(8), SolverKind::Multigrid);
+    }
+
+    #[test]
+    fn auto_solver_selects_both_branches() {
+        // Below the crossover `auto` must run the IC(0) path — observable
+        // because a multigrid dispatch that escalates would populate the
+        // lazy hierarchy cell; at/above it the multigrid path, whose
+        // cold tight solve outruns the escalation checkpoint and does.
+        let die = Rect::from_corner(0.0, 0.0, 18.0, 18.0);
+        let model_with_grid = |grid: usize| {
+            PackageModel::new(
+                &chip(),
+                &ChipletLayout::SingleChip,
+                &rules(),
+                &StackSpec::baseline_2d(),
+                ThermalConfig {
+                    grid,
+                    rel_tol: 1e-10,
+                    solver: SolverKind::Auto,
+                    ..ThermalConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let small = model_with_grid(AUTO_MG_MIN_GRID / 2);
+        assert_eq!(small.config.resolved_solver(), SolverKind::Ic0);
+        small.solve(&[(die, 150.0)]).unwrap();
+        assert!(
+            small.solver_state.mg_precond.get().is_none(),
+            "below the crossover auto must not touch the multigrid tier"
+        );
+        let large = model_with_grid(AUTO_MG_MIN_GRID);
+        assert_eq!(large.config.resolved_solver(), SolverKind::Multigrid);
+        large.solve(&[(die, 150.0)]).unwrap();
+        assert!(
+            matches!(
+                large.solver_state.mg_precond.get(),
+                Some(Some(Preconditioner::Multigrid(_)))
+            ),
+            "at the crossover a cold tight solve must escalate to the multigrid tier"
+        );
     }
 
     #[test]

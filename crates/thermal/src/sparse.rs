@@ -169,8 +169,17 @@ impl CsrMatrix {
 
     /// The stored entry values in pattern order (row-major, ascending
     /// columns) — the layout [`CsrMatrix::from_parts`] expects back.
-    pub(crate) fn values(&self) -> &[f64] {
+    /// Public so equivalence tests can compare operators bitwise.
+    pub fn values(&self) -> &[f64] {
         &self.val
+    }
+
+    /// Mutable view of the stored values, pattern order; the sparsity
+    /// pattern itself is immutable. Used by in-crate tests that patch
+    /// individual entries.
+    #[cfg(test)]
+    pub(crate) fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.val
     }
 
     /// The raw CSR triple `(row_ptr, col, val)` — read-only structure
@@ -663,6 +672,108 @@ pub fn pcg_with(
     result
 }
 
+/// Outcome of a capped PCG phase: either the solve finished (converged or
+/// failed) within the cap, or it hit the iteration cap with a usable
+/// partial iterate to continue from under a stronger preconditioner.
+enum CapOutcome {
+    Done(Result<PcgSolution, SolveError>),
+    Capped {
+        x: Vec<f64>,
+        iterations: usize,
+        /// Relative residual of the initial iterate (before iteration 1).
+        res0: f64,
+        /// Relative residual at the cap.
+        res: f64,
+    },
+}
+
+/// Escalating solve: runs PCG under the cheap `m0` preconditioner for up
+/// to `cap` iterations; a solve still going at the cap is assessed from
+/// its own trajectory — the capped phase's average contraction rate
+/// `ρ = (res/res0)^(1/cap)` projects the remaining `m0` iterations — and
+/// only a solve with more work left than it has already spent
+/// (`projected > cap`) calls `escalate()` to obtain a stronger
+/// preconditioner (building it lazily) and restarts from the partial
+/// iterate under it. A solve that is nearly done at the cap restarts
+/// under `m0` instead, so crossing the cap by a handful of iterations
+/// never pays for a hierarchy it would not use.
+///
+/// Either continuation is a preconditioner-switch restart — a
+/// warm-started PCG solve — so the combined result is a pure function of
+/// `(a, b, x0)` and fully deterministic; `thermal.mg_escalations` counts
+/// the solves that actually escalated. Reported `iterations` is the
+/// total across both phases. If `escalate()` returns `None` (e.g.
+/// hierarchy construction is unsupported for this matrix), the solve
+/// restarts under `m0` and runs to `max_iter`.
+///
+/// # Errors
+///
+/// Returns [`SolveError`] if convergence fails, the matrix is detected to
+/// be non-SPD, or numerical breakdown occurs.
+#[allow(clippy::too_many_arguments)]
+pub fn pcg_escalate<'a>(
+    a: &CsrMatrix,
+    m0: &'a Preconditioner,
+    cap: usize,
+    escalate: impl FnOnce() -> Option<&'a Preconditioner>,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    rel_tol: f64,
+    max_iter: usize,
+    scratch: &mut SolveScratch,
+) -> Result<PcgSolution, SolveError> {
+    let _span = obs::span!("thermal.pcg_solve");
+    obs::counter!("thermal.pcg_solves").inc();
+    let result = match pcg_capped_inner(a, m0, b, x0, rel_tol, max_iter, Some(cap), scratch) {
+        CapOutcome::Done(r) => r,
+        CapOutcome::Capped {
+            x,
+            iterations,
+            res0,
+            res,
+        } => {
+            let rho = (res / res0).powf(1.0 / iterations.max(1) as f64);
+            let projected = if rho < 1.0 && res > 0.0 {
+                (rel_tol / res).ln() / rho.ln()
+            } else {
+                f64::INFINITY
+            };
+            let m1 = if projected > iterations as f64 {
+                obs::counter!("thermal.mg_escalations").inc();
+                escalate().unwrap_or(m0)
+            } else {
+                m0
+            };
+            match pcg_capped_inner(
+                a,
+                m1,
+                b,
+                Some(&x),
+                rel_tol,
+                max_iter - iterations,
+                None,
+                scratch,
+            ) {
+                CapOutcome::Done(Ok(mut sol)) => {
+                    sol.iterations += iterations;
+                    Ok(sol)
+                }
+                CapOutcome::Done(Err(SolveError::NoConvergence {
+                    iterations: cont_iters,
+                    residual,
+                })) => Err(SolveError::NoConvergence {
+                    iterations: iterations + cont_iters,
+                    residual,
+                }),
+                CapOutcome::Done(Err(e)) => Err(e),
+                CapOutcome::Capped { .. } => unreachable!("continuation phase has no cap"),
+            }
+        }
+    };
+    record_pcg_metrics(&result);
+    result
+}
+
 fn record_pcg_metrics(result: &Result<PcgSolution, SolveError>) {
     match result {
         Ok(sol) => {
@@ -678,7 +789,6 @@ fn record_pcg_metrics(result: &Result<PcgSolution, SolveError>) {
     }
 }
 
-#[allow(clippy::needless_range_loop)]
 fn pcg_with_inner(
     a: &CsrMatrix,
     m: &Preconditioner,
@@ -688,15 +798,32 @@ fn pcg_with_inner(
     max_iter: usize,
     scratch: &mut SolveScratch,
 ) -> Result<PcgSolution, SolveError> {
+    match pcg_capped_inner(a, m, b, x0, rel_tol, max_iter, None, scratch) {
+        CapOutcome::Done(r) => r,
+        CapOutcome::Capped { .. } => unreachable!("uncapped solve cannot hit a cap"),
+    }
+}
+
+#[allow(clippy::needless_range_loop, clippy::too_many_arguments)]
+fn pcg_capped_inner(
+    a: &CsrMatrix,
+    m: &Preconditioner,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    rel_tol: f64,
+    max_iter: usize,
+    cap: Option<usize>,
+    scratch: &mut SolveScratch,
+) -> CapOutcome {
     let n = a.n();
     assert_eq!(b.len(), n, "rhs length mismatch");
     let b_norm = norm(b);
     if b_norm == 0.0 {
-        return Ok(PcgSolution {
+        return CapOutcome::Done(Ok(PcgSolution {
             x: vec![0.0; n],
             iterations: 0,
             residual: 0.0,
-        });
+        }));
     }
     let mut x = match x0 {
         Some(x0) => {
@@ -716,16 +843,24 @@ fn pcg_with_inner(
     // preconditioner apply and direction update; the residual norm is
     // accumulated inside the update loop in index order, making it
     // bitwise identical to a separate `norm(r)` pass.
-    let res = norm(r) / b_norm;
-    if !res.is_finite() {
-        return Err(SolveError::NumericalBreakdown);
+    let res0 = norm(r) / b_norm;
+    if !res0.is_finite() {
+        return CapOutcome::Done(Err(SolveError::NumericalBreakdown));
     }
-    if res <= rel_tol {
-        return Ok(PcgSolution {
+    if res0 <= rel_tol {
+        return CapOutcome::Done(Ok(PcgSolution {
             x,
             iterations: 0,
-            residual: res,
-        });
+            residual: res0,
+        }));
+    }
+    if cap == Some(0) && max_iter > 0 {
+        return CapOutcome::Capped {
+            x,
+            iterations: 0,
+            res0,
+            res: res0,
+        };
     }
     m.apply(r, z);
     p.copy_from_slice(z);
@@ -735,7 +870,7 @@ fn pcg_with_inner(
         a.mul_vec(p, ap);
         let pap = dot(p, ap);
         if pap <= 0.0 || !pap.is_finite() {
-            return Err(SolveError::NotPositiveDefinite);
+            return CapOutcome::Done(Err(SolveError::NotPositiveDefinite));
         }
         let alpha = rz / pap;
         let mut rn2 = 0.0;
@@ -746,17 +881,25 @@ fn pcg_with_inner(
         }
         let res = rn2.sqrt() / b_norm;
         if !res.is_finite() {
-            return Err(SolveError::NumericalBreakdown);
+            return CapOutcome::Done(Err(SolveError::NumericalBreakdown));
         }
         if res <= rel_tol {
-            return Ok(PcgSolution {
+            return CapOutcome::Done(Ok(PcgSolution {
                 x,
                 iterations: it,
                 residual: res,
-            });
+            }));
         }
         if it == max_iter {
             break;
+        }
+        if cap == Some(it) {
+            return CapOutcome::Capped {
+                x,
+                iterations: it,
+                res0,
+                res,
+            };
         }
         m.apply(r, z);
         let rz_new = dot(r, z);
@@ -767,10 +910,10 @@ fn pcg_with_inner(
         }
     }
     let res = norm(r) / b_norm;
-    Err(SolveError::NoConvergence {
+    CapOutcome::Done(Err(SolveError::NoConvergence {
         iterations: max_iter,
         residual: res,
-    })
+    }))
 }
 
 fn pcg_inner(
@@ -1197,6 +1340,118 @@ mod tests {
         );
         for i in 0..n * n {
             assert!((ic.x[i] - jac.x[i]).abs() < 1e-7, "i={i}");
+        }
+    }
+
+    /// The 2D grid Laplacian with a weak ground used by the escalation
+    /// tests: slow under Jacobi, fast under IC(0).
+    fn escalation_system() -> (CsrMatrix, Vec<f64>) {
+        let n = 16;
+        let mut t = TripletMatrix::new(n * n);
+        for iy in 0..n {
+            for ix in 0..n {
+                let i = iy * n + ix;
+                if ix + 1 < n {
+                    t.add_conductance(i, i + 1, 1.0);
+                }
+                if iy + 1 < n {
+                    t.add_conductance(i, i + n, 1.0);
+                }
+                t.add_ground(i, 0.01);
+            }
+        }
+        let a = t.to_csr();
+        let b: Vec<f64> = (0..n * n).map(|i| ((i % 7) as f64) * 0.3 + 0.1).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn escalate_is_untouched_under_the_cap() {
+        // A solve that converges within the cap must be bitwise the plain
+        // pcg_with solve and never invoke the escalation closure.
+        let (a, b) = escalation_system();
+        let m = Preconditioner::ic0_or_jacobi(&a).unwrap();
+        let reference = pcg_with(&a, &m, &b, None, 1e-10, 1000, &mut SolveScratch::new()).unwrap();
+        let sol = pcg_escalate(
+            &a,
+            &m,
+            reference.iterations + 5,
+            || panic!("must not escalate a solve that finishes under the cap"),
+            &b,
+            None,
+            1e-10,
+            1000,
+            &mut SolveScratch::new(),
+        )
+        .unwrap();
+        assert_eq!(sol.iterations, reference.iterations);
+        assert!(sol
+            .x
+            .iter()
+            .zip(&reference.x)
+            .all(|(p, q)| p.to_bits() == q.to_bits()));
+    }
+
+    #[test]
+    fn escalate_skips_nearly_done_solves() {
+        // Hitting the cap one iteration short of convergence projects ~1
+        // remaining iteration — far under the cap — so the solve restarts
+        // under the original preconditioner instead of escalating.
+        let (a, b) = escalation_system();
+        let m = Preconditioner::jacobi(&a).unwrap();
+        let full = pcg_with(&a, &m, &b, None, 1e-10, 100_000, &mut SolveScratch::new()).unwrap();
+        assert!(full.iterations > 10);
+        let sol = pcg_escalate(
+            &a,
+            &m,
+            full.iterations - 1,
+            || panic!("a nearly-converged solve must not escalate"),
+            &b,
+            None,
+            1e-10,
+            100_000,
+            &mut SolveScratch::new(),
+        )
+        .unwrap();
+        assert!(sol.residual <= 1e-10);
+        assert!(sol.iterations >= full.iterations - 1);
+    }
+
+    #[test]
+    fn escalate_fires_on_a_long_tail() {
+        // A Jacobi solve capped early with most of its work ahead projects
+        // a long tail and must call the closure; the IC(0) continuation
+        // then finishes in far fewer total iterations.
+        let (a, b) = escalation_system();
+        let m0 = Preconditioner::jacobi(&a).unwrap();
+        let strong = Preconditioner::ic0_or_jacobi(&a).unwrap();
+        assert!(strong.is_ic0());
+        let full = pcg_with(&a, &m0, &b, None, 1e-10, 100_000, &mut SolveScratch::new()).unwrap();
+        let called = std::cell::Cell::new(false);
+        let sol = pcg_escalate(
+            &a,
+            &m0,
+            8,
+            || {
+                called.set(true);
+                Some(&strong)
+            },
+            &b,
+            None,
+            1e-10,
+            100_000,
+            &mut SolveScratch::new(),
+        )
+        .unwrap();
+        assert!(called.get(), "capped long-tail solve must escalate");
+        assert!(
+            sol.iterations < full.iterations,
+            "escalated {} vs jacobi {}",
+            sol.iterations,
+            full.iterations
+        );
+        for (i, (p, q)) in sol.x.iter().zip(&full.x).enumerate() {
+            assert!((p - q).abs() < 1e-7, "i={i}");
         }
     }
 

@@ -4,7 +4,8 @@
 //! mirroring the `ic0_jacobi_and_dense_agree` style of `sparse_props`.
 
 use proptest::prelude::*;
-use tac25d_thermal::mg::{MgHierarchy, MgOptions, MgRaster};
+use std::sync::Arc;
+use tac25d_thermal::mg::{MgHierarchy, MgOptions, MgRaster, MgScaffold};
 use tac25d_thermal::sparse::{dense_cholesky_solve, CsrMatrix, TripletMatrix};
 
 /// Deterministic xorshift-style generator: proptest supplies the seed,
@@ -74,6 +75,119 @@ fn random_raster(rng: &mut impl FnMut() -> f64) -> MgRaster {
         layers: 1 + (rng() * 3.0) as usize,
         extras: (rng() * 5.0) as usize,
     }
+}
+
+/// Two same-pattern raster networks — `a` with base values, `b` with
+/// every link touching a random in-plane window of cells re-drawn (a
+/// spacing move in miniature: the pattern is shared, only the values
+/// under moved material differ) — plus the dirty-row mask incremental
+/// assembly would surface: both ends of every changed link are marked.
+fn perturbed_pair(
+    raster: MgRaster,
+    rng: &mut impl FnMut() -> f64,
+) -> (CsrMatrix, CsrMatrix, Vec<bool>) {
+    let (n, layers) = (raster.n, raster.layers);
+    let node = |li: usize, ix: usize, iy: usize| li * n * n + iy * n + ix;
+    let x0 = (rng() * n as f64) as usize % n;
+    let y0 = (rng() * n as f64) as usize % n;
+    let w = 1 + (rng() * 3.0) as usize;
+    let in_window =
+        |ix: usize, iy: usize| ix >= x0 && ix < (x0 + w).min(n) && iy >= y0 && iy < (y0 + w).min(n);
+    let mut ta = TripletMatrix::new(raster.nodes());
+    let mut tb = TripletMatrix::new(raster.nodes());
+    let mut dirty = vec![false; raster.nodes()];
+    let link = |ta: &mut TripletMatrix,
+                tb: &mut TripletMatrix,
+                dirty: &mut Vec<bool>,
+                rng: &mut dyn FnMut() -> f64,
+                i: usize,
+                j: usize,
+                base: f64,
+                touched: bool| {
+        let va = base + rng();
+        let vb = if touched {
+            dirty[i] = true;
+            dirty[j] = true;
+            base + rng()
+        } else {
+            va
+        };
+        ta.add_conductance(i, j, va);
+        tb.add_conductance(i, j, vb);
+    };
+    for li in 0..layers {
+        for iy in 0..n {
+            for ix in 0..n {
+                let touched = in_window(ix, iy);
+                let i = node(li, ix, iy);
+                if ix + 1 < n {
+                    let t = touched || in_window(ix + 1, iy);
+                    link(
+                        &mut ta,
+                        &mut tb,
+                        &mut dirty,
+                        rng,
+                        i,
+                        node(li, ix + 1, iy),
+                        0.2,
+                        t,
+                    );
+                }
+                if iy + 1 < n {
+                    let t = touched || in_window(ix, iy + 1);
+                    link(
+                        &mut ta,
+                        &mut tb,
+                        &mut dirty,
+                        rng,
+                        i,
+                        node(li, ix, iy + 1),
+                        0.2,
+                        t,
+                    );
+                }
+                if li + 1 < layers {
+                    link(
+                        &mut ta,
+                        &mut tb,
+                        &mut dirty,
+                        rng,
+                        i,
+                        node(li + 1, ix, iy),
+                        0.05,
+                        touched,
+                    );
+                }
+            }
+        }
+    }
+    for iy in 0..n {
+        for ix in 0..n {
+            let g = 0.02 + rng();
+            let i = node(0, ix, iy);
+            let gb = if in_window(ix, iy) {
+                dirty[i] = true;
+                0.02 + rng()
+            } else {
+                g
+            };
+            ta.add_ground(i, g);
+            tb.add_ground(i, gb);
+        }
+    }
+    let grid = layers * n * n;
+    for e in 0..raster.extras {
+        // Lumped periphery nodes stay clean: spacing moves never change
+        // the spreader/sink attachment in the real assembly either.
+        let ix = (rng() * n as f64) as usize % n;
+        let c = 0.1 + 0.5 * rng();
+        let g = 0.05 + 0.2 * rng();
+        ta.add_conductance(grid + e, node(0, ix, 0), c);
+        tb.add_conductance(grid + e, node(0, ix, 0), c);
+        ta.add_ground(grid + e, g);
+        tb.add_ground(grid + e, g);
+    }
+    (ta.to_csr(), tb.to_csr(), dirty)
 }
 
 proptest! {
@@ -187,6 +301,76 @@ proptest! {
                 (sol.x[i] - d).abs() < 1e-7 * d.abs().max(1.0),
                 "node {i}: {} vs {d}", sol.x[i]
             );
+        }
+    }
+
+    /// A hierarchy refilled on a scaffold built from a *sibling* matrix
+    /// (same pattern, perturbed values — a random spacing move) is
+    /// bitwise identical to a from-scratch build of the perturbed
+    /// matrix: every coarse operator value matches to the bit and a
+    /// V-cycle solve takes the identical iteration count and produces
+    /// the identical iterate.
+    #[test]
+    fn refill_on_shared_scaffold_matches_rebuild_bitwise(seed in 0u64..10_000) {
+        let mut rng = splitmix(seed);
+        let raster = random_raster(&mut rng);
+        let (a, b, _) = perturbed_pair(raster, &mut rng);
+        let scaffold = Arc::new(
+            MgScaffold::build(&a, raster, MgOptions::default())
+                .expect("raster scaffold must build"),
+        );
+        let refilled = MgHierarchy::from_scaffold(scaffold.clone(), &b)
+            .expect("same-pattern refill must succeed");
+        let rebuilt = MgHierarchy::build(&b, raster, MgOptions::default())
+            .expect("raster hierarchy must build");
+        prop_assert_eq!(refilled.levels(), rebuilt.levels());
+        for l in 0..rebuilt.levels() {
+            let rv = refilled.level_matrix(l).values();
+            let bv = rebuilt.level_matrix(l).values();
+            prop_assert_eq!(rv.len(), bv.len(), "level {} nnz", l);
+            for (k, (x, y)) in rv.iter().zip(bv).enumerate() {
+                prop_assert!(
+                    x.to_bits() == y.to_bits(),
+                    "level {} entry {}: {x:e} vs {y:e}", l, k
+                );
+            }
+        }
+        let rhs: Vec<f64> = (0..raster.nodes()).map(|_| rng() * 4.0 - 1.0).collect();
+        let s1 = refilled.solve(&rhs, None, 1e-10).unwrap();
+        let s2 = rebuilt.solve(&rhs, None, 1e-10).unwrap();
+        prop_assert_eq!(s1.iterations, s2.iterations);
+        for (i, (x, y)) in s1.x.iter().zip(&s2.x).enumerate() {
+            prop_assert!(x.to_bits() == y.to_bits(), "node {}: {x:e} vs {y:e}", i);
+        }
+    }
+
+    /// Dirty-row refill (patching only the rows a spacing move touched,
+    /// base values elsewhere) is bitwise identical to a full refill of
+    /// the same perturbed matrix on the same scaffold.
+    #[test]
+    fn dirty_refill_matches_full_refill_bitwise(seed in 0u64..10_000) {
+        let mut rng = splitmix(seed);
+        let raster = random_raster(&mut rng);
+        let (a, b, dirty) = perturbed_pair(raster, &mut rng);
+        let scaffold = Arc::new(
+            MgScaffold::build(&a, raster, MgOptions::default())
+                .expect("raster scaffold must build"),
+        );
+        let base = MgHierarchy::from_scaffold(scaffold.clone(), &a)
+            .expect("base refill must succeed");
+        let incremental = MgHierarchy::refill_dirty(scaffold.clone(), &b, &base, &dirty)
+            .expect("dirty refill must succeed");
+        let full = MgHierarchy::from_scaffold(scaffold, &b)
+            .expect("full refill must succeed");
+        for l in 0..full.levels() {
+            let iv = incremental.level_matrix(l).values();
+            let fv = full.level_matrix(l).values();
+            for (k, (x, y)) in iv.iter().zip(fv).enumerate() {
+                prop_assert!(
+                    x.to_bits() == y.to_bits(),
+                    "level {} entry {}: {x:e} vs {y:e}", l, k
+                );
+            }
         }
     }
 }

@@ -36,7 +36,7 @@ use tac25d_verify::mms::{chain_error, observed_orders, path_split, vcycle_spread
 use tac25d_verify::obsguard::{obs_manifest, run_obs_determinism};
 use tac25d_verify::servecheck::{serve_equivalence_report, CONCURRENT_CLIENTS};
 use tac25d_verify::solvercheck::{solver_equivalence_cases, MAX_SOLVER_DT_C};
-use tac25d_verify::solvermg::mg_equivalence_cases;
+use tac25d_verify::solvermg::{mg_equivalence_cases, mg_refill_cases};
 use tac25d_verify::tracecheck::{
     trace_report, ISOLATION_CLIENTS, MAX_ABS_OVERHEAD_US, MAX_OVERHEAD_RATIO,
 };
@@ -181,6 +181,38 @@ fn run_solver_mg(report: &mut String) -> bool {
                     let _ = writeln!(
                         report,
                         "  FAIL: paths must agree to {MAX_SOLVER_DT_C:.0e} C with the hierarchy active and matching outer counts"
+                    );
+                }
+            }
+        }
+        Err(e) => {
+            ok = false;
+            let _ = writeln!(report, "  ERROR: {e}");
+        }
+    }
+
+    let _ = writeln!(
+        report,
+        "Multigrid refill equivalence (shared-scaffold refill vs from-scratch build):"
+    );
+    match mg_refill_cases() {
+        Ok(cases) => {
+            for c in &cases {
+                let status = if c.passed() {
+                    "ok"
+                } else {
+                    ok = false;
+                    "FAIL"
+                };
+                let _ = writeln!(
+                    report,
+                    "  {:<18} bitwise_equal={} iterations_match={} scaffold_shared={} {status}",
+                    c.name, c.bitwise_equal, c.iterations_match, c.scaffold_shared
+                );
+                if !c.passed() {
+                    let _ = writeln!(
+                        report,
+                        "  FAIL: the refilled hierarchy must reproduce the from-scratch build bitwise on the shared scaffold"
                     );
                 }
             }

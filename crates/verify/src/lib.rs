@@ -52,5 +52,5 @@ pub use fixedpoint::{AliasCase, DecisionCase, StrategyCase};
 pub use golden::{GoldenOutcome, GoldenSpec};
 pub use mms::{FinCase, MgMmsSample, MmsSample, SplitResult};
 pub use solvercheck::SolverCase;
-pub use solvermg::MgSolverCase;
+pub use solvermg::{MgRefillCase, MgSolverCase};
 pub use tracecheck::{IsolationCase, TraceIdentityCase, TraceReport};

@@ -15,7 +15,7 @@
 use crate::solvercheck::{MAX_SOLVER_DT_C, SOLVER_REL_TOL};
 use tac25d_floorplan::chip::ChipSpec;
 use tac25d_floorplan::layers::StackSpec;
-use tac25d_floorplan::organization::{ChipletLayout, PackageRules};
+use tac25d_floorplan::organization::{ChipletLayout, PackageRules, Spacing};
 use tac25d_floorplan::units::{Celsius, Mm};
 use tac25d_thermal::coupled::{solve_coupled, CoupledOptions, CoupledStrategy};
 use tac25d_thermal::model::{PackageModel, SolverKind, ThermalConfig, ThermalError};
@@ -164,9 +164,121 @@ pub fn mg_equivalence_cases() -> Result<Vec<MgSolverCase>, ThermalError> {
         .collect()
 }
 
+/// One refill-vs-rebuild equivalence record: a same-footprint spacing
+/// move applied through [`PackageModel::new_like`] — whose multigrid
+/// hierarchy is *refilled* on the scaffold shared with the base model —
+/// against a from-scratch [`PackageModel::new`] of the identical layout,
+/// whose hierarchy is built from nothing.
+#[derive(Debug, Clone)]
+pub struct MgRefillCase {
+    /// Corpus point name.
+    pub name: &'static str,
+    /// Whether every node temperature of the steady solve is
+    /// byte-identical between the refilled and rebuilt models.
+    pub bitwise_equal: bool,
+    /// Whether both paths took the identical PCG iteration count.
+    pub iterations_match: bool,
+    /// Whether the derived model's hierarchy really shares the base
+    /// model's scaffold `Arc` — without this the gate could pass while
+    /// silently rebuilding the symbolic hierarchy per model.
+    pub scaffold_shared: bool,
+}
+
+impl MgRefillCase {
+    /// Whether the case satisfies the refill-equivalence contract.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.bitwise_equal && self.iterations_match && self.scaffold_shared
+    }
+}
+
+/// Runs the refill-equivalence corpus: same-footprint `Symmetric16`
+/// spacing moves (the incremental-assembly class), solved under the
+/// multigrid tier through the shared-scaffold refill path and through a
+/// from-scratch build.
+///
+/// # Errors
+///
+/// Propagates thermal build/solve errors.
+///
+/// # Panics
+///
+/// Panics if a corpus model fails the layout rules or cannot build a
+/// multigrid hierarchy (both would be corpus regressions, not
+/// equivalence measurements).
+pub fn mg_refill_cases() -> Result<Vec<MgRefillCase>, ThermalError> {
+    let moves: Vec<(&'static str, Spacing, Spacing)> = vec![
+        (
+            "sym16_s2_widen",
+            Spacing::new(2.0, 2.0, 3.0),
+            Spacing::new(2.0, 3.5, 3.0),
+        ),
+        (
+            "sym16_s2_narrow",
+            Spacing::new(2.0, 3.0, 4.0),
+            Spacing::new(2.0, 1.5, 4.0),
+        ),
+    ];
+    let stack = StackSpec::system_25d();
+    moves
+        .into_iter()
+        .map(|(name, from, to)| {
+            let base_layout = ChipletLayout::Symmetric16 { spacing: from };
+            let moved = ChipletLayout::Symmetric16 { spacing: to };
+            let base = build(&base_layout, &stack, SolverKind::Multigrid);
+            let rects = base.chiplet_rects().to_vec();
+            let n = rects.len() as f64;
+            let sources: Vec<_> = rects.iter().map(|r| (*r, 180.0 / n)).collect();
+            // Solve the base first so its hierarchy exists and the
+            // derived model can take the dirty-refill path.
+            base.solve(&sources)?;
+            assert!(
+                base.mg_hierarchy().is_some(),
+                "{name}: base model must build a hierarchy"
+            );
+            let derived = PackageModel::new_like(&base, &moved)?;
+            let rebuilt = build(&moved, &stack, SolverKind::Multigrid);
+            let moved_rects = derived.chiplet_rects().to_vec();
+            let moved_sources: Vec<_> = moved_rects.iter().map(|r| (*r, 180.0 / n)).collect();
+            let d_sol = derived.solve(&moved_sources)?;
+            let r_sol = rebuilt.solve(&moved_sources)?;
+            let bitwise_equal = d_sol.raw_temps().len() == r_sol.raw_temps().len()
+                && d_sol
+                    .raw_temps()
+                    .iter()
+                    .zip(r_sol.raw_temps())
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+            let scaffold_shared = match (base.mg_hierarchy(), derived.mg_hierarchy()) {
+                (Some(b), Some(d)) => std::sync::Arc::ptr_eq(b.scaffold(), d.scaffold()),
+                _ => false,
+            };
+            Ok(MgRefillCase {
+                name,
+                bitwise_equal,
+                iterations_match: d_sol.iterations() == r_sol.iterations(),
+                scaffold_shared,
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn corpus_passes_mg_refill_gate() {
+        for case in mg_refill_cases().unwrap() {
+            assert!(
+                case.passed(),
+                "{}: bitwise_equal {}, iterations_match {}, scaffold_shared {}",
+                case.name,
+                case.bitwise_equal,
+                case.iterations_match,
+                case.scaffold_shared
+            );
+        }
+    }
 
     #[test]
     fn corpus_passes_mg_equivalence_gate() {
