@@ -48,6 +48,10 @@ pub struct Fig8Entry {
     pub pcg_iterations: u64,
     /// Total PCG solves of the run (`thermal.pcg_solves`).
     pub pcg_solves: u64,
+    /// Exact coupled thermal/leakage solves of the run
+    /// (`evaluator.exact_solves`) — the unit the seeded search budget is
+    /// denominated in. Zero in entries recorded before the field existed.
+    pub exact_solves: u64,
     /// Civil date of the run (UTC, `YYYY-MM-DD`).
     pub date: String,
     /// Short git revision, `unknown` outside a work tree.
@@ -92,6 +96,7 @@ pub fn current_entry() -> Fig8Entry {
         wall_s: obs::uptime().as_secs_f64(),
         pcg_iterations: counter("thermal.pcg_iterations"),
         pcg_solves: counter("thermal.pcg_solves"),
+        exact_solves: counter("evaluator.exact_solves"),
         date: utc_date(),
         git_rev: git_rev(),
         host: host_string(),
@@ -173,6 +178,8 @@ fn parse_entries(text: &str) -> Result<Vec<Fig8Entry>, String> {
                 wall_s: num_field("wall_s")?,
                 pcg_iterations: num_field("pcg_iterations")? as u64,
                 pcg_solves: num_field("pcg_solves")? as u64,
+                // Absent in pre-seeding entries; 0 means "not recorded".
+                exact_solves: num_field("exact_solves").unwrap_or(0.0) as u64,
                 date: str_field("date")?,
                 git_rev: str_field("git_rev")?,
                 // Absent in pre-host entries; "" means "not recorded".
@@ -189,13 +196,14 @@ fn render(entries: &[Fig8Entry]) -> String {
         let _ = write!(
             out,
             "    {{\"solver\": \"{}\", \"fast\": {}, \"wall_s\": {:.3}, \
-             \"pcg_iterations\": {}, \"pcg_solves\": {}, \"date\": \"{}\", \
-             \"git_rev\": \"{}\", \"host\": \"{}\"}}",
+             \"pcg_iterations\": {}, \"pcg_solves\": {}, \"exact_solves\": {}, \
+             \"date\": \"{}\", \"git_rev\": \"{}\", \"host\": \"{}\"}}",
             obs::json::escape(&e.solver),
             e.fast,
             e.wall_s,
             e.pcg_iterations,
             e.pcg_solves,
+            e.exact_solves,
             obs::json::escape(&e.date),
             obs::json::escape(&e.git_rev),
             obs::json::escape(&e.host),
@@ -264,6 +272,7 @@ mod tests {
             wall_s: 1.5,
             pcg_iterations: iters,
             pcg_solves: 10,
+            exact_solves: 42,
             date: "2026-08-05".to_owned(),
             git_rev: "abc1234".to_owned(),
             host: "Test CPU (4 threads)".to_owned(),
@@ -335,5 +344,6 @@ mod tests {
         let parsed = parse_entries(legacy).unwrap();
         assert_eq!(parsed.len(), 1);
         assert_eq!(parsed[0].host, "");
+        assert_eq!(parsed[0].exact_solves, 0);
     }
 }

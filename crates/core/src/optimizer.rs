@@ -29,7 +29,7 @@
 //! selected organization is identical; only the number of thermal
 //! simulations drops.
 
-use crate::evaluator::{single_chip_baseline, Baseline, EvalError, Evaluation, Evaluator};
+use crate::evaluator::{single_chip_baseline_screened, Baseline, EvalError, Evaluation, Evaluator};
 use crate::objective::{objective_value, Weights};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -46,6 +46,7 @@ use tac25d_obs as obs;
 use tac25d_power::benchmarks::Benchmark;
 use tac25d_power::dvfs::OperatingPoint;
 use tac25d_power::perf::Ips;
+use tac25d_surrogate::analytic::{snap_to_lattice, AnalyticConfig, Manifold16};
 
 /// The chiplet counts the paper optimizes over (Sec. III-C limits the
 /// search to 4 and 16 for bonding-yield reasons).
@@ -137,6 +138,64 @@ impl Fidelity {
     }
 }
 
+/// Whether the analytic-gradient placement seeding phase runs before the
+/// screened multi-start greedy (see the module docs and
+/// `tac25d_surrogate::analytic`). Seeding only changes *where the search
+/// starts* — every feasibility claim stays exact-solver-backed — and it
+/// never applies to the exact, exhaustive or annealing paths, which exist
+/// for paper-equivalence validation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum SeedMode {
+    /// Follow the process environment: seeding is on unless
+    /// `TAC25D_SEED_MODE` is set to `off` (or `0`).
+    #[default]
+    Auto,
+    /// Seed regardless of the environment.
+    On,
+    /// Never seed — bit-for-bit the pre-seeding search (same RNG stream,
+    /// same probe order).
+    Off,
+}
+
+/// Reads the `TAC25D_SEED_MODE` escape hatch once per process: `off`/`0`
+/// disables the seeding phase everywhere a config leaves it on `Auto`.
+pub fn env_seed_mode_on() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| {
+        std::env::var("TAC25D_SEED_MODE")
+            .map(|v| {
+                let v = v.trim().to_ascii_lowercase();
+                v != "off" && v != "0"
+            })
+            .unwrap_or(true)
+    })
+}
+
+impl SeedMode {
+    /// Resolves the mode against the process environment.
+    #[must_use]
+    pub fn enabled(self) -> bool {
+        match self {
+            SeedMode::Auto => env_seed_mode_on(),
+            SeedMode::On => true,
+            SeedMode::Off => false,
+        }
+    }
+}
+
+impl OptimizerConfig {
+    /// Whether this run uses the draft-then-verify pipeline: analytic
+    /// seeds, raw-kernel draft ranking, the screened baseline walk and
+    /// tie-run truncation. Requires surrogate fidelity, an attached
+    /// surrogate and the seed mode on — so the exact paper path and the
+    /// `TAC25D_SEED_MODE=off` hatch keep the legacy search bit-for-bit.
+    fn draft(&self, ev: &Evaluator) -> bool {
+        matches!(self.fidelity, Fidelity::Surrogate { .. })
+            && self.seeding.enabled()
+            && ev.surrogate().is_some()
+    }
+}
+
 /// Optimizer configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OptimizerConfig {
@@ -154,6 +213,8 @@ pub struct OptimizerConfig {
     pub accelerate_ties: bool,
     /// Exact or surrogate-screened placement evaluation.
     pub fidelity: Fidelity,
+    /// Analytic-gradient placement seeding for the screened greedy.
+    pub seeding: SeedMode,
 }
 
 impl Default for OptimizerConfig {
@@ -165,6 +226,7 @@ impl Default for OptimizerConfig {
             chiplet_counts: ChipletCount::both(),
             accelerate_ties: true,
             fidelity: Fidelity::Exact,
+            seeding: SeedMode::Auto,
         }
     }
 }
@@ -256,6 +318,10 @@ pub struct SearchStats {
     /// Placements evaluated exactly because the surrogate declined or was
     /// untrusted (warm-up, off-manifold queries, uncovered layouts).
     pub surrogate_fallbacks: usize,
+    /// Placements ranked by the uncorrected kernel during the draft
+    /// descent (seed mode): no exact solve was paid and no feasibility
+    /// was claimed — the descent's end point is exact-verified instead.
+    pub surrogate_raw_ranked: usize,
     /// Largest |predicted − exact| peak-temperature gap observed across
     /// the verified placements, °C.
     pub surrogate_max_abs_error_c: f64,
@@ -347,8 +413,27 @@ pub fn enumerate_candidates(
     weights: Weights,
     counts: &[ChipletCount],
 ) -> Result<(Vec<Candidate>, Baseline), OptimizeError> {
-    let baseline =
-        single_chip_baseline(ev, benchmark)?.ok_or(OptimizeError::NoBaseline(benchmark))?;
+    enumerate_candidates_screened(ev, benchmark, weights, counts, false)
+}
+
+/// [`enumerate_candidates`] with an optional tier-1 screen over the
+/// single-chip baseline walk (see
+/// [`crate::evaluator::single_chip_baseline_screened`]). The optimizer
+/// enables the screen only for surrogate-fidelity seeded searches; the
+/// exact paper path never sees it.
+///
+/// # Errors
+///
+/// See [`enumerate_candidates`].
+pub fn enumerate_candidates_screened(
+    ev: &Evaluator,
+    benchmark: Benchmark,
+    weights: Weights,
+    counts: &[ChipletCount],
+    screen_baseline: bool,
+) -> Result<(Vec<Candidate>, Baseline), OptimizeError> {
+    let baseline = single_chip_baseline_screened(ev, benchmark, screen_baseline)?
+        .ok_or(OptimizeError::NoBaseline(benchmark))?;
     let spec = ev.spec();
     let chiplet_area = |c: ChipletCount| {
         let wc = spec.chip.edge().value() / f64::from(c.r());
@@ -445,6 +530,204 @@ enum Probe {
 /// A feasible placement paired with its exact evaluation.
 type Placed = (ChipletLayout, Arc<Evaluation>);
 
+/// Draft-mode probe of one 4-chiplet candidate inside a tie run. Unlike
+/// [`Probe`], it has a third outcome for clearly-cool predictions that the
+/// edge binary search may treat as feasible without an exact solve — only
+/// the search's final winner must be exact-confirmed before it can claim
+/// feasibility.
+enum DraftProbe {
+    /// Exactly evaluated and feasible.
+    Feasible(ChipletLayout, Arc<Evaluation>),
+    /// Predicted at least one guard band *below* the threshold: feasible
+    /// for search-steering purposes, pending exact confirmation.
+    Provisional(ChipletLayout),
+    /// Exactly infeasible, or predicted clearly above the threshold.
+    Infeasible,
+}
+
+/// Outcome of the draft binary search over one 4-chiplet tie-run subgroup.
+enum DraftSubgroup {
+    /// Smallest feasible edge, exact-solver-backed.
+    Winner(usize, ChipletLayout, Arc<Evaluation>),
+    /// No feasible edge in the subgroup.
+    Infeasible,
+    /// A provisional winner failed exact confirmation, so the search
+    /// history is tainted; the caller redoes the subgroup with exact
+    /// probes (memoized evaluations keep the redo cheap).
+    Refuted,
+}
+
+/// Probes one 4-chiplet candidate for the draft tie-run search: clearly
+/// cool predictions return [`DraftProbe::Provisional`] without an exact
+/// solve; everything near or above the threshold delegates to the regular
+/// screened probe.
+fn probe4_draft(
+    ev: &Evaluator,
+    benchmark: Benchmark,
+    cand: &Candidate,
+    threshold: Celsius,
+    guard: Guards,
+    stats: &mut SearchStats,
+) -> Result<DraftProbe, EvalError> {
+    let spec = ev.spec();
+    let Some(s3) = symmetric4_for_edge(&spec.chip, &spec.rules, cand.edge) else {
+        return Ok(DraftProbe::Infeasible);
+    };
+    let layout = ChipletLayout::Symmetric4 { s3 };
+    if let Some(pred) = ev.predict_peak(&layout, benchmark, cand.op, cand.active_cores) {
+        // Every Symmetric4 candidate is the kernel's 2x2 reference layout,
+        // so even the raw superposition is corrector-grade here.
+        let est = if pred.trusted {
+            pred.corrected_peak_c
+        } else {
+            pred.raw_peak_c
+        };
+        if est <= threshold.value() - guard.band {
+            stats.surrogate_predictions += 1;
+            stats.surrogate_raw_ranked += 1;
+            return Ok(DraftProbe::Provisional(layout));
+        }
+    }
+    match probe_placement(
+        ev,
+        benchmark,
+        cand.op,
+        cand.active_cores,
+        &layout,
+        threshold,
+        Some(guard),
+        stats,
+    )? {
+        Probe::Exact(e) if e.feasible(threshold) => Ok(DraftProbe::Feasible(layout, e)),
+        _ => Ok(DraftProbe::Infeasible),
+    }
+}
+
+/// Binary-searches one 4-chiplet tie-run subgroup for its smallest
+/// feasible edge using draft probes, exact-confirming a provisional
+/// winner before claiming it. Feasibility is monotone in the edge, so a
+/// provisional mid-probe that was wrong can only surface as the *final*
+/// winner (any exact-feasible smaller edge would prove the mid feasible
+/// too) — which the confirmation catches, returning
+/// [`DraftSubgroup::Refuted`].
+#[allow(clippy::too_many_arguments)]
+fn resolve_four_subgroup_draft(
+    ev: &Evaluator,
+    benchmark: Benchmark,
+    run: &[Candidate],
+    indices: &[usize],
+    threshold: Celsius,
+    guard: Guards,
+    evaluated: &mut usize,
+    stats: &mut SearchStats,
+) -> Result<DraftSubgroup, EvalError> {
+    let last = *indices.last().expect("groups are non-empty");
+    *evaluated += 1;
+    let mut best = match probe4_draft(ev, benchmark, &run[last], threshold, guard, stats)? {
+        DraftProbe::Infeasible => return Ok(DraftSubgroup::Infeasible),
+        DraftProbe::Feasible(layout, eval) => (last, layout, Some(eval)),
+        DraftProbe::Provisional(layout) => (last, layout, None),
+    };
+    let (mut lo, mut hi) = (0usize, indices.len() - 1);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        *evaluated += 1;
+        match probe4_draft(ev, benchmark, &run[indices[mid]], threshold, guard, stats)? {
+            DraftProbe::Feasible(layout, eval) => {
+                best = (indices[mid], layout, Some(eval));
+                hi = mid;
+            }
+            DraftProbe::Provisional(layout) => {
+                best = (indices[mid], layout, None);
+                hi = mid;
+            }
+            DraftProbe::Infeasible => lo = mid + 1,
+        }
+    }
+    let (idx, layout, eval) = best;
+    let eval = match eval {
+        Some(e) => e,
+        None => {
+            stats.surrogate_fallbacks += 1;
+            let e = ev.evaluate(&layout, benchmark, run[idx].op, run[idx].active_cores)?;
+            if !e.feasible(threshold) {
+                obs::counter!("optimizer.draft_refutes").inc();
+                return Ok(DraftSubgroup::Refuted);
+            }
+            e
+        }
+    };
+    Ok(DraftSubgroup::Winner(idx, layout, eval))
+}
+
+/// How many of the descender's distinct continuous optima are snapped to
+/// the lattice and used as greedy starts.
+const SEED_TOP_K: usize = 4;
+
+/// Runs the analytic placement descender for one 16-chiplet candidate and
+/// returns its top optima snapped to the spacing lattice, coolest proxy
+/// first. Empty when the candidate's power map cannot be decomposed per
+/// chiplet (the greedy then runs unseeded, bit-for-bit the legacy path).
+///
+/// The per-chiplet watts come from the same decomposition the surrogate
+/// uses (mintemp active-core placement plus area-weighted NoC power),
+/// evaluated once at a mid-manifold representative spacing — the power
+/// split across chiplets is spacing-independent, only the NoC total moves
+/// slightly, and the proxy needs the split, not the absolute watts.
+fn analytic_seed_points(
+    ev: &Evaluator,
+    benchmark: Benchmark,
+    candidate: &Candidate,
+    free_units: i64,
+    step: f64,
+    s1_max: i64,
+    s2_max: i64,
+) -> Vec<LatticePoint> {
+    let representative = LatticePoint {
+        s1u: free_units / 4,
+        s2u: free_units / 4,
+    };
+    let layout = ChipletLayout::Symmetric16 {
+        spacing: lattice_spacing(representative, free_units, step),
+    };
+    let Some(input) = ev.surrogate_input(&layout, benchmark, candidate.op, candidate.active_cores)
+    else {
+        return Vec::new();
+    };
+    if input.active_per_chiplet.len() != 16 || input.noc_per_chiplet.len() != 16 {
+        return Vec::new();
+    }
+    let spec = ev.spec();
+    let profile = benchmark.profile();
+    // Leakage is temperature-dependent; the threshold is as good a fixed
+    // point as any — the proxy only needs the relative power split.
+    let per_core = spec
+        .core_power
+        .active_power(&profile, candidate.op, spec.threshold);
+    let mut watts = [0.0f64; 16];
+    for (w, (active, noc)) in watts
+        .iter_mut()
+        .zip(input.active_per_chiplet.iter().zip(&input.noc_per_chiplet))
+    {
+        *w = f64::from(*active) * per_core + noc;
+    }
+    let manifold = Manifold16 {
+        wc: spec.chip.edge().value() / 4.0,
+        guard: spec.rules.guard.value(),
+        free: free_units as f64 * step,
+        watts,
+    };
+    obs::counter!("optimizer.analytic_descents").inc();
+    let outcome = manifold.descend(&AnalyticConfig::default());
+    obs::counter!("optimizer.analytic_grad_evals").add(outcome.grad_evals as u64);
+    let snapped = snap_to_lattice(&outcome.optima, step, s1_max, s2_max, SEED_TOP_K);
+    obs::counter!("optimizer.seeded_starts").add(snapped.len() as u64);
+    snapped
+        .into_iter()
+        .map(|(s1u, s2u)| LatticePoint { s1u, s2u })
+        .collect()
+}
+
 /// Probes one placement: exact solve, unless a surrogate prediction puts
 /// it above the applicable guard band over the threshold.
 #[allow(clippy::too_many_arguments)]
@@ -533,6 +816,19 @@ pub fn find_placement_with(
                 return Ok(None);
             };
             let layout = ChipletLayout::Symmetric4 { s3 };
+            // Every Symmetric4 candidate *is* the kernel's 2×2 reference
+            // layout (a uniform grid at the candidate edge), so the raw
+            // superposition there is corrector-grade. In draft/seed mode
+            // the probe screens with the tight verification band instead
+            // of the wide raw band — clearly-infeasible 4-chiplet
+            // candidates stop paying an exact solve each.
+            let guard = match guard {
+                Some(g) if cfg.seeding.enabled() => Some(Guards {
+                    band: g.band,
+                    raw: g.band,
+                }),
+                other => other,
+            };
             match probe_placement(
                 ev,
                 benchmark,
@@ -646,12 +942,20 @@ pub fn find_placement_with(
                         let layout_of = |pt: LatticePoint| ChipletLayout::Symmetric16 {
                             spacing: lattice_spacing(pt, free_units, step),
                         };
+                        // Draft mode rides with the seeding switch: when
+                        // on, untrusted points are *ranked* by the raw
+                        // kernel instead of paying an exact solve each —
+                        // the exact solver confirms only at the descent's
+                        // end. When off, the loop below is bit-for-bit
+                        // the legacy warm-up search.
+                        let draft = cfg.seeding.enabled();
                         // Scores one lattice point: Ok((found, peak,
-                        // predicted)) where `found` carries a feasible
-                        // exact evaluation, `peak` ranks the point for
-                        // descent and `predicted` marks an unverified
-                        // surrogate estimate.
-                        type Scored = (Option<(ChipletLayout, Arc<Evaluation>)>, f64, bool);
+                        // band)) where `found` carries a feasible exact
+                        // evaluation, `peak` ranks the point for descent
+                        // and `band` is Some(margin) when the peak is an
+                        // unverified estimate whose local minima within
+                        // `threshold + margin` deserve exact verification.
+                        type Scored = (Option<(ChipletLayout, Arc<Evaluation>)>, f64, Option<f64>);
                         let score = |pt: LatticePoint,
                                      stats: &mut SearchStats|
                          -> Result<Scored, EvalError> {
@@ -666,11 +970,18 @@ pub fn find_placement_with(
                                 stats.surrogate_predictions += 1;
                                 if pred.trusted {
                                     stats.surrogate_skips += 1;
-                                    return Ok((None, pred.corrected_peak_c, true));
+                                    return Ok((None, pred.corrected_peak_c, Some(guard.band)));
                                 }
                                 if pred.raw_peak_c > threshold.value() + guard.raw {
                                     stats.surrogate_skips += 1;
-                                    return Ok((None, pred.raw_peak_c, true));
+                                    return Ok((None, pred.raw_peak_c, Some(guard.band)));
+                                }
+                                if draft {
+                                    // The raw estimate is biased by up to
+                                    // the raw guard band, so minima are
+                                    // verified against that wider margin.
+                                    stats.surrogate_raw_ranked += 1;
+                                    return Ok((None, pred.raw_peak_c, Some(guard.raw)));
                                 }
                             }
                             stats.surrogate_fallbacks += 1;
@@ -681,16 +992,35 @@ pub fn find_placement_with(
                                 candidate.active_cores,
                             )?;
                             let peak = peak_of(&e);
-                            Ok((e.feasible(threshold).then_some((layout, e)), peak, false))
+                            Ok((e.feasible(threshold).then_some((layout, e)), peak, None))
                         };
-                        for _ in 0..starts {
+                        // Seeding phase: descend the analytic proxy and
+                        // start the greedy from its snapped optima,
+                        // keeping a small random remainder for coverage.
+                        // With seeding off the seed list is empty and the
+                        // loop below is bit-for-bit the legacy search
+                        // (same RNG stream, same probe order).
+                        let seeds: Vec<LatticePoint> = if cfg.seeding.enabled() {
+                            analytic_seed_points(
+                                ev, benchmark, candidate, free_units, step, s1_max, s2_max,
+                            )
+                        } else {
+                            Vec::new()
+                        };
+                        let random_starts = if seeds.is_empty() {
+                            starts
+                        } else {
+                            starts.div_ceil(5)
+                        };
+                        for sidx in 0..seeds.len() + random_starts {
                             let _start_span = obs::span!("optimizer.greedy_start");
                             obs::counter!("optimizer.greedy_starts").inc();
-                            let mut current = LatticePoint {
-                                s1u: rng.gen_range(0..=s1_max),
-                                s2u: rng.gen_range(0..=s2_max),
-                            };
-                            let (found, mut current_peak, mut current_predicted) =
+                            let mut current =
+                                seeds.get(sidx).copied().unwrap_or_else(|| LatticePoint {
+                                    s1u: rng.gen_range(0..=s1_max),
+                                    s2u: rng.gen_range(0..=s2_max),
+                                });
+                            let (found, mut current_peak, mut current_band) =
                                 score(current, stats)?;
                             if found.is_some() {
                                 return Ok(found);
@@ -723,7 +1053,7 @@ pub fn find_placement_with(
                                     {
                                         continue;
                                     }
-                                    let (found, nb_peak, nb_predicted) = score(nb, stats)?;
+                                    let (found, nb_peak, nb_band) = score(nb, stats)?;
                                     if found.is_some() {
                                         return Ok(found);
                                     }
@@ -731,7 +1061,7 @@ pub fn find_placement_with(
                                         obs::counter!("optimizer.moves_accepted").inc();
                                         current = nb;
                                         current_peak = nb_peak;
-                                        current_predicted = nb_predicted;
+                                        current_band = nb_band;
                                         continue 'descend;
                                     }
                                 }
@@ -743,8 +1073,8 @@ pub fn find_placement_with(
                                 // more sharply; on disagreement this start
                                 // simply ends (resuming the descent here
                                 // can oscillate between memoized points).
-                                if current_predicted
-                                    && current_peak <= threshold.value() + guard.band
+                                if current_band
+                                    .is_some_and(|band| current_peak <= threshold.value() + band)
                                 {
                                     let layout = layout_of(current);
                                     let e = ev.evaluate(
@@ -950,8 +1280,17 @@ where
 {
     let _span = obs::span!("optimizer.optimize");
     let sims_before = ev.thermal_sims();
-    let (candidates, baseline) =
-        enumerate_candidates(ev, benchmark, cfg.weights, &cfg.chiplet_counts)?;
+    // The baseline screen rides with the draft/seed mode: only screened
+    // (surrogate-fidelity) seeded searches prune the baseline walk, so the
+    // exact paper path — and the `TAC25D_SEED_MODE=off` escape hatch —
+    // keep the legacy walk bit-for-bit.
+    let (candidates, baseline) = enumerate_candidates_screened(
+        ev,
+        benchmark,
+        cfg.weights,
+        &cfg.chiplet_counts,
+        cfg.draft(ev),
+    )?;
     let candidates: Vec<Candidate> = candidates
         .into_iter()
         .filter(|c| filter(c, &baseline))
@@ -1040,13 +1379,70 @@ fn resolve_tie_run(
         .map(|indices| (indices[0], indices))
         .collect();
     ordered.sort_unstable_by_key(|(first, _)| *first);
-    for (_, indices) in ordered {
+    // Draft mode prunes across subgroups: once some subgroup produced a
+    // feasible winner at run index `best_idx`, candidates at larger
+    // indices lose the tie-break no matter what, so later subgroups only
+    // search their prefix below `best_idx` (often empty — e.g. the
+    // 16-chiplet subgroup after a cheap 4-chiplet winner). The selected
+    // organization is provably unchanged; only the probe count drops.
+    // Gated on draft mode so the legacy path stays bit-for-bit.
+    let draft = cfg.draft(ev);
+    // The tight 4-chiplet guard (see `find_placement_with`): Symmetric4
+    // candidates sit on the kernel's reference layout, so the raw margin
+    // collapses to the verification band.
+    let guard4 = match (cfg.fidelity, ev.surrogate()) {
+        (Fidelity::Surrogate { guard_band_c }, Some(_)) => Some(Guards {
+            band: guard_band_c,
+            raw: guard_band_c,
+        }),
+        _ => None,
+    };
+    let mut best_idx = usize::MAX;
+    for (_, full) in ordered {
+        let truncated: Vec<usize>;
+        let indices: &[usize] = if draft && best_idx != usize::MAX {
+            truncated = full.iter().copied().filter(|&i| i < best_idx).collect();
+            &truncated
+        } else {
+            full
+        };
+        if indices.is_empty() {
+            // The trailing prune accounting covers unevaluated candidates.
+            continue;
+        }
         debug_assert!(
             indices
                 .windows(2)
                 .all(|w| run[w[0]].edge.value() <= run[w[1]].edge.value() + 1e-9),
             "subgroup edges must ascend"
         );
+        // Draft mode steers 4-chiplet binary searches on clearly-cool
+        // predictions and exact-confirms only the winning edge; a refuted
+        // confirmation (never observed in practice) falls through to the
+        // exact search below.
+        if draft && run[indices[0]].count == ChipletCount::Four {
+            if let Some(g) = guard4 {
+                let threshold = ev.spec().threshold;
+                match resolve_four_subgroup_draft(
+                    ev,
+                    benchmark,
+                    run,
+                    indices,
+                    threshold,
+                    g,
+                    &mut evaluated,
+                    stats,
+                )? {
+                    DraftSubgroup::Winner(idx, layout, eval) => {
+                        best_idx = best_idx.min(idx);
+                        winners.push((idx, layout, eval));
+                        continue;
+                    }
+                    DraftSubgroup::Infeasible => continue,
+                    DraftSubgroup::Refuted => {}
+                }
+            }
+        }
         // Check the largest edge first: if it is infeasible, the whole
         // subgroup is (monotonicity).
         let last = *indices.last().expect("groups are non-empty");
@@ -1067,6 +1463,7 @@ fn resolve_tie_run(
                 None => lo = mid + 1,
             }
         }
+        best_idx = best_idx.min(best_here.0);
         winners.push(best_here);
     }
     stats.candidates_tried += evaluated;

@@ -50,8 +50,13 @@ pub const CANONICAL_COUNTERS: &[&str] = &[
     "thermal.mg_escalations",
     "thermal.mg_build_us",
     "evaluator.canonical_hits",
+    "evaluator.exact_solves",
     "surrogate.predictions",
     "optimizer.greedy_starts",
+    "optimizer.seeded_starts",
+    "optimizer.analytic_descents",
+    "optimizer.analytic_grad_evals",
+    "optimizer.draft_refutes",
     "bench.rows_emitted",
     "serve.requests",
     "serve.shed",
@@ -70,6 +75,7 @@ pub const BASELINE_COUNTERS: &[&str] = &[
     "thermal.mg_vcycles",
     "thermal.mg_refills",
     "thermal.mg_scaffold_hits",
+    "evaluator.exact_solves",
     "serve.shed",
     "serve.deadline_hits",
 ];
@@ -86,10 +92,15 @@ pub const BASELINE_COUNTERS: &[&str] = &[
 /// `thermal.mg_refills` counts numeric hierarchy fills — growing past
 /// the blessed value means models stopped sharing hierarchies (or mg ran
 /// where it should not have), while needing fewer is an improvement.
+/// `evaluator.exact_solves` counts exact coupled thermal/leakage solves
+/// per run — the currency the analytic seeding saves. Creeping past the
+/// blessed value means the seeding or the draft-then-verify search
+/// quietly stopped firing; spending fewer is the whole point.
 pub const ONE_SIDED_COUNTERS: &[&str] = &[
     "thermal.pcg_iterations",
     "thermal.mg_vcycles",
     "thermal.mg_refills",
+    "evaluator.exact_solves",
     "serve.shed",
     "serve.deadline_hits",
 ];

@@ -22,6 +22,7 @@
 //! so all reported organizations remain exact-solver-backed. See
 //! `tac25d_core::optimizer::Fidelity` for the screening rule.
 
+pub mod analytic;
 pub mod config;
 pub mod corrector;
 pub mod features;

@@ -5,6 +5,7 @@
 //! verify solver              # IC(0) fast path vs legacy Jacobi path
 //! verify solver-mg           # multigrid tier vs IC(0) + h-refinement ladder
 //! verify fixedpoint [--fast] # Anderson-vs-Picard + canonical-key gate
+//! verify seed [--fast]       # analytic seeding: gradients, snap, parity
 //! verify diff [--fast]       # differential corpus + Fig. 8 guarantees
 //! verify golden [--bless] [--only <bin>]
 //! verify obs                 # observability determinism guard
@@ -34,6 +35,9 @@ use tac25d_verify::fixedpoint::{
 use tac25d_verify::golden::{golden_dir, manifest, run_spec, workspace_root};
 use tac25d_verify::mms::{chain_error, observed_orders, path_split, vcycle_spread, FinCase};
 use tac25d_verify::obsguard::{obs_manifest, run_obs_determinism};
+use tac25d_verify::seedcheck::{
+    decision_parity_cases, gradient_cases, snap_cases, MAX_GRAD_REL_ERR,
+};
 use tac25d_verify::servecheck::{serve_equivalence_report, CONCURRENT_CLIENTS};
 use tac25d_verify::solvercheck::{solver_equivalence_cases, MAX_SOLVER_DT_C};
 use tac25d_verify::solvermg::{mg_equivalence_cases, mg_refill_cases};
@@ -317,7 +321,10 @@ fn run_fixedpoint(report: &mut String, fast: bool) -> bool {
         }
     }
 
-    let _ = writeln!(report, "Fig. 8 decisions under both strategies (seed 42):");
+    let _ = writeln!(
+        report,
+        "Fig. 8 decisions under both strategies (seed 42, signature-level):"
+    );
     let cases = decision_cases(&spec, 42);
     let mut matched = 0usize;
     for c in &cases {
@@ -330,10 +337,12 @@ fn run_fixedpoint(report: &mut String, fast: bool) -> bool {
         };
         let _ = writeln!(
             report,
-            "  {:<14} picard {:<40} anderson {:<40} {status}",
+            "  {:<14} picard {:<40} anderson {:<40} sig={} cross_feasible={} {status}",
             c.benchmark.name(),
             c.picard_desc,
-            c.anderson_desc
+            c.anderson_desc,
+            c.signatures_match,
+            c.cross_feasible
         );
     }
     let _ = writeln!(report, "  decision match: {matched}/{}", cases.len());
@@ -341,6 +350,89 @@ fn run_fixedpoint(report: &mut String, fast: bool) -> bool {
         let _ = writeln!(
             report,
             "  FAIL: the organizer's decisions must not depend on the fixed-point strategy"
+        );
+    }
+    ok
+}
+
+fn run_seed(report: &mut String, fast: bool) -> bool {
+    let mut ok = true;
+    let _ = writeln!(
+        report,
+        "Analytic gradient vs central differences (deterministic corpus, rel err <= {MAX_GRAD_REL_ERR:.0e}):"
+    );
+    for c in gradient_cases() {
+        let status = if c.passed() {
+            "ok"
+        } else {
+            ok = false;
+            "FAIL"
+        };
+        let _ = writeln!(
+            report,
+            "  {:<16} points={} max_rel_err={:.3e} {status}",
+            c.name, c.points, c.max_rel_err
+        );
+    }
+
+    let _ = writeln!(report, "Descend-and-snap determinism:");
+    for c in snap_cases() {
+        let status = if c.passed() {
+            "ok"
+        } else {
+            ok = false;
+            "FAIL"
+        };
+        let _ = writeln!(
+            report,
+            "  {:<16} seeds={:?} deterministic={} {status}",
+            c.name, c.seeds, c.deterministic
+        );
+    }
+
+    let spec = verification_spec(fast);
+    let _ = writeln!(
+        report,
+        "Fig. 8 decisions, seeded vs unseeded screened organizer (seed 42, signature-level):"
+    );
+    let cases = decision_parity_cases(&spec, 42);
+    let (mut matched, mut seeded, mut unseeded) = (0usize, 0usize, 0usize);
+    for c in &cases {
+        let status = if c.matched() {
+            matched += 1;
+            "ok"
+        } else {
+            ok = false;
+            "FAIL"
+        };
+        seeded += c.seeded_solves;
+        unseeded += c.unseeded_solves;
+        let _ = writeln!(
+            report,
+            "  {:<14} seeded {:<22} ({:>3} solves) unseeded {:<22} ({:>3} solves) {status}",
+            c.benchmark.name(),
+            c.seeded_desc,
+            c.seeded_solves,
+            c.unseeded_desc,
+            c.unseeded_solves
+        );
+    }
+    let _ = writeln!(
+        report,
+        "  decision match: {matched}/{}  exact solves: seeded {seeded} vs unseeded {unseeded}",
+        cases.len()
+    );
+    if matched != cases.len() {
+        let _ = writeln!(
+            report,
+            "  FAIL: seeding must not change the organizer's decisions"
+        );
+    }
+    if seeded > unseeded {
+        ok = false;
+        let _ = writeln!(
+            report,
+            "  FAIL: seeding must not cost extra exact solves ({seeded} > {unseeded})"
         );
     }
     ok
@@ -656,6 +748,7 @@ fn main() -> ExitCode {
         "solver" => run_solver(&mut report),
         "solver-mg" => run_solver_mg(&mut report),
         "fixedpoint" => run_fixedpoint(&mut report, fast),
+        "seed" => run_seed(&mut report, fast),
         "diff" => run_diff(&mut report, fast),
         "golden" => run_golden(&mut report, bless, only.as_deref()),
         "obs" => run_obs(&mut report),
@@ -666,16 +759,17 @@ fn main() -> ExitCode {
             let s = run_solver(&mut report);
             let m = run_solver_mg(&mut report);
             let f = run_fixedpoint(&mut report, fast);
+            let sd = run_seed(&mut report, fast);
             let b = run_diff(&mut report, fast);
             let c = run_golden(&mut report, bless, only.as_deref());
             let d = run_obs(&mut report);
             let e = run_serve(&mut report);
             let t = run_trace(&mut report);
-            a && s && m && f && b && c && d && e && t
+            a && s && m && f && sd && b && c && d && e && t
         }
         other => {
             eprintln!(
-                "unknown mode {other:?}; use mms | solver | solver-mg | fixedpoint | diff | golden | obs | serve | trace | all"
+                "unknown mode {other:?}; use mms | solver | solver-mg | fixedpoint | seed | diff | golden | obs | serve | trace | all"
             );
             return ExitCode::FAILURE;
         }

@@ -18,7 +18,10 @@
 //! * **organization decisions** — the Fig. 8 organizer run end-to-end
 //!   under both strategies (pinned per evaluator, not via the
 //!   process-global `TAC25D_FIXEDPOINT` override) must choose the same
-//!   organization for every benchmark.
+//!   organization decision for every benchmark: identical candidate
+//!   signature (frequency/cores/edge/layout class) with each winner's
+//!   placement feasible under the other strategy. Spacing is reported
+//!   but not compared — see [`DecisionCase`] for why.
 
 use tac25d_core::evaluator::layout_key;
 use tac25d_core::prelude::*;
@@ -36,6 +39,17 @@ pub const MAX_FIXEDPOINT_DT_C: f64 = 1e-6;
 /// must be converged far below the 1e-6 °C comparison threshold for the
 /// gap to measure the *strategy*, not leftover solver residual.
 pub const FIXEDPOINT_REL_TOL: f64 = 1e-11;
+
+/// Feasibility slack for the cross-strategy decision check, °C. At the
+/// production outer tolerance the Picard and Anderson fixed points agree
+/// only to a few millidegrees (the [`MAX_FIXEDPOINT_DT_C`] bound is
+/// established at [`FIXEDPOINT_REL_TOL`]), so a winner within that noise
+/// of the threshold may read as infeasible-by-millidegrees under the
+/// other strategy. 1e-2 °C covers the observed ~6e-3 °C disagreement
+/// with margin while staying three orders of magnitude below the 5 °C
+/// surrogate guard band — a genuine decision divergence cannot hide in
+/// it.
+pub const CROSS_FEASIBLE_SLACK_C: f64 = 1e-2;
 
 /// One organization's Picard-vs-Anderson comparison.
 ///
@@ -97,21 +111,49 @@ impl AliasCase {
 }
 
 /// One benchmark's Fig. 8 decision under both strategies.
+///
+/// Decisions are compared at the *candidate signature* level (frequency,
+/// active cores, interposer edge, layout class), not on the full layout
+/// string. The Eq. (5) objective is spacing-independent, so a candidate
+/// can have several equally-optimal feasible spacings; microdegree-level
+/// Picard-vs-Anderson differences can flip which of those the greedy's
+/// descent reaches first (observed on blackscholes: same
+/// 1000 MHz/256c/34 mm 16-chiplet winner, different spacing). That is
+/// not a decision divergence — both placements are exact-solver-verified
+/// feasible — so the gate pins the signature and additionally
+/// cross-checks that each strategy's chosen placement is feasible under
+/// the *other* strategy's evaluator, up to
+/// [`CROSS_FEASIBLE_SLACK_C`]: at the *production* outer tolerance the
+/// two strategies' converged fields differ by a few millidegrees
+/// (measured ~6e-3 °C on the blackscholes winners; the 1e-6 °C
+/// equivalence bound holds at the tight 1e-11 gate tolerance), so a
+/// winner sitting within that noise of the threshold can legitimately
+/// flip the hard feasibility bit under the other solver without either
+/// decision being wrong. The full spacing strings stay in the report as
+/// information.
 #[derive(Debug, Clone)]
 pub struct DecisionCase {
     /// The benchmark.
     pub benchmark: Benchmark,
-    /// `freq/cores/edge/layout` signature of the Picard winner.
+    /// Full `freq/cores/edge/[layout]` description of the Picard winner
+    /// (spacing included — informational).
     pub picard_desc: String,
-    /// Signature of the Anderson winner.
+    /// Description of the Anderson winner.
     pub anderson_desc: String,
+    /// Whether the candidate signatures (freq/cores/edge/layout class)
+    /// agree.
+    pub signatures_match: bool,
+    /// Whether each strategy's chosen placement is feasible when
+    /// evaluated under the other strategy (vacuously true when neither
+    /// found a winner).
+    pub cross_feasible: bool,
 }
 
 impl DecisionCase {
-    /// Whether both strategies chose the same organization.
+    /// Whether both strategies chose the same organization decision.
     #[must_use]
     pub fn matched(&self) -> bool {
-        self.picard_desc == self.anderson_desc
+        self.signatures_match && self.cross_feasible
     }
 }
 
@@ -285,13 +327,33 @@ fn describe(r: &OptimizeResult) -> String {
     )
 }
 
+/// The spacing-free candidate signature the decision gate compares on.
+fn signature(r: &OptimizeResult) -> Option<(u64, u16, u64, &'static str)> {
+    r.best.as_ref().map(|o| {
+        let class = match o.layout {
+            ChipletLayout::SingleChip => "1c",
+            ChipletLayout::Uniform { .. } => "uniform",
+            ChipletLayout::Symmetric4 { .. } => "4c",
+            ChipletLayout::Symmetric16 { .. } => "16c",
+        };
+        (
+            o.candidate.op.freq_mhz.to_bits(),
+            o.candidate.active_cores,
+            o.candidate.edge.value().to_bits(),
+            class,
+        )
+    })
+}
+
 /// Runs the Fig. 8 organizer per benchmark under both strategies — pinned
 /// through [`Evaluator::with_coupled_options`], never the process-global
-/// environment override — and records the chosen organizations.
+/// environment override — and records the chosen organizations, their
+/// signature agreement and the cross-strategy feasibility of each winner.
 ///
 /// # Panics
 ///
-/// Panics if an optimize run fails outright (solver error, no baseline).
+/// Panics if an optimize or cross-evaluation run fails outright (solver
+/// error, no baseline).
 pub fn decision_cases(spec: &SystemSpec, seed: u64) -> Vec<DecisionCase> {
     Benchmark::all()
         .into_iter()
@@ -304,12 +366,30 @@ pub fn decision_cases(spec: &SystemSpec, seed: u64) -> Vec<DecisionCase> {
                         ..CoupledOptions::default()
                     },
                 );
-                optimize(&ev, b, &OptimizerConfig::with_seed(seed)).expect("optimize")
+                let r = optimize(&ev, b, &OptimizerConfig::with_seed(seed)).expect("optimize");
+                (r, ev)
             };
-            let picard = run(CoupledStrategy::Picard);
-            let anderson = run(CoupledStrategy::Anderson);
+            let (picard, picard_ev) = run(CoupledStrategy::Picard);
+            let (anderson, anderson_ev) = run(CoupledStrategy::Anderson);
+            // Each winner must also be feasible under the other strategy:
+            // this is what licenses signature-level comparison — any
+            // equally-signed placement is a valid witness only if its
+            // feasibility claim is strategy-independent.
+            let cross = |o: &Organization, ev: &Evaluator| {
+                let e = ev
+                    .evaluate(&o.layout, b, o.candidate.op, o.candidate.active_cores)
+                    .expect("cross-evaluate");
+                e.converged && e.peak.value() <= spec.threshold.value() + CROSS_FEASIBLE_SLACK_C
+            };
+            let cross_feasible = match (&picard.best, &anderson.best) {
+                (Some(p), Some(a)) => cross(p, &anderson_ev) && cross(a, &picard_ev),
+                (None, None) => true,
+                _ => false,
+            };
             DecisionCase {
                 benchmark: b,
+                signatures_match: signature(&picard) == signature(&anderson),
+                cross_feasible,
                 picard_desc: describe(&picard),
                 anderson_desc: describe(&anderson),
             }

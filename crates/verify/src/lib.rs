@@ -27,6 +27,10 @@
 //!   outer loop against the Picard loop, symmetry-canonical cache-key
 //!   aliases evaluated independently, and the Fig. 8 organizer's
 //!   decisions under both strategies.
+//! * [`seedcheck`] — analytic seeding gate: exact-gradient consistency
+//!   against central finite differences, descend-and-snap determinism,
+//!   and seeded-vs-unseeded decision parity of the screened organizer
+//!   over the Fig. 8 corpus.
 //! * [`servecheck`] — daemon byte-identity: a pinned request corpus
 //!   against a fresh local engine, sequentially and under concurrent
 //!   keep-alive clients.
@@ -42,6 +46,7 @@ pub mod fixedpoint;
 pub mod golden;
 pub mod mms;
 pub mod obsguard;
+pub mod seedcheck;
 pub mod servecheck;
 pub mod solvercheck;
 pub mod solvermg;
@@ -51,6 +56,7 @@ pub use differential::{DiffPoint, DiffRecord, Fig8Case};
 pub use fixedpoint::{AliasCase, DecisionCase, StrategyCase};
 pub use golden::{GoldenOutcome, GoldenSpec};
 pub use mms::{FinCase, MgMmsSample, MmsSample, SplitResult};
+pub use seedcheck::{GradientCase, ParityCase, SnapCase};
 pub use solvercheck::SolverCase;
 pub use solvermg::{MgRefillCase, MgSolverCase};
 pub use tracecheck::{IsolationCase, TraceIdentityCase, TraceReport};

@@ -1,0 +1,298 @@
+//! Seeding gate (`verify seed`): the analytic-gradient placement seeding
+//! and its draft-then-verify search must be a decision-preserving
+//! acceleration of the screened organizer.
+//!
+//! Three contracts, one per section of the report:
+//!
+//! * **gradient consistency** — on a deterministic corpus of random
+//!   manifolds and power maps, the proxy's exact analytic gradient must
+//!   agree with central finite differences to [`MAX_GRAD_REL_ERR`]
+//!   relative error (a wrong gradient would still "work" — descent with
+//!   a bad direction just wastes evaluations — so only a direct check
+//!   catches it);
+//! * **snap determinism** — descending and lattice-snapping the same
+//!   manifold twice must produce bit-identical seed points (the seeds
+//!   feed a seeded RNG search, so any wobble would break run-to-run
+//!   reproducibility of the organizer);
+//! * **decision parity** — the full organizer over the Fig. 8 benchmark
+//!   corpus, seeded versus unseeded (both under surrogate screening,
+//!   independent evaluators), must pick the same organization signature
+//!   (frequency / cores / interposer edge / layout class) for every
+//!   benchmark, while the seeded run spends no more exact coupled solves
+//!   in total. Spacing within the winning candidate is *not* part of the
+//!   signature: the Eq. (5) objective is spacing-independent, so any
+//!   exact-verified feasible spacing is an equally valid witness.
+
+use tac25d_core::optimizer::SeedMode;
+use tac25d_core::prelude::*;
+use tac25d_floorplan::organization::ChipletLayout;
+use tac25d_surrogate::analytic::{snap_to_lattice, AnalyticConfig, Manifold16};
+
+/// Maximum tolerated relative error between the analytic gradient and a
+/// central finite difference (floored at 1e-3 °C/mm, below which the
+/// difference quotient itself is cancellation noise).
+pub const MAX_GRAD_REL_ERR: f64 = 1e-5;
+
+/// One manifold's gradient-vs-finite-difference comparison.
+#[derive(Debug, Clone)]
+pub struct GradientCase {
+    /// Corpus point name.
+    pub name: String,
+    /// Worst relative error over both components at every probe point.
+    pub max_rel_err: f64,
+    /// Probe points checked.
+    pub points: usize,
+}
+
+impl GradientCase {
+    /// Whether the analytic gradient is finite-difference-consistent.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.max_rel_err <= MAX_GRAD_REL_ERR
+    }
+}
+
+/// One manifold's descend-and-snap determinism check.
+#[derive(Debug, Clone)]
+pub struct SnapCase {
+    /// Corpus point name.
+    pub name: String,
+    /// Seed points of the first run (lattice units), for the report.
+    pub seeds: Vec<(i64, i64)>,
+    /// Whether two independent runs agreed bit-for-bit.
+    pub deterministic: bool,
+}
+
+impl SnapCase {
+    /// Whether the seeding pipeline is reproducible on this manifold.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.deterministic
+    }
+}
+
+/// One benchmark's seeded-vs-unseeded organizer comparison.
+#[derive(Debug, Clone)]
+pub struct ParityCase {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Signature of the seeded winner (`freq/cores/edge/class`).
+    pub seeded_desc: String,
+    /// Signature of the unseeded winner.
+    pub unseeded_desc: String,
+    /// Exact coupled solves the seeded run spent.
+    pub seeded_solves: usize,
+    /// Exact coupled solves the unseeded run spent.
+    pub unseeded_solves: usize,
+}
+
+impl ParityCase {
+    /// Whether both searches chose the same organization signature.
+    #[must_use]
+    pub fn matched(&self) -> bool {
+        self.seeded_desc == self.unseeded_desc
+    }
+}
+
+/// Splitmix64 step: the deterministic corpus generator (no RNG crate —
+/// the corpus must be identical on every platform and in every run).
+fn splitmix(state: &mut u64) -> f64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The deterministic manifold corpus: paper chiplet geometry, a spread of
+/// manifold constants, power maps drawn from a fixed splitmix64 stream.
+fn manifold_corpus() -> Vec<(String, Manifold16)> {
+    let mut state = 0x5eed_c0de_u64;
+    [2.0f64, 5.0, 9.5, 14.0, 18.0]
+        .iter()
+        .enumerate()
+        .map(|(i, &free)| {
+            let mut watts = [0.0f64; 16];
+            for w in &mut watts {
+                *w = 6.0 + 18.0 * splitmix(&mut state);
+            }
+            (
+                format!("free={free}mm#{i}"),
+                Manifold16 {
+                    wc: 4.5,
+                    guard: 1.0,
+                    free,
+                    watts,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Runs the gradient-vs-central-difference comparison over the corpus.
+#[must_use]
+pub fn gradient_cases() -> Vec<GradientCase> {
+    let cfg = AnalyticConfig::default();
+    let probes = [
+        (0.1, 0.1),
+        (0.5, 0.5),
+        (0.85, 0.2),
+        (0.3, 0.75),
+        (0.65, 0.65),
+    ];
+    manifold_corpus()
+        .into_iter()
+        .map(|(name, m)| {
+            let hi = m.half_free();
+            let h = 1e-5;
+            let mut max_rel_err = 0.0f64;
+            for &(f1, f2) in &probes {
+                let (s1, s2) = (f1 * hi, f2 * hi);
+                let (_, g1, g2) = m.objective_grad(&cfg, s1, s2);
+                let fd1 = (m.objective_grad(&cfg, s1 + h, s2).0
+                    - m.objective_grad(&cfg, s1 - h, s2).0)
+                    / (2.0 * h);
+                let fd2 = (m.objective_grad(&cfg, s1, s2 + h).0
+                    - m.objective_grad(&cfg, s1, s2 - h).0)
+                    / (2.0 * h);
+                let rel = |a: f64, b: f64| (a - b).abs() / a.abs().max(b.abs()).max(1e-3);
+                max_rel_err = max_rel_err.max(rel(g1, fd1)).max(rel(g2, fd2));
+            }
+            GradientCase {
+                name,
+                max_rel_err,
+                points: probes.len(),
+            }
+        })
+        .collect()
+}
+
+/// Runs the descend-and-snap pipeline twice per corpus manifold and
+/// compares the seed points bit-for-bit.
+#[must_use]
+pub fn snap_cases() -> Vec<SnapCase> {
+    let cfg = AnalyticConfig::default();
+    manifold_corpus()
+        .into_iter()
+        .map(|(name, m)| {
+            let step = 0.5;
+            let max_units = (m.half_free() / step).floor() as i64;
+            let run = || {
+                let out = m.descend(&cfg);
+                snap_to_lattice(&out.optima, step, max_units, max_units, 4)
+            };
+            let a = run();
+            let b = run();
+            SnapCase {
+                deterministic: a == b,
+                seeds: a,
+                name,
+            }
+        })
+        .collect()
+}
+
+/// `freq/cores/edge/layout-class` signature of an organizer result. The
+/// class collapses spacing detail (`4c`, `16c`, …): the objective is
+/// spacing-independent, so equally-feasible spacings are interchangeable
+/// witnesses of the same decision.
+fn signature(r: &OptimizeResult) -> String {
+    r.best.as_ref().map_or_else(
+        || "-".to_owned(),
+        |o| {
+            let class = match o.layout {
+                ChipletLayout::SingleChip => "1c".to_owned(),
+                ChipletLayout::Symmetric4 { .. } => "4c".to_owned(),
+                ChipletLayout::Symmetric16 { .. } => "16c".to_owned(),
+                ChipletLayout::Uniform { r, .. } => format!("u{}", u32::from(r) * u32::from(r)),
+            };
+            format!(
+                "{:.0}MHz/{}c/{:.0}mm/{class}",
+                o.candidate.op.freq_mhz,
+                o.candidate.active_cores,
+                o.candidate.edge.value(),
+            )
+        },
+    )
+}
+
+/// Runs the screened organizer over the Fig. 8 corpus with seeding
+/// forced on and forced off (fresh, independent evaluators — the modes
+/// must not share corrector state) and records the decision signatures
+/// and exact-solve spend.
+///
+/// # Panics
+///
+/// Panics if an optimize run fails outright (solver error, no baseline).
+pub fn decision_parity_cases(spec: &SystemSpec, seed: u64) -> Vec<ParityCase> {
+    Benchmark::all()
+        .into_iter()
+        .map(|b| {
+            let run = |mode: SeedMode| {
+                let ev = Evaluator::with_surrogate(spec.clone(), SurrogateConfig::default());
+                let cfg = OptimizerConfig {
+                    fidelity: Fidelity::surrogate_default(),
+                    seeding: mode,
+                    ..OptimizerConfig::with_seed(seed)
+                };
+                let r = optimize(&ev, b, &cfg).expect("optimize");
+                (signature(&r), ev.thermal_sims())
+            };
+            let (seeded_desc, seeded_solves) = run(SeedMode::On);
+            let (unseeded_desc, unseeded_solves) = run(SeedMode::Off);
+            ParityCase {
+                benchmark: b,
+                seeded_desc,
+                unseeded_desc,
+                seeded_solves,
+                unseeded_solves,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tac25d_core::system::SystemSpec;
+    use tac25d_floorplan::units::Mm;
+
+    #[test]
+    fn gradient_corpus_is_consistent() {
+        for c in gradient_cases() {
+            assert!(c.passed(), "{}: max rel err {:.3e}", c.name, c.max_rel_err);
+        }
+    }
+
+    #[test]
+    fn snapping_is_deterministic() {
+        for c in snap_cases() {
+            assert!(c.passed(), "{}: seeds diverged", c.name);
+        }
+    }
+
+    #[test]
+    fn seeded_and_unseeded_decisions_agree_on_the_smoke_spec() {
+        let mut spec = SystemSpec::fast();
+        spec.thermal.grid = 16;
+        spec.edge_step = Mm(2.0);
+        let cases = decision_parity_cases(&spec, 42);
+        let (mut seeded, mut unseeded) = (0, 0);
+        for c in &cases {
+            assert!(
+                c.matched(),
+                "{}: seeded {} vs unseeded {}",
+                c.benchmark.name(),
+                c.seeded_desc,
+                c.unseeded_desc
+            );
+            seeded += c.seeded_solves;
+            unseeded += c.unseeded_solves;
+        }
+        assert!(
+            seeded <= unseeded,
+            "seeding must not cost extra exact solves: {seeded} vs {unseeded}"
+        );
+    }
+}
